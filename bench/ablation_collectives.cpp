@@ -1,0 +1,74 @@
+// Ablation — collective implementations (DESIGN.md §5): the binomial
+// broadcast/reduce behind the `log c` term of Eq. (7)'s S, ring allgather,
+// and direct vs Bruck all-to-all, measured per group size on the simulator.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace alge;
+  bench::banner("Ablation: collective algorithms",
+                "Per-rank maximum words/messages for a k=64-word payload as "
+                "the group grows. Binomial trees give the log p critical "
+                "path assumed by the models.");
+  const std::size_t k = 64;
+  Table t({"p", "bcast S/rank", "bcast T", "reduce T", "allgather W/rank",
+           "a2a-direct S/rank", "a2a-bruck S/rank", "a2a-bruck W/rank"});
+  for (int p : {2, 4, 8, 16, 32, 64}) {
+    sim::MachineConfig cfg;
+    cfg.p = p;
+    cfg.params = core::MachineParams::unit();
+
+    struct Measured {
+      sim::SimTotals totals;
+      double makespan = 0.0;
+    };
+    auto measure = [&](auto op) {
+      sim::Machine m(cfg);
+      m.run(op);
+      return Measured{m.totals(), m.makespan()};
+    };
+    auto bcast = measure([&](sim::Comm& c) {
+      std::vector<double> d(k, 1.0);
+      c.bcast(d, 0, sim::Group::world(p));
+    });
+    auto reduce = measure([&](sim::Comm& c) {
+      std::vector<double> d(k, 1.0);
+      std::vector<double> out(k);
+      c.reduce_sum(d, out, 0, sim::Group::world(p));
+    });
+    auto gather = measure([&](sim::Comm& c) {
+      std::vector<double> d(k, 1.0);
+      std::vector<double> out(k * static_cast<std::size_t>(p));
+      c.allgather(d, out, sim::Group::world(p));
+    });
+    auto a2a = measure([&](sim::Comm& c) {
+      std::vector<double> d(k * static_cast<std::size_t>(p), 1.0);
+      std::vector<double> out(d.size());
+      c.alltoall(d, out, sim::Group::world(p));
+    });
+    auto bruck = measure([&](sim::Comm& c) {
+      std::vector<double> d(k * static_cast<std::size_t>(p), 1.0);
+      std::vector<double> out(d.size());
+      c.alltoall_bruck(d, out, sim::Group::world(p));
+    });
+    t.row()
+        .cell(p)
+        .cell(bcast.totals.msgs_sent_max, "%.0f")
+        .cell(bcast.makespan, "%.0f")
+        .cell(reduce.makespan, "%.0f")
+        .cell(gather.totals.words_sent_max, "%.0f")
+        .cell(a2a.totals.msgs_sent_max, "%.0f")
+        .cell(bruck.totals.msgs_sent_max, "%.0f")
+        .cell(bruck.totals.words_sent_max, "%.0f");
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: bcast S/rank = log2 p; allgather W = (p-1)k; "
+               "bruck S = ceil(log2 p) at ~(k p/2) log2 p words.\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Shared bits for the bench executables: a uniform banner so
+// bench_output.txt is self-describing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace alge::bench {
+
+inline void banner(const std::string& experiment_id,
+                   const std::string& what) {
+  std::printf("\n==== %s ====\n%s\n\n", experiment_id.c_str(), what.c_str());
+}
+
+}  // namespace alge::bench

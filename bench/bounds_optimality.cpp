@@ -1,0 +1,89 @@
+// Optimality certificate — Section III: the measured per-processor word
+// traffic of each executable algorithm against its communication lower
+// bound (Eqs. 3–5 and the memory-independent floors of [12], [13]).
+// "Communication-optimal" means the ratio column is O(1) and stays flat as
+// p grows; a growing ratio would mean the implementation wastes bandwidth
+// asymptotically.
+#include <iostream>
+
+#include "algs/harness.hpp"
+#include "algs/nbody/nbody.hpp"
+#include "bench_common.hpp"
+#include "core/algmodel.hpp"
+#include "core/bounds.hpp"
+#include "support/common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace alge;
+  bench::banner("Lower-bound optimality check (Section III)",
+                "measured W/rank vs the per-processor communication lower "
+                "bound; flat O(1) ratios certify communication "
+                "optimality.");
+  core::MachineParams mp = core::MachineParams::unit();
+  Table t({"experiment", "p", "M/rank (words)", "W bound", "measured W/rank",
+           "ratio"});
+
+  auto row = [&](const std::string& name, int p, double M, double bound,
+                 double measured) {
+    t.row()
+        .cell(name)
+        .cell(p)
+        .cell(M, "%.0f")
+        .cell(bound, "%.0f")
+        .cell(measured, "%.0f")
+        .cell(measured / bound, "%.2f");
+  };
+
+  // Classical matmul across the 2D..3D range.
+  for (auto [q, c] : {std::pair{4, 1}, {4, 2}, {4, 4}, {8, 1}, {8, 2}}) {
+    const int n = 48;
+    const double p = static_cast<double>(q) * q * c;
+    const double M = 3.0 * n * n * c / p;  // A, B, C blocks
+    const auto r = algs::harness::run_mm25d(n, q, c, mp);
+    row(strfmt("mm q=%d c=%d", q, c), r.p,
+        M, core::bounds::matmul_words(n, p, M), r.words_per_proc());
+  }
+
+  // CAPS Strassen.
+  for (int k : {1, 2}) {
+    const int n = 28;
+    const double p = k == 1 ? 7.0 : 49.0;
+    const double M = 7.0 * n * n / (4.0 * p) * 3.0;  // BFS working set
+    const auto r = algs::harness::run_caps(n, k, mp);
+    row(strfmt("caps k=%d", k), r.p, M,
+        core::bounds::strassen_words(n, p, M,
+                                     core::StrassenModel::kStrassenOmega),
+        r.words_per_proc());
+  }
+
+  // Replicating n-body (bound in particle units; measured words carry the
+  // 4-words-per-particle factor, part of the O(1)).
+  for (auto [p, c] : {std::pair{8, 1}, {16, 2}, {16, 4}, {64, 4}}) {
+    const int n = 128;
+    const double M = static_cast<double>(n) * c / p;
+    const auto r = algs::harness::run_nbody(n, p, c, mp);
+    row(strfmt("nbody p=%d c=%d", p, c), r.p, M * algs::kParticleWords,
+        core::bounds::nbody_words(n, p, M) * algs::kParticleWords,
+        r.words_per_proc());
+  }
+
+  // LU (same matmul-type bound).
+  for (auto [q, c] : {std::pair{2, 1}, {4, 1}, {2, 2}}) {
+    const int n = 32;
+    const double p = static_cast<double>(q) * q * c;
+    const double M = static_cast<double>(n) * n * c / p;
+    const auto r = algs::harness::run_lu(n, 4, q, c, mp);
+    row(strfmt("lu q=%d c=%d", q, c), r.p, M,
+        core::bounds::matmul_words(n, p, M) / 3.0,  // LU does n³/3 flops
+        r.words_per_proc());
+  }
+
+  t.print(std::cout);
+  std::cout << "\nSequential FFT floor (Hong & Kung, Eq. in Section IV): "
+               "W = n log n / log M; e.g. n = 2^20 through M = 2^15 words "
+               "of cache: "
+            << core::bounds::fft_sequential_words(1 << 20, 1 << 15)
+            << " words.\n";
+  return 0;
+}

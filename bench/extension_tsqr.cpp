@@ -1,0 +1,70 @@
+// Extension — TSQR: the paper's bounds framework covers QR ([2]); TSQR is
+// the latency/bandwidth-optimal tall-skinny factorization. Measured against
+// the gather-to-root baseline across p, with the Eq. (2) energy of both.
+#include <iostream>
+
+#include "algs/matmul/local.hpp"
+#include "algs/qr/tsqr.hpp"
+#include "bench_common.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace alge;
+  bench::banner("Extension: TSQR vs gather-QR",
+                "Tall-skinny QR (b=8 columns, 32 rows/rank): tree reduction "
+                "moves b^2 log p words in log p messages; gathering rows "
+                "moves the whole panel.");
+  core::MachineParams mp;
+  mp.gamma_t = 1.0;
+  mp.beta_t = 2.0;
+  mp.alpha_t = 10.0;
+  mp.gamma_e = 1.0;
+  mp.beta_e = 4.0;
+  mp.alpha_e = 20.0;
+  mp.delta_e = 1e-4;
+  mp.eps_e = 1e-2;
+  mp.max_msg_words = 1e9;
+
+  const int b = 8;
+  const int rows = 32;
+  Table t({"p", "variant", "W total", "S/rank max", "T (sim)", "E (sim)"});
+  for (int p : {4, 16, 64}) {
+    Rng rng(3);
+    const auto A = algs::random_matrix(rows * p, b, rng);
+    const std::size_t lw = static_cast<std::size_t>(rows) * b;
+    for (bool tree : {true, false}) {
+      sim::MachineConfig cfg;
+      cfg.p = p;
+      cfg.params = mp;
+      sim::Machine m(cfg);
+      std::vector<double> r(static_cast<std::size_t>(b) * b);
+      m.run([&](sim::Comm& comm) {
+        auto mine = std::span<const double>(A).subspan(
+            lw * static_cast<std::size_t>(comm.rank()), lw);
+        std::span<double> out =
+            comm.rank() == 0 ? std::span<double>(r) : std::span<double>{};
+        if (tree) {
+          algs::tsqr(comm, b, mine, out);
+        } else {
+          algs::gather_qr(comm, b, mine, out);
+        }
+      });
+      t.row()
+          .cell(p)
+          .cell(tree ? "tsqr (tree)" : "gather-qr")
+          .cell(m.totals().words_total, "%.0f")
+          .cell(m.totals().msgs_sent_max, "%.0f")
+          .cell(m.makespan(), "%.0f")
+          .cell(m.energy().total(), "%.4g");
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nTSQR's advantage grows linearly in p on bandwidth and "
+               "the root's serial factorization: the same structure the "
+               "paper exploits — a reduction tree replaces data movement "
+               "with redundant computation.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Figure 4 — possible executions of the data-replicating n-body algorithm
+// in the (p, M) plane for a fixed n, on the case-study machine parameters:
+//
+//   (a) energy is independent of p, minimized at M = M0; constant-time
+//       contours run diagonally (time falls with p and with M);
+//   (b) the sets of runs admitted by an energy budget and by a
+//       per-processor power budget (both are horizontal bands in M);
+//   (c) the sets admitted by a total-power budget and by a deadline, and
+//       the minimum-energy-given-runtime / given-total-power points.
+//
+// The algorithm is only runnable between the 1D limit M = n/p and the 2D
+// limit M = n/sqrt(p).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/algmodel.hpp"
+#include "core/closed_forms.hpp"
+#include "core/nbody_opt.hpp"
+#include "core/opt.hpp"
+#include "machines/db.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alge;
+  CliArgs cli;
+  cli.add_flag("n", "1e7", "number of particles");
+  cli.add_flag("f", "20", "flops per interaction");
+  cli.add_flag("p_points", "9", "grid points in p");
+  cli.add_flag("m_points", "7", "grid points in M");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("fig4_nbody_regions");
+    return 0;
+  }
+  const double n = cli.get_double("n");
+  const double f = cli.get_double("f");
+  const int pn = static_cast<int>(cli.get_int("p_points"));
+  const int mn = static_cast<int>(cli.get_int("m_points"));
+
+  core::MachineParams mp = machines::CaseStudyMachine{}.params();
+  mp.mem_words = 0.0;  // the sweep chooses M itself
+  core::NBodyModel model(f);
+  core::NBodyOptimum opt(f, mp);
+  const double M0 = opt.M0();
+  const double e_star = opt.min_energy(n);
+
+  bench::banner("Figure 4",
+                "Data-replicating n-body executions in the (p, M) plane on "
+                "the case-study machine.");
+  std::cout << "n = " << n << ", f = " << f << "\n"
+            << "M0 (energy-optimal memory)      = " << M0 << " words\n"
+            << "E* (minimum energy, Eq. 18)     = " << e_star << " J\n"
+            << "E* attainable for p in [" << opt.min_energy_p_lo(n) << ", "
+            << opt.min_energy_p_hi(n) << "]\n\n";
+
+  // Budgets for panels (b) and (c).
+  const double e_budget = 1.2 * e_star;
+  const double pp_budget = 1.5 * opt.proc_power(M0);
+  const double t_budget = opt.time_threshold_for_optimum() / 4.0;
+  const double tot_budget =
+      4.0 * opt.proc_power(M0) * opt.min_energy_p_lo(n);
+
+  std::cout << "Panel budgets: Emax = 1.2 E* = " << e_budget
+            << " J; per-proc power <= " << pp_budget
+            << " W; Tmax = " << t_budget << " s; total power <= "
+            << tot_budget << " W\n\n";
+
+  Table t({"p", "M", "M/M0", "T (s)", "E (J)", "E/E*", "P_tot (W)",
+           "P/proc (W)", "<=Emax", "<=Pproc", "<=Tmax", "<=Ptot"});
+  const double p_lo = n / (8.0 * M0);       // spans both sides of the M0 band
+  const double p_hi = 8.0 * n * n / (M0 * M0);
+  for (int i = 0; i < pn; ++i) {
+    const double p = p_lo * std::pow(p_hi / p_lo,
+                                     static_cast<double>(i) / (pn - 1));
+    const double m_min = model.min_memory(n, p);
+    const double m_max = model.max_useful_memory(n, p);
+    for (int j = 0; j < mn; ++j) {
+      const double M = m_min * std::pow(m_max / m_min,
+                                        static_cast<double>(j) / (mn - 1));
+      const double T = model.time(n, p, M, mp);
+      const double E = model.energy(n, p, M, mp);
+      const double ptot = E / T;
+      const double pproc = ptot / p;
+      t.row()
+          .cell(p, "%.3g")
+          .cell(M, "%.3g")
+          .cell(M / M0, "%.3g")
+          .cell(T, "%.3g")
+          .cell(E, "%.4g")
+          .cell(E / e_star, "%.4f")
+          .cell(ptot, "%.3g")
+          .cell(pproc, "%.3g")
+          .cell(E <= e_budget ? "yes" : "no")
+          .cell(pproc <= pp_budget ? "yes" : "no")
+          .cell(T <= t_budget ? "yes" : "no")
+          .cell(ptot <= tot_budget ? "yes" : "no");
+    }
+  }
+  t.print(std::cout);
+
+  // Panel (c)'s marked points.
+  std::cout << "\nClosed-form marks (Section V):\n";
+  std::cout << "  min energy given Tmax: E = "
+            << opt.min_energy_given_time(n, t_budget)
+            << " J at p >= " << opt.p_min_for_time(n, t_budget) << "\n";
+  std::cout << "  min time given Emax:   T = "
+            << opt.min_time_given_energy(n, e_budget) << " s at p = "
+            << opt.max_p_given_energy(n, e_budget) << "\n";
+  std::cout << "  max p given total power (at M0): "
+            << opt.max_p_given_total_power(tot_budget, M0) << "\n";
+  std::cout << "  max M given per-proc power:      "
+            << opt.max_M_given_proc_power(pp_budget) << " words (M0 = "
+            << M0 << ")\n";
+
+  // Cross-check with the generic optimizer.
+  core::Optimizer solver(model, n, mp);
+  const auto best = solver.minimize_energy();
+  std::cout << "\nGeneric optimizer cross-check: min E = " << best.E
+            << " J at M = " << best.M << " (closed form: " << e_star
+            << " J at M0 = " << M0 << ")\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 7 — scaling every energy parameter together on the case-study
+// machine: GFLOPS/W of 2.5D matmul vs the improvement multiplier, and the
+// generation at which a 75 GFLOPS/W target is crossed.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/algmodel.hpp"
+#include "core/codesign.hpp"
+#include "machines/db.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alge;
+  CliArgs cli;
+  cli.add_flag("n", "35000", "matrix dimension");
+  cli.add_flag("p", "2", "processors (sockets)");
+  cli.add_flag("generations", "10", "process generations to sweep");
+  cli.add_flag("target", "75", "target GFLOPS/W");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("fig7_joint_scaling");
+    return 0;
+  }
+  const double n = cli.get_double("n");
+  const double p = cli.get_double("p");
+  const int gens = static_cast<int>(cli.get_int("generations"));
+  const double target = cli.get_double("target");
+
+  bench::banner("Figure 7",
+                "GFLOPS/W of 2.5D matmul when gamma_e, beta_e, alpha_e, "
+                "delta_e and eps_e all halve together each generation.");
+  const machines::CaseStudyMachine jaketown;
+  const core::MachineParams mp = jaketown.params();
+  core::ClassicalMatmulModel model;
+  const double M = mp.mem_words;
+
+  const auto joint = core::efficiency_vs_generation(
+      model, n, p, M, mp, core::ParamScaleSpec::all(), gens);
+  Table t({"generation", "improvement multiplier", "GFLOPS/W"});
+  for (const auto& pt : joint) {
+    t.row().cell(pt.generation).cell(1.0 / pt.factor, "%.0f").cell(
+        pt.gflops_per_watt, "%.3f");
+  }
+  t.print(std::cout);
+
+  const int g = core::generations_to_target(
+      model, n, p, M, mp, core::ParamScaleSpec::all(), target, gens);
+  std::cout << "\nGenerations (all parameters halving) to reach " << target
+            << " GFLOPS/W: " << g
+            << "  (paper: desired efficiency of 75 GFLOPS/W after ~5 "
+               "generations)\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Perfect strong scaling check for classical matmul (Eqs. 9–10): fixed n
+// and fixed per-rank memory, grow p by the replication factor c; the
+// simulator-measured runtime must fall ~c-fold while Eq. (2) energy stays
+// ~constant. Uses case-study-like parameters so every energy term is live.
+#include <iostream>
+
+#include "algs/harness.hpp"
+#include "algs/matmul/distributed.hpp"
+#include "algs/matmul/local.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+#include "topo/grid.hpp"
+#include "bench_common.hpp"
+#include "core/algmodel.hpp"
+#include "machines/db.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alge;
+  CliArgs cli;
+  cli.add_flag("n", "48", "matrix dimension (simulated)");
+  cli.add_flag("q", "8", "grid edge (p = q^2 c)");
+  cli.add_flag("verify", "true", "check results against a serial product");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("scaling_mm_energy");
+    return 0;
+  }
+  const int n = static_cast<int>(cli.get_int("n"));
+  const int q = static_cast<int>(cli.get_int("q"));
+  const bool verify = cli.get_bool("verify");
+
+  bench::banner("Strong scaling: classical matmul (Eqs. 9-10)",
+                "Fixed n and per-rank block memory; p grows by c. Expect "
+                "T x p ~ constant and E ~ constant (perfect strong "
+                "scaling in time AND energy).");
+
+  // Parameters tuned so compute, bandwidth, latency, memory and leakage all
+  // contribute at the simulated scale.
+  core::MachineParams mp;
+  mp.gamma_t = 1.0;
+  mp.beta_t = 2.0;
+  mp.alpha_t = 10.0;
+  mp.gamma_e = 1.0;
+  mp.beta_e = 4.0;
+  mp.alpha_e = 20.0;
+  mp.delta_e = 1e-4;
+  mp.eps_e = 1e-2;
+  mp.max_msg_words = 64;
+
+  Table t({"c", "p", "T (sim)", "T x p / (T x p)_2D", "E (sim)", "E/E_2D",
+           "W/rank", "S/rank", "max |err|"});
+  double t0p = -1.0;
+  double e0 = -1.0;
+  for (int c = 1; c <= q; c *= 2) {
+    if (q % c != 0) continue;
+    const auto r = algs::harness::run_mm25d(n, q, c, mp, verify);
+    const double txp = r.makespan * r.p;
+    const double e = r.energy.total();
+    if (t0p < 0.0) {
+      t0p = txp;
+      e0 = e;
+    }
+    t.row()
+        .cell(c)
+        .cell(r.p)
+        .cell(r.makespan, "%.0f")
+        .cell(txp / t0p, "%.3f")
+        .cell(e, "%.4g")
+        .cell(e / e0, "%.3f")
+        .cell(r.words_per_proc(), "%.0f")
+        .cell(r.msgs_per_proc(), "%.0f")
+        .cell(r.max_abs_error, "%.2g");
+  }
+  t.print(std::cout);
+
+  std::cout << "\nSame sweep with ring (pipelined) depth replication — the\n"
+               "per-rank critical-path words drop toward the asymptotic\n"
+               "2(q/c)nb^2 (the energy trades a few alpha_e messages for\n"
+               "the removed beta_e copies):\n";
+  Table t2({"c", "p", "T (sim)", "E (sim)", "E/E_2D", "W/rank"});
+  double e0r = -1.0;
+  for (int c = 1; c <= q; c *= 2) {
+    if (q % c != 0) continue;
+    // run_mm25d always uses tree replication; drive the ring variant
+    // directly through the grid machinery at the same sizes.
+    topo::Grid3D grid(q, c);
+    sim::MachineConfig cfg;
+    cfg.p = grid.p();
+    cfg.params = mp;
+    sim::Machine m(cfg);
+    Rng rng(1);
+    const auto A = algs::random_matrix(n, n, rng);
+    algs::Mm25dOptions ring;
+    ring.ring_replication = true;
+    m.run([&](sim::Comm& comm) {
+      const int i = grid.row_of(comm.rank());
+      const int j = grid.col_of(comm.rank());
+      if (grid.layer_of(comm.rank()) == 0) {
+        const int nb = n / q;
+        std::vector<double> a(static_cast<std::size_t>(nb) * nb, 1.0);
+        std::vector<double> cb(a.size(), 0.0);
+        algs::mm_25d(comm, grid, n, a, a, cb, ring);
+      } else {
+        algs::mm_25d(comm, grid, n, {}, {}, {}, ring);
+      }
+      (void)i;
+      (void)j;
+    });
+    const double e = m.energy().total();
+    if (e0r < 0.0) e0r = e;
+    t2.row()
+        .cell(c)
+        .cell(grid.p())
+        .cell(m.makespan(), "%.0f")
+        .cell(e, "%.4g")
+        .cell(e / e0r, "%.3f")
+        .cell(m.totals().words_sent_max, "%.0f");
+  }
+  t2.print(std::cout);
+  std::cout << "\n(The paper's claim is perfect strong scaling *modulo "
+               "log p factors*: the residual rise in T x p and E comes from "
+               "the log c replication broadcast/reduction, which the model "
+               "below omits.)\n";
+
+  std::cout << "\nModel prediction (same machine parameters, Eqs. 9-10): "
+               "energy independent of p for n^2/p <= M <= n^2/p^(2/3).\n";
+  core::ClassicalMatmulModel model;
+  Table mt({"c", "p", "T model", "E model", "E/E_2D"});
+  const double nn = n;
+  double em0 = -1.0;
+  for (int c = 1; c <= q; c *= 2) {
+    if (q % c != 0) continue;
+    const double p = static_cast<double>(q) * q * c;
+    const double M = nn * nn * c / p;  // fixed per-rank block memory
+    const double tm = model.time(nn, p, M, mp);
+    const double em = model.energy(nn, p, M, mp);
+    if (em0 < 0.0) em0 = em;
+    mt.row().cell(c).cell(p, "%.0f").cell(tm, "%.0f").cell(em, "%.4g").cell(
+        em / em0, "%.3f");
+  }
+  mt.print(std::cout);
+  return 0;
+}

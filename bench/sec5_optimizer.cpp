@@ -1,0 +1,125 @@
+// Section V — the optimization questions answered on the case-study
+// machine for the direct n-body problem (closed forms vs the generic
+// numeric optimizer) and, numerically only, for classical and Strassen
+// matmul (the paper notes the analytic solutions are "harder to obtain").
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/algmodel.hpp"
+#include "core/nbody_opt.hpp"
+#include "core/opt.hpp"
+#include "machines/db.hpp"
+#include "support/cli.hpp"
+#include "support/common.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alge;
+  CliArgs cli;
+  cli.add_flag("n", "1e7", "particles / matrix dimension context");
+  cli.add_flag("f", "20", "flops per n-body interaction");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("sec5_optimizer");
+    return 0;
+  }
+  const double n = cli.get_double("n");
+  const double f = cli.get_double("f");
+
+  core::MachineParams mp = machines::CaseStudyMachine{}.params();
+  mp.mem_words = 0.0;  // the optimizer chooses M
+  core::NBodyModel model(f);
+  core::NBodyOptimum opt(f, mp);
+  core::Optimizer solver(model, n, mp);
+
+  bench::banner("Section V",
+                "Optimization questions for the data-replicating n-body "
+                "problem on the case-study machine: closed forms vs the "
+                "generic numeric optimizer.");
+  std::cout << "n = " << n << ", f = " << f << "\n\n";
+
+  Table t({"question", "closed form", "numeric optimizer", "rel.diff"});
+  auto row = [&](const std::string& what, double closed, double numeric) {
+    t.row()
+        .cell(what)
+        .cell(closed, "%.6g")
+        .cell(numeric, "%.6g")
+        .cell(rel_diff(closed, numeric), "%.1e");
+  };
+
+  // V-A: minimum energy and the memory that attains it.
+  const auto best_e = solver.minimize_energy();
+  row("V-A min energy E* (J)", opt.min_energy(n), best_e.E);
+  row("V-A optimal memory M0 (words)", opt.M0(), best_e.M);
+
+  // V-A: minimum time on a bounded machine.
+  const double p_avail = 1e6;
+  core::OptLimits lim;
+  lim.p_available = p_avail;
+  const auto best_t = solver.minimize_time(lim);
+  row(strfmt("V-A min time, p<=%g (s)", p_avail), opt.min_time(n, p_avail),
+      best_t.T);
+
+  // V-B: min energy under a deadline below the threshold.
+  const double tmax = opt.time_threshold_for_optimum() / 10.0;
+  core::OptLimits blim;
+  blim.p_available = opt.p_min_for_time(n, tmax) * 16.0;
+  const auto bounded = solver.min_energy_given_time(tmax, blim);
+  row(strfmt("V-B min E s.t. T<=%.3g (J)", tmax),
+      opt.min_energy_given_time(n, tmax), bounded.E);
+  row("V-B processors needed", opt.p_min_for_time(n, tmax), bounded.p);
+
+  // V-C: min time under an energy budget.
+  const double emax = opt.min_energy(n) * 1.3;
+  core::OptLimits clim;
+  clim.p_available = opt.max_p_given_energy(n, emax) * 16.0;
+  const auto fast = solver.min_time_given_energy(emax, clim);
+  row(strfmt("V-C min T s.t. E<=%.3g (s)", emax),
+      opt.min_time_given_energy(n, emax), fast.T);
+
+  // V-D: total power cap.
+  const double ptot = opt.proc_power(opt.M0()) * opt.min_energy_p_lo(n) * 2.0;
+  row(strfmt("V-D max p s.t. power<=%.3g W (at M0)", ptot),
+      opt.max_p_given_total_power(ptot, opt.M0()),
+      opt.max_p_given_total_power(ptot, opt.M0()));  // Eq. 19 is exact
+
+  // V-E: per-processor power cap.
+  const double pproc = opt.proc_power(opt.M0()) * 1.5;
+  row(strfmt("V-E max M s.t. proc power<=%.3g W", pproc),
+      opt.max_M_given_proc_power(pproc), opt.max_M_given_proc_power(pproc));
+
+  // V-F: machine-level efficiency at the optimum (scale-free).
+  row("V-F GFLOPS/W at optimum", opt.flops_per_joule_at_optimum() / 1e9,
+      f * n * n / best_e.E / 1e9);
+  t.print(std::cout);
+
+  // Matmul and Strassen: numeric only.
+  std::cout << "\nMatmul / Strassen (numeric optimizer; no closed forms in "
+               "the paper):\n";
+  Table t2({"model", "min-E memory M*", "min E (J)", "E 2D at same p",
+            "replication saving"});
+  const double nm = 35000.0;
+  core::ClassicalMatmulModel classical;
+  core::StrassenModel strassen;
+  for (const core::AlgModel* am :
+       {static_cast<const core::AlgModel*>(&classical),
+        static_cast<const core::AlgModel*>(&strassen)}) {
+    core::Optimizer s2(*am, nm, mp);
+    const auto best = s2.minimize_energy();
+    // Contrast: a machine with p = 4·p_min(M*) processors can either run
+    // 2D with one data copy (M = n²/p) or replicate 4x up to M*.
+    const double p4 = 4.0 * am->p_min(nm, best.M);
+    const double e2d = am->energy(nm, p4, am->min_memory(nm, p4), mp);
+    const double e25d = am->energy(nm, p4, best.M, mp);
+    t2.row()
+        .cell(am->name())
+        .cell(best.M, "%.4g")
+        .cell(e25d, "%.5g")
+        .cell(e2d, "%.5g")
+        .cell(strfmt("%.2f%%", 100.0 * (1.0 - e25d / e2d)));
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Sequential machine (Fig. 1(a), Eqs. 3–4): the paper's theme at cache
+// level. An LRU fast memory of M words in front of slow memory; the same
+// n³ multiplication traced through it with the naive loop order and with
+// the cache-blocked schedule. The blocked variant pins W to the Hong–Kung
+// floor Θ(n³/√M); the naive one does not use the memory and its W/bound
+// ratio grows with √M.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "seqsim/cache.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alge;
+  CliArgs cli;
+  cli.add_flag("n", "48", "matrix dimension");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("seq_cache_locality");
+    return 0;
+  }
+  const int n = static_cast<int>(cli.get_int("n"));
+
+  bench::banner("Sequential two-level machine (Fig. 1(a), Eq. 3)",
+                "Words moved between fast (M words, LRU) and slow memory "
+                "for the same n^3 product; bound = max(I+O, n^3/sqrt(M)).");
+  std::cout << "n = " << n << " (3n^2 = " << 3 * n * n
+            << " words of data)\n\n";
+
+  Table t({"M (words)", "block b", "W naive", "W blocked", "bound",
+           "naive/bound", "blocked/bound"});
+  for (std::size_t M : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    const int b = seqsim::optimal_block(M);
+    const auto naive = seqsim::traced_matmul_naive(n, M);
+    const auto blocked = seqsim::traced_matmul_blocked(n, b, M);
+    const double bound = core::bounds::sequential_words(
+        static_cast<double>(n) * n * n, static_cast<double>(M),
+        2.0 * n * n, n * n);
+    t.row()
+        .cell(M)
+        .cell(b)
+        .cell(naive.words_moved)
+        .cell(blocked.words_moved)
+        .cell(bound, "%.0f")
+        .cell(naive.words_moved / bound, "%.2f")
+        .cell(blocked.words_moved / bound, "%.2f");
+  }
+  t.print(std::cout);
+
+  std::cout << "\nSame machine, LU factorization (Section III covers LU; "
+               "F = n^3/3):\n";
+  Table lu({"M (words)", "W naive", "W blocked", "bound", "naive/bound",
+            "blocked/bound"});
+  for (std::size_t M : {256u, 512u, 1024u, 2048u}) {
+    const int b = seqsim::optimal_block(M);
+    const auto naive = seqsim::traced_lu_naive(n, M);
+    const auto blocked = seqsim::traced_lu_blocked(n, b, M);
+    const double bound = core::bounds::sequential_words(
+        naive.flops, static_cast<double>(M), static_cast<double>(n) * n,
+        static_cast<double>(n) * n);
+    lu.row()
+        .cell(M)
+        .cell(naive.words_moved)
+        .cell(blocked.words_moved)
+        .cell(bound, "%.0f")
+        .cell(naive.words_moved / bound, "%.2f")
+        .cell(blocked.words_moved / bound, "%.2f");
+  }
+  lu.print(std::cout);
+  std::cout << "\nBlocked tracks the lower bound at every cache size — the "
+               "sequential counterpart of the paper's 'use all available "
+               "memory' rule. The naive order is stuck at its full n^3 "
+               "re-streaming cost until the cache swallows the whole "
+               "problem: having memory is not the same as using it.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Topology ablation — "our prior work shows that a 3D torus network is a
+// perfect match to this algorithm [14]" (Section IV): measure 2.5D matmul's
+// hop-weighted traffic (the real link-energy cost) on a matched 3D torus,
+// a mismatched ring, and the flat fully connected model. Contrast with the
+// FFT's all-to-all, which is hostile to any low-degree topology.
+#include <iostream>
+#include <memory>
+
+#include "algs/harness.hpp"
+#include "algs/matmul/distributed.hpp"
+#include "algs/matmul/local.hpp"
+#include "bench_common.hpp"
+#include "sim/network.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "topo/grid.hpp"
+
+namespace {
+using namespace alge;
+
+sim::SimTotals run_mm(int n, int q, int c,
+                      std::shared_ptr<const sim::NetworkModel> net) {
+  topo::Grid3D grid(q, c);
+  sim::MachineConfig cfg;
+  cfg.p = grid.p();
+  cfg.params = core::MachineParams::unit();
+  cfg.network = std::move(net);
+  sim::Machine m(cfg);
+  m.run([&](sim::Comm& comm) {
+    if (grid.layer_of(comm.rank()) == 0) {
+      std::vector<double> a(static_cast<std::size_t>(n / q) * (n / q), 1.0);
+      std::vector<double> cb(a.size(), 0.0);
+      algs::mm_25d(comm, grid, n, a, a, cb);
+    } else {
+      algs::mm_25d(comm, grid, n, {}, {}, {});
+    }
+  });
+  return m.totals();
+}
+
+sim::SimTotals run_fft(int p, std::shared_ptr<const sim::NetworkModel> net) {
+  sim::MachineConfig cfg;
+  cfg.p = p;
+  cfg.params = core::MachineParams::unit();
+  cfg.network = std::move(net);
+  sim::Machine m(cfg);
+  const int r_dim = 32;
+  const int c_dim = 32;
+  m.run([&](sim::Comm& comm) {
+    Rng rng(static_cast<std::uint64_t>(comm.rank()) + 1);
+    std::vector<double> cols(2 * static_cast<std::size_t>(r_dim) *
+                             (c_dim / p));
+    rng.fill_uniform(cols, -1.0, 1.0);
+    std::vector<double> out(2 * static_cast<std::size_t>(c_dim) *
+                            (r_dim / p));
+    algs::fft_parallel(comm, r_dim * c_dim, r_dim, c_dim, cols, out);
+  });
+  return m.totals();
+}
+}  // namespace
+
+int main() {
+  bench::banner("Topology ablation: 3D torus vs ring vs crossbar",
+                "Hop-weighted words = words x links traversed (the "
+                "physical link energy). avg hops/word = 1 means the flat "
+                "model of Eq. 2 is exact.");
+
+  std::cout << "2.5D matmul (n=32, q=4, c=2, p=32): nearest-neighbour "
+               "traffic\n";
+  Table t({"network", "words", "hop-weighted words", "avg hops/word"});
+  const int q = 4;
+  const int c = 2;
+  struct Net {
+    const char* label;
+    std::shared_ptr<const sim::NetworkModel> model;
+  };
+  const Net nets[] = {
+      {"fully connected", nullptr},
+      {"3D torus 4x4x2 (matched)",
+       std::make_shared<sim::Torus3DNetwork>(q, q, c)},
+      {"1D ring (mismatched)", std::make_shared<sim::RingNetwork>()},
+  };
+  for (const auto& net : nets) {
+    const auto tot = run_mm(32, q, c, net.model);
+    t.row()
+        .cell(net.label)
+        .cell(tot.words_total, "%.0f")
+        .cell(tot.words_hops_total, "%.0f")
+        .cell(tot.words_hops_total / tot.words_total, "%.2f");
+  }
+  t.print(std::cout);
+
+  std::cout << "\nFFT all-to-all (n=1024, p=16): global traffic\n";
+  Table f({"network", "words", "hop-weighted words", "avg hops/word"});
+  const Net fnets[] = {
+      {"fully connected", nullptr},
+      {"2D torus 4x4", sim::make_torus_2d(4, 4)},
+      {"1D ring", std::make_shared<sim::RingNetwork>()},
+  };
+  for (const auto& net : fnets) {
+    const auto tot = run_fft(16, net.model);
+    f.row()
+        .cell(net.label)
+        .cell(tot.words_total, "%.0f")
+        .cell(tot.words_hops_total, "%.0f")
+        .cell(tot.words_hops_total / tot.words_total, "%.2f");
+  }
+  f.print(std::cout);
+  std::cout << "\nThe 2.5D algorithm keeps its average hop count near 1 on "
+               "the matched torus — the paper's justification for holding "
+               "beta/alpha constant as p grows. The FFT cannot: its "
+               "all-to-all pays the bisection of any low-degree network.\n";
+  return 0;
+}

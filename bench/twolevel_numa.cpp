@@ -1,0 +1,84 @@
+// Two-level machine model (Fig. 2, Eqs. 12 and 17) — the NUMA view of the
+// case-study machine: 2 sockets (nodes) of 8 cores, QPI between sockets,
+// the on-die ring within. Sweeps the structural knobs the one-level model
+// cannot see: core count per node, the inter/intra link-speed gap, and the
+// split of memory energy between node DRAM and core-local store.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/twolevel.hpp"
+#include "machines/db.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alge;
+  CliArgs cli;
+  cli.add_flag("n", "35000", "matrix dimension / particle count");
+  cli.add_flag("f", "20", "n-body flops per interaction");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("twolevel_numa");
+    return 0;
+  }
+  const double n = cli.get_double("n");
+  const double f = cli.get_double("f");
+
+  bench::banner("Two-level machine model (Fig. 2; Eqs. 12 & 17)",
+                "Dual-socket NUMA view of the case-study machine: runtime "
+                "and energy for 2.5D matmul and the replicating n-body "
+                "algorithm.");
+  const machines::CaseStudyMachine jaketown;
+  const core::TwoLevelParams base = jaketown.two_level();
+
+  std::cout << "Matmul (Eq. 12), n = " << n << ": cores per node sweep\n";
+  Table t({"p_cores", "p total", "T (s)", "E (J)", "GFLOPS/W"});
+  for (double pl : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    core::TwoLevelParams tp = base;
+    tp.p_cores = pl;
+    tp.gamma_t = base.gamma_t * base.p_cores / pl;  // per-core rate fixed
+    const double T = core::twolevel_mm_time(n, tp);
+    const double E = core::twolevel_mm_energy(n, tp);
+    t.row()
+        .cell(pl, "%.0f")
+        .cell(tp.p_total(), "%.0f")
+        .cell(T, "%.4g")
+        .cell(E, "%.5g")
+        .cell(n * n * n / E / 1e9, "%.3f");
+  }
+  t.print(std::cout);
+
+  std::cout << "\nInter-node link speed sweep (QPI beta_t multiplier), "
+               "matmul:\n";
+  Table l({"QPI slowdown", "T (s)", "E (J)", "comm share of T"});
+  for (double mult : {0.25, 1.0, 4.0, 16.0}) {
+    core::TwoLevelParams tp = base;
+    tp.beta_t_node = base.beta_t_node * mult;
+    const double T = core::twolevel_mm_time(n, tp);
+    const double E = core::twolevel_mm_energy(n, tp);
+    const double t_flop = tp.gamma_t * n * n * n / tp.p_total();
+    l.row()
+        .cell(mult, "%.2f")
+        .cell(T, "%.4g")
+        .cell(E, "%.5g")
+        .cell(1.0 - t_flop / T, "%.3f");
+  }
+  l.print(std::cout);
+
+  std::cout << "\nn-body (Eq. 17), n = " << n << " particles, f = " << f
+            << ": node-memory vs core-memory energy split\n";
+  Table nb({"delta_e core / node", "T (s)", "E (J)"});
+  for (double ratio : {0.1, 1.0, 10.0}) {
+    core::TwoLevelParams tp = base;
+    tp.delta_e_core = base.delta_e_node * ratio;
+    nb.row()
+        .cell(ratio, "%.1f")
+        .cell(core::twolevel_nbody_time(n, f, tp), "%.4g")
+        .cell(core::twolevel_nbody_energy(n, f, tp), "%.5g");
+  }
+  nb.print(std::cout);
+  std::cout << "\nEq. 12/17 are transcribed from the paper (with the n³ "
+               "typo in Eq. 12's first term fixed); see EXPERIMENTS.md for "
+               "the reconciliation notes.\n";
+  return 0;
+}

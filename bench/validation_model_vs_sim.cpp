@@ -1,0 +1,109 @@
+// Validation — the glue between theory and execution: for every algorithm
+// family, compare the analytic per-processor cost formulas of Section IV
+// against the counts the simulator measures on the real implementation.
+// Ratios near 1 mean the asymptotic formulas hold with small constants;
+// the table records them per configuration.
+#include <cmath>
+#include <iostream>
+
+#include "algs/harness.hpp"
+#include "algs/nbody/nbody.hpp"
+#include "bench_common.hpp"
+#include "core/algmodel.hpp"
+#include "support/common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace alge;
+  bench::banner("Validation: measured counts vs Section-IV formulas",
+                "measured / model per-processor ratios (F exact by "
+                "construction; W carries the algorithm's constant).");
+  core::MachineParams mp = core::MachineParams::unit();
+  Table t({"experiment", "p", "model F", "meas F", "F ratio", "model W",
+           "meas W/rank", "W ratio"});
+
+  auto add = [&](const std::string& name, const core::AlgModel& model,
+                 double n, double M, const algs::harness::RunResult& r) {
+    const auto costs = model.costs(n, r.p, M, mp.max_msg_words);
+    t.row()
+        .cell(name)
+        .cell(r.p)
+        .cell(costs.F, "%.3g")
+        .cell(r.totals.flops_total / r.p, "%.3g")
+        .cell(r.totals.flops_total / r.p / costs.F, "%.2f")
+        .cell(costs.W, "%.3g")
+        .cell(r.words_per_proc(), "%.3g")
+        .cell(r.words_per_proc() / costs.W, "%.2f");
+  };
+
+  // Classical matmul: F model = n³/p (we count 2 flops per multiply-add:
+  // expect F ratio ≈ 2); W model = n²·c... = n³/(p·sqrt(M)).
+  core::ClassicalMatmulModel mm;
+  for (auto [q, c] : {std::pair{4, 1}, {4, 2}, {4, 4}, {8, 2}}) {
+    const int n = 48;
+    const double p = static_cast<double>(q) * q * c;
+    const double M = static_cast<double>(n) * n * c / p;
+    add(strfmt("mm 2.5D q=%d c=%d", q, c), mm, n, M,
+        algs::harness::run_mm25d(n, q, c, mp));
+  }
+
+  // Strassen CAPS: F model = n^w0/p; the implementation runs k levels of
+  // distributed Strassen + local Strassen with a cutoff, so the ratio
+  // drifts with the cutoff but stays O(1).
+  core::StrassenModel st;
+  for (int k : {1, 2}) {
+    const int n = 28;
+    const double p = std::pow(7.0, k);
+    const double M = 3.0 * n * n / p;  // roughly what CAPS BFS holds
+    algs::CapsOptions opts;
+    opts.local_cutoff = 4;
+    add(strfmt("caps k=%d", k), st, n,
+        std::min(M, st.max_useful_memory(n, p)),
+        algs::harness::run_caps(n, k, mp, opts));
+  }
+
+  // n-body: F model = f n²/p with f = 20; W = n²/(p·M) with M = particle
+  // words per rank (4 words each).
+  core::NBodyModel nb(algs::kInteractionFlops);
+  for (auto [p, c] : {std::pair{8, 1}, {8, 2}, {16, 4}}) {
+    const int n = 128;
+    const double M = static_cast<double>(n) * c / p;  // particles per rank
+    add(strfmt("nbody p=%d c=%d", p, c), nb, n, M,
+        algs::harness::run_nbody(n, p, c, mp));
+  }
+
+  // LU: F = n³/p; W = n³/(p·sqrt(M)).
+  core::LuModel lu;
+  for (auto [q, c] : {std::pair{2, 1}, {2, 2}, {4, 1}}) {
+    const int n = 32;
+    const double p = static_cast<double>(q) * q * c;
+    const double M = static_cast<double>(n) * n * c / p;
+    add(strfmt("lu q=%d c=%d", q, c), lu, n, M,
+        algs::harness::run_lu(n, 4, q, c, mp));
+  }
+
+  // FFT: F = n log2 n per the model; the kernel charges 5 n log2 n (the
+  // classic operation count), so expect F ratio ≈ 5; words are complex
+  // (2 doubles), expect W ratio ≈ 2.
+  core::FftModel fft_naive(core::FftModel::AllToAll::kNaive);
+  core::FftModel fft_tree(core::FftModel::AllToAll::kTree);
+  for (int p : {8, 16}) {
+    const int n = 1024;
+    add(strfmt("fft naive p=%d", p), fft_naive, n, 2.0 * n / p,
+        algs::harness::run_fft(32, 32, p, algs::AllToAllKind::kDirect, mp));
+    add(strfmt("fft bruck p=%d", p), fft_tree, n, 2.0 * n / p,
+        algs::harness::run_fft(32, 32, p, algs::AllToAllKind::kBruck, mp));
+  }
+
+  t.print(std::cout);
+  std::cout << "\nReading the ratios: F ≈ 2 (multiply-add counted as 2 "
+               "flops) except FFT ≈ 5 (butterfly count) and CAPS < 2 "
+               "(Strassen saves flops). W ratios are the algorithms' "
+               "leading constants (Cannon ≈ 2, replication/collective "
+               "overheads on top); they stay O(1) across p, which is the "
+               "content of the communication-optimality claims. The n-body W "
+               "ratios carry the 4-words-per-particle packing and, at "
+               "c > 1, the team broadcast/reduce floor that dominates at "
+               "these tiny scales.\n";
+  return 0;
+}

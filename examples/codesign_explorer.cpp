@@ -1,0 +1,97 @@
+// Scenario: hardware/software co-design (question 5 of the introduction
+// and Section VI): given a target GFLOPS/W for a kernel, which machine
+// parameters must improve, by how much, and where does single-parameter
+// scaling saturate?
+//
+//   ./build/examples/codesign_explorer --target=75 --kernel=mm
+#include <iostream>
+
+#include "core/algmodel.hpp"
+#include "core/codesign.hpp"
+#include "core/nbody_opt.hpp"
+#include "machines/db.hpp"
+#include "support/cli.hpp"
+#include "support/common.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alge;
+  CliArgs cli;
+  cli.add_flag("target", "75", "target GFLOPS/W");
+  cli.add_flag("kernel", "mm", "mm | strassen | nbody");
+  cli.add_flag("n", "35000", "problem size");
+  cli.add_flag("max_generations", "20", "how far to scale");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("codesign_explorer");
+    return 0;
+  }
+  const double target = cli.get_double("target");
+  const std::string kernel = cli.get("kernel");
+  const double n = cli.get_double("n");
+  const int max_gen = static_cast<int>(cli.get_int("max_generations"));
+
+  const core::MachineParams mp = machines::CaseStudyMachine{}.params();
+  core::ClassicalMatmulModel mm;
+  core::StrassenModel strassen;
+  core::NBodyModel nbody(20.0);
+  const core::AlgModel* model = nullptr;
+  if (kernel == "mm") {
+    model = &mm;
+  } else if (kernel == "strassen") {
+    model = &strassen;
+  } else if (kernel == "nbody") {
+    model = &nbody;
+  } else {
+    std::cerr << "unknown kernel '" << kernel << "'\n";
+    return 1;
+  }
+  const double p = 2.0;
+  const double M = mp.mem_words;
+
+  std::cout << "Kernel: " << model->name() << ", n = " << n
+            << ", case-study machine.\n";
+  std::cout << "Today: " << core::gflops_per_watt(*model, n, p, M, mp)
+            << " GFLOPS/W; target: " << target << " GFLOPS/W.\n\n";
+
+  Table t({"improve (halving/gen)", "generations to target",
+           "GFLOPS/W after 10 gens"});
+  struct Option {
+    const char* label;
+    core::ParamScaleSpec spec;
+  };
+  const Option options[] = {
+      {"gamma_e only (compute energy)", core::ParamScaleSpec::only_gamma_e()},
+      {"beta_e only (link energy)", core::ParamScaleSpec::only_beta_e()},
+      {"delta_e only (memory energy)", core::ParamScaleSpec::only_delta_e()},
+      {"all energy parameters", core::ParamScaleSpec::all()},
+  };
+  for (const auto& opt : options) {
+    const int g = core::generations_to_target(*model, n, p, M, mp, opt.spec,
+                                              target, max_gen);
+    const auto series =
+        core::efficiency_vs_generation(*model, n, p, M, mp, opt.spec, 10);
+    t.row()
+        .cell(opt.label)
+        .cell(g < 0 ? std::string("never (saturates)") : strfmt("%d", g))
+        .cell(series.back().gflops_per_watt, "%.2f");
+  }
+  t.print(std::cout);
+
+  std::cout << "\nWhere the energy goes today (p=2, full memory):\n";
+  const auto b = model->breakdown(n, p, M, mp);
+  Table eb({"term", "joules", "share"});
+  const double tot = b.total();
+  eb.row().cell("flops (gamma_e)").cell(b.flops, "%.4g").cell(b.flops / tot, "%.3f");
+  eb.row().cell("words (beta_e)").cell(b.words, "%.4g").cell(b.words / tot, "%.3f");
+  eb.row().cell("messages (alpha_e)").cell(b.messages, "%.4g").cell(
+      b.messages / tot, "%.3f");
+  eb.row().cell("memory (delta_e)").cell(b.memory, "%.4g").cell(
+      b.memory / tot, "%.3f");
+  eb.row().cell("leakage (eps_e)").cell(b.leakage, "%.4g").cell(
+      b.leakage / tot, "%.3f");
+  eb.print(std::cout);
+  std::cout << "\nLesson (Section VI): target the parameters that carry the "
+               "energy — here compute and DRAM, not the QPI link.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Scenario: planning a production n-body simulation under constraints —
+// the workload the paper's Section V walks through. Given a particle
+// count, a deadline, an energy budget, and power caps, report the
+// configurations (p, M) that satisfy each, using the closed forms of
+// Sections V-A..V-E.
+//
+//   ./build/examples/energy_budget_planner --n=1e8 --deadline=100
+#include <cmath>
+#include <iostream>
+
+#include "core/nbody_opt.hpp"
+#include "core/closed_forms.hpp"
+#include "machines/db.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alge;
+  CliArgs cli;
+  cli.add_flag("n", "1e8", "particles");
+  cli.add_flag("f", "20", "flops per pairwise interaction");
+  cli.add_flag("deadline", "0", "max runtime in seconds (0 = none)");
+  cli.add_flag("energy_budget", "0", "max energy in joules (0 = none)");
+  cli.add_flag("proc_power", "0", "max watts per processor (0 = none)");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("energy_budget_planner");
+    return 0;
+  }
+  const double n = cli.get_double("n");
+  const double f = cli.get_double("f");
+  const double deadline = cli.get_double("deadline");
+  const double budget = cli.get_double("energy_budget");
+  const double pcap = cli.get_double("proc_power");
+
+  core::MachineParams mp = machines::CaseStudyMachine{}.params();
+  core::NBodyOptimum opt(f, mp);
+
+  std::cout << "Direct n-body, n = " << n << " particles, f = " << f
+            << " flops/interaction, case-study machine parameters.\n\n";
+
+  const double M0 = opt.M0();
+  std::cout << "Energy-optimal plan (Section V-A):\n";
+  std::cout << "  M0 = " << M0 << " words/processor, E* = "
+            << opt.min_energy(n) << " J\n";
+  std::cout << "  any p in [" << opt.min_energy_p_lo(n) << ", "
+            << opt.min_energy_p_hi(n)
+            << "] attains E*; more processors = same energy, less time\n";
+  std::cout << "  fastest minimum-energy run: p = " << opt.min_energy_p_hi(n)
+            << ", T = "
+            << core::closed::nbody_time(n, opt.min_energy_p_hi(n), M0, f, mp)
+            << " s\n\n";
+
+  if (deadline > 0.0) {
+    std::cout << "Deadline T <= " << deadline << " s (Section V-B):\n";
+    if (deadline >= opt.time_threshold_for_optimum()) {
+      std::cout << "  loose deadline: the global optimum E* fits; use M0 and "
+                   "p >= "
+                << opt.p_min_for_time(n, deadline) << "\n\n";
+    } else {
+      const double p = opt.p_min_for_time(n, deadline);
+      std::cout << "  tight deadline: needs p >= " << p
+                << " processors at the 2D limit M = " << n / std::sqrt(p)
+                << "\n  energy cost rises to "
+                << opt.min_energy_given_time(n, deadline) << " J ("
+                << opt.min_energy_given_time(n, deadline) /
+                       opt.min_energy(n)
+                << "x the optimum) — 'race to halt' is not free\n\n";
+    }
+  }
+
+  if (budget > 0.0) {
+    std::cout << "Energy budget E <= " << budget << " J (Section V-C):\n";
+    if (budget < opt.min_energy(n)) {
+      std::cout << "  infeasible: below the attainable minimum "
+                << opt.min_energy(n) << " J\n\n";
+    } else {
+      const double p = opt.max_p_given_energy(n, budget);
+      std::cout << "  fastest run within budget: p = " << p
+                << ", M = " << n / std::sqrt(p)
+                << " words, T = " << opt.min_time_given_energy(n, budget)
+                << " s\n\n";
+    }
+  }
+
+  if (pcap > 0.0) {
+    std::cout << "Per-processor power cap " << pcap << " W (Section V-E):\n";
+    const double mcap = opt.max_M_given_proc_power(pcap);
+    if (mcap <= 0.0) {
+      std::cout << "  infeasible: even tiny memories exceed the cap\n";
+    } else if (mcap >= M0) {
+      std::cout << "  cap admits M0 (" << M0
+                << " words): the global optimum is attainable\n";
+    } else {
+      std::cout << "  memory limited to " << mcap
+                << " words/processor; energy rises to "
+                << core::closed::nbody_energy(n, mcap, f, mp) << " J\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Scenario: "where does the time go?" — run the same multiplication as a
+// communication-heavy 2D Cannon and as a memory-for-communication 2.5D
+// instance, and render both execution traces as ASCII Gantt charts. The
+// visual: with replication, the send/idle stripes shrink and the compute
+// stripes dominate — the mechanism behind the perfect-strong-scaling
+// region.
+//
+//   ./build/examples/trace_timeline
+#include <iostream>
+#include <vector>
+
+#include "algs/matmul/distributed.hpp"
+#include "algs/matmul/local.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+#include "topo/grid.hpp"
+
+namespace {
+using namespace alge;
+
+void run_and_render(int n, int q, int c) {
+  topo::Grid3D grid(q, c);
+  sim::MachineConfig cfg;
+  cfg.p = grid.p();
+  cfg.params = core::MachineParams::unit();
+  cfg.params.beta_t = 4.0;  // make communication visible next to compute
+  cfg.enable_trace = true;
+  sim::Machine m(cfg);
+  Rng rng(3);
+  const auto A = algs::random_matrix(n, n, rng);
+  m.run([&](sim::Comm& comm) {
+    const int i = grid.row_of(comm.rank());
+    const int j = grid.col_of(comm.rank());
+    if (grid.layer_of(comm.rank()) == 0) {
+      const int nb = n / q;
+      std::vector<double> a(static_cast<std::size_t>(nb) * nb);
+      for (int r = 0; r < nb; ++r) {
+        for (int cc = 0; cc < nb; ++cc) {
+          a[static_cast<std::size_t>(r) * nb + cc] =
+              A[static_cast<std::size_t>(i * nb + r) * n + j * nb + cc];
+        }
+      }
+      std::vector<double> cb(a.size(), 0.0);
+      algs::mm_25d(comm, grid, n, a, a, cb);
+    } else {
+      algs::mm_25d(comm, grid, n, {}, {}, {});
+    }
+  });
+  std::cout << "matmul n=" << n << ", q=" << q << ", c=" << c
+            << " (p=" << grid.p() << "), makespan " << m.makespan() << "\n";
+  std::cout << m.trace().render_timeline(grid.p(), 64) << "\n";
+  double busy = 0.0;
+  double idle = 0.0;
+  for (int r = 0; r < grid.p(); ++r) {
+    const auto s = m.trace().summarize(r);
+    busy += s.compute_time + s.send_time;
+    idle += s.idle_time;
+  }
+  std::cout << "aggregate busy/idle = " << busy << " / " << idle << "\n\n";
+}
+}  // namespace
+
+int main() {
+  std::cout << "Execution timelines: '#' compute, '>' send, '.' idle\n\n";
+  run_and_render(32, 4, 1);  // 2D: communication bound
+  run_and_render(32, 4, 4);  // 3D: replication removes most communication
+  std::cout << "With c=4 the same multiply uses 4x the processors, each "
+               "rank shifts 1/4 of the data, and the timeline turns from "
+               "stripes of '>' and '.' into mostly '#'.\n";
+  return 0;
+}

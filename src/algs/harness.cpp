@@ -1,0 +1,333 @@
+#include "algs/harness.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "algs/fft/fft.hpp"
+#include "algs/lu/distributed.hpp"
+#include "algs/lu/local.hpp"
+#include "algs/matmul/distributed.hpp"
+#include "algs/matmul/local.hpp"
+#include "algs/nbody/nbody.hpp"
+#include "algs/strassen/layout.hpp"
+#include "sim/comm.hpp"
+#include "support/common.hpp"
+#include "support/rng.hpp"
+#include "topo/grid.hpp"
+
+namespace alge::algs::harness {
+
+namespace {
+std::vector<double> block_of(const std::vector<double>& m, int n, int q,
+                             int bi, int bj) {
+  const int nb = n / q;
+  std::vector<double> out(static_cast<std::size_t>(nb) * nb);
+  for (int r = 0; r < nb; ++r) {
+    for (int c = 0; c < nb; ++c) {
+      out[static_cast<std::size_t>(r) * nb + c] =
+          m[static_cast<std::size_t>(bi * nb + r) * n + (bj * nb + c)];
+    }
+  }
+  return out;
+}
+
+RunResult finish(sim::Machine& m, bool verified, double err) {
+  RunResult res;
+  res.p = m.p();
+  res.makespan = m.makespan();
+  res.totals = m.totals();
+  res.energy = m.energy();
+  res.verified = verified;
+  res.max_abs_error = err;
+  return res;
+}
+}  // namespace
+
+RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
+                    bool verify, std::uint64_t seed) {
+  topo::Grid3D grid(q, c);
+  sim::MachineConfig cfg;
+  cfg.p = grid.p();
+  cfg.params = mp;
+  sim::Machine m(cfg);
+  Rng rng(seed);
+  const auto A = random_matrix(n, n, rng);
+  const auto B = random_matrix(n, n, rng);
+  std::vector<std::vector<double>> c_blocks(static_cast<std::size_t>(q) * q);
+  m.run([&](sim::Comm& comm) {
+    const int i = grid.row_of(comm.rank());
+    const int j = grid.col_of(comm.rank());
+    if (grid.layer_of(comm.rank()) == 0) {
+      const auto a = block_of(A, n, q, i, j);
+      const auto b = block_of(B, n, q, i, j);
+      std::vector<double> cb(a.size(), 0.0);
+      mm_25d(comm, grid, n, a, b, cb);
+      c_blocks[static_cast<std::size_t>(i) * q + j] = std::move(cb);
+    } else {
+      mm_25d(comm, grid, n, {}, {}, {});
+    }
+  });
+  double err = 0.0;
+  if (verify) {
+    std::vector<double> ref(static_cast<std::size_t>(n) * n, 0.0);
+    matmul_add(A.data(), B.data(), ref.data(), n, n, n);
+    for (int i = 0; i < q; ++i) {
+      for (int j = 0; j < q; ++j) {
+        const auto want = block_of(ref, n, q, i, j);
+        err = std::max(err, max_abs_diff(
+                                c_blocks[static_cast<std::size_t>(i) * q + j],
+                                want));
+      }
+    }
+  }
+  return finish(m, verify, err);
+}
+
+RunResult run_summa(int n, int q, const core::MachineParams& mp, bool verify,
+                    std::uint64_t seed) {
+  topo::Grid2D grid(q);
+  sim::MachineConfig cfg;
+  cfg.p = grid.p();
+  cfg.params = mp;
+  sim::Machine m(cfg);
+  Rng rng(seed);
+  const auto A = random_matrix(n, n, rng);
+  const auto B = random_matrix(n, n, rng);
+  std::vector<std::vector<double>> c_blocks(static_cast<std::size_t>(q) * q);
+  m.run([&](sim::Comm& comm) {
+    const int i = grid.row_of(comm.rank());
+    const int j = grid.col_of(comm.rank());
+    const auto a = block_of(A, n, q, i, j);
+    const auto b = block_of(B, n, q, i, j);
+    std::vector<double> cb(a.size(), 0.0);
+    summa_2d(comm, grid, n, a, b, cb);
+    c_blocks[static_cast<std::size_t>(i) * q + j] = std::move(cb);
+  });
+  double err = 0.0;
+  if (verify) {
+    std::vector<double> ref(static_cast<std::size_t>(n) * n, 0.0);
+    matmul_add(A.data(), B.data(), ref.data(), n, n, n);
+    for (int i = 0; i < q; ++i) {
+      for (int j = 0; j < q; ++j) {
+        err = std::max(err, max_abs_diff(
+                                c_blocks[static_cast<std::size_t>(i) * q + j],
+                                block_of(ref, n, q, i, j)));
+      }
+    }
+  }
+  return finish(m, verify, err);
+}
+
+RunResult run_caps(int n, int k, const core::MachineParams& mp,
+                   const CapsOptions& opts, bool verify, std::uint64_t seed) {
+  const int p = caps_ranks(k);
+  const std::string sched =
+      opts.schedule.empty() ? std::string(static_cast<std::size_t>(k), 'B')
+                            : opts.schedule;
+  const int levels = static_cast<int>(sched.size());
+  sim::MachineConfig cfg;
+  cfg.p = p;
+  cfg.params = mp;
+  sim::Machine m(cfg);
+  Rng rng(seed);
+  const auto A = random_matrix(n, n, rng);
+  const auto B = random_matrix(n, n, rng);
+  const auto Az = to_z_order(A, n, levels);
+  const auto Bz = to_z_order(B, n, levels);
+  std::vector<std::vector<double>> c_shares(static_cast<std::size_t>(p));
+  m.run([&](sim::Comm& comm) {
+    const auto a = extract_share(Az, p, comm.rank());
+    const auto b = extract_share(Bz, p, comm.rank());
+    std::vector<double> cs(a.size());
+    caps_multiply(comm, n, k, a, b, cs, opts);
+    c_shares[static_cast<std::size_t>(comm.rank())] = std::move(cs);
+  });
+  double err = 0.0;
+  if (verify) {
+    std::vector<double> Cz(static_cast<std::size_t>(n) * n, 0.0);
+    for (int r = 0; r < p; ++r) {
+      place_share(Cz, p, r, c_shares[static_cast<std::size_t>(r)]);
+    }
+    const auto C = from_z_order(Cz, n, levels);
+    std::vector<double> ref(static_cast<std::size_t>(n) * n, 0.0);
+    matmul_add(A.data(), B.data(), ref.data(), n, n, n);
+    err = max_abs_diff(C, ref);
+  }
+  return finish(m, verify, err);
+}
+
+RunResult run_nbody(int n, int p, int c, const core::MachineParams& mp,
+                    bool verify, std::uint64_t seed) {
+  topo::TeamGrid grid(p, c);
+  sim::MachineConfig cfg;
+  cfg.p = p;
+  cfg.params = mp;
+  sim::Machine m(cfg);
+  Rng rng(seed);
+  const auto parts = random_particles(n, rng);
+  const int P = grid.cols();
+  const int nb = n / P;
+  std::vector<std::vector<double>> force_blocks(static_cast<std::size_t>(P));
+  m.run([&](sim::Comm& comm) {
+    const int i = grid.row_of(comm.rank());
+    const int j = grid.col_of(comm.rank());
+    if (i == 0) {
+      auto mine = std::span<const double>(parts).subspan(
+          static_cast<std::size_t>(j) * nb * kParticleWords,
+          static_cast<std::size_t>(nb) * kParticleWords);
+      std::vector<double> f(static_cast<std::size_t>(nb) * kForceWords, 0.0);
+      nbody_replicated(comm, grid, n, mine, f);
+      force_blocks[static_cast<std::size_t>(j)] = std::move(f);
+    } else {
+      nbody_replicated(comm, grid, n, {}, {});
+    }
+  });
+  double err = 0.0;
+  if (verify) {
+    const auto ref = direct_forces(parts);
+    std::vector<double> got;
+    for (const auto& blk : force_blocks) {
+      got.insert(got.end(), blk.begin(), blk.end());
+    }
+    err = max_abs_diff(got, ref);
+  }
+  return finish(m, verify, err);
+}
+
+RunResult run_lu(int n, int nb, int q, int c, const core::MachineParams& mp,
+                 bool verify, std::uint64_t seed) {
+  BlockCyclic bc{n, nb, q};
+  bc.validate();
+  Rng rng(seed);
+  const auto A = diagonally_dominant_matrix(n, rng);
+  // Scatter block-cyclically over the q×q (layer-0) grid.
+  std::vector<std::vector<double>> local(
+      static_cast<std::size_t>(q) * q,
+      std::vector<double>(bc.local_words(), 0.0));
+  for (int I = 0; I < bc.nt(); ++I) {
+    for (int J = 0; J < bc.nt(); ++J) {
+      auto& dst = local[static_cast<std::size_t>(I % q) * q + (J % q)];
+      for (int r = 0; r < nb; ++r) {
+        std::copy_n(
+            A.data() + static_cast<std::size_t>(I * nb + r) * n + J * nb, nb,
+            dst.data() + bc.local_offset(I, J) +
+                static_cast<std::size_t>(r) * nb);
+      }
+    }
+  }
+
+  sim::MachineConfig cfg;
+  cfg.params = mp;
+  double err = 0.0;
+  if (c <= 1) {
+    topo::Grid2D grid(q);
+    cfg.p = grid.p();
+    sim::Machine m(cfg);
+    m.run([&](sim::Comm& comm) {
+      lu_2d(comm, grid, bc, local[static_cast<std::size_t>(comm.rank())]);
+    });
+    if (verify) {
+      auto serial = A;
+      lu_factor_inplace(serial, n);
+      for (int I = 0; I < bc.nt(); ++I) {
+        for (int J = 0; J < bc.nt(); ++J) {
+          const auto& src =
+              local[static_cast<std::size_t>(I % q) * q + (J % q)];
+          for (int r = 0; r < nb; ++r) {
+            for (int cc = 0; cc < nb; ++cc) {
+              const double want =
+                  serial[static_cast<std::size_t>(I * nb + r) * n + J * nb +
+                         cc];
+              const double got = src[bc.local_offset(I, J) +
+                                     static_cast<std::size_t>(r) * nb + cc];
+              err = std::max(err, std::abs(want - got));
+            }
+          }
+        }
+      }
+    }
+    return finish(m, verify, err);
+  }
+  topo::Grid3D grid(q, c);
+  cfg.p = grid.p();
+  sim::Machine m(cfg);
+  m.run([&](sim::Comm& comm) {
+    if (grid.layer_of(comm.rank()) == 0) {
+      const int r = grid.row_of(comm.rank());
+      const int cc = grid.col_of(comm.rank());
+      lu_25d(comm, grid, bc, local[static_cast<std::size_t>(r) * q + cc]);
+    } else {
+      lu_25d(comm, grid, bc, {});
+    }
+  });
+  if (verify) {
+    auto serial = A;
+    lu_factor_inplace(serial, n);
+    for (int I = 0; I < bc.nt(); ++I) {
+      for (int J = 0; J < bc.nt(); ++J) {
+        const auto& src = local[static_cast<std::size_t>(I % q) * q + (J % q)];
+        for (int r = 0; r < nb; ++r) {
+          for (int cc = 0; cc < nb; ++cc) {
+            const double want =
+                serial[static_cast<std::size_t>(I * nb + r) * n + J * nb +
+                       cc];
+            const double got = src[bc.local_offset(I, J) +
+                                   static_cast<std::size_t>(r) * nb + cc];
+            err = std::max(err, std::abs(want - got));
+          }
+        }
+      }
+    }
+  }
+  return finish(m, verify, err);
+}
+
+RunResult run_fft(int r_dim, int c_dim, int p, AllToAllKind kind,
+                  const core::MachineParams& mp, bool verify,
+                  std::uint64_t seed) {
+  const int n = r_dim * c_dim;
+  sim::MachineConfig cfg;
+  cfg.p = p;
+  cfg.params = mp;
+  sim::Machine m(cfg);
+  Rng rng(seed);
+  std::vector<double> x(2 * static_cast<std::size_t>(n));
+  rng.fill_uniform(x, -1.0, 1.0);
+  const int cl = c_dim / p;
+  const int rl = r_dim / p;
+  std::vector<std::vector<double>> rows(static_cast<std::size_t>(p));
+  m.run([&](sim::Comm& comm) {
+    const int h = comm.rank();
+    std::vector<double> cols(2 * static_cast<std::size_t>(r_dim) * cl);
+    for (int jl = 0; jl < cl; ++jl) {
+      const int j2 = h * cl + jl;
+      for (int j1 = 0; j1 < r_dim; ++j1) {
+        cols[2 * (static_cast<std::size_t>(jl) * r_dim + j1)] =
+            x[2 * (static_cast<std::size_t>(j1) * c_dim + j2)];
+        cols[2 * (static_cast<std::size_t>(jl) * r_dim + j1) + 1] =
+            x[2 * (static_cast<std::size_t>(j1) * c_dim + j2) + 1];
+      }
+    }
+    std::vector<double> out(2 * static_cast<std::size_t>(c_dim) * rl);
+    fft_parallel(comm, n, r_dim, c_dim, cols, out, kind);
+    rows[static_cast<std::size_t>(h)] = std::move(out);
+  });
+  double err = 0.0;
+  if (verify) {
+    const auto ref = naive_dft(x, n);
+    for (int k1 = 0; k1 < r_dim; ++k1) {
+      const auto& blk = rows[static_cast<std::size_t>(k1 / rl)];
+      for (int k2 = 0; k2 < c_dim; ++k2) {
+        const std::size_t src =
+            2 * (static_cast<std::size_t>(k1 % rl) * c_dim + k2);
+        const std::size_t dst =
+            2 * (static_cast<std::size_t>(k2) * r_dim + k1);
+        err = std::max(err, std::abs(blk[src] - ref[dst]));
+        err = std::max(err, std::abs(blk[src + 1] - ref[dst + 1]));
+      }
+    }
+  }
+  return finish(m, verify, err);
+}
+
+}  // namespace alge::algs::harness

@@ -1,0 +1,59 @@
+// One-call experiment harness: build a simulated machine, distribute a
+// random problem, run a distributed algorithm, optionally verify the result
+// against a sequential reference, and report the measured counters and
+// Eq. (2) energy. Used by the benches (bench/) and the examples
+// (examples/) so every experiment exercises the same code paths the tests
+// verify.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "algs/fft/fft.hpp"
+#include "algs/strassen/caps.hpp"
+#include "core/params.hpp"
+#include "sim/machine.hpp"
+
+namespace alge::algs::harness {
+
+struct RunResult {
+  int p = 0;               ///< machine size
+  double makespan = 0.0;   ///< simulated seconds
+  sim::SimTotals totals;   ///< measured F/W/S aggregates
+  sim::SimEnergy energy;   ///< Eq. (2) on the measured run
+  double max_abs_error = 0.0;  ///< vs the sequential reference (if verified)
+  bool verified = false;
+
+  /// Per-processor critical-path words/messages (what the paper's W and S
+  /// bound).
+  double words_per_proc() const { return totals.words_sent_max; }
+  double msgs_per_proc() const { return totals.msgs_sent_max; }
+};
+
+/// 2.5D (c=1: 2D Cannon; c=q: 3D) matrix multiplication, p = q²c ranks.
+RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
+                    bool verify = false, std::uint64_t seed = 1);
+
+/// SUMMA 2D baseline, p = q² ranks.
+RunResult run_summa(int n, int q, const core::MachineParams& mp,
+                    bool verify = false, std::uint64_t seed = 1);
+
+/// CAPS Strassen, p = 7^k ranks.
+RunResult run_caps(int n, int k, const core::MachineParams& mp,
+                   const CapsOptions& opts = {}, bool verify = false,
+                   std::uint64_t seed = 1);
+
+/// Replicating n-body, p ranks in c teams-of-replicas.
+RunResult run_nbody(int n, int p, int c, const core::MachineParams& mp,
+                    bool verify = false, std::uint64_t seed = 1);
+
+/// Block-cyclic LU: c = 1 runs lu_2d on q², otherwise lu_25d on q²c ranks.
+RunResult run_lu(int n, int nb, int q, int c, const core::MachineParams& mp,
+                 bool verify = false, std::uint64_t seed = 1);
+
+/// Four-step FFT of n = R·C complex points on p ranks.
+RunResult run_fft(int r_dim, int c_dim, int p, AllToAllKind kind,
+                  const core::MachineParams& mp, bool verify = false,
+                  std::uint64_t seed = 1);
+
+}  // namespace alge::algs::harness

@@ -1,0 +1,64 @@
+// Distributed right-looking block LU (no pivoting) on the simulator:
+//
+//   lu_2d  — 2D block-cyclic LU on a q×q grid (the classical baseline).
+//   lu_25d — a layered 2.5D variant: the matrix is replicated on c layers,
+//            layer (k mod c) factors panel k, the panel is broadcast across
+//            the depth, and each layer updates only its 1/c slice of the
+//            trailing block columns. This realizes the paper's Section-IV
+//            observation about 2.5D LU: bandwidth drops with replication
+//            but the per-step critical-path synchronization means the
+//            message count grows as Θ(n/nb · log(qc)) — it does NOT strong
+//            scale in latency. (The asymptotically optimal 2.5D LU of [11]
+//            pipelines these steps; the dependency structure, and hence the
+//            latency behaviour we reproduce, is the same.)
+//
+// Blocks are distributed block-cyclically: block (I,J) lives on grid rank
+// (I mod q, J mod q), stored locally in lexicographic (I/q, J/q) order.
+#pragma once
+
+#include <span>
+
+#include "sim/comm.hpp"
+#include "topo/grid.hpp"
+
+namespace alge::algs {
+
+/// Block-cyclic bookkeeping shared by callers and tests.
+struct BlockCyclic {
+  int n = 0;   ///< matrix size
+  int nb = 0;  ///< block edge
+  int q = 0;   ///< grid edge
+
+  int nt() const { return n / nb; }          ///< blocks per dimension
+  int local_dim() const { return nt() / q; } ///< local blocks per dimension
+  std::size_t block_words() const {
+    return static_cast<std::size_t>(nb) * nb;
+  }
+  std::size_t local_words() const {
+    return static_cast<std::size_t>(local_dim()) * local_dim() *
+           block_words();
+  }
+  bool owns(int I, int J, int row, int col) const {
+    return I % q == row && J % q == col;
+  }
+  /// Offset of block (I,J) within the owner's local buffer.
+  std::size_t local_offset(int I, int J) const {
+    return (static_cast<std::size_t>(I / q) * local_dim() +
+            static_cast<std::size_t>(J / q)) *
+           block_words();
+  }
+  void validate() const;
+};
+
+/// Factor the block-cyclically distributed matrix in place. Each rank
+/// passes its local blocks (layout per BlockCyclic). Requires nb | n and
+/// q | n/nb.
+void lu_2d(sim::Comm& comm, const topo::Grid2D& grid, const BlockCyclic& bc,
+           std::span<double> local_blocks);
+
+/// 2.5D variant; input/output block-cyclic over layer 0 of the q×q×c grid
+/// (other layers pass empty spans).
+void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
+            std::span<double> local_blocks);
+
+}  // namespace alge::algs

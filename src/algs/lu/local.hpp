@@ -1,0 +1,34 @@
+// Local dense LU kernels (no pivoting — callers supply diagonally dominant
+// matrices, the standard setting for the communication-cost analyses of
+// [11]): in-place factorization, the two triangular panel solves of
+// right-looking block LU, and flop-count helpers for simulator charging.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace alge::algs {
+
+/// In-place LU without pivoting: A -> (L\U) with unit lower L.
+void lu_factor_inplace(std::span<double> a, int n);
+
+/// B <- L⁻¹·B where lu holds (L\U) and L is unit lower (forward subst.).
+void trsm_lower_left(std::span<const double> lu, std::span<double> b, int n);
+
+/// B <- B·U⁻¹ where lu holds (L\U) and U is non-unit upper.
+void trsm_upper_right(std::span<const double> lu, std::span<double> b, int n);
+
+/// Reconstruct L·U from the packed factor (for verification).
+std::vector<double> lu_reconstruct(std::span<const double> lu, int n);
+
+/// Random diagonally dominant matrix (safe for unpivoted LU).
+std::vector<double> diagonally_dominant_matrix(int n, Rng& rng);
+
+/// Flop conventions used for simulator charging.
+double lu_factor_flops(int n);    ///< 2n³/3
+double trsm_flops(int n);         ///< n³
+double gemm_update_flops(int n);  ///< 2n³
+
+}  // namespace alge::algs

@@ -1,0 +1,55 @@
+// Distributed dense matrix multiplication on the simulator:
+//
+//   cannon_2d  — Cannon's algorithm [8] on a √p×√p grid (the "2D" baseline:
+//                M = n²/p, W = Θ(n²/√p)).
+//   summa_2d   — SUMMA [9] with one block panel per step (same asymptotics,
+//                broadcast-based; the 2D ablation baseline).
+//   mm_25d     — the 2.5D algorithm of Solomonik & Demmel [11] on a
+//                (p/c)^½ × (p/c)^½ × c grid: c replicas of the input,
+//                W = Θ(n²/√(cp)). c = 1 degenerates to Cannon; c = p^⅓
+//                is the 3D algorithm of Agarwal et al. [10].
+//
+// All take each rank's local block(s) and leave each rank's result block in
+// place, so correctness is verified by comparing gathered blocks against a
+// sequential reference.
+#pragma once
+
+#include <span>
+
+#include "sim/comm.hpp"
+#include "topo/grid.hpp"
+
+namespace alge::algs {
+
+/// Cannon's algorithm. Every rank passes its n/q × n/q row-major blocks of
+/// A and B (block (i,j) on grid rank (i,j)); C(i,j) is accumulated into
+/// c_block. Requires q | n.
+void cannon_2d(sim::Comm& comm, const topo::Grid2D& grid, int n,
+               std::span<const double> a_block,
+               std::span<const double> b_block, std::span<double> c_block);
+
+/// SUMMA with panel width n/q (one block per step).
+void summa_2d(sim::Comm& comm, const topo::Grid2D& grid, int n,
+              std::span<const double> a_block,
+              std::span<const double> b_block, std::span<double> c_block);
+
+struct Mm25dOptions {
+  /// Replicate A and B down the depth fiber with the pipelined ring
+  /// broadcast instead of the binomial tree: every rank then sends each
+  /// block at most once (the root of a binomial tree sends log c copies),
+  /// at Θ(c) extra latency. Tightens the per-rank W toward the asymptotic
+  /// 2·nb²·q/c; the default keeps the classic tree.
+  bool ring_replication = false;
+};
+
+/// 2.5D matrix multiplication. Input blocks A(i,j), B(i,j) of size
+/// (n/q)² live on layer 0 (ranks with grid.layer_of(rank)==0); other layers
+/// pass empty spans for a/b and receive replicas internally. The result
+/// C(i,j) is reduced back onto layer 0's c_block (other layers pass an
+/// empty span). Requires q | n and c | q (each layer executes q/c Cannon
+/// steps starting at offset layer·q/c).
+void mm_25d(sim::Comm& comm, const topo::Grid3D& grid, int n,
+            std::span<const double> a_block, std::span<const double> b_block,
+            std::span<double> c_block, const Mm25dOptions& opts = {});
+
+}  // namespace alge::algs

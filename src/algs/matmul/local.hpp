@@ -1,0 +1,33 @@
+// Local (single-rank) dense kernels shared by the distributed algorithms:
+// row-major matmul with a cache-blocked variant, plus small helpers used by
+// tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace alge::algs {
+
+/// C += A·B with A m×k, B k×n, C m×n, all row-major. Naive ikj loop order
+/// (streaming-friendly); correct for any aliasing-free inputs.
+void matmul_add(const double* a, const double* b, double* c, int m, int k,
+                int n);
+
+/// Same contract, blocked for cache reuse. `block` is the tile edge.
+void matmul_add_blocked(const double* a, const double* b, double* c, int m,
+                        int k, int n, int block = 64);
+
+/// Flop count charged for an m×k by k×n multiply-accumulate (2 flops per
+/// multiply-add, the convention used throughout the benches).
+double matmul_flops(int m, int k, int n);
+
+/// Row-major random matrix with entries uniform in [-1, 1).
+std::vector<double> random_matrix(int rows, int cols, Rng& rng);
+
+/// max_i |a[i] - b[i]|; spans must have equal length.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+}  // namespace alge::algs

@@ -1,0 +1,141 @@
+#include "algs/nbody/nbody.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace alge::algs {
+
+namespace {
+constexpr double kSoftening2 = 1e-4;  // Plummer softening ε²
+constexpr double kG = 1.0;            // gravitational constant (model units)
+}  // namespace
+
+std::vector<double> random_particles(int n, Rng& rng) {
+  ALGE_REQUIRE(n >= 0, "negative particle count");
+  std::vector<double> p(static_cast<std::size_t>(n) * kParticleWords);
+  for (int i = 0; i < n; ++i) {
+    double* q = p.data() + static_cast<std::size_t>(i) * kParticleWords;
+    q[0] = rng.uniform(0.0, 1.0);
+    q[1] = rng.uniform(0.0, 1.0);
+    q[2] = rng.uniform(0.0, 1.0);
+    q[3] = rng.uniform(0.5, 1.5);
+  }
+  return p;
+}
+
+double accumulate_forces(std::span<const double> targets,
+                         std::span<const double> sources,
+                         std::span<double> forces, bool same_block) {
+  ALGE_REQUIRE(targets.size() % kParticleWords == 0 &&
+                   sources.size() % kParticleWords == 0,
+               "particle buffers must be multiples of %d words",
+               kParticleWords);
+  const std::size_t nt = targets.size() / kParticleWords;
+  const std::size_t ns = sources.size() / kParticleWords;
+  ALGE_REQUIRE(forces.size() == nt * kForceWords,
+               "forces must be %zu words", nt * kForceWords);
+  if (same_block) {
+    ALGE_REQUIRE(nt == ns, "same_block requires equal sizes");
+  }
+  double interactions = 0.0;
+  for (std::size_t i = 0; i < nt; ++i) {
+    const double* ti = targets.data() + i * kParticleWords;
+    double fx = 0.0;
+    double fy = 0.0;
+    double fz = 0.0;
+    for (std::size_t j = 0; j < ns; ++j) {
+      if (same_block && i == j) continue;
+      const double* sj = sources.data() + j * kParticleWords;
+      const double dx = sj[0] - ti[0];
+      const double dy = sj[1] - ti[1];
+      const double dz = sj[2] - ti[2];
+      const double r2 = dx * dx + dy * dy + dz * dz + kSoftening2;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      const double w = kG * ti[3] * sj[3] * inv_r * inv_r * inv_r;
+      fx += w * dx;
+      fy += w * dy;
+      fz += w * dz;
+      interactions += 1.0;
+    }
+    forces[i * kForceWords + 0] += fx;
+    forces[i * kForceWords + 1] += fy;
+    forces[i * kForceWords + 2] += fz;
+  }
+  return interactions;
+}
+
+std::vector<double> direct_forces(std::span<const double> particles) {
+  const std::size_t n = particles.size() / kParticleWords;
+  std::vector<double> forces(n * kForceWords, 0.0);
+  accumulate_forces(particles, particles, forces, /*same_block=*/true);
+  return forces;
+}
+
+void nbody_replicated(sim::Comm& comm, const topo::TeamGrid& grid, int n,
+                      std::span<const double> my_particles,
+                      std::span<double> my_forces) {
+  const int P = grid.cols();  // number of particle blocks
+  const int c = grid.rows();  // replication factor
+  ALGE_REQUIRE(grid.p() <= comm.size(), "grid larger than the machine");
+  ALGE_REQUIRE(n > 0 && n % P == 0, "block count %d must divide n=%d", P, n);
+  const int nb = n / P;  // particles per block
+  const std::size_t part_words = static_cast<std::size_t>(nb) * kParticleWords;
+  const std::size_t force_words = static_cast<std::size_t>(nb) * kForceWords;
+  const int i = grid.row_of(comm.rank());
+  const int j = grid.col_of(comm.rank());
+  if (i == 0) {
+    ALGE_REQUIRE(my_particles.size() == part_words &&
+                     my_forces.size() == force_words,
+                 "row-0 ranks pass %zu particle and %zu force words",
+                 part_words, force_words);
+  } else {
+    ALGE_REQUIRE(my_particles.empty() && my_forces.empty(),
+                 "non-root team members pass empty spans");
+  }
+  const sim::Group team = grid.team_group(j);
+  constexpr int kTagShift = 301;
+
+  // Replicate block j down the team column.
+  sim::Buffer resident = comm.alloc(part_words);
+  if (i == 0) {
+    std::copy(my_particles.begin(), my_particles.end(), resident.data());
+  }
+  comm.bcast(resident.span(), /*root=*/0, team);
+
+  // Member i handles source-block ring offsets o ≡ i (mod c), o < P.
+  sim::Buffer traveling = comm.alloc(part_words);
+  sim::Buffer scratch = comm.alloc(part_words);
+  sim::Buffer partial = comm.alloc(force_words);
+  auto row_rank = [&](int col) {
+    return grid.rank_of(i, ((col % P) + P) % P);
+  };
+  int steps = 0;
+  for (int o = i; o < P; o += c) ++steps;
+  if (steps > 0) {
+    // Fetch block (j + i): my replica travels to the rank i columns left.
+    comm.sendrecv(row_rank(j - i), resident.span(), row_rank(j + i),
+                  traveling.span(), kTagShift);
+    for (int t = 0; t < steps; ++t) {
+      const int o = i + t * c;
+      const double pairs = accumulate_forces(resident.span(),
+                                             traveling.span(),
+                                             partial.span(),
+                                             /*same_block=*/o == 0);
+      comm.compute(kInteractionFlops * pairs);
+      if (t + 1 < steps) {
+        comm.sendrecv(row_rank(j - c), traveling.span(), row_rank(j + c),
+                      scratch.span(), kTagShift);
+        std::copy(scratch.data(), scratch.data() + part_words,
+                  traveling.data());
+      }
+    }
+  }
+
+  // Sum the team's partial forces back to the block owner.
+  comm.reduce_sum(partial.span(), i == 0 ? my_forces : std::span<double>{},
+                  /*root=*/0, team);
+}
+
+}  // namespace alge::algs

@@ -1,0 +1,51 @@
+// Direct O(n²) n-body: the pairwise kernel, a serial reference, and the
+// communication-optimal data-replicating parallel algorithm of Driscoll et
+// al. [16] that the paper analyzes (Eqs. 15–16).
+//
+// Particles are packed 4 doubles each (x, y, z, mass); forces 3 doubles
+// each. The interaction is softened gravity — any associatively combinable
+// pairwise interaction works, which is all the algorithm needs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "support/rng.hpp"
+#include "topo/grid.hpp"
+
+namespace alge::algs {
+
+inline constexpr int kParticleWords = 4;  ///< x, y, z, mass
+inline constexpr int kForceWords = 3;     ///< fx, fy, fz
+/// Flops charged per pairwise interaction (the paper's f).
+inline constexpr double kInteractionFlops = 20.0;
+
+/// n random particles in the unit cube with masses in [0.5, 1.5).
+std::vector<double> random_particles(int n, Rng& rng);
+
+/// Add to `forces` the softened-gravity pull of every source on every
+/// target. If `same_block`, targets and sources are the same particles and
+/// the diagonal (self) pairs are skipped. Returns the number of
+/// interactions evaluated (for flop charging).
+double accumulate_forces(std::span<const double> targets,
+                         std::span<const double> sources,
+                         std::span<double> forces, bool same_block);
+
+/// Serial reference: all-pairs forces for n particles.
+std::vector<double> direct_forces(std::span<const double> particles);
+
+/// The replicating parallel algorithm on a c×(p/c) TeamGrid:
+///  - particle block j (n/(p/c) particles) enters on rank (0, j) and is
+///    replicated down team column j;
+///  - team member i computes the interactions with source blocks at ring
+///    offsets ≡ i (mod c), shifting blocks around its row by c each step —
+///    so each rank moves Θ(n/c) words instead of Θ(n);
+///  - partial forces are summed back to rank (0, j).
+/// c = 1 (a 1×p grid) is exactly the classical force-ring baseline.
+/// Ranks with row > 0 pass empty spans. Requires (p/c) | n.
+void nbody_replicated(sim::Comm& comm, const topo::TeamGrid& grid, int n,
+                      std::span<const double> my_particles,
+                      std::span<double> my_forces);
+
+}  // namespace alge::algs

@@ -1,0 +1,43 @@
+// TSQR — Tall-Skinny QR by tree reduction, the communication-optimal QR
+// building block from the communication-avoiding linear algebra line of
+// work the paper extends ([2] covers QR among the bounded algorithms).
+//
+// Each rank holds an (n/p)×b row block of a tall matrix A (n ≥ p·b rows).
+// A local Householder QR reduces it to a b×b R factor; a binomial tree then
+// repeatedly stacks pairs of R factors (2b×b) and re-factors, so the root
+// ends with the R of the whole A after log2(p) rounds of b²-word messages:
+//
+//   F = Θ(n·b²/p),  W = Θ(b²·log p),  S = Θ(log p)
+//
+// — against the naive gather-to-root QR's W = Θ(n·b/p · p). Q is implicit
+// (the usual TSQR convention); correctness is verified through
+// AᵀA = RᵀR and the uniqueness of R up to row signs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/comm.hpp"
+
+namespace alge::algs {
+
+/// In-place Householder QR of an m×b row-major block (m >= b >= 1).
+/// Returns the b×b upper-triangular R (row-major); `a` is destroyed.
+std::vector<double> householder_qr_r(std::span<double> a, int m, int b);
+
+/// Flops charged for an m×b Householder QR: 2mb² - 2b³/3.
+double qr_flops(int m, int b);
+
+/// Distributed TSQR over all p ranks. Each rank passes its local rows
+/// (rows_local × b, row-major); rank 0 receives the global R (b×b,
+/// row-major) in r_out — other ranks pass an empty span. Requires
+/// rows_local >= b on every rank.
+void tsqr(sim::Comm& comm, int b, std::span<const double> a_local,
+          std::span<double> r_out);
+
+/// Baseline for the ablation: gather all rows to rank 0 and factor there.
+/// Same result, W = Θ(n·b) at the root.
+void gather_qr(sim::Comm& comm, int b, std::span<const double> a_local,
+               std::span<double> r_out);
+
+}  // namespace alge::algs

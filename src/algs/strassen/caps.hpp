@@ -1,0 +1,54 @@
+// CAPS — Communication-Avoiding Parallel Strassen [15] — on the simulator.
+//
+// p = 7^k ranks cooperate on C = A·B. The matrices live in the cyclic
+// Z-order layout of layout.hpp. The schedule is a string over {B, D} with
+// exactly k 'B's:
+//
+//   B (breadth-first) step: the 7 Strassen subproblems are *distributed*,
+//     one per subgroup of g/7 ranks. Each rank locally forms its share of
+//     all seven (S_i, T_i) operand pairs (quadrant additions are local by
+//     the layout), ships share i to its counterpart in subgroup i, and the
+//     subproblems proceed in parallel. This is the step that trades extra
+//     memory (7/4 growth per level) for a 7^(level)-fold drop in the
+//     per-subproblem group size — the source of CAPS's communication
+//     optimality.
+//
+//   D (depth-first) step: all g ranks recurse into the 7 subproblems one
+//     after another. No communication and no memory growth; used when
+//     memory is scarce (the FLM regime of the paper).
+//
+// When the group size reaches 1 the rank converts its share (by then the
+// whole submatrix) to row-major and multiplies locally (Strassen with a
+// cutoff, or the classical kernel).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sim/comm.hpp"
+
+namespace alge::algs {
+
+struct CapsOptions {
+  /// Schedule over {'B','D'}; empty means all-BFS ("BB...B", k times).
+  std::string schedule;
+  /// Local multiply: Strassen below this size switches to the classical
+  /// kernel; 0 means use the classical kernel outright.
+  int local_cutoff = 32;
+};
+
+/// Multiply two n×n matrices distributed over p = 7^k ranks (the whole
+/// machine). Each rank passes its layout shares of A and B (length n²/p,
+/// Z-levels = schedule length) and receives its share of C.
+void caps_multiply(sim::Comm& comm, int n, int k,
+                   std::span<const double> a_share,
+                   std::span<const double> b_share,
+                   std::span<double> c_share, const CapsOptions& opts = {});
+
+/// 7^k.
+int caps_ranks(int k);
+
+/// True iff the cyclic layout stays aligned for this (n, k, schedule).
+bool caps_schedule_valid(int n, int k, const std::string& schedule);
+
+}  // namespace alge::algs

@@ -1,0 +1,24 @@
+// Sequential Strassen matrix multiplication with a cutoff to the blocked
+// classical kernel, plus the exact flop-count formula used to charge
+// simulated compute time.
+#pragma once
+
+#include <span>
+
+namespace alge::algs {
+
+/// C = A·B for n×n row-major matrices using Strassen recursion down to
+/// `cutoff` (then the classical kernel). Recursion also stops at odd sizes
+/// instead of padding, so any n works; only the even-halving prefix of the
+/// size gets the Strassen flop savings.
+void strassen_multiply(std::span<const double> a, std::span<const double> b,
+                       std::span<double> c, int n, int cutoff = 64);
+
+/// Exact flops performed by strassen_multiply: 7 recursive products + 18
+/// quadrant-size additions per level, 2·n³ at the leaves.
+double strassen_flops(int n, int cutoff = 64);
+
+/// Number of Strassen levels strassen_multiply(n, cutoff) recurses through.
+int strassen_levels(int n, int cutoff = 64);
+
+}  // namespace alge::algs

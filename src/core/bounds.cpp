@@ -1,0 +1,59 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace alge::core::bounds {
+
+namespace {
+void check_positive(double F, double M) {
+  ALGE_REQUIRE(F >= 0.0, "flop count must be non-negative");
+  ALGE_REQUIRE(M > 0.0, "memory must be positive");
+}
+}  // namespace
+
+double sequential_words(double F, double M, double inputs, double outputs) {
+  check_positive(F, M);
+  return std::max(inputs + outputs, F / std::sqrt(M));
+}
+
+double sequential_messages(double F, double M, double m, double inputs,
+                           double outputs) {
+  ALGE_REQUIRE(m >= 1.0, "message cap must be >= 1 word");
+  return sequential_words(F, M, inputs, outputs) / m;
+}
+
+double parallel_words(double F, double M, double io) {
+  check_positive(F, M);
+  return std::max(0.0, F / std::sqrt(M) - io);
+}
+
+double matmul_words(double n, double p, double M) {
+  ALGE_REQUIRE(n >= 1.0 && p >= 1.0 && M > 0.0, "bad arguments");
+  const double memory_dependent = n * n * n / (p * std::sqrt(M));
+  const double memory_independent = n * n / std::pow(p, 2.0 / 3.0);
+  return std::max(memory_dependent, memory_independent);
+}
+
+double strassen_words(double n, double p, double M, double omega0) {
+  ALGE_REQUIRE(n >= 1.0 && p >= 1.0 && M > 0.0, "bad arguments");
+  ALGE_REQUIRE(omega0 > 2.0 && omega0 <= 3.0, "omega0 out of range");
+  const double memory_dependent =
+      std::pow(n, omega0) / (p * std::pow(M, omega0 / 2.0 - 1.0));
+  const double memory_independent = n * n / std::pow(p, 2.0 / omega0);
+  return std::max(memory_dependent, memory_independent);
+}
+
+double nbody_words(double n, double p, double M) {
+  ALGE_REQUIRE(n >= 1.0 && p >= 1.0 && M > 0.0, "bad arguments");
+  return std::max(n * n / (p * M), n / std::sqrt(p));
+}
+
+double fft_sequential_words(double n, double M) {
+  ALGE_REQUIRE(n >= 2.0 && M >= 2.0, "need n, M >= 2");
+  return n * std::log2(n) / std::log2(M);
+}
+
+}  // namespace alge::core::bounds

@@ -1,0 +1,40 @@
+// Communication lower bounds (Section III, Eqs. 3–5): the floor that the
+// communication-avoiding algorithms attain within constant factors. Used
+// by the optimality-check bench and tests to certify that the *measured*
+// traffic of every executable algorithm sits within a small constant of
+// its bound.
+//
+// As in the paper, constants are omitted: these are the Ω(·) arguments of
+// [4], [5] and [2], so "attaining" a bound means measured/bound = O(1).
+#pragma once
+
+namespace alge::core::bounds {
+
+/// Eq. (3), sequential model: W = Ω(max(I+O, F/√M)) for algorithms
+/// satisfying the surface-to-volume conditions of [2] (three-nested-loop
+/// linear algebra with F "useful" flops).
+double sequential_words(double F, double M, double inputs, double outputs);
+
+/// Eq. (4): S = Ω(max((I+O)/m, F/(m·√M))).
+double sequential_messages(double F, double M, double m, double inputs,
+                           double outputs);
+
+/// Eq. (5), parallel model: W = Ω(max(0, F/√M − (I+O))) per processor.
+double parallel_words(double F, double M, double io);
+
+/// Matmul-family per-processor bound with the memory-independent floor of
+/// Ballard et al. [12]: W = Ω(max(n³/(p·√M), n²/p^{2/3})) — the second
+/// term is why perfect strong scaling stops at p = n³/M^{3/2}.
+double matmul_words(double n, double p, double M);
+
+/// Strassen-family version [13]: W = Ω(max(n^ω0/(p·M^{ω0/2−1}),
+/// n²/p^{2/ω0})).
+double strassen_words(double n, double p, double M, double omega0);
+
+/// Replicating n-body [16]: W = Ω(max(n²/(p·M), n/√p)).
+double nbody_words(double n, double p, double M);
+
+/// Sequential FFT bound of Hong & Kung [4]: W = Θ(n·log n / log M).
+double fft_sequential_words(double n, double M);
+
+}  // namespace alge::core::bounds

@@ -1,0 +1,126 @@
+#include "core/closed_forms.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace alge::core::closed {
+
+double mm25d_time(double n, double p, double M, const MachineParams& mp) {
+  const double n3 = n * n * n;
+  const double rM = std::sqrt(M);
+  return mp.gamma_t * n3 / p + mp.beta_t * n3 / (rM * p) +
+         mp.alpha_t * n3 / (mp.max_msg_words * rM * p);
+}
+
+double mm25d_energy(double n, double M, const MachineParams& mp) {
+  const double n3 = n * n * n;
+  const double rM = std::sqrt(M);
+  const double m = mp.max_msg_words;
+  return (mp.gamma_e + mp.gamma_t * mp.eps_e) * n3 +
+         ((mp.beta_e + mp.beta_t * mp.eps_e) +
+          (mp.alpha_e + mp.alpha_t * mp.eps_e) / m) *
+             n3 / rM +
+         mp.delta_e * mp.gamma_t * M * n3 +
+         (mp.delta_e * mp.beta_t + mp.delta_e * mp.alpha_t / m) * rM * n3;
+}
+
+double mm3d_energy(double n, double p, const MachineParams& mp) {
+  const double n3 = n * n * n;
+  const double m = mp.max_msg_words;
+  return (mp.gamma_e + mp.gamma_t * mp.eps_e) * n3 +
+         ((mp.beta_e + mp.beta_t * mp.eps_e) +
+          (mp.alpha_e + mp.alpha_t * mp.eps_e) / m) *
+             n * n * std::cbrt(p) +
+         mp.delta_e * mp.gamma_t * std::pow(n, 5.0) / std::pow(p, 2.0 / 3.0) +
+         (mp.delta_e * mp.beta_t + mp.delta_e * mp.alpha_t / m) *
+             std::pow(n, 4.0) / std::cbrt(p);
+}
+
+double strassen_energy(double n, double M, double omega0,
+                       const MachineParams& mp) {
+  const double nw = std::pow(n, omega0);
+  const double m = mp.max_msg_words;
+  return (mp.gamma_e + mp.gamma_t * mp.eps_e) * nw +
+         ((mp.beta_e + mp.beta_t * mp.eps_e) +
+          (mp.alpha_e + mp.alpha_t * mp.eps_e) / m) *
+             nw / std::pow(M, omega0 / 2.0 - 1.0) +
+         mp.delta_e * mp.gamma_t * M * nw +
+         (mp.delta_e * mp.beta_t + mp.delta_e * mp.alpha_t / m) *
+             std::pow(M, 2.0 - omega0 / 2.0) * nw;
+}
+
+double strassen_energy_unlimited(double n, double p, double omega0,
+                                 const MachineParams& mp) {
+  const double nw = std::pow(n, omega0);
+  const double m = mp.max_msg_words;
+  return (mp.gamma_e + mp.gamma_t * mp.eps_e) * nw +
+         ((mp.beta_e + mp.beta_t * mp.eps_e) +
+          (mp.alpha_e + mp.alpha_t * mp.eps_e) / m) *
+             n * n * std::pow(p, 1.0 - 2.0 / omega0) +
+         // The paper prints n⁵ here, which is the ω0=3 special case; the
+         // substitution M = n²/p^(2/ω0) into δe·γt·M·n^ω0 gives n^(ω0+2).
+         mp.delta_e * mp.gamma_t * std::pow(n, omega0 + 2.0) *
+             std::pow(p, -2.0 / omega0) +
+         (mp.delta_e * mp.beta_t + mp.delta_e * mp.alpha_t / m) *
+             std::pow(n, 4.0) * std::pow(p, 1.0 - 4.0 / omega0);
+}
+
+double nbody_time(double n, double p, double M, double f,
+                  const MachineParams& mp) {
+  const double n2 = n * n;
+  return mp.gamma_t * f * n2 / p + mp.beta_t * n2 / (M * p) +
+         mp.alpha_t * n2 / (mp.max_msg_words * M * p);
+}
+
+double nbody_energy(double n, double M, double f, const MachineParams& mp) {
+  const double n2 = n * n;
+  const double m = mp.max_msg_words;
+  return (f * (mp.gamma_e + mp.gamma_t * mp.eps_e) +
+          mp.delta_e * (mp.beta_t + mp.alpha_t / m)) *
+             n2 +
+         ((mp.beta_e + mp.beta_t * mp.eps_e) +
+          (mp.alpha_e + mp.alpha_t * mp.eps_e) / m) *
+             n2 / M +
+         mp.delta_e * mp.gamma_t * f * M * n2;
+}
+
+double nbody_M0(double f, const MachineParams& mp) {
+  const double m = mp.max_msg_words;
+  const double numer = mp.beta_e + mp.beta_t * mp.eps_e +
+                       (mp.alpha_e + mp.alpha_t * mp.eps_e) / m;
+  const double denom = mp.delta_e * mp.gamma_t * f;
+  ALGE_REQUIRE(denom > 0.0,
+               "M0 undefined when delta_e or gamma_t is zero (memory is "
+               "free, so more is always better)");
+  return std::sqrt(numer / denom);
+}
+
+double nbody_min_energy(double n, double f, const MachineParams& mp) {
+  const double n2 = n * n;
+  const double m = mp.max_msg_words;
+  const double B = mp.beta_e + mp.beta_t * mp.eps_e +
+                   (mp.alpha_e + mp.alpha_t * mp.eps_e) / m;
+  return n2 * (f * (mp.gamma_e + mp.gamma_t * mp.eps_e) +
+               mp.delta_e * (mp.beta_t + mp.alpha_t / m) +
+               2.0 * std::sqrt(mp.delta_e * mp.gamma_t * f * B));
+}
+
+double fft_time(double n, double p, const MachineParams& mp) {
+  const double lgp = p > 1.0 ? std::log2(p) : 0.0;
+  return mp.gamma_t * n * std::log2(n) / p + mp.beta_t * n * lgp / p +
+         mp.alpha_t * lgp;
+}
+
+double fft_energy(double n, double p, const MachineParams& mp) {
+  const double lgp = p > 1.0 ? std::log2(p) : 0.0;
+  const double lgn = std::log2(n);
+  return (mp.gamma_e + mp.eps_e * mp.gamma_t) * n * lgn +
+         (mp.alpha_e + mp.eps_e * mp.alpha_t) * p * lgp +
+         (mp.beta_e + mp.eps_e * mp.beta_t + mp.delta_e * mp.alpha_t) * n *
+             lgp +
+         mp.delta_e * mp.gamma_t * n * n * lgn / p +
+         mp.delta_e * mp.beta_t * n * n * lgp / p;
+}
+
+}  // namespace alge::core::closed

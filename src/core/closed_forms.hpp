@@ -1,0 +1,55 @@
+// The paper's explicit closed-form time/energy expressions, transcribed
+// term by term (Eqs. 9–11, 13–16, 18). They are algebraically identical to
+// the generic AlgModel evaluation; the test suite asserts that equality,
+// which guards both the transcription and the generic machinery.
+#pragma once
+
+#include "core/params.hpp"
+
+namespace alge::core::closed {
+
+/// Eq. (9): T_2.5DMM(n,p,M) = γt·n³/p + βt·n³/(√M·p) + αt·n³/(m·√M·p).
+double mm25d_time(double n, double p, double M, const MachineParams& mp);
+
+/// Eq. (10): E_2.5DMM(n,p,M) — independent of p:
+///   (γe+γt·εe)n³ + ((βe+βt·εe) + (αe+αt·εe)/m)·n³/√M
+///   + δe·γt·M·n³ + (δe·βt + δe·αt/m)·√M·n³.
+double mm25d_energy(double n, double M, const MachineParams& mp);
+
+/// Eq. (11): E_3DMM(n,p) at the limit M = n²/p^(2/3).
+double mm3d_energy(double n, double p, const MachineParams& mp);
+
+/// Eq. (13): E_FLM (fast matmul, limited memory), independent of p.
+double strassen_energy(double n, double M, double omega0,
+                       const MachineParams& mp);
+
+/// Eq. (14): E_FUM at M = n²/p^(2/ω0).
+double strassen_energy_unlimited(double n, double p, double omega0,
+                                 const MachineParams& mp);
+
+/// Eq. (15): T_nbody(n,p,M) = γt·f·n²/p + βt·n²/(M·p) + αt·n²/(m·M·p).
+double nbody_time(double n, double p, double M, double f,
+                  const MachineParams& mp);
+
+/// Eq. (16): E_nbody(n,M) — independent of p:
+///   (f(γe+γt·εe) + δe(βt+αt/m))n² + ((βe+βt·εe) + (αe+αt·εe)/m)·n²/M
+///   + δe·γt·f·M·n².
+double nbody_energy(double n, double M, double f, const MachineParams& mp);
+
+/// Section V-A: the energy-optimal memory
+///   M0 = sqrt((βe+βt·εe + (αe+αt·εe)/m) / (δe·γt·f)).
+double nbody_M0(double f, const MachineParams& mp);
+
+/// Eq. (18): E*_nbody(n) = E_nbody(n, M0) in explicit form.
+double nbody_min_energy(double n, double f, const MachineParams& mp);
+
+/// FFT (Section IV, tree all-to-all):
+///   T = γt·n·log2 n/p + βt·n·log2 p/p + αt·log2 p.
+double fft_time(double n, double p, const MachineParams& mp);
+
+/// E_FFT = (γe+εe·γt)n·log2 n + (αe+εe·αt)p·log2 p
+///         + (βe+εe·βt+δe·αt)n·log2 p + δe·γt·n²·log2 n/p
+///         + δe·βt·n²·log2 p/p.
+double fft_energy(double n, double p, const MachineParams& mp);
+
+}  // namespace alge::core::closed

@@ -1,0 +1,76 @@
+#include "core/codesign.hpp"
+
+#include "support/common.hpp"
+
+namespace alge::core {
+
+std::string ParamScaleSpec::label() const {
+  std::string out;
+  auto add = [&](bool on, const char* name) {
+    if (!on) return;
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  add(gamma_e, "gamma_e");
+  add(beta_e, "beta_e");
+  add(alpha_e, "alpha_e");
+  add(delta_e, "delta_e");
+  add(eps_e, "eps_e");
+  return out.empty() ? "none" : out;
+}
+
+MachineParams scale_energy_params(const MachineParams& mp,
+                                  const ParamScaleSpec& which, double factor) {
+  ALGE_REQUIRE(factor > 0.0, "scale factor must be positive");
+  MachineParams out = mp;
+  if (which.gamma_e) out.gamma_e *= factor;
+  if (which.beta_e) out.beta_e *= factor;
+  if (which.alpha_e) out.alpha_e *= factor;
+  if (which.delta_e) out.delta_e *= factor;
+  if (which.eps_e) out.eps_e *= factor;
+  return out;
+}
+
+double gflops_per_watt(const AlgModel& model, double n, double p, double M,
+                       const MachineParams& mp) {
+  const Costs c = model.costs(n, p, M, mp.max_msg_words);
+  const double total_flops = c.F * p;
+  const double E = model.energy(n, p, M, mp);
+  ALGE_REQUIRE(E > 0.0, "zero-energy run: all energy parameters are zero?");
+  // flops/J == GFLOPS/W after dividing by 1e9.
+  return total_flops / E / 1e9;
+}
+
+std::vector<GenerationPoint> efficiency_vs_generation(
+    const AlgModel& model, double n, double p, double M,
+    const MachineParams& mp, const ParamScaleSpec& which, int generations,
+    double per_generation_factor) {
+  ALGE_REQUIRE(generations >= 0, "generation count must be non-negative");
+  ALGE_REQUIRE(per_generation_factor > 0.0 && per_generation_factor <= 1.0,
+               "per-generation factor must be in (0, 1]");
+  std::vector<GenerationPoint> out;
+  out.reserve(static_cast<std::size_t>(generations) + 1);
+  double factor = 1.0;
+  for (int g = 0; g <= generations; ++g) {
+    const MachineParams scaled = scale_energy_params(mp, which, factor);
+    out.push_back({g, factor, gflops_per_watt(model, n, p, M, scaled)});
+    factor *= per_generation_factor;
+  }
+  return out;
+}
+
+int generations_to_target(const AlgModel& model, double n, double p, double M,
+                          const MachineParams& mp, const ParamScaleSpec& which,
+                          double target_gflops_per_watt, int max_generations,
+                          double per_generation_factor) {
+  ALGE_REQUIRE(target_gflops_per_watt > 0.0, "target must be positive");
+  const auto series = efficiency_vs_generation(model, n, p, M, mp, which,
+                                               max_generations,
+                                               per_generation_factor);
+  for (const GenerationPoint& pt : series) {
+    if (pt.gflops_per_watt >= target_gflops_per_watt) return pt.generation;
+  }
+  return -1;
+}
+
+}  // namespace alge::core

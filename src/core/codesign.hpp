@@ -1,0 +1,63 @@
+// Technology-scaling / co-design questions (Section VI and Figures 6–7, plus
+// question 5 of the introduction): how does energy efficiency (GFLOPS/W)
+// respond when individual energy parameters improve by a constant factor per
+// process generation, and how many generations until a target is met?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/algmodel.hpp"
+
+namespace alge::core {
+
+/// Which energy parameters a technology generation improves.
+struct ParamScaleSpec {
+  bool gamma_e = false;
+  bool beta_e = false;
+  bool alpha_e = false;
+  bool delta_e = false;
+  bool eps_e = false;
+
+  static ParamScaleSpec all() { return {true, true, true, true, true}; }
+  static ParamScaleSpec only_gamma_e() { return {true, false, false, false, false}; }
+  static ParamScaleSpec only_beta_e() { return {false, true, false, false, false}; }
+  static ParamScaleSpec only_alpha_e() { return {false, false, true, false, false}; }
+  static ParamScaleSpec only_delta_e() { return {false, false, false, true, false}; }
+  std::string label() const;
+};
+
+/// Multiply the selected energy parameters by `factor` (e.g. 0.5 per
+/// generation); time parameters are left untouched, matching the paper's
+/// "fixed process technology" scaling experiment.
+MachineParams scale_energy_params(const MachineParams& mp,
+                                  const ParamScaleSpec& which, double factor);
+
+/// Achieved efficiency of a run: total flops / total energy, in GFLOPS/W
+/// (= flops per nanojoule).
+double gflops_per_watt(const AlgModel& model, double n, double p, double M,
+                       const MachineParams& mp);
+
+struct GenerationPoint {
+  int generation = 0;
+  double factor = 1.0;  ///< cumulative improvement multiplier
+  double gflops_per_watt = 0.0;
+};
+
+/// Figures 6/7: efficiency after 0..generations halvings of the selected
+/// parameters (per-generation factor defaults to 1/2).
+std::vector<GenerationPoint> efficiency_vs_generation(
+    const AlgModel& model, double n, double p, double M,
+    const MachineParams& mp, const ParamScaleSpec& which, int generations,
+    double per_generation_factor = 0.5);
+
+/// Question 5 / V-F: smallest number of generations (scaling `which` by the
+/// per-generation factor) until the target efficiency is reached; returns -1
+/// if max_generations is not enough (the improvement saturates against the
+/// unscaled terms).
+int generations_to_target(const AlgModel& model, double n, double p, double M,
+                          const MachineParams& mp, const ParamScaleSpec& which,
+                          double target_gflops_per_watt, int max_generations,
+                          double per_generation_factor = 0.5);
+
+}  // namespace alge::core

@@ -1,0 +1,25 @@
+#include "core/costs.hpp"
+
+namespace alge::core {
+
+double time_of(const Costs& c, const MachineParams& mp) {
+  return mp.gamma_t * c.F + mp.beta_t * c.W + mp.alpha_t * c.S;
+}
+
+EnergyBreakdown energy_breakdown(const Costs& c, double p, double M, double T,
+                                 const MachineParams& mp) {
+  EnergyBreakdown e;
+  e.flops = p * mp.gamma_e * c.F;
+  e.words = p * mp.beta_e * c.W;
+  e.messages = p * mp.alpha_e * c.S;
+  e.memory = p * mp.delta_e * M * T;
+  e.leakage = p * mp.eps_e * T;
+  return e;
+}
+
+double energy_of(const Costs& c, double p, double M, double T,
+                 const MachineParams& mp) {
+  return energy_breakdown(c, p, M, T, mp).total();
+}
+
+}  // namespace alge::core

@@ -1,0 +1,45 @@
+// Per-processor cost triple (F, W, S) and its mapping to time and energy via
+// Equations (1) and (2) of the paper.
+#pragma once
+
+#include "core/params.hpp"
+
+namespace alge::core {
+
+/// Per-processor counts along the critical path: flops, words sent,
+/// messages sent. Doubles (not integers) because the analytic models produce
+/// fractional asymptotic values.
+struct Costs {
+  double F = 0.0;  ///< flops
+  double W = 0.0;  ///< words moved
+  double S = 0.0;  ///< messages
+
+  Costs operator+(const Costs& o) const { return {F + o.F, W + o.W, S + o.S}; }
+  Costs operator*(double k) const { return {F * k, W * k, S * k}; }
+};
+
+/// Eq. (1): T = γt·F + βt·W + αt·S.
+double time_of(const Costs& c, const MachineParams& mp);
+
+/// Eq. (2) for one processor class: E = p·(γe·F + βe·W + αe·S + δe·M·T + εe·T)
+/// where c holds the *per-processor* counts, M is words of memory used per
+/// processor, and T is the total runtime.
+double energy_of(const Costs& c, double p, double M, double T,
+                 const MachineParams& mp);
+
+/// Itemized Eq. (2) terms; `total()` equals energy_of.
+struct EnergyBreakdown {
+  double flops = 0.0;    ///< p·γe·F
+  double words = 0.0;    ///< p·βe·W
+  double messages = 0.0; ///< p·αe·S
+  double memory = 0.0;   ///< p·δe·M·T
+  double leakage = 0.0;  ///< p·εe·T
+  double total() const {
+    return flops + words + messages + memory + leakage;
+  }
+};
+
+EnergyBreakdown energy_breakdown(const Costs& c, double p, double M, double T,
+                                 const MachineParams& mp);
+
+}  // namespace alge::core

@@ -1,0 +1,74 @@
+#include "core/hetero.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace alge::core {
+
+double HeteroProc::time_rate() const {
+  ALGE_REQUIRE(mem_words > 0.0 && max_msg_words >= 1.0,
+               "memory and message cap must be positive");
+  return gamma_t + (beta_t + alpha_t / max_msg_words) / std::sqrt(mem_words);
+}
+
+double HeteroProc::energy_rate() const {
+  return gamma_e + (beta_e + alpha_e / max_msg_words) / std::sqrt(mem_words);
+}
+
+namespace {
+void validate(const std::vector<HeteroProc>& classes, double total_flops) {
+  ALGE_REQUIRE(!classes.empty(), "need at least one processor class");
+  ALGE_REQUIRE(total_flops >= 0.0, "flop count must be non-negative");
+  for (const auto& c : classes) {
+    ALGE_REQUIRE(c.count >= 1, "class count must be >= 1");
+    ALGE_REQUIRE(c.time_rate() > 0.0, "processor with zero time rate");
+  }
+}
+
+double energy_of(const std::vector<HeteroProc>& classes,
+                 const std::vector<double>& flops_per_proc, double T) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const HeteroProc& c = classes[i];
+    e += c.count * (flops_per_proc[i] * c.energy_rate() +
+                    (c.delta_e * c.mem_words + c.eps_e) * T);
+  }
+  return e;
+}
+}  // namespace
+
+HeteroPartition hetero_balance(const std::vector<HeteroProc>& classes,
+                               double total_flops) {
+  validate(classes, total_flops);
+  double inv_rate_sum = 0.0;
+  for (const auto& c : classes) inv_rate_sum += c.count / c.time_rate();
+  HeteroPartition out;
+  out.total_flops = total_flops;
+  out.makespan = total_flops / inv_rate_sum;
+  out.flops_per_class.reserve(classes.size());
+  for (const auto& c : classes) {
+    out.flops_per_class.push_back(out.makespan / c.time_rate());
+  }
+  out.energy = energy_of(classes, out.flops_per_class, out.makespan);
+  return out;
+}
+
+HeteroPartition hetero_equal_split(const std::vector<HeteroProc>& classes,
+                                   double total_flops) {
+  validate(classes, total_flops);
+  int total_procs = 0;
+  for (const auto& c : classes) total_procs += c.count;
+  const double per_proc = total_flops / total_procs;
+  HeteroPartition out;
+  out.total_flops = total_flops;
+  out.flops_per_class.assign(classes.size(), per_proc);
+  for (const auto& c : classes) {
+    out.makespan = std::max(out.makespan, per_proc * c.time_rate());
+  }
+  out.energy = energy_of(classes, out.flops_per_class, out.makespan);
+  return out;
+}
+
+}  // namespace alge::core

@@ -1,0 +1,60 @@
+// Heterogeneous extension (Section III cites Ballard–Demmel–Gearhart [7]:
+// "communication bounds for heterogeneous architectures"): processors with
+// different flop rates, link speeds, memories and energy coefficients.
+//
+// For a perfectly parallelizable kernel with per-processor communication
+// floor W_i = F_i / √M_i (the matmul-type bound), processor i finishing
+// F_i flops takes
+//
+//     T_i = F_i · r_i,   r_i = γt_i + (βt_i + αt_i/m_i)/√M_i
+//
+// so the makespan-optimal partition gives every processor work inversely
+// proportional to its rate: F_i = F_total · (1/r_i) / Σ(1/r_j), making all
+// T_i equal — the heterogeneous analogue of "2D balanced blocks", and the
+// partition that also attains each processor's communication lower bound
+// simultaneously.
+#pragma once
+
+#include <vector>
+
+namespace alge::core {
+
+/// One processor class of a heterogeneous machine.
+struct HeteroProc {
+  double gamma_t = 1.0;  ///< s/flop
+  double beta_t = 0.0;   ///< s/word
+  double alpha_t = 0.0;  ///< s/message
+  double gamma_e = 0.0;  ///< J/flop
+  double beta_e = 0.0;   ///< J/word
+  double alpha_e = 0.0;  ///< J/message
+  double delta_e = 0.0;  ///< J/word/s
+  double eps_e = 0.0;    ///< J/s
+  double mem_words = 1.0;      ///< M_i
+  double max_msg_words = 1e18; ///< m_i
+  int count = 1;               ///< processors of this class
+
+  /// Effective seconds per flop including the communication the flop
+  /// drags along (the r_i above, for matmul-type kernels).
+  double time_rate() const;
+  /// Joules per flop including per-word energy of the attached traffic.
+  double energy_rate() const;
+};
+
+struct HeteroPartition {
+  std::vector<double> flops_per_class;  ///< per *processor* of each class
+  double makespan = 0.0;
+  double energy = 0.0;       ///< dynamic + (δe·M + εe)·T per processor
+  double total_flops = 0.0;
+};
+
+/// Makespan-optimal work partition of `total_flops` across the classes
+/// (flops ∝ 1/r_i per processor); all processors finish together.
+HeteroPartition hetero_balance(const std::vector<HeteroProc>& classes,
+                               double total_flops);
+
+/// Naive equal split (the baseline the balanced partition beats): every
+/// processor gets total/Σcount flops; makespan is set by the slowest.
+HeteroPartition hetero_equal_split(const std::vector<HeteroProc>& classes,
+                                   double total_flops);
+
+}  // namespace alge::core

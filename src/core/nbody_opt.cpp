@@ -1,0 +1,138 @@
+#include "core/nbody_opt.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/closed_forms.hpp"
+#include "support/common.hpp"
+
+namespace alge::core {
+
+namespace {
+/// B = βe + βt·εe + (αe + αt·εe)/m — the per-word energy (including leakage
+/// during transfer time) that appears throughout Section V.
+double word_energy(const MachineParams& mp) {
+  return mp.beta_e + mp.beta_t * mp.eps_e +
+         (mp.alpha_e + mp.alpha_t * mp.eps_e) / mp.max_msg_words;
+}
+
+/// βt + αt/m — the per-word time.
+double word_time(const MachineParams& mp) {
+  return mp.beta_t + mp.alpha_t / mp.max_msg_words;
+}
+}  // namespace
+
+NBodyOptimum::NBodyOptimum(double f, const MachineParams& mp)
+    : f_(f), mp_(mp) {
+  ALGE_REQUIRE(f > 0.0, "flops per interaction must be positive");
+  mp_.validate();
+}
+
+double NBodyOptimum::M0() const { return closed::nbody_M0(f_, mp_); }
+
+double NBodyOptimum::min_energy(double n) const {
+  return closed::nbody_min_energy(n, f_, mp_);
+}
+
+double NBodyOptimum::min_energy_p_lo(double n) const { return n / M0(); }
+
+double NBodyOptimum::min_energy_p_hi(double n) const {
+  const double m0 = M0();
+  return n * n / (m0 * m0);
+}
+
+double NBodyOptimum::min_time(double n, double p_available) const {
+  ALGE_REQUIRE(p_available >= 1.0, "need at least one processor");
+  const double M = n / std::sqrt(p_available);  // 2D limit
+  return closed::nbody_time(n, p_available, M, f_, mp_);
+}
+
+double NBodyOptimum::time_threshold_for_optimum() const {
+  const double m0 = M0();
+  return mp_.gamma_t * f_ * m0 * m0 + word_time(mp_) * m0;
+}
+
+double NBodyOptimum::p_min_for_time(double n, double Tmax) const {
+  ALGE_REQUIRE(Tmax > 0.0, "Tmax must be positive");
+  // 2D-limit runtime: T(p) = γt·f·n²/p + (βt+αt/m)·n/√p. Solve T = Tmax as
+  // a quadratic in x = √p (Section V-B).
+  const double bt = word_time(mp_);
+  const double x = bt * n / (2.0 * Tmax) +
+                   std::sqrt(bt * bt * n * n +
+                             4.0 * Tmax * mp_.gamma_t * f_ * n * n) /
+                       (2.0 * Tmax);
+  return x * x;
+}
+
+double NBodyOptimum::min_energy_given_time(double n, double Tmax) const {
+  if (Tmax >= time_threshold_for_optimum()) return min_energy(n);
+  const double p = p_min_for_time(n, Tmax);
+  return closed::nbody_energy(n, n / std::sqrt(p), f_, mp_);
+}
+
+double NBodyOptimum::max_p_given_energy(double n, double Emax) const {
+  // Section V-C: at the 2D limit M = n/√p,
+  //   E(M) = A·n² + B·n²/M + δe·γt·f·M·n²
+  // with A, B as in the paper. Solve for the largest p (smallest M).
+  const double A = f_ * (mp_.gamma_e + mp_.gamma_t * mp_.eps_e) +
+                   mp_.delta_e * word_time(mp_);
+  const double B = word_energy(mp_);
+  const double C = Emax - A * n * n;
+  const double disc = C * C - 4.0 * B * n * n * n * n * mp_.delta_e *
+                                  mp_.gamma_t * f_;
+  ALGE_REQUIRE(C > 0.0 && disc >= 0.0,
+               "energy budget Emax=%g is below the attainable minimum %g",
+               Emax, min_energy(n));
+  const double sqrt_p = (C + std::sqrt(disc)) / (2.0 * n * B);
+  return sqrt_p * sqrt_p;
+}
+
+double NBodyOptimum::min_time_given_energy(double n, double Emax) const {
+  const double p = max_p_given_energy(n, Emax);
+  return closed::nbody_time(n, p, n / std::sqrt(p), f_, mp_);
+}
+
+double NBodyOptimum::proc_power(double M) const {
+  ALGE_REQUIRE(M > 0.0, "memory must be positive");
+  const double m = mp_.max_msg_words;
+  const double e_rate = mp_.gamma_e * f_ + mp_.beta_e / M +
+                        mp_.alpha_e / (m * M);
+  const double t_rate = mp_.gamma_t * f_ + mp_.beta_t / M +
+                        mp_.alpha_t / (m * M);
+  ALGE_REQUIRE(t_rate > 0.0, "all time parameters are zero");
+  return e_rate / t_rate + mp_.delta_e * M + mp_.eps_e;
+}
+
+double NBodyOptimum::max_p_given_total_power(double P_total_max,
+                                             double M) const {
+  ALGE_REQUIRE(P_total_max > 0.0, "power budget must be positive");
+  return P_total_max / proc_power(M);  // Eq. (19)
+}
+
+double NBodyOptimum::max_M_given_proc_power(double P_proc_max) const {
+  ALGE_REQUIRE(P_proc_max > 0.0, "power budget must be positive");
+  // Corrected Eq. (20); see the header comment. Feasible set in M is the
+  // interval between the two roots of
+  //   δe·γt·f·M² − C·M + D ≤ 0.
+  const double bt = word_time(mp_);
+  const double be = mp_.beta_e + mp_.alpha_e / mp_.max_msg_words;
+  const double C = mp_.gamma_t * f_ * P_proc_max - mp_.gamma_e * f_ -
+                   mp_.eps_e * mp_.gamma_t * f_ - mp_.delta_e * bt;
+  const double D = be - (P_proc_max - mp_.eps_e) * bt;
+  const double a = mp_.delta_e * mp_.gamma_t * f_;
+  if (a == 0.0) {
+    // Memory is free in power terms: bound is vacuous when C > 0.
+    return C > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  const double disc = C * C - 4.0 * a * D;
+  if (disc < 0.0 || C <= 0.0) return 0.0;  // no feasible memory size
+  return (C + std::sqrt(disc)) / (2.0 * a);
+}
+
+double NBodyOptimum::flops_per_joule_at_optimum() const {
+  // f·n²/E*(n): E* is proportional to n², so this is scale-free (V-F).
+  const double n = 2.0;  // any n works; pick one that avoids over/underflow
+  return f_ * n * n / min_energy(n);
+}
+
+}  // namespace alge::core

@@ -1,0 +1,90 @@
+// Closed-form answers to the Section-V questions for the data-replicating
+// direct n-body algorithm — the paper works these out explicitly
+// (Sections V-A through V-F); matmul and Strassen go through the generic
+// Optimizer instead.
+//
+// Two places where the code follows the *derivation* rather than the
+// printed formula (the printed versions contain typos; see EXPERIMENTS.md):
+//   - Eq. (20)'s discriminant is C² − 4·δe·γt·f·D (the paper prints γe for
+//     δe), and D's εe term enters as −εe·(βt+αt/m) *added to* +Pmax·(βt+αt/m),
+//     i.e. D = βe + αe/m − (Pmax − εe)(βt + αt/m).
+// Both corrections are property-tested against direct evaluation of the
+// power expression.
+#pragma once
+
+#include "core/params.hpp"
+
+namespace alge::core {
+
+class NBodyOptimum {
+ public:
+  /// f = flops per pairwise interaction.
+  NBodyOptimum(double f, const MachineParams& mp);
+
+  double f() const { return f_; }
+
+  // --- V-A: minimizing energy or runtime ---
+
+  /// Energy-optimal memory M0 = sqrt((βe+βt·εe+(αe+αt·εe)/m)/(δe·γt·f)).
+  /// Independent of both n and p.
+  double M0() const;
+
+  /// Eq. (18): E*(n) = E_nbody(n, M0).
+  double min_energy(double n) const;
+
+  /// The p interval within which M0 is usable (and thus E* attainable):
+  /// n/M0 ≤ p ≤ n²/M0².
+  double min_energy_p_lo(double n) const;
+  double min_energy_p_hi(double n) const;
+
+  /// Minimum-runtime configuration for ≤ p_available processors: largest p,
+  /// M at the 2D limit n/√p. Returns the time.
+  double min_time(double n, double p_available) const;
+
+  // --- V-B: minimize energy given T ≤ Tmax ---
+
+  /// Threshold from the paper: if Tmax ≥ γt·f·M0² + (βt+αt/m)·M0 then the
+  /// global optimum E*(n) is attainable within the deadline.
+  double time_threshold_for_optimum() const;
+
+  /// Smallest p meeting the deadline (2D limit), from the quadratic in √p.
+  double p_min_for_time(double n, double Tmax) const;
+
+  /// Minimum energy subject to T ≤ Tmax (either E*, or the 2D run at
+  /// p_min_for_time).
+  double min_energy_given_time(double n, double Tmax) const;
+
+  // --- V-C: minimize time given E ≤ Emax ---
+
+  /// Largest p whose 2D run fits the energy budget (Section V-C closed
+  /// form). Throws invalid_argument_error when Emax < E*(n) — the paper
+  /// notes the expression "has an imaginary component" then.
+  double max_p_given_energy(double n, double Emax) const;
+
+  double min_time_given_energy(double n, double Emax) const;
+
+  // --- V-D / V-E: power bounds ---
+
+  /// Average power of one processor running with memory M (the
+  /// parenthesized factor of Eq. 19).
+  double proc_power(double M) const;
+
+  /// Eq. (19): largest p under a total average power budget, given M.
+  double max_p_given_total_power(double P_total_max, double M) const;
+
+  /// Eq. (20), corrected (see header comment): largest M a per-processor
+  /// power budget allows. Returns 0 when no M satisfies the bound.
+  double max_M_given_proc_power(double P_proc_max) const;
+
+  // --- V-F: fixed GFLOPS/W target ---
+
+  /// Flops-per-joule at the energy-optimal configuration: f·n²/E*(n),
+  /// independent of n, p and M. Multiply by 1e-9 for GFLOPS/W.
+  double flops_per_joule_at_optimum() const;
+
+ private:
+  double f_;
+  MachineParams mp_;
+};
+
+}  // namespace alge::core

@@ -1,0 +1,212 @@
+#include "core/opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace alge::core {
+
+namespace {
+constexpr int kRounds = 5;      // zoom iterations
+constexpr int kPSamples = 96;   // log-grid points in p per round
+constexpr int kMSamples = 64;   // log-grid points in M per round
+// Improvements smaller than this are treated as ties (and ties go to the
+// run with fewer processors): the energy objective is exactly flat in p
+// inside the strong-scaling region, so the argmin in p is otherwise grid
+// noise.
+constexpr double kImproveTol = 1.0 - 1e-9;
+
+/// Log-spaced samples including both endpoints.
+void log_grid(double lo, double hi, int count, std::vector<double>& out) {
+  out.clear();
+  if (lo > hi) return;
+  if (lo == hi || count <= 1) {
+    out.push_back(lo);
+    return;
+  }
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (int i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / (count - 1);
+    out.push_back(std::exp(llo + t * (lhi - llo)));
+  }
+}
+}  // namespace
+
+Optimizer::Optimizer(const AlgModel& model, double n, const MachineParams& mp)
+    : model_(model), n_(n), mp_(mp) {
+  ALGE_REQUIRE(n >= 1.0 && std::isfinite(n), "problem size n=%g invalid", n);
+  mp_.validate();
+}
+
+RunPoint Optimizer::evaluate(double p, double M) const {
+  RunPoint pt;
+  pt.p = p;
+  pt.M = M;
+  if (p < 1.0 || M <= 0.0) return pt;
+  if (M < model_.min_memory(n_, p) * (1.0 - 1e-12)) return pt;
+  pt.T = model_.time(n_, p, M, mp_);
+  pt.E = model_.energy(n_, p, M, mp_);
+  pt.feasible = std::isfinite(pt.T) && std::isfinite(pt.E);
+  return pt;
+}
+
+bool Optimizer::satisfies(const RunPoint& pt, const Constraint& con) const {
+  if (!pt.feasible) return false;
+  // A hair of slack so boundary-exact optima (e.g. T == Tmax) survive the
+  // discrete grid.
+  constexpr double kSlack = 1.0 + 1e-9;
+  if (con.t_max && pt.T > *con.t_max * kSlack) return false;
+  if (con.e_max && pt.E > *con.e_max * kSlack) return false;
+  if (con.total_power_max && pt.total_power() > *con.total_power_max * kSlack)
+    return false;
+  if (con.proc_power_max && pt.proc_power() > *con.proc_power_max * kSlack)
+    return false;
+  return true;
+}
+
+RunPoint Optimizer::search(Objective obj, const Constraint& con,
+                           const OptLimits& limits) const {
+  ALGE_REQUIRE(limits.p_available >= 1.0, "need at least one processor");
+  ALGE_REQUIRE(limits.M_cap > 0.0, "memory cap must be positive");
+
+  // Smallest p whose minimum footprint fits under the memory cap. All our
+  // models have min_memory monotone non-increasing in p, so bisect.
+  double p_lo = 1.0;
+  double p_hi = limits.p_available;
+  if (model_.min_memory(n_, p_hi) > limits.M_cap) {
+    return RunPoint{};  // does not fit even at full machine size
+  }
+  if (model_.min_memory(n_, p_lo) > limits.M_cap) {
+    double bad = p_lo;
+    double good = p_hi;
+    for (int i = 0; i < 200 && good / bad > 1.0 + 1e-12; ++i) {
+      const double mid = std::sqrt(bad * good);
+      (model_.min_memory(n_, mid) > limits.M_cap ? bad : good) = mid;
+    }
+    p_lo = good;
+  }
+
+  RunPoint best;
+  double obj_best = std::numeric_limits<double>::infinity();
+  double zoom_p_lo = p_lo;
+  double zoom_p_hi = p_hi;
+  std::vector<double> ps;
+  std::vector<double> ms;
+
+  for (int round = 0; round < kRounds; ++round) {
+    log_grid(zoom_p_lo, zoom_p_hi, kPSamples, ps);
+    RunPoint round_best;
+    double round_obj = std::numeric_limits<double>::infinity();
+    for (double p : ps) {
+      const double m_lo = model_.min_memory(n_, p);
+      const double m_hi =
+          std::min(limits.M_cap,
+                   std::max(m_lo, model_.max_useful_memory(n_, p)));
+      log_grid(m_lo, m_hi, kMSamples, ms);
+      for (double M : ms) {
+        const RunPoint pt = evaluate(p, M);
+        if (!satisfies(pt, con)) continue;
+        const double v = obj == Objective::kTime ? pt.T : pt.E;
+        // Accept strict improvements; on near-ties (the energy objective is
+        // exactly flat in p inside the scaling region) prefer fewer
+        // processors.
+        const bool better = v < round_obj * kImproveTol;
+        const bool tie = !better && round_best.feasible &&
+                         v <= round_obj * (1.0 + 1e-9) && pt.p < round_best.p;
+        if (better || tie) {
+          round_obj = std::min(v, round_obj);
+          round_best = pt;
+        }
+      }
+    }
+    if (!round_best.feasible) break;
+    const bool better = round_obj < obj_best * kImproveTol;
+    const bool tie = !better && best.feasible &&
+                     round_obj <= obj_best * (1.0 + 1e-9) &&
+                     round_best.p < best.p;
+    if (better || tie || !best.feasible) {
+      best = round_best;
+      obj_best = std::min(round_obj, obj_best);
+    }
+    // Zoom the p window around the incumbent (keep within the full range).
+    const double span = std::pow(zoom_p_hi / zoom_p_lo, 1.0 / 6.0);
+    zoom_p_lo = std::max(p_lo, best.p / span);
+    zoom_p_hi = std::min(p_hi, best.p * span);
+  }
+
+  if (best.feasible && obj == Objective::kEnergy) {
+    // Energy is flat in p across the strong-scaling region, so the zoom can
+    // converge on the right M at an arbitrary p within it. Slide left to
+    // the smallest p that can still hold M (min_memory is ∝ 1/p for every
+    // model here, so the boundary is p·min_memory(p)/M).
+    const double p_slide = std::clamp(
+        best.p * model_.min_memory(n_, best.p) / best.M, p_lo, best.p);
+    const RunPoint slid = evaluate(p_slide, best.M);
+    if (satisfies(slid, con) && slid.E <= best.E * (1.0 + 1e-9)) {
+      best = slid;
+    }
+  }
+  return best;
+}
+
+RunPoint Optimizer::minimize_energy(const OptLimits& limits) const {
+  return search(Objective::kEnergy, {}, limits);
+}
+
+RunPoint Optimizer::minimize_time(const OptLimits& limits) const {
+  return search(Objective::kTime, {}, limits);
+}
+
+RunPoint Optimizer::min_energy_given_time(double Tmax,
+                                          const OptLimits& limits) const {
+  ALGE_REQUIRE(Tmax > 0.0, "Tmax must be positive");
+  Constraint con;
+  con.t_max = Tmax;
+  return search(Objective::kEnergy, con, limits);
+}
+
+RunPoint Optimizer::min_time_given_energy(double Emax,
+                                          const OptLimits& limits) const {
+  ALGE_REQUIRE(Emax > 0.0, "Emax must be positive");
+  Constraint con;
+  con.e_max = Emax;
+  return search(Objective::kTime, con, limits);
+}
+
+RunPoint Optimizer::min_time_given_total_power(double Pmax,
+                                               const OptLimits& limits) const {
+  ALGE_REQUIRE(Pmax > 0.0, "Pmax must be positive");
+  Constraint con;
+  con.total_power_max = Pmax;
+  return search(Objective::kTime, con, limits);
+}
+
+RunPoint Optimizer::min_energy_given_total_power(
+    double Pmax, const OptLimits& limits) const {
+  ALGE_REQUIRE(Pmax > 0.0, "Pmax must be positive");
+  Constraint con;
+  con.total_power_max = Pmax;
+  return search(Objective::kEnergy, con, limits);
+}
+
+RunPoint Optimizer::min_time_given_proc_power(double Pmax,
+                                              const OptLimits& limits) const {
+  ALGE_REQUIRE(Pmax > 0.0, "Pmax must be positive");
+  Constraint con;
+  con.proc_power_max = Pmax;
+  return search(Objective::kTime, con, limits);
+}
+
+RunPoint Optimizer::min_energy_given_proc_power(
+    double Pmax, const OptLimits& limits) const {
+  ALGE_REQUIRE(Pmax > 0.0, "Pmax must be positive");
+  Constraint con;
+  con.proc_power_max = Pmax;
+  return search(Objective::kEnergy, con, limits);
+}
+
+}  // namespace alge::core

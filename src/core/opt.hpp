@@ -1,0 +1,90 @@
+// Generic numeric answers to the Section-V optimization questions, for ANY
+// AlgModel (the paper gives closed forms for the n-body problem and notes
+// that matmul/Strassen are "harder to obtain analytically" — this solver is
+// how we answer them anyway, and the closed forms in nbody_opt.hpp
+// cross-check it).
+//
+// The feasible set is the paper's Figure-4 region:
+//   1 ≤ p ≤ limits.p_available,
+//   min_memory(n,p) ≤ M ≤ min(limits.M_cap, physically held memory),
+// optionally intersected with a time / energy / power budget. The search is
+// a logarithmic grid over (p, M) with iterative zoom; objectives are smooth
+// and unimodal in M, so a few rounds give ~1e-6 relative accuracy.
+#pragma once
+
+#include <optional>
+
+#include "core/algmodel.hpp"
+
+namespace alge::core {
+
+struct OptLimits {
+  double p_available = 1e15;  ///< largest machine we may use
+  double M_cap = 1e18;        ///< physical memory per processor (words)
+};
+
+struct RunPoint {
+  bool feasible = false;
+  double p = 0.0;
+  double M = 0.0;
+  double T = 0.0;
+  double E = 0.0;
+  double total_power() const { return T > 0.0 ? E / T : 0.0; }
+  double proc_power() const { return p > 0.0 ? total_power() / p : 0.0; }
+};
+
+class Optimizer {
+ public:
+  Optimizer(const AlgModel& model, double n, const MachineParams& mp);
+
+  /// V-A: unconstrained minimum energy. Within the strong-scaling region E
+  /// is independent of p; the returned point uses the *smallest* p that
+  /// attains the optimum (ties broken toward fewer processors).
+  RunPoint minimize_energy(const OptLimits& limits = {}) const;
+
+  /// V-A: unconstrained minimum time (use every processor, all the memory
+  /// that helps).
+  RunPoint minimize_time(const OptLimits& limits = {}) const;
+
+  /// V-B: min energy subject to T ≤ Tmax.
+  RunPoint min_energy_given_time(double Tmax,
+                                 const OptLimits& limits = {}) const;
+
+  /// V-C: min time subject to E ≤ Emax.
+  RunPoint min_time_given_energy(double Emax,
+                                 const OptLimits& limits = {}) const;
+
+  /// V-D: min time / min energy subject to total average power E/T ≤ Pmax.
+  RunPoint min_time_given_total_power(double Pmax,
+                                      const OptLimits& limits = {}) const;
+  RunPoint min_energy_given_total_power(double Pmax,
+                                        const OptLimits& limits = {}) const;
+
+  /// V-E: min time / min energy subject to per-processor power ≤ Pmax.
+  RunPoint min_time_given_proc_power(double Pmax,
+                                     const OptLimits& limits = {}) const;
+  RunPoint min_energy_given_proc_power(double Pmax,
+                                       const OptLimits& limits = {}) const;
+
+  /// Evaluate one candidate (p, M); infeasible if M is out of range.
+  RunPoint evaluate(double p, double M) const;
+
+ private:
+  enum class Objective { kTime, kEnergy };
+  struct Constraint {
+    std::optional<double> t_max;
+    std::optional<double> e_max;
+    std::optional<double> total_power_max;
+    std::optional<double> proc_power_max;
+  };
+
+  RunPoint search(Objective obj, const Constraint& con,
+                  const OptLimits& limits) const;
+  bool satisfies(const RunPoint& pt, const Constraint& con) const;
+
+  const AlgModel& model_;
+  double n_;
+  MachineParams mp_;
+};
+
+}  // namespace alge::core

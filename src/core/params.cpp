@@ -1,0 +1,37 @@
+#include "core/params.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace alge::core {
+
+MachineParams MachineParams::unit() {
+  MachineParams p;
+  p.gamma_t = p.beta_t = p.alpha_t = 1.0;
+  p.gamma_e = p.beta_e = p.alpha_e = p.delta_e = p.eps_e = 1.0;
+  p.mem_words = 0.0;
+  p.max_msg_words = 1e18;
+  return p;
+}
+
+void MachineParams::validate() const {
+  auto ok = [](double x) { return std::isfinite(x) && x >= 0.0; };
+  ALGE_REQUIRE(ok(gamma_t) && ok(beta_t) && ok(alpha_t),
+               "time parameters must be finite and non-negative");
+  ALGE_REQUIRE(ok(gamma_e) && ok(beta_e) && ok(alpha_e) && ok(delta_e) &&
+                   ok(eps_e),
+               "energy parameters must be finite and non-negative");
+  ALGE_REQUIRE(max_msg_words >= 1.0, "max message size must be >= 1 word");
+  ALGE_REQUIRE(std::isfinite(mem_words), "mem_words must be finite");
+}
+
+std::string MachineParams::to_string() const {
+  return strfmt(
+      "gamma_t=%.4g beta_t=%.4g alpha_t=%.4g | gamma_e=%.4g beta_e=%.4g "
+      "alpha_e=%.4g delta_e=%.4g eps_e=%.4g | M=%.4g m=%.4g",
+      gamma_t, beta_t, alpha_t, gamma_e, beta_e, alpha_e, delta_e, eps_e,
+      mem_words, max_msg_words);
+}
+
+}  // namespace alge::core

@@ -1,0 +1,46 @@
+// Machine parameters of the paper's abstract distributed machine
+// (Section II). These seed both the analytic model (src/core) and the
+// executable simulator (src/sim).
+//
+//   T = γt·F + βt·W + αt·S                         (Eq. 1)
+//   E = p·(γe·F + βe·W + αe·S + δe·M·T + εe·T)     (Eq. 2)
+#pragma once
+
+#include <string>
+
+namespace alge::core {
+
+struct MachineParams {
+  // --- time ---
+  double gamma_t = 1.0;  ///< seconds per flop
+  double beta_t = 1.0;   ///< seconds per word (reciprocal link bandwidth)
+  double alpha_t = 1.0;  ///< seconds per message (link latency)
+
+  // --- energy ---
+  double gamma_e = 1.0;  ///< joules per flop
+  double beta_e = 1.0;   ///< joules per word transferred
+  double alpha_e = 1.0;  ///< joules per message
+  double delta_e = 1.0;  ///< joules per stored word per second
+  double eps_e = 1.0;    ///< joules per second leaked per processor
+
+  // --- capacities ---
+  /// M: memory available per processor, in words. <= 0 means unlimited
+  /// (the simulator then skips out-of-memory enforcement and the model must
+  /// be given an explicit M).
+  double mem_words = 0.0;
+  /// m: maximum message size in words (sends longer than this are split).
+  double max_msg_words = 1e18;
+
+  /// All-ones parameters: with these, simulated time equals F + W + S and
+  /// each energy term equals the corresponding raw count, which makes unit
+  /// tests of the counters direct.
+  static MachineParams unit();
+
+  /// Throws invalid_argument_error unless every parameter is finite,
+  /// non-negative, and max_msg_words >= 1.
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace alge::core

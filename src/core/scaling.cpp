@@ -1,0 +1,42 @@
+#include "core/scaling.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace alge::core {
+
+std::vector<ScalingPoint> strong_scaling_series(const AlgModel& model,
+                                                double n, double M,
+                                                const MachineParams& mp,
+                                                double overshoot,
+                                                int samples) {
+  ALGE_REQUIRE(overshoot >= 1.0, "overshoot must be >= 1");
+  ALGE_REQUIRE(samples >= 2, "need at least two samples");
+  const double p_lo = model.p_min(n, M);
+  const double p_hi =
+      std::max(p_lo * overshoot, model.p_max(n, M) * overshoot);
+  std::vector<ScalingPoint> out;
+  out.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / (samples - 1);
+    const double p = std::exp(std::log(p_lo) + t * (std::log(p_hi) -
+                                                    std::log(p_lo)));
+    // The machine offers M words/processor; the algorithm can only exploit
+    // up to max_useful_memory of them.
+    const double M_use = std::min(M, model.max_useful_memory(n, p));
+    const Costs c = model.costs(n, p, M_use, mp.max_msg_words);
+    ScalingPoint pt;
+    pt.p = p;
+    pt.W = c.W;
+    pt.W_times_p = c.W * p;
+    pt.S = c.S;
+    pt.T = time_of(c, mp);
+    pt.E = energy_of(c, p, M_use, pt.T, mp);
+    pt.in_scaling_range = model.in_strong_scaling_range(n, p, M);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace alge::core

@@ -1,0 +1,34 @@
+// Strong-scaling analysis series (Figure 3 of the paper): for a fixed
+// problem size n and fixed per-processor memory M, sweep p and record the
+// per-processor bandwidth cost W times p. Inside the perfect-strong-scaling
+// region W·p is constant; past p_max the algorithm cannot use the memory and
+// W·p grows as p^(1/3) (classical) / p^(1-2/ω0)·p^(2/ω0)... — the exact
+// exponents come out of the models automatically.
+#pragma once
+
+#include <vector>
+
+#include "core/algmodel.hpp"
+
+namespace alge::core {
+
+struct ScalingPoint {
+  double p = 0.0;
+  double W = 0.0;           ///< per-processor words
+  double W_times_p = 0.0;   ///< the Figure-3 y-axis
+  double S = 0.0;           ///< per-processor messages
+  double T = 0.0;           ///< modeled runtime
+  double E = 0.0;           ///< modeled energy
+  bool in_scaling_range = false;
+};
+
+/// Sweep p log-spaced from p_min(n, M) to overshoot·p_max(n, M). Each point
+/// uses per-processor memory min(M, max_useful_memory(n, p)) — i.e. a
+/// machine with M words per processor running the best algorithm for that p.
+std::vector<ScalingPoint> strong_scaling_series(const AlgModel& model,
+                                                double n, double M,
+                                                const MachineParams& mp,
+                                                double overshoot = 8.0,
+                                                int samples = 33);
+
+}  // namespace alge::core

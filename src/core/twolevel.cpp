@@ -1,0 +1,87 @@
+#include "core/twolevel.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace alge::core {
+
+void TwoLevelParams::validate() const {
+  auto ok = [](double x) { return std::isfinite(x) && x >= 0.0; };
+  ALGE_REQUIRE(p_nodes >= 1.0 && p_cores >= 1.0,
+               "node/core counts must be >= 1");
+  ALGE_REQUIRE(mem_node > 0.0 && mem_core > 0.0,
+               "memory sizes must be positive");
+  ALGE_REQUIRE(ok(gamma_t) && ok(beta_t_node) && ok(beta_t_core) &&
+                   ok(alpha_t_node) && ok(alpha_t_core),
+               "time parameters must be finite and non-negative");
+  ALGE_REQUIRE(ok(gamma_e) && ok(beta_e_node) && ok(beta_e_core) &&
+                   ok(alpha_e_node) && ok(alpha_e_core) &&
+                   ok(delta_e_node) && ok(delta_e_core) && ok(eps_e),
+               "energy parameters must be finite and non-negative");
+  ALGE_REQUIRE(msg_node >= 1.0 && msg_core >= 1.0,
+               "message caps must be >= 1 word");
+}
+
+double twolevel_mm_time(double n, const TwoLevelParams& tp) {
+  tp.validate();
+  const double n3 = n * n * n;
+  const double p = tp.p_total();
+  return tp.gamma_t * n3 / p +
+         tp.beta_t_node_eff() * n3 / (tp.p_nodes * std::sqrt(tp.mem_node)) +
+         tp.beta_t_core_eff() * n3 / (p * std::sqrt(tp.mem_core));
+}
+
+double twolevel_mm_energy(double n, const TwoLevelParams& tp) {
+  tp.validate();
+  const double n3 = n * n * n;
+  const double pl = tp.p_cores;
+  const double rMn = std::sqrt(tp.mem_node);
+  const double rMl = std::sqrt(tp.mem_core);
+  const double bn_t = tp.beta_t_node_eff();
+  const double bl_t = tp.beta_t_core_eff();
+  const double bn_e = tp.beta_e_node_eff();
+  const double bl_e = tp.beta_e_core_eff();
+  // Memory held per core: its share of the node memory plus its local store.
+  const double mem_per_core = tp.delta_e_node * tp.mem_node / pl +
+                              tp.delta_e_core * tp.mem_core;
+  return n3 * (tp.gamma_e + tp.gamma_t * tp.eps_e +
+               (bn_e + bn_t * tp.eps_e) / (pl * rMn) +
+               (bl_e + bl_t * tp.eps_e) / rMl + tp.gamma_t * mem_per_core +
+               mem_per_core * (bn_t * pl / rMn + bl_t / rMl));
+}
+
+double twolevel_nbody_time(double n, double f, const TwoLevelParams& tp) {
+  tp.validate();
+  ALGE_REQUIRE(f > 0.0, "flops per interaction must be positive");
+  const double n2 = n * n;
+  const double p = tp.p_total();
+  return tp.gamma_t * f * n2 / p +
+         tp.beta_t_node_eff() * n2 / (tp.mem_node * tp.p_nodes) +
+         tp.beta_t_core_eff() * n2 / (tp.mem_core * p);
+}
+
+double twolevel_nbody_energy(double n, double f, const TwoLevelParams& tp) {
+  tp.validate();
+  ALGE_REQUIRE(f > 0.0, "flops per interaction must be positive");
+  const double n2 = n * n;
+  const double pl = tp.p_cores;
+  const double Mn = tp.mem_node;
+  const double Ml = tp.mem_core;
+  const double bn_t = tp.beta_t_node_eff();
+  const double bl_t = tp.beta_t_core_eff();
+  const double bn_e = tp.beta_e_node_eff();
+  const double bl_e = tp.beta_e_core_eff();
+  const double dn = tp.delta_e_node;
+  const double dl = tp.delta_e_core;
+  // Eq. (17); grouped exactly as in the paper (constant bracket, 1/Mn and
+  // 1/Ml brackets, then the four memory-rate cross terms).
+  return n2 * ((f * tp.gamma_e + f * tp.gamma_t * tp.eps_e + dn * bn_t +
+                dl * bl_t) +
+               (pl * bn_e + tp.eps_e * pl * bn_t) / Mn +
+               (bl_e + tp.eps_e * bl_t) / Ml +
+               dn * f * tp.gamma_t * Mn / pl + dl * f * tp.gamma_t * Ml +
+               dn * bl_t * Mn / (pl * Ml) + dl * pl * bn_t * Ml / Mn);
+}
+
+}  // namespace alge::core

@@ -1,0 +1,204 @@
+#include "fiber/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <exception>
+#include <utility>
+
+#include "support/common.hpp"
+
+namespace alge::fiber {
+
+namespace {
+thread_local Scheduler* g_active = nullptr;
+}  // namespace
+
+struct Scheduler::Impl {
+  ucontext_t main_ctx{};
+};
+
+struct Scheduler::Fiber {
+  enum class State { Ready, Blocked, Done };
+
+  explicit Fiber(std::function<void()> f, std::size_t stack_bytes)
+      : fn(std::move(f)), stack(stack_bytes) {}
+
+  std::function<void()> fn;
+  std::vector<char> stack;
+  ucontext_t ctx{};
+  State state = State::Ready;
+  bool started = false;
+  bool cancel_requested = false;
+  std::string block_reason;
+  std::exception_ptr exception;
+};
+
+Scheduler::Scheduler() : impl_(std::make_unique<Impl>()) {}
+
+Scheduler::~Scheduler() {
+  // If fibers are still live (run() threw, or was never called), unwind
+  // their stacks so RAII objects on them are destroyed.
+  if (live_ > 0) {
+    try {
+      cancel_all_live();
+    } catch (...) {
+      // Destructors must not throw; swallow any secondary failure.
+    }
+  }
+}
+
+Scheduler* Scheduler::active() { return g_active; }
+
+Scheduler::FiberId Scheduler::spawn(std::function<void()> fn,
+                                    std::size_t stack_bytes) {
+  ALGE_REQUIRE(fn != nullptr, "fiber function must be callable");
+  ALGE_REQUIRE(stack_bytes >= 16 * 1024, "stack of %zu bytes is too small",
+               stack_bytes);
+  fibers_.push_back(std::make_unique<Fiber>(std::move(fn), stack_bytes));
+  ++live_;
+  return static_cast<FiberId>(fibers_.size()) - 1;
+}
+
+void Scheduler::trampoline() {
+  Scheduler* sched = g_active;
+  Fiber& self = *sched->fibers_[static_cast<std::size_t>(sched->current_)];
+  try {
+    self.fn();
+  } catch (const FiberCancelled&) {
+    // Normal teardown path; not an error.
+  } catch (...) {
+    self.exception = std::current_exception();
+  }
+  self.state = Fiber::State::Done;
+  --sched->live_;
+  // Jump back to the scheduler; this fiber never resumes.
+  swapcontext(&self.ctx, &sched->impl_->main_ctx);
+  ALGE_CHECK(false, "resumed a finished fiber");
+  std::abort();
+}
+
+void Scheduler::run() {
+  ALGE_REQUIRE(!running_, "Scheduler::run() is not reentrant");
+  running_ = true;
+  Scheduler* prev_active = g_active;
+  g_active = this;
+  std::exception_ptr failure;
+
+  std::size_t cursor = 0;
+  while (live_ > 0) {
+    // Round-robin scan for the next ready fiber. (volatile: the value is
+    // read after swapcontext, which the compiler models like setjmp.)
+    volatile bool found = false;
+    for (std::size_t i = 0; i < fibers_.size(); ++i) {
+      const std::size_t idx = (cursor + i) % fibers_.size();
+      Fiber& f = *fibers_[idx];
+      if (f.state != Fiber::State::Ready) continue;
+      found = true;
+      cursor = (idx + 1) % fibers_.size();
+      current_ = static_cast<FiberId>(idx);
+      if (!f.started) {
+        f.started = true;
+        getcontext(&f.ctx);
+        f.ctx.uc_stack.ss_sp = f.stack.data();
+        f.ctx.uc_stack.ss_size = f.stack.size();
+        f.ctx.uc_link = nullptr;
+        makecontext(&f.ctx, reinterpret_cast<void (*)()>(&trampoline), 0);
+      }
+      swapcontext(&impl_->main_ctx, &f.ctx);
+      current_ = -1;
+      if (f.exception && !failure) {
+        failure = f.exception;
+        f.exception = nullptr;
+      }
+      if (failure) break;
+      break;  // Re-scan from cursor so newly unblocked fibers are seen.
+    }
+    if (failure) break;
+    if (!found && live_ > 0) {
+      // Every live fiber is blocked: deadlock.
+      std::string msg = "deadlock: all live fibers blocked:";
+      for (std::size_t i = 0; i < fibers_.size(); ++i) {
+        const Fiber& f = *fibers_[i];
+        if (f.state == Fiber::State::Blocked) {
+          msg += strfmt("\n  fiber %zu: %s", i, f.block_reason.c_str());
+        }
+      }
+      failure = std::make_exception_ptr(DeadlockError(msg));
+      break;
+    }
+  }
+
+  if (failure) {
+    try {
+      cancel_all_live();
+    } catch (...) {
+      // Keep the primary failure.
+    }
+  }
+  g_active = prev_active;
+  running_ = false;
+  if (failure) std::rethrow_exception(failure);
+}
+
+void Scheduler::cancel_all_live() {
+  // Resume every live fiber with the cancel flag set; its next (or current)
+  // suspension point throws FiberCancelled, unwinding the fiber stack.
+  for (std::size_t i = 0; i < fibers_.size() && live_ > 0; ++i) {
+    Fiber& f = *fibers_[i];
+    if (f.state == Fiber::State::Done) continue;
+    f.cancel_requested = true;
+    if (!f.started) {
+      // Never ran: nothing on its stack; just retire it.
+      f.state = Fiber::State::Done;
+      --live_;
+      continue;
+    }
+    Scheduler* prev_active = g_active;
+    g_active = this;
+    f.state = Fiber::State::Ready;
+    current_ = static_cast<FiberId>(i);
+    swapcontext(&impl_->main_ctx, &f.ctx);
+    current_ = -1;
+    g_active = prev_active;
+    ALGE_CHECK(f.state == Fiber::State::Done,
+               "cancelled fiber %zu suspended again", i);
+  }
+}
+
+void Scheduler::check_cancel() const {
+  const Fiber& f = *fibers_[static_cast<std::size_t>(current_)];
+  if (f.cancel_requested) throw FiberCancelled();
+}
+
+void Scheduler::switch_to_scheduler() {
+  Fiber& f = *fibers_[static_cast<std::size_t>(current_)];
+  swapcontext(&f.ctx, &impl_->main_ctx);
+  // Resumed: if the scheduler wants us dead, unwind now.
+  check_cancel();
+}
+
+void Scheduler::yield() {
+  ALGE_REQUIRE(current_ >= 0, "yield() outside a fiber");
+  check_cancel();
+  switch_to_scheduler();
+}
+
+void Scheduler::block(std::string reason) {
+  ALGE_REQUIRE(current_ >= 0, "block() outside a fiber");
+  check_cancel();
+  Fiber& f = *fibers_[static_cast<std::size_t>(current_)];
+  f.state = Fiber::State::Blocked;
+  f.block_reason = std::move(reason);
+  switch_to_scheduler();
+}
+
+void Scheduler::unblock(FiberId id) {
+  ALGE_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < fibers_.size(),
+               "unblock(%d): no such fiber", id);
+  Fiber& f = *fibers_[static_cast<std::size_t>(id)];
+  ALGE_REQUIRE(f.state != Fiber::State::Done, "unblock(%d): fiber finished",
+               id);
+  f.state = Fiber::State::Ready;
+}
+
+}  // namespace alge::fiber

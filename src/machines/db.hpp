@@ -1,0 +1,82 @@
+// Machine parameter database: the dual-socket Sandy Bridge "Jaketown" case
+// study of Section VI (Table I) and the processor survey of Table II.
+//
+// Table II's derived columns (peak FP, γt, γe, GFLOPS/W) are *computed* from
+// the datasheet fields here and unit-tested against the values printed in
+// the paper, which documents the derivation the authors used:
+//   peak = freq · cores · simd · issue_factor   (+ the on-package GPU part
+//          for the Ivy Bridge rows),
+//   γt = 1 / peak, γe = TDP / peak, GFLOPS/W = peak / TDP.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/twolevel.hpp"
+
+namespace alge::machines {
+
+/// One row of Table II.
+struct ProcessorSpec {
+  std::string name;
+  double freq_ghz = 0.0;
+  int cores = 0;
+  int simd_width = 0;           ///< single-precision SIMD lanes
+  double issue_factor = 2.0;    ///< flops per lane per cycle (FMA/dual-issue)
+  double tdp_watts = 0.0;
+  // Optional on-package GPU (the Ivy Bridge rows fold its throughput in).
+  double gpu_freq_ghz = 0.0;
+  int gpu_cores = 0;
+  int gpu_simd = 0;
+  double gpu_issue_factor = 1.0;
+
+  double peak_gflops() const;
+  double gamma_t() const;          ///< s/flop = 1e-9 / peak_gflops
+  double gamma_e() const;          ///< J/flop = TDP / (peak · 1e9)
+  double gflops_per_watt() const;  ///< peak / TDP
+};
+
+/// The 11 processors of Table II, in paper order.
+const std::vector<ProcessorSpec>& table2_processors();
+
+/// Section VI case study: dual-socket Intel Sandy Bridge 2687W (Jaketown).
+struct CaseStudyMachine {
+  // Datasheet fields (Table I, upper half).
+  double core_freq_ghz = 3.1;
+  int simd_width = 8;
+  int data_width_bytes = 4;
+  int cores_per_node = 8;
+  double peak_gflops = 396.8;
+  double M_words = 17179869184.0;  ///< memory per socket, 4-byte words
+  double m_words = 17179869184.0;  ///< max message size
+  double chip_tdp_watts = 150.0;
+  double link_gbytes_per_s = 25.6;  ///< QPI; the paper's "Gb/s" is GB/s
+  double link_latency_s = 6.0e-8;
+  double link_active_power_w = 2.15;
+  double link_idle_power_w = 0.0;
+  int dimms_per_socket = 8;
+  double dimm_power_w = 3.1;
+  int sockets = 2;  ///< "processors" in the case study (p = 2)
+
+  /// The paper's published model parameters (Table I, lower half). These
+  /// are what Figures 6 and 7 are computed from.
+  core::MachineParams params() const;
+
+  // Re-derivations from the datasheet fields, for the accuracy-evaluation
+  // table (EXPERIMENTS.md discusses where they differ from the published
+  // values).
+  double derived_gamma_t() const;  ///< 1 / peak
+  double derived_gamma_e() const;  ///< TDP / peak
+  double derived_beta_t() const;   ///< word_bytes / link bandwidth
+  double derived_beta_e() const;   ///< βt · link active power
+  double derived_delta_e() const;  ///< DIMM power per socket / (M/4) — the
+                                   ///< divisor reproduces the published value
+
+  /// Two-level view of the same machine (Fig. 2): 2 nodes (sockets) of 8
+  /// cores; QPI is the inter-node link, the shared L3/ring the intra-node
+  /// one (intra-node costs approximated as free next to QPI).
+  core::TwoLevelParams two_level() const;
+};
+
+}  // namespace alge::machines

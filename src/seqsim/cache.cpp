@@ -1,0 +1,242 @@
+#include "seqsim/cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algs/lu/local.hpp"
+#include "algs/matmul/local.hpp"
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace alge::seqsim {
+
+LruCache::LruCache(std::size_t capacity_words) : capacity_(capacity_words) {
+  ALGE_REQUIRE(capacity_words >= 1, "cache needs at least one word");
+}
+
+void LruCache::touch(std::size_t addr, bool dirty) {
+  ++accesses_;
+  auto it = map_.find(addr);
+  if (it != map_.end()) {
+    // Hit: move to front, possibly upgrading to dirty.
+    it->second->dirty = it->second->dirty || dirty;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++misses_;
+  if (map_.size() == capacity_) {
+    const Entry& victim = lru_.back();
+    if (victim.dirty) ++writebacks_;
+    map_.erase(victim.addr);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{addr, dirty});
+  map_[addr] = lru_.begin();
+}
+
+void LruCache::read(std::size_t addr) { touch(addr, false); }
+
+void LruCache::write(std::size_t addr) { touch(addr, true); }
+
+std::size_t LruCache::traffic_with_flush() const {
+  std::size_t dirty = 0;
+  for (const Entry& e : lru_) dirty += e.dirty ? 1 : 0;
+  return misses_ + writebacks_ + dirty;
+}
+
+double LruCache::hit_rate() const {
+  return accesses_ == 0
+             ? 0.0
+             : 1.0 - static_cast<double>(misses_) /
+                         static_cast<double>(accesses_);
+}
+
+namespace {
+/// Shared state for the traced kernels: real data plus address mapping
+/// A -> [0, n²), B -> [n², 2n²), C -> [2n², 3n²).
+struct TracedProduct {
+  TracedProduct(int n_, std::size_t fast_words)
+      : n(n_), cache(fast_words) {
+    ALGE_REQUIRE(n >= 1, "matrix size must be positive");
+    Rng rng(2024);
+    a = algs::random_matrix(n, n, rng);
+    b = algs::random_matrix(n, n, rng);
+    c.assign(a.size(), 0.0);
+  }
+
+  double read_a(int i, int k) {
+    cache.read(static_cast<std::size_t>(i) * n + k);
+    return a[static_cast<std::size_t>(i) * n + k];
+  }
+  double read_b(int k, int j) {
+    const std::size_t n2 = a.size();
+    cache.read(n2 + static_cast<std::size_t>(k) * n + j);
+    return b[static_cast<std::size_t>(k) * n + j];
+  }
+  void update_c(int i, int j, double delta) {
+    const std::size_t n2 = a.size();
+    const std::size_t addr = 2 * n2 + static_cast<std::size_t>(i) * n + j;
+    cache.read(addr);
+    cache.write(addr);
+    c[static_cast<std::size_t>(i) * n + j] += delta;
+  }
+
+  SeqRun finish() {
+    SeqRun run;
+    run.flops = algs::matmul_flops(n, n, n);
+    run.words_moved = cache.traffic_with_flush();
+    run.accesses = cache.accesses();
+    std::vector<double> ref(a.size(), 0.0);
+    algs::matmul_add(a.data(), b.data(), ref.data(), n, n, n);
+    run.max_abs_error = algs::max_abs_diff(c, ref);
+    return run;
+  }
+
+  int n;
+  LruCache cache;
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> c;
+};
+}  // namespace
+
+SeqRun traced_matmul_naive(int n, std::size_t fast_words) {
+  TracedProduct t(n, fast_words);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        t.update_c(i, j, t.read_a(i, k) * t.read_b(k, j));
+      }
+    }
+  }
+  return t.finish();
+}
+
+SeqRun traced_matmul_blocked(int n, int block, std::size_t fast_words) {
+  ALGE_REQUIRE(block >= 1, "block must be positive");
+  TracedProduct t(n, fast_words);
+  for (int i0 = 0; i0 < n; i0 += block) {
+    const int i1 = std::min(n, i0 + block);
+    for (int j0 = 0; j0 < n; j0 += block) {
+      const int j1 = std::min(n, j0 + block);
+      for (int k0 = 0; k0 < n; k0 += block) {
+        const int k1 = std::min(n, k0 + block);
+        for (int i = i0; i < i1; ++i) {
+          for (int j = j0; j < j1; ++j) {
+            double acc = 0.0;
+            for (int k = k0; k < k1; ++k) {
+              acc += t.read_a(i, k) * t.read_b(k, j);
+            }
+            t.update_c(i, j, acc);
+          }
+        }
+      }
+    }
+  }
+  return t.finish();
+}
+
+int optimal_block(std::size_t fast_words) {
+  const int b = static_cast<int>(
+      std::floor(std::sqrt(static_cast<double>(fast_words) / 3.0)));
+  return std::max(1, b);
+}
+
+namespace {
+/// Traced in-place LU state: one n×n matrix at address base 0.
+struct TracedLu {
+  TracedLu(int n_, std::size_t fast_words) : n(n_), cache(fast_words) {
+    ALGE_REQUIRE(n >= 1, "matrix size must be positive");
+    Rng rng(4096);
+    a = algs::random_matrix(n, n, rng);
+    for (int i = 0; i < n; ++i) {
+      a[static_cast<std::size_t>(i) * n + i] += static_cast<double>(n);
+    }
+    reference = a;
+  }
+
+  double get(int i, int j) {
+    cache.read(static_cast<std::size_t>(i) * n + j);
+    return a[static_cast<std::size_t>(i) * n + j];
+  }
+  void put(int i, int j, double v) {
+    cache.write(static_cast<std::size_t>(i) * n + j);
+    a[static_cast<std::size_t>(i) * n + j] = v;
+  }
+
+  /// Eliminate column k of rows (i0..i1) against columns (j0..j1):
+  /// A[i][k] /= A[k][k] (when j0 <= k), then A[i][j] -= A[i][k]·A[k][j].
+  void eliminate(int k, int i0, int i1, int j0, int j1, bool form_l) {
+    for (int i = i0; i < i1; ++i) {
+      double lik;
+      if (form_l) {
+        lik = get(i, k) / get(k, k);
+        put(i, k, lik);
+        flops += 1.0;
+      } else {
+        lik = get(i, k);
+      }
+      for (int j = std::max(j0, k + 1); j < j1; ++j) {
+        const double v = get(i, j) - lik * get(k, j);
+        put(i, j, v);
+        flops += 2.0;
+      }
+    }
+  }
+
+  SeqRun finish() {
+    SeqRun run;
+    run.flops = flops;
+    run.words_moved = cache.traffic_with_flush();
+    run.accesses = cache.accesses();
+    auto ref = reference;
+    algs::lu_factor_inplace(ref, n);
+    run.max_abs_error = algs::max_abs_diff(a, ref);
+    return run;
+  }
+
+  int n;
+  LruCache cache;
+  double flops = 0.0;
+  std::vector<double> a;
+  std::vector<double> reference;
+};
+}  // namespace
+
+SeqRun traced_lu_naive(int n, std::size_t fast_words) {
+  TracedLu t(n, fast_words);
+  for (int k = 0; k < n; ++k) {
+    t.eliminate(k, k + 1, n, k + 1, n, /*form_l=*/true);
+  }
+  return t.finish();
+}
+
+SeqRun traced_lu_blocked(int n, int block, std::size_t fast_words) {
+  ALGE_REQUIRE(block >= 1, "block must be positive");
+  TracedLu t(n, fast_words);
+  for (int k0 = 0; k0 < n; k0 += block) {
+    const int k1 = std::min(n, k0 + block);
+    // Panel factorization: columns k0..k1 over all rows below.
+    for (int k = k0; k < k1; ++k) {
+      t.eliminate(k, k + 1, n, k + 1, k1, /*form_l=*/true);
+    }
+    // Row panel (U block row): apply the same eliminations to columns
+    // right of the panel, tile by tile.
+    for (int j0 = k1; j0 < n; j0 += block) {
+      const int j1 = std::min(n, j0 + block);
+      for (int k = k0; k < k1; ++k) {
+        t.eliminate(k, k + 1, k1, j0, j1, /*form_l=*/false);
+      }
+      // Trailing tiles below, reusing the resident U tile.
+      for (int i0 = k1; i0 < n; i0 += block) {
+        const int i1 = std::min(n, i0 + block);
+        for (int k = k0; k < k1; ++k) {
+          t.eliminate(k, i0, i1, j0, j1, /*form_l=*/false);
+        }
+      }
+    }
+  }
+  return t.finish();
+}
+
+}  // namespace alge::seqsim

@@ -1,0 +1,87 @@
+// The paper's *sequential* machine (Fig. 1(a)): a fast memory of M words in
+// front of a slow memory, with W counting the words moved between them —
+// the setting of the Hong–Kung / Irony–Toledo–Tiskin bounds (Eqs. 3–4).
+//
+// LruCache simulates a fully associative, write-back, LRU fast memory over
+// a flat word-addressed space. The traced kernels run the real computation
+// (results are verified) while pushing every operand access through the
+// cache, so the measured miss/write-back traffic is the W of Eq. (3) for
+// the actual access pattern — and the blocked variant demonstrates the
+// paper's theme at the sequential level: using all of fast memory brings
+// W down to the Θ(n³/√M) floor, which no schedule can beat.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace alge::seqsim {
+
+/// Fully associative LRU cache with write-back accounting. Addresses are
+/// word indices into a flat slow memory.
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity_words);
+
+  /// Read access: counts a miss (one word loaded) if absent.
+  void read(std::size_t addr);
+  /// Write access: like read, but marks the resident word dirty; evicting
+  /// a dirty word later counts one write-back.
+  void write(std::size_t addr);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t accesses() const { return accesses_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t writebacks() const { return writebacks_; }
+  std::size_t resident() const { return map_.size(); }
+  /// Words moved between fast and slow memory: loads + write-backs,
+  /// including the final flush of dirty contents.
+  std::size_t traffic_with_flush() const;
+
+  double hit_rate() const;
+
+ private:
+  struct Entry {
+    std::size_t addr;
+    bool dirty;
+  };
+  void touch(std::size_t addr, bool dirty);
+
+  std::size_t capacity_;
+  std::size_t accesses_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t writebacks_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::size_t, std::list<Entry>::iterator> map_;
+};
+
+/// Cost report of a traced sequential kernel.
+struct SeqRun {
+  double flops = 0.0;
+  std::size_t words_moved = 0;  ///< W: loads + write-backs (with flush)
+  std::size_t accesses = 0;
+  double max_abs_error = 0.0;   ///< result vs untraced reference
+};
+
+/// C = A·B (n×n, row-major) with the naive i-j-k loop order, every element
+/// access passed through a fast memory of `fast_words`.
+SeqRun traced_matmul_naive(int n, std::size_t fast_words);
+
+/// Same product, blocked with tile edge `block` (choose ~sqrt(fast/3) to
+/// fit three tiles). The paper's communication-optimal sequential schedule.
+SeqRun traced_matmul_blocked(int n, int block, std::size_t fast_words);
+
+/// Largest tile edge such that three tiles fit in `fast_words`.
+int optimal_block(std::size_t fast_words);
+
+/// In-place LU without pivoting (diagonally dominant input), every element
+/// access traced: the classical right-looking element order.
+SeqRun traced_lu_naive(int n, std::size_t fast_words);
+
+/// Same factorization tiled with edge `block` (panel factor, panel solves,
+/// tile-by-tile trailing update) — the schedule that brings LU's traffic to
+/// the same Θ(n³/√M) floor (Section III covers LU alongside matmul).
+SeqRun traced_lu_blocked(int n, int block, std::size_t fast_words);
+
+}  // namespace alge::seqsim

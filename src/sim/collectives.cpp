@@ -1,0 +1,364 @@
+// Collective operations built from point-to-point messages, so their word
+// and message counts are exactly what a real implementation would pay:
+//
+//   bcast / reduce_sum : binomial tree, S = ceil(log2 g) on the critical
+//                        path, W = k per tree edge.
+//   allreduce_sum      : reduce to index 0 + bcast.
+//   allgather          : ring, S = g-1, W = (g-1)·k per rank.
+//   alltoall           : direct pairwise exchange, S = g-1, W = (g-1)·k.
+//   alltoall_bruck     : Bruck, S = ceil(log2 g), W ≈ (k·g/2)·log2 g.
+//   gather / scatter   : direct fan-in/fan-out at the root.
+//   barrier            : 0-word reduce + bcast.
+//
+// Reduction arithmetic is charged as real flops through compute(), so a
+// simulated reduce also contributes to F.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+namespace {
+// Tags for the internal collective traffic; disjoint from user tags and from
+// one another so interleaved collectives on different groups cannot collide
+// with user messages.
+enum CollOp : int {
+  kBarrier = 0,
+  kBcast,
+  kReduce,
+  kAllgather,
+  kAlltoall,
+  kBruck,
+  kGather,
+  kScatter,
+  kBcastRing,
+  kAllreduceDoubling,
+};
+}  // namespace
+
+void Comm::barrier() { barrier(Group::world(size())); }
+
+void Comm::barrier(const Group& g) {
+  const int idx = g.index_of(rank_);
+  ALGE_REQUIRE(idx >= 0, "rank %d not in barrier group", rank_);
+  const int n = g.size();
+  const int tag = kCollTag + kBarrier;
+  // Binomial fan-in to index 0, then binomial fan-out; empty payloads.
+  std::span<double> none;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (idx & mask) {
+      send(g.world_rank(idx - mask), none, tag);
+      break;
+    }
+    if (idx + mask < n) recv(g.world_rank(idx + mask), none, tag);
+  }
+  int mask = 1;
+  while (mask < n) {
+    if (idx & mask) {
+      recv(g.world_rank(idx - mask), none, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (idx + mask < n && !(idx & (mask - 1))) {
+      send(g.world_rank(idx + mask), none, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::bcast(std::span<double> data, int root, const Group& g) {
+  const int idx = g.index_of(rank_);
+  ALGE_REQUIRE(idx >= 0, "rank %d not in bcast group", rank_);
+  ALGE_REQUIRE(root >= 0 && root < g.size(), "bcast root %d out of range",
+               root);
+  const int n = g.size();
+  const int tag = kCollTag + kBcast;
+  const int vr = (idx - root + n) % n;
+  auto world_of = [&](int rel) { return g.world_rank((rel + root) % n); };
+
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      recv(world_of(vr - mask), data, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n && !(vr & (mask - 1))) {
+      send(world_of(vr + mask), data, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::bcast_ring(std::span<double> data, int root, const Group& g,
+                      int segments) {
+  const int idx = g.index_of(rank_);
+  ALGE_REQUIRE(idx >= 0, "rank %d not in bcast group", rank_);
+  ALGE_REQUIRE(root >= 0 && root < g.size(), "bcast root %d out of range",
+               root);
+  ALGE_REQUIRE(segments >= 0, "segment count must be non-negative");
+  const int n = g.size();
+  if (n == 1 || data.empty()) return;
+  const int tag = kCollTag + kBcastRing;
+  if (segments == 0) {
+    // Balance pipeline fill (n-2 hops) against per-segment latency.
+    segments = static_cast<int>(std::max(
+        1.0, std::min<double>(static_cast<double>(data.size()),
+                              std::ceil(std::sqrt(n)))));
+  }
+  segments = std::min<int>(segments, static_cast<int>(data.size()));
+  const int vr = (idx - root + n) % n;
+  const int next = g.world_rank((idx + 1) % n);
+  const int prev = g.world_rank((idx - 1 + n) % n);
+  const std::size_t base = data.size() / static_cast<std::size_t>(segments);
+  const std::size_t rem = data.size() % static_cast<std::size_t>(segments);
+  std::size_t off = 0;
+  for (int s = 0; s < segments; ++s) {
+    const std::size_t len = base + (static_cast<std::size_t>(s) < rem ? 1 : 0);
+    auto chunk = data.subspan(off, len);
+    off += len;
+    if (vr != 0) recv(prev, chunk, tag);
+    // Everyone forwards except the last rank before the root on the ring.
+    if (vr != n - 1) send(next, chunk, tag);
+  }
+}
+
+void Comm::reduce_sum(std::span<const double> in, std::span<double> out,
+                      int root, const Group& g) {
+  const int idx = g.index_of(rank_);
+  ALGE_REQUIRE(idx >= 0, "rank %d not in reduce group", rank_);
+  ALGE_REQUIRE(root >= 0 && root < g.size(), "reduce root %d out of range",
+               root);
+  const int n = g.size();
+  const int tag = kCollTag + kReduce;
+  const int vr = (idx - root + n) % n;
+  auto world_of = [&](int rel) { return g.world_rank((rel + root) % n); };
+
+  std::vector<double> acc(in.begin(), in.end());
+  std::vector<double> tmp(in.size());
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (vr & mask) {
+      send(world_of(vr - mask), acc, tag);
+      break;
+    }
+    if (vr + mask < n) {
+      recv(world_of(vr + mask), tmp, tag);
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += tmp[i];
+      compute(static_cast<double>(acc.size()));
+    }
+  }
+  if (vr == 0) {
+    ALGE_REQUIRE(out.size() == in.size(),
+                 "reduce output size %zu != input size %zu", out.size(),
+                 in.size());
+    std::copy(acc.begin(), acc.end(), out.begin());
+  }
+}
+
+void Comm::allreduce_sum(std::span<double> inout, const Group& g) {
+  std::vector<double> result(inout.size());
+  reduce_sum(inout, result, 0, g);
+  if (g.index_of(rank_) == 0) std::copy(result.begin(), result.end(),
+                                        inout.begin());
+  bcast(inout, 0, g);
+}
+
+void Comm::allreduce_doubling(std::span<double> inout, const Group& g) {
+  const int idx = g.index_of(rank_);
+  ALGE_REQUIRE(idx >= 0, "rank %d not in allreduce group", rank_);
+  const int n = g.size();
+  const int tag = kCollTag + kAllreduceDoubling;
+  // Largest power of two <= n; the remainder folds into [0, r) first.
+  int r = 1;
+  while (r * 2 <= n) r *= 2;
+  const int rem = n - r;
+  std::vector<double> tmp(inout.size());
+  auto absorb = [&] {
+    for (std::size_t i = 0; i < tmp.size(); ++i) inout[i] += tmp[i];
+    compute(static_cast<double>(inout.size()));
+  };
+
+  if (idx >= r) {
+    // Fold my contribution into my pair and wait for the final result.
+    send(g.world_rank(idx - r), inout, tag);
+    recv(g.world_rank(idx - r), inout, tag);
+    return;
+  }
+  if (idx < rem) {
+    recv(g.world_rank(idx + r), tmp, tag);
+    absorb();
+  }
+  for (int mask = 1; mask < r; mask <<= 1) {
+    const int partner = idx ^ mask;
+    sendrecv(g.world_rank(partner), inout, g.world_rank(partner), tmp, tag);
+    absorb();
+  }
+  if (idx < rem) send(g.world_rank(idx + r), inout, tag);
+}
+
+void Comm::allgather(std::span<const double> in, std::span<double> out,
+                     const Group& g) {
+  const int idx = g.index_of(rank_);
+  ALGE_REQUIRE(idx >= 0, "rank %d not in allgather group", rank_);
+  const int n = g.size();
+  const std::size_t k = in.size();
+  ALGE_REQUIRE(out.size() == k * static_cast<std::size_t>(n),
+               "allgather output size %zu != %d * %zu", out.size(), n, k);
+  const int tag = kCollTag + kAllgather;
+
+  auto block = [&](int j) {
+    return out.subspan(static_cast<std::size_t>(j) * k, k);
+  };
+  std::copy(in.begin(), in.end(), block(idx).begin());
+  // Ring: step s passes block (idx - s) to the right neighbor.
+  const int right = g.world_rank((idx + 1) % n);
+  const int left = g.world_rank((idx - 1 + n) % n);
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_block = (idx - s + n) % n;
+    const int recv_block = (idx - s - 1 + 2 * n) % n;
+    sendrecv(right, block(send_block), left, block(recv_block), tag);
+  }
+}
+
+void Comm::alltoall(std::span<const double> in, std::span<double> out,
+                    const Group& g) {
+  const int idx = g.index_of(rank_);
+  ALGE_REQUIRE(idx >= 0, "rank %d not in alltoall group", rank_);
+  const int n = g.size();
+  ALGE_REQUIRE(in.size() == out.size() && in.size() % n == 0,
+               "alltoall buffers must hold g equal blocks");
+  const std::size_t k = in.size() / static_cast<std::size_t>(n);
+  const int tag = kCollTag + kAlltoall;
+
+  auto in_block = [&](int j) {
+    return in.subspan(static_cast<std::size_t>(j) * k, k);
+  };
+  auto out_block = [&](int j) {
+    return out.subspan(static_cast<std::size_t>(j) * k, k);
+  };
+  std::copy(in_block(idx).begin(), in_block(idx).end(),
+            out_block(idx).begin());
+  for (int s = 1; s < n; ++s) {
+    const int dst = (idx + s) % n;
+    const int src = (idx - s + n) % n;
+    sendrecv(g.world_rank(dst), in_block(dst), g.world_rank(src),
+             out_block(src), tag);
+  }
+}
+
+void Comm::alltoall_bruck(std::span<const double> in, std::span<double> out,
+                          const Group& g) {
+  const int idx = g.index_of(rank_);
+  ALGE_REQUIRE(idx >= 0, "rank %d not in alltoall group", rank_);
+  const int n = g.size();
+  ALGE_REQUIRE(in.size() == out.size() && in.size() % n == 0,
+               "alltoall buffers must hold g equal blocks");
+  const std::size_t k = in.size() / static_cast<std::size_t>(n);
+  const int tag = kCollTag + kBruck;
+
+  // Phase 1: local rotation so block 0 is my own.
+  std::vector<double> tmp(in.size());
+  for (int i = 0; i < n; ++i) {
+    const int src_block = (idx + i) % n;
+    std::copy_n(in.begin() + static_cast<std::ptrdiff_t>(src_block) *
+                                 static_cast<std::ptrdiff_t>(k),
+                k,
+                tmp.begin() + static_cast<std::ptrdiff_t>(i) *
+                                  static_cast<std::ptrdiff_t>(k));
+  }
+  // Phase 2: log2 rounds; round `pof2` ships every block whose index has
+  // that bit set.
+  std::vector<double> sbuf;
+  std::vector<double> rbuf;
+  for (int pof2 = 1; pof2 < n; pof2 <<= 1) {
+    sbuf.clear();
+    std::vector<int> moved;
+    for (int i = 0; i < n; ++i) {
+      if (i & pof2) {
+        moved.push_back(i);
+        sbuf.insert(sbuf.end(),
+                    tmp.begin() + static_cast<std::ptrdiff_t>(i) *
+                                      static_cast<std::ptrdiff_t>(k),
+                    tmp.begin() + static_cast<std::ptrdiff_t>(i + 1) *
+                                      static_cast<std::ptrdiff_t>(k));
+      }
+    }
+    rbuf.resize(sbuf.size());
+    const int dst = g.world_rank((idx + pof2) % n);
+    const int src = g.world_rank((idx - pof2 + n) % n);
+    sendrecv(dst, sbuf, src, rbuf, tag);
+    for (std::size_t b = 0; b < moved.size(); ++b) {
+      std::copy_n(rbuf.begin() + static_cast<std::ptrdiff_t>(b) *
+                                     static_cast<std::ptrdiff_t>(k),
+                  k,
+                  tmp.begin() + static_cast<std::ptrdiff_t>(moved[b]) *
+                                    static_cast<std::ptrdiff_t>(k));
+    }
+  }
+  // Phase 3: inverse rotation into the output.
+  for (int i = 0; i < n; ++i) {
+    const int dst_block = (idx - i + n) % n;
+    std::copy_n(tmp.begin() + static_cast<std::ptrdiff_t>(i) *
+                                  static_cast<std::ptrdiff_t>(k),
+                k,
+                out.begin() + static_cast<std::ptrdiff_t>(dst_block) *
+                                  static_cast<std::ptrdiff_t>(k));
+  }
+}
+
+void Comm::gather(std::span<const double> in, std::span<double> out, int root,
+                  const Group& g) {
+  const int idx = g.index_of(rank_);
+  ALGE_REQUIRE(idx >= 0, "rank %d not in gather group", rank_);
+  const int n = g.size();
+  const std::size_t k = in.size();
+  const int tag = kCollTag + kGather;
+  if (idx == root) {
+    ALGE_REQUIRE(out.size() == k * static_cast<std::size_t>(n),
+                 "gather output size %zu != %d * %zu", out.size(), n, k);
+    for (int j = 0; j < n; ++j) {
+      auto dst = out.subspan(static_cast<std::size_t>(j) * k, k);
+      if (j == idx) {
+        std::copy(in.begin(), in.end(), dst.begin());
+      } else {
+        recv(g.world_rank(j), dst, tag);
+      }
+    }
+  } else {
+    send(g.world_rank(root), in, tag);
+  }
+}
+
+void Comm::scatter(std::span<const double> in, std::span<double> out, int root,
+                   const Group& g) {
+  const int idx = g.index_of(rank_);
+  ALGE_REQUIRE(idx >= 0, "rank %d not in scatter group", rank_);
+  const int n = g.size();
+  const std::size_t k = out.size();
+  const int tag = kCollTag + kScatter;
+  if (idx == root) {
+    ALGE_REQUIRE(in.size() == k * static_cast<std::size_t>(n),
+                 "scatter input size %zu != %d * %zu", in.size(), n, k);
+    for (int j = 0; j < n; ++j) {
+      auto src = in.subspan(static_cast<std::size_t>(j) * k, k);
+      if (j == idx) {
+        std::copy(src.begin(), src.end(), out.begin());
+      } else {
+        send(g.world_rank(j), src, tag);
+      }
+    }
+  } else {
+    recv(g.world_rank(root), out, tag);
+  }
+}
+
+}  // namespace alge::sim

@@ -1,0 +1,175 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+// --- Buffer ---
+
+Buffer::Buffer(Comm& comm, std::size_t words) : comm_(&comm) {
+  comm_->register_memory(words);
+  data_.assign(words, 0.0);
+}
+
+Buffer::~Buffer() {
+  if (comm_ != nullptr) comm_->unregister_memory(data_.size());
+}
+
+Buffer::Buffer(Buffer&& o) noexcept : comm_(o.comm_), data_(std::move(o.data_)) {
+  o.comm_ = nullptr;
+  o.data_.clear();
+}
+
+// --- Comm ---
+
+Comm::Comm(Machine& machine, int rank) : machine_(machine), rank_(rank) {}
+
+int Comm::size() const { return machine_.cfg_.p; }
+
+const core::MachineParams& Comm::params() const { return machine_.cfg_.params; }
+
+double Comm::clock() const { return counters().clock; }
+
+const RankCounters& Comm::counters() const {
+  return machine_.ranks_[static_cast<std::size_t>(rank_)].counters;
+}
+
+RankCounters& Comm::mutable_counters() {
+  return machine_.ranks_[static_cast<std::size_t>(rank_)].counters;
+}
+
+void Comm::compute(double flops) {
+  ALGE_REQUIRE(flops >= 0.0, "negative flop count");
+  RankCounters& c = mutable_counters();
+  const double t0 = c.clock;
+  const double speed =
+      machine_.cfg_.speed.empty()
+          ? 1.0
+          : machine_.cfg_.speed[static_cast<std::size_t>(rank_)];
+  c.flops += flops;
+  c.clock += machine_.cfg_.params.gamma_t * flops / speed;
+  if (machine_.cfg_.enable_trace) {
+    machine_.trace_.record({TraceEvent::Kind::kCompute, rank_, t0, c.clock,
+                            -1, 0.0, 0});
+  }
+}
+
+void Comm::send(int dst, std::span<const double> data, int tag) {
+  ALGE_REQUIRE(dst >= 0 && dst < size(), "send to invalid rank %d", dst);
+  ALGE_REQUIRE(tag >= 0 && tag < kCollTag * 2, "tag %d out of range", tag);
+
+  RankCounters& c = mutable_counters();
+  const double k = static_cast<double>(data.size());
+  const double t0 = c.clock;
+  double nmsg = 0.0;
+  if (dst != rank_) {
+    const double m = machine_.cfg_.params.max_msg_words;
+    const int hops = machine_.cfg_.network
+                         ? machine_.cfg_.network->hops(rank_, dst, size())
+                         : 1;
+    nmsg = std::max(1.0, std::ceil(k / m));
+    c.words_sent += k;
+    c.msgs_sent += nmsg;
+    c.words_hops += k * hops;
+    c.msgs_hops += nmsg * hops;
+    // Wormhole routing: latency accumulates per hop, bandwidth is paid
+    // once (the message pipelines through intermediate links).
+    c.clock += nmsg * hops * machine_.cfg_.params.alpha_t +
+               k * machine_.cfg_.params.beta_t;
+    if (machine_.cfg_.enable_trace) {
+      machine_.trace_.record({TraceEvent::Kind::kSend, rank_, t0, c.clock,
+                              dst, k, tag});
+    }
+  }
+
+  Machine::Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.arrival = c.clock;  // available once the sender has pushed it out
+  msg.msg_count = nmsg;
+  msg.payload.assign(data.begin(), data.end());
+
+  Machine::Rank& target = machine_.ranks_[static_cast<std::size_t>(dst)];
+  target.mailbox.push_back(std::move(msg));
+  if (target.waiting) {
+    ALGE_CHECK(machine_.sched_ != nullptr, "send outside a run");
+    machine_.sched_->unblock(target.fid);
+  }
+}
+
+void Comm::recv(int src, std::span<double> out, int tag) {
+  ALGE_REQUIRE(src >= 0 && src < size(), "recv from invalid rank %d", src);
+  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(rank_)];
+
+  for (;;) {
+    auto it = std::find_if(me.mailbox.begin(), me.mailbox.end(),
+                           [&](const Machine::Message& m) {
+                             return m.src == src && m.tag == tag;
+                           });
+    if (it != me.mailbox.end()) {
+      if (it->payload.size() != out.size()) {
+        throw SimError(strfmt(
+            "rank %d recv from %d tag %d: expected %zu words, message has "
+            "%zu",
+            rank_, src, tag, out.size(), it->payload.size()));
+      }
+      RankCounters& c = mutable_counters();
+      if (it->arrival > c.clock) {
+        if (machine_.cfg_.enable_trace) {
+          machine_.trace_.record({TraceEvent::Kind::kIdle, rank_, c.clock,
+                                  it->arrival, src, 0.0, tag});
+        }
+        c.idle_time += it->arrival - c.clock;
+        c.clock = it->arrival;
+      }
+      if (machine_.cfg_.enable_trace) {
+        machine_.trace_.record({TraceEvent::Kind::kRecv, rank_, c.clock,
+                                c.clock, src,
+                                static_cast<double>(it->payload.size()),
+                                tag});
+      }
+      c.words_recv += static_cast<double>(it->payload.size());
+      c.msgs_recv += it->msg_count;
+      std::copy(it->payload.begin(), it->payload.end(), out.begin());
+      me.mailbox.erase(it);
+      return;
+    }
+    ALGE_CHECK(machine_.sched_ != nullptr, "recv outside a run");
+    me.waiting = true;
+    machine_.sched_->block(
+        strfmt("rank %d waiting for recv from rank %d tag %d", rank_, src,
+               tag));
+    me.waiting = false;
+  }
+}
+
+void Comm::sendrecv(int dst, std::span<const double> send_data, int src,
+                    std::span<double> recv_data, int tag) {
+  send(dst, send_data, tag);
+  recv(src, recv_data, tag);
+}
+
+Buffer Comm::alloc(std::size_t words) { return Buffer(*this, words); }
+
+void Comm::register_memory(std::size_t words) {
+  RankCounters& c = mutable_counters();
+  c.mem_words += words;
+  c.mem_highwater = std::max(c.mem_highwater, c.mem_words);
+  const double cap = machine_.cfg_.params.mem_words;
+  if (cap > 0.0 && static_cast<double>(c.mem_words) > cap) {
+    throw SimError(strfmt(
+        "rank %d out of memory: %zu words live, per-rank capacity M=%.0f",
+        rank_, c.mem_words, cap));
+  }
+}
+
+void Comm::unregister_memory(std::size_t words) {
+  RankCounters& c = mutable_counters();
+  ALGE_CHECK(c.mem_words >= words, "memory underflow on rank %d", rank_);
+  c.mem_words -= words;
+}
+
+}  // namespace alge::sim

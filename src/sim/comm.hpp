@@ -1,0 +1,119 @@
+// Per-rank communication handle passed to every simulated program — the
+// simulator's analogue of an MPI communicator plus a cost meter.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/group.hpp"
+#include "sim/machine.hpp"
+
+namespace alge::sim {
+
+/// RAII-tracked allocation of `words` doubles, counted against the rank's
+/// memory high-water mark (and against the configured per-rank memory M,
+/// when one is set — exceeding it throws SimError).
+class Buffer {
+ public:
+  Buffer(Comm& comm, std::size_t words);
+  ~Buffer();
+  Buffer(Buffer&& o) noexcept;
+  Buffer& operator=(Buffer&&) = delete;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  std::span<double> span() { return data_; }
+  std::span<const double> span() const { return data_; }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  Comm* comm_;
+  std::vector<double> data_;
+};
+
+class Comm {
+ public:
+  Comm(Machine& machine, int rank);
+
+  int rank() const { return rank_; }
+  int size() const;
+  const core::MachineParams& params() const;
+  double clock() const;
+  const RankCounters& counters() const;
+
+  /// Advance the local clock by γt·flops and count F += flops.
+  void compute(double flops);
+
+  /// Eager (buffered) send; never blocks. Sends of more than m words are
+  /// split into ceil(k/m) messages for both time and counter purposes.
+  /// A send to self is a free local copy (no time, no counters).
+  void send(int dst, std::span<const double> data, int tag = 0);
+
+  /// Blocking receive from a specific source and tag; `out.size()` must
+  /// equal the payload size of the matching message.
+  void recv(int src, std::span<double> out, int tag = 0);
+
+  /// send + recv, safe in exchange patterns because sends are eager.
+  void sendrecv(int dst, std::span<const double> send_data, int src,
+                std::span<double> recv_data, int tag = 0);
+
+  // --- Collectives (binomial/ring/Bruck trees over point-to-point) ---
+  // `root` is an index *within the group*. Every member must call with the
+  // same group and root. See collectives.cpp for algorithms and costs.
+
+  void barrier();                 ///< all ranks of the machine
+  void barrier(const Group& g);
+  void bcast(std::span<double> data, int root, const Group& g);
+  /// Pipelined ring broadcast: every rank (root included) sends the payload
+  /// at most once (W ≤ k per rank vs the binomial root's k·log g), at the
+  /// price of Θ(g + segments) latency. `segments` splits the payload for
+  /// pipelining; 0 picks ~√ of the ring length.
+  void bcast_ring(std::span<double> data, int root, const Group& g,
+                  int segments = 0);
+  void reduce_sum(std::span<const double> in, std::span<double> out, int root,
+                  const Group& g);
+  void allreduce_sum(std::span<double> inout, const Group& g);
+  /// Recursive-doubling allreduce: S = log2 g rounds of full-payload
+  /// exchanges (W = k·log2 g per rank) vs allreduce_sum's reduce+bcast
+  /// (up to 2·k·log2 g at the tree roots, 2·log2 g latency).
+  void allreduce_doubling(std::span<double> inout, const Group& g);
+  /// in: my block (k words) -> out: g.size()*k words in group index order.
+  void allgather(std::span<const double> in, std::span<double> out,
+                 const Group& g);
+  /// in/out: g.size() blocks of k words; block j of `in` goes to index j.
+  /// Direct pairwise exchange: S = g-1 per rank, W = (g-1)·k.
+  void alltoall(std::span<const double> in, std::span<double> out,
+                const Group& g);
+  /// Bruck all-to-all: S = ceil(log2 g), W ≈ (k·g/2)·log2 g.
+  void alltoall_bruck(std::span<const double> in, std::span<double> out,
+                      const Group& g);
+  /// Each member's k-word block collected at root (direct fan-in).
+  void gather(std::span<const double> in, std::span<double> out, int root,
+              const Group& g);
+  void scatter(std::span<const double> in, std::span<double> out, int root,
+               const Group& g);
+
+  /// Allocate a tracked buffer (see Buffer).
+  Buffer alloc(std::size_t words);
+
+  /// Register/unregister words held outside Buffer (e.g. analytic
+  /// footprints in tests). Prefer Buffer in algorithms.
+  void register_memory(std::size_t words);
+  void unregister_memory(std::size_t words);
+
+ private:
+  friend class Buffer;
+
+  RankCounters& mutable_counters();
+  /// Internal tag space for collectives, disjoint from user tags.
+  static constexpr int kCollTag = 1 << 24;
+
+  Machine& machine_;
+  int rank_;
+};
+
+}  // namespace alge::sim

@@ -1,0 +1,27 @@
+// Per-rank event counters accumulated by the simulator. These are the F, W,
+// S, M quantities the paper's bounds talk about, measured exactly on the
+// executed algorithm.
+#pragma once
+
+#include <cstddef>
+
+namespace alge::sim {
+
+struct RankCounters {
+  double flops = 0.0;       ///< F: flops executed
+  double words_sent = 0.0;  ///< W: words handed to the network
+  double msgs_sent = 0.0;   ///< S: messages (after splitting at cap m)
+  double words_recv = 0.0;
+  double msgs_recv = 0.0;
+  /// Hop-weighted traffic (equals the plain counts on a fully connected
+  /// network): the energy-relevant quantities on a torus, where each
+  /// traversed link spends per-word energy.
+  double words_hops = 0.0;
+  double msgs_hops = 0.0;
+  double clock = 0.0;             ///< virtual time (seconds)
+  double idle_time = 0.0;         ///< time spent waiting on receives
+  std::size_t mem_words = 0;      ///< currently registered live words
+  std::size_t mem_highwater = 0;  ///< max of mem_words over the run
+};
+
+}  // namespace alge::sim

@@ -1,0 +1,45 @@
+#include "sim/group.hpp"
+
+#include <unordered_set>
+
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+Group Group::of(std::vector<int> ranks) {
+  ALGE_REQUIRE(!ranks.empty(), "group must be non-empty");
+  std::unordered_set<int> seen;
+  for (int r : ranks) {
+    ALGE_REQUIRE(r >= 0, "negative rank %d in group", r);
+    ALGE_REQUIRE(seen.insert(r).second, "duplicate rank %d in group", r);
+  }
+  Group g;
+  g.ranks_ = std::move(ranks);
+  return g;
+}
+
+Group Group::strided(int begin, int count, int stride) {
+  ALGE_REQUIRE(count > 0, "group must be non-empty");
+  ALGE_REQUIRE(stride != 0, "stride must be non-zero");
+  std::vector<int> ranks;
+  ranks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) ranks.push_back(begin + i * stride);
+  return of(std::move(ranks));
+}
+
+Group Group::world(int p) { return strided(0, p, 1); }
+
+int Group::world_rank(int index) const {
+  ALGE_REQUIRE(index >= 0 && index < size(), "group index %d out of range",
+               index);
+  return ranks_[static_cast<std::size_t>(index)];
+}
+
+int Group::index_of(int world_rank) const {
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    if (ranks_[i] == world_rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace alge::sim

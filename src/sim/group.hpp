@@ -1,0 +1,35 @@
+// An ordered set of world ranks — a lightweight MPI-communicator analogue.
+// Collectives take a Group plus a root *index within the group*, so the same
+// tree code serves rows, columns, and depth fibers of a process grid.
+#pragma once
+
+#include <vector>
+
+namespace alge::sim {
+
+class Group {
+ public:
+  Group() = default;
+
+  /// Group of the explicit rank list (must be non-empty, ranks distinct).
+  static Group of(std::vector<int> ranks);
+
+  /// {begin, begin+stride, ..., begin+(count-1)*stride}.
+  static Group strided(int begin, int count, int stride);
+
+  /// {0, 1, ..., p-1}.
+  static Group world(int p);
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  int world_rank(int index) const;
+  /// Index of a world rank inside this group, or -1 if absent.
+  int index_of(int world_rank) const;
+  bool contains(int world_rank) const { return index_of(world_rank) >= 0; }
+
+  const std::vector<int>& ranks() const { return ranks_; }
+
+ private:
+  std::vector<int> ranks_;
+};
+
+}  // namespace alge::sim

@@ -1,0 +1,129 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "sim/comm.hpp"
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+Machine::Machine(MachineConfig cfg) : cfg_(std::move(cfg)) {
+  ALGE_REQUIRE(cfg_.p >= 1, "machine needs at least one processor");
+  cfg_.params.validate();
+  if (!cfg_.speed.empty()) {
+    ALGE_REQUIRE(cfg_.speed.size() == static_cast<std::size_t>(cfg_.p),
+                 "speed vector must have exactly p entries");
+    for (double s : cfg_.speed) {
+      ALGE_REQUIRE(s > 0.0, "speed multipliers must be positive");
+    }
+  }
+  ranks_.resize(static_cast<std::size_t>(cfg_.p));
+}
+
+Machine::~Machine() = default;
+
+void Machine::reset() {
+  for (auto& r : ranks_) {
+    ALGE_CHECK(!r.waiting, "reset() during a run");
+    r = Rank{};
+  }
+  trace_.clear();
+}
+
+void Machine::run(const std::function<void(Comm&)>& program) {
+  ALGE_REQUIRE(program != nullptr, "program must be callable");
+  ALGE_REQUIRE(sched_ == nullptr, "Machine::run() is not reentrant");
+
+  fiber::Scheduler sched;
+  sched_ = &sched;
+  for (int r = 0; r < cfg_.p; ++r) {
+    ranks_[static_cast<std::size_t>(r)].fid = sched.spawn(
+        [this, r, &program] {
+          Comm comm(*this, r);
+          program(comm);
+        },
+        cfg_.stack_bytes);
+  }
+  try {
+    sched.run();
+  } catch (const fiber::DeadlockError& e) {
+    sched_ = nullptr;
+    for (auto& r : ranks_) r.waiting = false;
+    throw SimError(e.what());
+  } catch (...) {
+    sched_ = nullptr;
+    for (auto& r : ranks_) r.waiting = false;
+    throw;
+  }
+  sched_ = nullptr;
+
+  // A clean finish must not leave unconsumed traffic: that is a program bug
+  // (mismatched send/recv counts) that would silently skew counters.
+  for (int r = 0; r < cfg_.p; ++r) {
+    const auto& mb = ranks_[static_cast<std::size_t>(r)].mailbox;
+    if (!mb.empty()) {
+      throw SimError(strfmt(
+          "rank %d finished with %zu unconsumed message(s); first is from "
+          "rank %d tag %d (%zu words)",
+          r, mb.size(), mb.front().src, mb.front().tag,
+          mb.front().payload.size()));
+    }
+  }
+}
+
+double Machine::makespan() const {
+  double t = 0.0;
+  for (const auto& r : ranks_) t = std::max(t, r.counters.clock);
+  return t;
+}
+
+const RankCounters& Machine::rank_counters(int rank) const {
+  ALGE_REQUIRE(rank >= 0 && rank < cfg_.p, "rank %d out of range", rank);
+  return ranks_[static_cast<std::size_t>(rank)].counters;
+}
+
+SimTotals Machine::totals() const {
+  SimTotals t;
+  for (const auto& r : ranks_) {
+    const RankCounters& c = r.counters;
+    t.flops_total += c.flops;
+    t.words_total += c.words_sent;
+    t.msgs_total += c.msgs_sent;
+    t.words_hops_total += c.words_hops;
+    t.msgs_hops_total += c.msgs_hops;
+    t.flops_max = std::max(t.flops_max, c.flops);
+    t.words_sent_max = std::max(t.words_sent_max, c.words_sent);
+    t.msgs_sent_max = std::max(t.msgs_sent_max, c.msgs_sent);
+    t.mem_highwater_max = std::max(t.mem_highwater_max, c.mem_highwater);
+    t.mem_highwater_total += c.mem_highwater;
+  }
+  return t;
+}
+
+SimEnergy Machine::energy() const {
+  const SimTotals t = totals();
+  const double mean_mem = static_cast<double>(t.mem_highwater_total) /
+                          static_cast<double>(cfg_.p);
+  return energy_with_memory(mean_mem);
+}
+
+SimEnergy Machine::energy_with_memory(double mem_words_per_rank) const {
+  const SimTotals t = totals();
+  const double T = makespan();
+  const core::MachineParams& mp = cfg_.params;
+  SimEnergy e;
+  e.makespan = T;
+  // Summed counts are the physical energy: p·(γe·F_per_proc) == γe·F_total
+  // for balanced work, but the summed form stays correct when it is not.
+  e.breakdown.flops = mp.gamma_e * t.flops_total;
+  // Hop-weighted traffic: every traversed link spends energy. Equal to the
+  // plain counts on the default fully connected network.
+  e.breakdown.words = mp.beta_e * t.words_hops_total;
+  e.breakdown.messages = mp.alpha_e * t.msgs_hops_total;
+  e.breakdown.memory =
+      static_cast<double>(cfg_.p) * mp.delta_e * mem_words_per_rank * T;
+  e.breakdown.leakage = static_cast<double>(cfg_.p) * mp.eps_e * T;
+  return e;
+}
+
+}  // namespace alge::sim

@@ -1,0 +1,149 @@
+// The paper's abstract distributed machine (Fig. 1(b)) as an executable,
+// deterministic simulator.
+//
+// Each rank's program runs on a fiber and moves *real data* through
+// simulated point-to-point links, so algorithm output can be verified
+// numerically while the simulator counts flops, words, and messages exactly
+// and advances LogP-style per-rank virtual clocks:
+//
+//   send of k words:  sender clock += ceil(k/m)·αt + k·βt, counters updated;
+//                     the message arrives at the sender's post-send clock.
+//   recv:             receiver clock = max(receiver clock, arrival time).
+//   compute(F):       clock += γt·F.
+//
+// Link time is charged to the sender (Eq. 1 counts words/messages *sent*);
+// the receiver synchronizes to the arrival time, so waiting shows up as idle
+// time, never as double-counted bandwidth.
+//
+// Sends are eager (buffered, non-blocking): the payload is copied into the
+// destination mailbox and the sender proceeds. Receives block the fiber
+// until a matching message (same source and tag, FIFO per pair) exists.
+// If every live rank is blocked the run aborts with a deadlock diagnosis
+// listing what each rank was waiting for.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/costs.hpp"
+#include "core/params.hpp"
+#include "fiber/fiber.hpp"
+#include "sim/counters.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace alge::sim {
+
+class Comm;
+
+/// Raised on simulation-level failures: deadlock, out-of-memory (when the
+/// configured per-rank memory M is exceeded), malformed traffic.
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct MachineConfig {
+  int p = 1;                           ///< number of processors
+  core::MachineParams params;          ///< time/energy/capacity constants
+  std::size_t stack_bytes = 512 * 1024;
+  /// Interconnect topology; null = fully connected (the paper's flat link
+  /// model). With a topology, message latency is charged per hop and the
+  /// βe/αe energy terms use hop-weighted traffic.
+  std::shared_ptr<const NetworkModel> network;
+  /// Record per-rank compute/send/recv/idle intervals (see sim/trace.hpp).
+  bool enable_trace = false;
+  /// Heterogeneous machines: per-rank speed multipliers (rank r computes
+  /// at speed[r] times the base rate, i.e. effective γt/speed[r]). Empty =
+  /// uniform. Must have exactly p entries otherwise.
+  std::vector<double> speed;
+};
+
+/// Aggregates over ranks, plus the per-processor maxima used when comparing
+/// against the per-processor analytic bounds.
+struct SimTotals {
+  double flops_total = 0.0;
+  double words_total = 0.0;  ///< total words transmitted (counted at sender)
+  double msgs_total = 0.0;
+  double words_hops_total = 0.0;  ///< link-traversal-weighted words
+  double msgs_hops_total = 0.0;
+  double flops_max = 0.0;    ///< max over ranks
+  double words_sent_max = 0.0;
+  double msgs_sent_max = 0.0;
+  std::size_t mem_highwater_max = 0;
+  std::size_t mem_highwater_total = 0;
+};
+
+/// Eq. (2) evaluated on the measured run; see Machine::energy().
+struct SimEnergy {
+  core::EnergyBreakdown breakdown;
+  double makespan = 0.0;
+  double total() const { return breakdown.total(); }
+  /// Average power P = E / T.
+  double power() const { return breakdown.total() / makespan; }
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Run `program` on every rank to completion. May be called repeatedly;
+  /// counters accumulate across runs (call reset() in between if undesired).
+  void run(const std::function<void(Comm&)>& program);
+
+  void reset();
+
+  int p() const { return cfg_.p; }
+  const core::MachineParams& params() const { return cfg_.params; }
+
+  /// Virtual makespan: max over ranks of the final clock.
+  double makespan() const;
+
+  const RankCounters& rank_counters(int rank) const;
+  SimTotals totals() const;
+
+  /// The recorded trace (empty unless cfg.enable_trace).
+  const Trace& trace() const { return trace_; }
+
+  /// Eq. (2) on the measured run. The γe/βe/αe terms use total (summed)
+  /// counts — physically every executed flop and transmitted word costs
+  /// energy — and the δe/εe terms use p·(δe·M̄+εe)·T with M̄ the mean per-rank
+  /// memory high-water mark. For the balanced algorithms in this repo this
+  /// is exactly the paper's p·(γe·F + βe·W + αe·S + δe·M·T + εe·T).
+  SimEnergy energy() const;
+
+  /// Same but with an explicit per-rank M (e.g. the full configured memory,
+  /// matching the paper's convention that you pay for the memory you hold).
+  SimEnergy energy_with_memory(double mem_words_per_rank) const;
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    int src = 0;
+    int tag = 0;
+    double arrival = 0.0;
+    double msg_count = 0.0;  ///< messages after splitting at cap m
+    std::vector<double> payload;
+  };
+
+  struct Rank {
+    RankCounters counters;
+    std::deque<Message> mailbox;
+    bool waiting = false;  ///< blocked in recv
+    fiber::Scheduler::FiberId fid = -1;
+  };
+
+  MachineConfig cfg_;
+  std::vector<Rank> ranks_;
+  Trace trace_;
+  fiber::Scheduler* sched_ = nullptr;  ///< valid only during run()
+};
+
+}  // namespace alge::sim

@@ -1,0 +1,60 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+namespace {
+/// Wrap-around distance on a ring of size d.
+int ring_distance(int a, int b, int d) {
+  const int diff = std::abs(a - b);
+  return std::min(diff, d - diff);
+}
+}  // namespace
+
+int FullyConnectedNetwork::hops(int src, int dst, int p) const {
+  ALGE_REQUIRE(src >= 0 && src < p && dst >= 0 && dst < p,
+               "ranks out of range");
+  return src == dst ? 0 : 1;
+}
+
+int RingNetwork::hops(int src, int dst, int p) const {
+  ALGE_REQUIRE(src >= 0 && src < p && dst >= 0 && dst < p,
+               "ranks out of range");
+  return ring_distance(src, dst, p);
+}
+
+Torus3DNetwork::Torus3DNetwork(int dx, int dy, int dz)
+    : dx_(dx), dy_(dy), dz_(dz) {
+  ALGE_REQUIRE(dx >= 1 && dy >= 1 && dz >= 1,
+               "torus dimensions must be positive");
+}
+
+std::string Torus3DNetwork::name() const {
+  return strfmt("torus-%dx%dx%d", dx_, dy_, dz_);
+}
+
+int Torus3DNetwork::hops(int src, int dst, int p) const {
+  ALGE_REQUIRE(p == dx_ * dy_ * dz_,
+               "machine size %d does not match torus %dx%dx%d", p, dx_, dy_,
+               dz_);
+  ALGE_REQUIRE(src >= 0 && src < p && dst >= 0 && dst < p,
+               "ranks out of range");
+  const int sx = src % dx_;
+  const int sy = (src / dx_) % dy_;
+  const int sz = src / (dx_ * dy_);
+  const int tx = dst % dx_;
+  const int ty = (dst / dx_) % dy_;
+  const int tz = dst / (dx_ * dy_);
+  return ring_distance(sx, tx, dx_) + ring_distance(sy, ty, dy_) +
+         ring_distance(sz, tz, dz_);
+}
+
+std::shared_ptr<const NetworkModel> make_torus_2d(int dx, int dy) {
+  return std::make_shared<Torus3DNetwork>(dx, dy, 1);
+}
+
+}  // namespace alge::sim

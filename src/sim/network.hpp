@@ -1,0 +1,67 @@
+// Interconnect topology models.
+//
+// The paper assumes per-word and per-message link costs stay constant as p
+// grows and notes (Section IV) that a 3D torus is "a perfect match" for the
+// 2.5D algorithm — its traffic is nearest-neighbour, so the assumption
+// holds. These models let the simulator check that: each message is charged
+// by the hop distance between source and destination,
+//
+//   time   = hops·αt per message + k·βt          (wormhole: latency per
+//                                                 hop, bandwidth once)
+//   energy = hops·αe per message + hops·k·βe     (every traversed link
+//                                                 spends energy per word)
+//
+// and per-rank counters additionally accumulate hop-weighted words and
+// messages, which Machine::energy() uses for the βe/αe terms.
+//
+// Rank numbering matches the topo:: grids: Torus3D(q, q, c) puts grid rank
+// l·q² + i·q + j at coordinates (j, i, l), so Cannon shifts and depth
+// broadcasts are 1-hop.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace alge::sim {
+
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+  virtual std::string name() const = 0;
+  /// Hop count between two distinct ranks (>= 1). p is the machine size.
+  virtual int hops(int src, int dst, int p) const = 0;
+};
+
+/// Crossbar / fat enough fat-tree: every pair is one hop. This is the
+/// default and reproduces the paper's flat link model exactly.
+class FullyConnectedNetwork final : public NetworkModel {
+ public:
+  std::string name() const override { return "fully-connected"; }
+  int hops(int src, int dst, int p) const override;
+};
+
+/// 1D ring with bidirectional links.
+class RingNetwork final : public NetworkModel {
+ public:
+  std::string name() const override { return "ring"; }
+  int hops(int src, int dst, int p) const override;
+};
+
+/// dx × dy × dz torus; rank = z·dx·dy + y·dx + x (so Grid3D(q,c) ranks land
+/// on a (q, q, c) torus with rows/columns/layers as the three dimensions).
+class Torus3DNetwork final : public NetworkModel {
+ public:
+  Torus3DNetwork(int dx, int dy, int dz);
+  std::string name() const override;
+  int hops(int src, int dst, int p) const override;
+
+ private:
+  int dx_;
+  int dy_;
+  int dz_;
+};
+
+/// dx × dy torus (a Torus3D with dz = 1, provided for clarity).
+std::shared_ptr<const NetworkModel> make_torus_2d(int dx, int dy);
+
+}  // namespace alge::sim

@@ -1,0 +1,94 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+std::vector<TraceEvent> Trace::rank_events(int rank) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : events_) {
+    if (ev.rank == rank) out.push_back(ev);
+  }
+  return out;
+}
+
+Trace::RankSummary Trace::summarize(int rank) const {
+  RankSummary s;
+  for (const TraceEvent& ev : events_) {
+    if (ev.rank != rank) continue;
+    const double dt = ev.t1 - ev.t0;
+    switch (ev.kind) {
+      case TraceEvent::Kind::kCompute:
+        s.compute_time += dt;
+        break;
+      case TraceEvent::Kind::kSend:
+        s.send_time += dt;
+        ++s.sends;
+        break;
+      case TraceEvent::Kind::kRecv:
+        ++s.recvs;
+        break;
+      case TraceEvent::Kind::kIdle:
+        s.idle_time += dt;
+        break;
+    }
+  }
+  return s;
+}
+
+std::string Trace::render_timeline(int p, int width) const {
+  ALGE_REQUIRE(p >= 1 && width >= 1, "need positive rank count and width");
+  double t_end = 0.0;
+  for (const TraceEvent& ev : events_) t_end = std::max(t_end, ev.t1);
+  if (t_end <= 0.0) t_end = 1.0;
+
+  // Rank-major bucket occupancy; priority idle < send < compute so the
+  // "work" wins ties within a bucket.
+  auto level = [](TraceEvent::Kind k) {
+    switch (k) {
+      case TraceEvent::Kind::kIdle:
+        return 1;
+      case TraceEvent::Kind::kSend:
+        return 2;
+      case TraceEvent::Kind::kCompute:
+        return 3;
+      case TraceEvent::Kind::kRecv:
+        return 0;  // instantaneous; never fills a bucket
+    }
+    return 0;
+  };
+  std::vector<std::vector<int>> grid(
+      static_cast<std::size_t>(p),
+      std::vector<int>(static_cast<std::size_t>(width), 0));
+  for (const TraceEvent& ev : events_) {
+    if (ev.rank < 0 || ev.rank >= p) continue;
+    const int lv = level(ev.kind);
+    if (lv == 0 || ev.t1 <= ev.t0) continue;
+    int b0 = static_cast<int>(ev.t0 / t_end * width);
+    int b1 = static_cast<int>(ev.t1 / t_end * width);
+    b0 = std::clamp(b0, 0, width - 1);
+    b1 = std::clamp(b1, b0, width - 1);
+    for (int b = b0; b <= b1; ++b) {
+      int& cell = grid[static_cast<std::size_t>(ev.rank)]
+                      [static_cast<std::size_t>(b)];
+      cell = std::max(cell, lv);
+    }
+  }
+  const char glyph[] = {' ', '.', '>', '#'};
+  std::string out;
+  for (int r = 0; r < p; ++r) {
+    out += strfmt("rank %3d |", r);
+    for (int b = 0; b < width; ++b) {
+      out += glyph[grid[static_cast<std::size_t>(r)]
+                       [static_cast<std::size_t>(b)]];
+    }
+    out += "|\n";
+  }
+  out += strfmt("          0%*s%.4g s  (# compute, > send, . idle)\n",
+                width - 6, "", t_end);
+  return out;
+}
+
+}  // namespace alge::sim

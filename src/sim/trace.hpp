@@ -1,0 +1,53 @@
+// Execution tracing for the simulator: per-rank timelines of compute,
+// send, receive and idle intervals in virtual time, plus a text renderer
+// (an ASCII Gantt chart) and summary statistics. Enable with
+// MachineConfig::enable_trace; traces answer "where does the critical path
+// go" questions the aggregate counters cannot.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace alge::sim {
+
+struct TraceEvent {
+  enum class Kind { kCompute, kSend, kRecv, kIdle };
+  Kind kind = Kind::kCompute;
+  int rank = 0;
+  double t0 = 0.0;  ///< virtual start time
+  double t1 = 0.0;  ///< virtual end time
+  int peer = -1;    ///< other rank for send/recv, -1 otherwise
+  double words = 0.0;
+  int tag = 0;
+};
+
+class Trace {
+ public:
+  void record(const TraceEvent& ev) { events_.push_back(ev); }
+  void clear() { events_.clear(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Events of one rank, in recording (= virtual time) order.
+  std::vector<TraceEvent> rank_events(int rank) const;
+
+  struct RankSummary {
+    double compute_time = 0.0;
+    double send_time = 0.0;
+    double idle_time = 0.0;
+    std::size_t sends = 0;
+    std::size_t recvs = 0;
+  };
+  RankSummary summarize(int rank) const;
+
+  /// ASCII Gantt chart: one row per rank, `width` buckets over [0, t_end];
+  /// each bucket shows the dominant activity: '#' compute, '>' send,
+  /// '.' idle, ' ' none.
+  std::string render_timeline(int p, int width = 72) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace alge::sim

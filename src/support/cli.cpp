@@ -1,0 +1,102 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+#include "support/common.hpp"
+
+namespace alge {
+
+void CliArgs::add_flag(const std::string& name,
+                       const std::string& default_value,
+                       const std::string& help) {
+  ALGE_REQUIRE(!flags_.contains(name), "duplicate flag --%s", name.c_str());
+  flags_[name] = Flag{default_value, help};
+}
+
+void CliArgs::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    ALGE_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got '%s'",
+                 arg.c_str());
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      ALGE_REQUIRE(i + 1 < argc, "flag --%s needs a value", name.c_str());
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    ALGE_REQUIRE(it != flags_.end(), "unknown flag --%s", name.c_str());
+    it->second.value = value;
+  }
+}
+
+std::string CliArgs::usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += strfmt("  --%-20s %s (default: %s)\n", name.c_str(),
+                  flag.help.c_str(), flag.value.c_str());
+  }
+  return out;
+}
+
+std::string CliArgs::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  ALGE_REQUIRE(it != flags_.end(), "undeclared flag --%s", name.c_str());
+  return it->second.value;
+}
+
+long long CliArgs::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  ALGE_REQUIRE(end && *end == '\0' && !v.empty(),
+               "flag --%s: '%s' is not an integer", name.c_str(), v.c_str());
+  return x;
+}
+
+double CliArgs::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  ALGE_REQUIRE(end && *end == '\0' && !v.empty(),
+               "flag --%s: '%s' is not a number", name.c_str(), v.c_str());
+  return x;
+}
+
+bool CliArgs::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw invalid_argument_error(
+      strfmt("flag --%s: '%s' is not a boolean", name.c_str(), v.c_str()));
+}
+
+std::vector<long long> CliArgs::get_int_list(const std::string& name) const {
+  const std::string v = get(name);
+  std::vector<long long> out;
+  std::size_t pos = 0;
+  while (pos < v.size()) {
+    std::size_t comma = v.find(',', pos);
+    if (comma == std::string::npos) comma = v.size();
+    const std::string piece = v.substr(pos, comma - pos);
+    char* end = nullptr;
+    const long long x = std::strtoll(piece.c_str(), &end, 10);
+    ALGE_REQUIRE(end && *end == '\0' && !piece.empty(),
+                 "flag --%s: '%s' is not an integer list", name.c_str(),
+                 v.c_str());
+    out.push_back(x);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace alge

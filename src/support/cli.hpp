@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the bench/example executables.
+// Flags are `--name=value` or `--name value`; unknown flags are an error so
+// typos surface immediately.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alge {
+
+class CliArgs {
+ public:
+  /// Declare a flag with a default before parse(); `help` is shown by usage().
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parse argv; throws invalid_argument_error on unknown flags or missing
+  /// values. Recognizes --help and sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+  std::string usage(const std::string& program) const;
+
+  std::string get(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. --p=1,2,4,8.
+  std::vector<long long> get_int_list(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace alge

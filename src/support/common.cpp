@@ -1,0 +1,52 @@
+#include "support/common.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace alge {
+
+std::string vstrfmt(const char* fmt, std::va_list ap) {
+  std::va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::string out = vstrfmt(fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+namespace {
+std::string describe(const char* kind, const char* file, int line,
+                     const char* expr, const std::string& msg) {
+  std::string out = strfmt("%s failed at %s:%d: %s", kind, file, line, expr);
+  if (!msg.empty()) {
+    out += " — ";
+    out += msg;
+  }
+  return out;
+}
+}  // namespace
+
+void throw_check_failure(const char* file, int line, const char* expr,
+                         const std::string& msg) {
+  throw internal_error(describe("ALGE_CHECK", file, line, expr, msg));
+}
+
+void throw_require_failure(const char* file, int line, const char* expr,
+                           const std::string& msg) {
+  throw invalid_argument_error(
+      describe("ALGE_REQUIRE", file, line, expr, msg));
+}
+
+}  // namespace alge

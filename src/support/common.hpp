@@ -1,0 +1,55 @@
+// Small shared utilities: printf-style string formatting, fatal checks.
+//
+// GCC 12 does not ship <format>, so `strfmt` wraps vsnprintf. Every other
+// module uses ALGE_CHECK / ALGE_REQUIRE instead of bare assert so that
+// failures carry a message and fire in release builds too.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace alge {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strfmt(const char* fmt, ...);
+std::string vstrfmt(const char* fmt, std::va_list ap);
+
+/// Thrown by ALGE_REQUIRE on precondition violation (bad user arguments).
+class invalid_argument_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown by ALGE_CHECK on internal invariant violation.
+class internal_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void throw_check_failure(const char* file, int line,
+                                      const char* expr, const std::string& msg);
+[[noreturn]] void throw_require_failure(const char* file, int line,
+                                        const char* expr,
+                                        const std::string& msg);
+
+}  // namespace alge
+
+/// Internal invariant: always on, throws alge::internal_error.
+#define ALGE_CHECK(expr, ...)                                             \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::alge::throw_check_failure(__FILE__, __LINE__, #expr,              \
+                                  ::alge::strfmt("" __VA_ARGS__));        \
+    }                                                                     \
+  } while (false)
+
+/// Public-API precondition: always on, throws alge::invalid_argument_error.
+#define ALGE_REQUIRE(expr, ...)                                           \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::alge::throw_require_failure(__FILE__, __LINE__, #expr,            \
+                                    ::alge::strfmt("" __VA_ARGS__));      \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,35 @@
+// Deterministic PRNG (xoshiro256++) used everywhere instead of std::mt19937
+// so that simulated runs and generated workloads are bit-reproducible across
+// platforms and standard-library versions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace alge {
+
+/// xoshiro256++ by Blackman & Vigna (public domain reference implementation
+/// re-expressed in C++). Seeded via splitmix64 so any 64-bit seed is fine.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Fill a span with uniform values in [lo, hi).
+  void fill_uniform(std::span<double> out, double lo, double hi);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace alge

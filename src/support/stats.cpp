@@ -1,0 +1,48 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace alge {
+
+void StatAccumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::min() const {
+  ALGE_REQUIRE(n_ > 0, "min() of empty accumulator");
+  return min_;
+}
+
+double StatAccumulator::max() const {
+  ALGE_REQUIRE(n_ > 0, "max() of empty accumulator");
+  return max_;
+}
+
+double StatAccumulator::mean() const {
+  ALGE_REQUIRE(n_ > 0, "mean() of empty accumulator");
+  return mean_;
+}
+
+double StatAccumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double rel_diff(double a, double b) {
+  const double scale =
+      std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace alge

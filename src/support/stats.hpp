@@ -1,0 +1,36 @@
+// Streaming summary statistics (Welford) used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace alge {
+
+/// Single-pass accumulator for count / min / max / mean / stddev.
+class StatAccumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); convenient for comparing
+/// model predictions against simulator measurements.
+double rel_diff(double a, double b);
+
+}  // namespace alge

@@ -1,0 +1,90 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace alge {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ALGE_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  if (!cells_.empty()) {
+    ALGE_REQUIRE(cells_.back().size() == header_.size(),
+                 "previous row has %zu cells, header has %zu",
+                 cells_.back().size(), header_.size());
+  }
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  ALGE_REQUIRE(!cells_.empty(), "cell() before row()");
+  ALGE_REQUIRE(cells_.back().size() < header_.size(),
+               "row already has %zu cells", header_.size());
+  cells_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, const char* fmt) {
+  return cell(strfmt(fmt, value));
+}
+
+Table& Table::cell(long long value) { return cell(strfmt("%lld", value)); }
+Table& Table::cell(int value) { return cell(strfmt("%d", value)); }
+Table& Table::cell(std::size_t value) { return cell(strfmt("%zu", value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      os << v << std::string(width[c] - v.size(), ' ');
+      os << (c + 1 < header_.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char ch : v) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(row[c]) << (c + 1 < row.size() ? "," : "");
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : cells_) emit(row);
+}
+
+}  // namespace alge

@@ -1,0 +1,39 @@
+// Aligned-text and CSV table emission. Every figure/table bench prints its
+// series through this so the output format is uniform and machine-readable.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alge {
+
+/// Column-aligned table with a header row; also exports CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, const char* fmt = "%.6g");
+  Table& cell(long long value);
+  Table& cell(int value);
+  Table& cell(std::size_t value);
+
+  std::size_t rows() const { return cells_.size(); }
+
+  /// Pretty aligned text (for the terminal / bench_output.txt).
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace alge

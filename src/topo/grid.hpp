@@ -1,0 +1,98 @@
+// Process-grid topologies: rank <-> coordinate maps and the row / column /
+// depth groups the algorithms communicate within.
+//
+//  Ring    — 1D, p ranks (n-body baseline, allgather rings)
+//  Grid2D  — √p × √p (Cannon, SUMMA, 2D LU)
+//  Grid3D  — (p/c)^½ × (p/c)^½ × c cuboid of the 2.5D algorithms; c = q
+//            gives the 3D cube limit, c = 1 degenerates to Grid2D
+//  TeamGrid— c × (p/c) layout of the replicating n-body algorithm
+#pragma once
+
+#include "sim/group.hpp"
+
+namespace alge::topo {
+
+using sim::Group;
+
+class Ring {
+ public:
+  explicit Ring(int p);
+  int p() const { return p_; }
+  int right_of(int rank, int steps = 1) const;
+  int left_of(int rank, int steps = 1) const;
+  Group all() const { return Group::world(p_); }
+
+ private:
+  int p_;
+};
+
+/// q×q grid, row-major rank numbering: rank = i*q + j.
+class Grid2D {
+ public:
+  explicit Grid2D(int q);
+  /// Builds the grid for p ranks; requires p to be a perfect square.
+  static Grid2D for_p(int p);
+
+  int q() const { return q_; }
+  int p() const { return q_ * q_; }
+  int rank_of(int i, int j) const;
+  int row_of(int rank) const;
+  int col_of(int rank) const;
+  Group row_group(int i) const;   ///< ranks (i, 0..q-1)
+  Group col_group(int j) const;   ///< ranks (0..q-1, j)
+
+ private:
+  int q_;
+};
+
+/// q×q×c cuboid: rank = l*q*q + i*q + j (layer-major, so layer 0 is the
+/// front face that initially owns the data in the 2.5D algorithms).
+class Grid3D {
+ public:
+  Grid3D(int q, int c);
+  /// p = q²c with the replication factor c given; requires p/c square.
+  static Grid3D for_p(int p, int c);
+
+  int q() const { return q_; }
+  int c() const { return c_; }
+  int p() const { return q_ * q_ * c_; }
+  int rank_of(int i, int j, int l) const;
+  int row_of(int rank) const;    ///< i
+  int col_of(int rank) const;    ///< j
+  int layer_of(int rank) const;  ///< l
+  Group row_group(int i, int l) const;    ///< vary j
+  Group col_group(int j, int l) const;    ///< vary i
+  Group depth_group(int i, int j) const;  ///< vary l
+  Group layer_group(int l) const;         ///< all q² ranks of layer l
+
+ private:
+  int q_;
+  int c_;
+};
+
+/// c rows × (p/c) columns for the replicating n-body algorithm:
+/// rank = i*(p/c) + j; column j is the team replicating particle block j.
+class TeamGrid {
+ public:
+  TeamGrid(int p, int c);
+  int p() const { return rows_ * cols_; }
+  int rows() const { return rows_; }  ///< c
+  int cols() const { return cols_; }  ///< p / c
+  int rank_of(int i, int j) const;
+  int row_of(int rank) const;
+  int col_of(int rank) const;
+  Group team_group(int j) const;  ///< the c replicas of block j (vary i)
+  Group row_group(int i) const;   ///< one replica per block (vary j)
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+/// Exact integer square root if p is a perfect square, else -1.
+int exact_isqrt(int p);
+
+/// Exact integer cube root if p is a perfect cube, else -1.
+int exact_icbrt(int p);
+
+}  // namespace alge::topo

@@ -1,0 +1,168 @@
+// Variant collectives: ring-pipelined broadcast and recursive-doubling
+// allreduce — correctness across group sizes, and the cost signatures that
+// distinguish them from the binomial-tree versions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "algs/matmul/distributed.hpp"
+#include "algs/matmul/local.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+#include "topo/grid.hpp"
+
+namespace alge::sim {
+namespace {
+
+MachineConfig unit_config(int p) {
+  MachineConfig cfg;
+  cfg.p = p;
+  cfg.params = core::MachineParams::unit();
+  return cfg;
+}
+
+class VariantSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(VariantSizes, RingBcastDeliversToAll) {
+  const int p = GetParam();
+  Machine m(unit_config(p));
+  std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+  m.run([&](Comm& c) {
+    std::vector<double> data(5);
+    if (c.rank() == p / 2) std::iota(data.begin(), data.end(), 3.0);
+    c.bcast_ring(data, p / 2, Group::world(p));
+    got[static_cast<std::size_t>(c.rank())] = data;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)],
+              (std::vector<double>{3.0, 4.0, 5.0, 6.0, 7.0}))
+        << "rank " << r;
+  }
+}
+
+TEST_P(VariantSizes, RingBcastSegmentCountsDoNotChangePayload) {
+  const int p = GetParam();
+  for (int segments : {1, 2, 7}) {
+    Machine m(unit_config(p));
+    std::vector<double> last;
+    m.run([&](Comm& c) {
+      std::vector<double> data(13);
+      if (c.rank() == 0) std::iota(data.begin(), data.end(), 1.0);
+      c.bcast_ring(data, 0, Group::world(p), segments);
+      if (c.rank() == p - 1) last = data;
+    });
+    EXPECT_DOUBLE_EQ(last[12], 13.0) << "segments=" << segments;
+  }
+}
+
+TEST_P(VariantSizes, DoublingAllreduceMatchesTreeVersion) {
+  const int p = GetParam();
+  Machine m(unit_config(p));
+  std::vector<double> tree_result;
+  std::vector<double> doubling_result;
+  m.run([&](Comm& c) {
+    std::vector<double> a = {static_cast<double>(c.rank()),
+                             static_cast<double>(c.rank() * c.rank())};
+    std::vector<double> b = a;
+    c.allreduce_sum(a, Group::world(p));
+    c.allreduce_doubling(b, Group::world(p));
+    if (c.rank() == 0) tree_result = a;
+    if (c.rank() == p - 1) doubling_result = b;
+  });
+  ASSERT_EQ(tree_result.size(), 2u);
+  EXPECT_EQ(tree_result, doubling_result);
+  EXPECT_DOUBLE_EQ(tree_result[0], p * (p - 1) / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VariantSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16, 32));
+
+TEST(VariantCosts, RingBcastCapsPerRankWords) {
+  const int p = 8;
+  const std::size_t k = 64;
+  auto w_max = [&](bool ring) {
+    Machine m(unit_config(p));
+    m.run([&](Comm& c) {
+      std::vector<double> data(k, 1.0);
+      if (ring) {
+        c.bcast_ring(data, 0, Group::world(p));
+      } else {
+        c.bcast(data, 0, Group::world(p));
+      }
+    });
+    return m.totals().words_sent_max;
+  };
+  EXPECT_DOUBLE_EQ(w_max(true), static_cast<double>(k));
+  EXPECT_DOUBLE_EQ(w_max(false), k * std::log2(p));
+}
+
+TEST(VariantCosts, DoublingHasLogRoundsOfFullPayload) {
+  const int p = 16;
+  const std::size_t k = 32;
+  Machine m(unit_config(p));
+  m.run([&](Comm& c) {
+    std::vector<double> data(k, 1.0);
+    c.allreduce_doubling(data, Group::world(p));
+  });
+  // Power-of-two group: every rank sends exactly log2(p) payloads.
+  EXPECT_DOUBLE_EQ(m.totals().words_sent_max, k * std::log2(p));
+  EXPECT_DOUBLE_EQ(m.totals().msgs_sent_max, std::log2(p));
+  // The tree version's critical path is about twice as long.
+  Machine m2(unit_config(p));
+  m2.run([&](Comm& c) {
+    std::vector<double> data(k, 1.0);
+    c.allreduce_sum(data, Group::world(p));
+  });
+  EXPECT_GT(m2.makespan(), 1.5 * m.makespan());
+}
+
+TEST(Mm25dRing, RingReplicationMatchesTreeResult) {
+  const int q = 4;
+  const int c = 4;
+  const int n = 16;
+  topo::Grid3D grid(q, c);
+  Rng rng(5);
+  const auto A = algs::random_matrix(n, n, rng);
+  const auto B = algs::random_matrix(n, n, rng);
+  auto run = [&](bool ring) {
+    Machine m(unit_config(grid.p()));
+    std::vector<std::vector<double>> blocks(
+        static_cast<std::size_t>(q) * q);
+    algs::Mm25dOptions opts;
+    opts.ring_replication = ring;
+    m.run([&](Comm& comm) {
+      const int i = grid.row_of(comm.rank());
+      const int j = grid.col_of(comm.rank());
+      if (grid.layer_of(comm.rank()) == 0) {
+        const int nb = n / q;
+        std::vector<double> a(static_cast<std::size_t>(nb) * nb);
+        std::vector<double> b(a.size());
+        for (int r = 0; r < nb; ++r) {
+          for (int cc = 0; cc < nb; ++cc) {
+            a[static_cast<std::size_t>(r) * nb + cc] =
+                A[static_cast<std::size_t>(i * nb + r) * n + j * nb + cc];
+            b[static_cast<std::size_t>(r) * nb + cc] =
+                B[static_cast<std::size_t>(i * nb + r) * n + j * nb + cc];
+          }
+        }
+        std::vector<double> cb(a.size(), 0.0);
+        algs::mm_25d(comm, grid, n, a, b, cb, opts);
+        blocks[static_cast<std::size_t>(i) * q + j] = std::move(cb);
+      } else {
+        algs::mm_25d(comm, grid, n, {}, {}, {}, opts);
+      }
+    });
+    return std::pair{blocks, m.totals().words_sent_max};
+  };
+  const auto [tree_blocks, tree_w] = run(false);
+  const auto [ring_blocks, ring_w] = run(true);
+  EXPECT_EQ(tree_blocks, ring_blocks);
+  // Ring replication removes the root's log c replication copies.
+  EXPECT_LT(ring_w, tree_w);
+}
+
+}  // namespace
+}  // namespace alge::sim

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "algs/fft/fft.hpp"
+#include "algs/matmul/local.hpp"  // max_abs_diff
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace alge::algs {
+namespace {
+
+sim::MachineConfig unit_config(int p) {
+  sim::MachineConfig cfg;
+  cfg.p = p;
+  cfg.params = core::MachineParams::unit();
+  return cfg;
+}
+
+std::vector<double> random_complex(int n, Rng& rng) {
+  std::vector<double> x(2 * static_cast<std::size_t>(n));
+  rng.fill_uniform(x, -1.0, 1.0);
+  return x;
+}
+
+TEST(FftLocal, MatchesNaiveDft) {
+  Rng rng(2);
+  for (int n : {1, 2, 4, 16, 64, 256}) {
+    const auto x = random_complex(n, rng);
+    auto y = x;
+    fft_inplace(y, n);
+    EXPECT_LT(max_abs_diff(y, naive_dft(x, n)), 1e-9 * n) << n;
+  }
+}
+
+TEST(FftLocal, InverseRoundTrips) {
+  Rng rng(3);
+  const int n = 128;
+  const auto x = random_complex(n, rng);
+  auto y = x;
+  fft_inplace(y, n);
+  fft_inplace(y, n, /*inverse=*/true);
+  EXPECT_LT(max_abs_diff(y, x), 1e-12 * n);
+}
+
+TEST(FftLocal, ParsevalHolds) {
+  Rng rng(4);
+  const int n = 64;
+  const auto x = random_complex(n, rng);
+  auto y = x;
+  fft_inplace(y, n);
+  double ex = 0.0;
+  double ey = 0.0;
+  for (std::size_t i = 0; i < x.size(); i += 2) {
+    ex += x[i] * x[i] + x[i + 1] * x[i + 1];
+    ey += y[i] * y[i] + y[i + 1] * y[i + 1];
+  }
+  EXPECT_NEAR(ey, ex * n, 1e-9 * n);
+}
+
+TEST(FftLocal, RejectsNonPowerOfTwo) {
+  std::vector<double> x(6, 0.0);
+  EXPECT_THROW(fft_inplace(x, 3), invalid_argument_error);
+}
+
+TEST(FftLocal, ImpulseGivesFlatSpectrum) {
+  const int n = 16;
+  std::vector<double> x(2 * n, 0.0);
+  x[0] = 1.0;  // delta at 0
+  fft_inplace(x, n);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[2 * static_cast<std::size_t>(k)], 1.0, 1e-12);
+    EXPECT_NEAR(x[2 * static_cast<std::size_t>(k) + 1], 0.0, 1e-12);
+  }
+}
+
+// --- Parallel four-step ---
+
+class FftRuns
+    : public ::testing::TestWithParam<std::tuple<int, int, int, AllToAllKind>> {
+};
+
+TEST_P(FftRuns, MatchesNaiveDft) {
+  const auto [p, r_dim, c_dim, kind] = GetParam();
+  const int n = r_dim * c_dim;
+  Rng rng(55);
+  const auto x = random_complex(n, rng);
+  const auto ref = naive_dft(x, n);
+  const int cl = c_dim / p;
+  const int rl = r_dim / p;
+
+  sim::Machine m(unit_config(p));
+  std::vector<std::vector<double>> rows(static_cast<std::size_t>(p));
+  m.run([&](sim::Comm& comm) {
+    const int h = comm.rank();
+    // Pack my columns j2 = h·cl + jl of the R×C view x[j1·C + j2].
+    std::vector<double> cols(2 * static_cast<std::size_t>(r_dim) * cl);
+    for (int jl = 0; jl < cl; ++jl) {
+      const int j2 = h * cl + jl;
+      for (int j1 = 0; j1 < r_dim; ++j1) {
+        cols[2 * (static_cast<std::size_t>(jl) * r_dim + j1)] =
+            x[2 * (static_cast<std::size_t>(j1) * c_dim + j2)];
+        cols[2 * (static_cast<std::size_t>(jl) * r_dim + j1) + 1] =
+            x[2 * (static_cast<std::size_t>(j1) * c_dim + j2) + 1];
+      }
+    }
+    std::vector<double> out(2 * static_cast<std::size_t>(c_dim) * rl);
+    fft_parallel(comm, n, r_dim, c_dim, cols, out, kind);
+    rows[static_cast<std::size_t>(h)] = std::move(out);
+  });
+
+  // X[k1 + k2·R] lives at rank k1/rl, row k1 % rl, position k2.
+  std::vector<double> got(2 * static_cast<std::size_t>(n));
+  for (int k1 = 0; k1 < r_dim; ++k1) {
+    const auto& blk = rows[static_cast<std::size_t>(k1 / rl)];
+    for (int k2 = 0; k2 < c_dim; ++k2) {
+      const std::size_t src =
+          2 * (static_cast<std::size_t>(k1 % rl) * c_dim + k2);
+      got[2 * (static_cast<std::size_t>(k2) * r_dim + k1)] = blk[src];
+      got[2 * (static_cast<std::size_t>(k2) * r_dim + k1) + 1] = blk[src + 1];
+    }
+  }
+  EXPECT_LT(max_abs_diff(got, ref), 1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndKinds, FftRuns,
+    ::testing::Values(
+        std::tuple{1, 8, 8, AllToAllKind::kDirect},
+        std::tuple{2, 8, 8, AllToAllKind::kDirect},
+        std::tuple{4, 8, 8, AllToAllKind::kDirect},
+        std::tuple{4, 16, 8, AllToAllKind::kDirect},
+        std::tuple{8, 16, 16, AllToAllKind::kDirect},
+        std::tuple{2, 8, 8, AllToAllKind::kBruck},
+        std::tuple{4, 16, 16, AllToAllKind::kBruck},
+        std::tuple{8, 16, 16, AllToAllKind::kBruck},
+        std::tuple{16, 16, 16, AllToAllKind::kBruck}));
+
+TEST(FftCosts, PaperTradeoffBetweenVariants) {
+  // Section IV: naive all-to-all has S = Θ(p), W = Θ(n/p); the tree version
+  // S = Θ(log p) at W = Θ((n/p)·log p).
+  const int p = 16;
+  const int r_dim = 32;
+  const int c_dim = 32;
+  const int n = r_dim * c_dim;
+  auto run = [&](AllToAllKind kind) {
+    sim::Machine m(unit_config(p));
+    Rng rng(5);
+    m.run([&](sim::Comm& comm) {
+      std::vector<double> cols(2 * static_cast<std::size_t>(r_dim) *
+                               (c_dim / p));
+      Rng local(static_cast<std::uint64_t>(comm.rank()) + 1);
+      local.fill_uniform(cols, -1.0, 1.0);
+      std::vector<double> out(2 * static_cast<std::size_t>(c_dim) *
+                              (r_dim / p));
+      fft_parallel(comm, n, r_dim, c_dim, cols, out, kind);
+    });
+    return m.totals();
+  };
+  const auto direct = run(AllToAllKind::kDirect);
+  const auto bruck = run(AllToAllKind::kBruck);
+  EXPECT_DOUBLE_EQ(direct.msgs_sent_max, p - 1.0);
+  EXPECT_DOUBLE_EQ(bruck.msgs_sent_max, std::log2(p));
+  EXPECT_GT(bruck.words_sent_max, direct.words_sent_max);
+  // Direct variant moves (p-1)/p of the 2n/p per-rank words.
+  EXPECT_DOUBLE_EQ(direct.words_sent_max, 2.0 * n / p * (p - 1.0) / p);
+}
+
+TEST(FftCosts, NoUseForExtraMemory) {
+  // The FFT working set per rank is Θ(n/p) no matter what: memory high
+  // water tracks the input size, unlike the replicating algorithms.
+  const int p = 4;
+  const int r_dim = 16;
+  const int c_dim = 16;
+  const int n = r_dim * c_dim;
+  sim::Machine m(unit_config(p));
+  m.run([&](sim::Comm& comm) {
+    std::vector<double> cols(2 * static_cast<std::size_t>(r_dim) *
+                                 (c_dim / p),
+                             0.5);
+    std::vector<double> out(2 * static_cast<std::size_t>(c_dim) *
+                            (r_dim / p));
+    fft_parallel(comm, n, r_dim, c_dim, cols, out);
+  });
+  // Tracked buffers: work (2n/p) + send/recv (2·2n/p each) = O(n/p).
+  EXPECT_LE(m.totals().mem_highwater_max, 6 * 2 * n / p);
+}
+
+TEST(FftRejects, BadFactorization) {
+  sim::Machine m(unit_config(2));
+  EXPECT_THROW(m.run([&](sim::Comm& comm) {
+                 std::vector<double> cols(2 * 8 * 4);
+                 std::vector<double> out(2 * 8 * 4);
+                 fft_parallel(comm, 60, 8, 8, cols, out);
+               }),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace alge::algs

@@ -1,0 +1,99 @@
+// The experiment harness is what the benches and examples trust; verify it
+// end to end: results verified, counters populated, energy consistent with
+// the counters, and determinism across calls.
+#include <gtest/gtest.h>
+
+#include "algs/harness.hpp"
+#include "support/common.hpp"
+
+namespace alge::algs::harness {
+namespace {
+
+core::MachineParams test_params() {
+  core::MachineParams mp;
+  mp.gamma_t = 1.0;
+  mp.beta_t = 2.0;
+  mp.alpha_t = 10.0;
+  mp.gamma_e = 1.0;
+  mp.beta_e = 4.0;
+  mp.alpha_e = 20.0;
+  mp.delta_e = 1e-4;
+  mp.eps_e = 1e-2;
+  mp.max_msg_words = 64;
+  return mp;
+}
+
+void expect_sane(const RunResult& r, int want_p) {
+  EXPECT_EQ(r.p, want_p);
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.max_abs_error, 1e-8);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.totals.flops_total, 0.0);
+  EXPECT_GT(r.energy.total(), 0.0);
+  // Energy breakdown must be internally consistent.
+  const auto& b = r.energy.breakdown;
+  EXPECT_NEAR(b.total(),
+              b.flops + b.words + b.messages + b.memory + b.leakage, 1e-9);
+  EXPECT_DOUBLE_EQ(r.energy.makespan, r.makespan);
+}
+
+TEST(Harness, Mm25dVerifiedAndCounted) {
+  const auto r = run_mm25d(16, 2, 2, test_params(), /*verify=*/true);
+  expect_sane(r, 8);
+  EXPECT_GT(r.words_per_proc(), 0.0);
+}
+
+TEST(Harness, SummaVerified) {
+  const auto r = run_summa(16, 2, test_params(), true);
+  expect_sane(r, 4);
+}
+
+TEST(Harness, CapsVerified) {
+  CapsOptions opts;
+  opts.local_cutoff = 4;
+  const auto r = run_caps(14, 1, test_params(), opts, true);
+  expect_sane(r, 7);
+}
+
+TEST(Harness, NBodyVerified) {
+  const auto r = run_nbody(64, 8, 2, test_params(), true);
+  expect_sane(r, 8);
+}
+
+TEST(Harness, LuBothVariantsVerified) {
+  expect_sane(run_lu(16, 4, 2, 1, test_params(), true), 4);
+  expect_sane(run_lu(16, 4, 2, 2, test_params(), true), 8);
+}
+
+TEST(Harness, FftBothKindsVerified) {
+  expect_sane(run_fft(16, 16, 4, AllToAllKind::kDirect, test_params(), true),
+              4);
+  expect_sane(run_fft(16, 16, 4, AllToAllKind::kBruck, test_params(), true),
+              4);
+}
+
+TEST(Harness, DeterministicAcrossCalls) {
+  const auto a = run_mm25d(16, 2, 2, test_params(), false, /*seed=*/9);
+  const auto b = run_mm25d(16, 2, 2, test_params(), false, /*seed=*/9);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.totals.words_total, b.totals.words_total);
+  EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(Harness, SeedChangesDataNotCosts) {
+  // Different random inputs, identical communication structure.
+  const auto a = run_mm25d(16, 2, 2, test_params(), false, 1);
+  const auto b = run_mm25d(16, 2, 2, test_params(), false, 2);
+  EXPECT_DOUBLE_EQ(a.totals.words_total, b.totals.words_total);
+  EXPECT_DOUBLE_EQ(a.totals.msgs_total, b.totals.msgs_total);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Harness, UnverifiedRunSkipsReference) {
+  const auto r = run_nbody(64, 8, 2, test_params(), /*verify=*/false);
+  EXPECT_FALSE(r.verified);
+  EXPECT_DOUBLE_EQ(r.max_abs_error, 0.0);
+}
+
+}  // namespace
+}  // namespace alge::algs::harness

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/hetero.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "support/common.hpp"
+#include "support/stats.hpp"
+
+namespace alge::core {
+namespace {
+
+TEST(HeteroModel, HomogeneousBalanceEqualsEqualSplit) {
+  std::vector<HeteroProc> classes(1);
+  classes[0].gamma_t = 2.0;
+  classes[0].count = 8;
+  const auto bal = hetero_balance(classes, 800.0);
+  const auto eq = hetero_equal_split(classes, 800.0);
+  EXPECT_DOUBLE_EQ(bal.makespan, eq.makespan);
+  EXPECT_DOUBLE_EQ(bal.flops_per_class[0], 100.0);
+}
+
+TEST(HeteroModel, AllClassesFinishTogether) {
+  std::vector<HeteroProc> classes(3);
+  classes[0].gamma_t = 1.0;
+  classes[0].count = 2;
+  classes[1].gamma_t = 4.0;
+  classes[1].count = 3;
+  classes[2].gamma_t = 0.5;
+  classes[2].beta_t = 2.0;
+  classes[2].mem_words = 16.0;
+  classes[2].count = 1;
+  const auto bal = hetero_balance(classes, 1e6);
+  double assigned = 0.0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const double t =
+        bal.flops_per_class[i] * classes[i].time_rate();
+    EXPECT_LT(rel_diff(t, bal.makespan), 1e-12) << "class " << i;
+    assigned += bal.flops_per_class[i] * classes[i].count;
+  }
+  EXPECT_LT(rel_diff(assigned, 1e6), 1e-12);
+}
+
+TEST(HeteroModel, BalancedBeatsEqualSplitOnMixedMachine) {
+  // A GPU-ish fast class plus ARM-ish slow class (Table II's two poles).
+  std::vector<HeteroProc> classes(2);
+  classes[0].gamma_t = 1.0;  // fast
+  classes[0].count = 2;
+  classes[1].gamma_t = 10.0;  // slow
+  classes[1].count = 6;
+  const auto bal = hetero_balance(classes, 1e6);
+  const auto eq = hetero_equal_split(classes, 1e6);
+  EXPECT_LT(bal.makespan, eq.makespan);
+  // Equal split is pinned to the slow class.
+  EXPECT_LT(rel_diff(eq.makespan, 1e6 / 8.0 * 10.0), 1e-12);
+  // Balanced assigns 10x the work to the 10x faster processors.
+  EXPECT_LT(rel_diff(bal.flops_per_class[0] / bal.flops_per_class[1], 10.0),
+            1e-12);
+}
+
+TEST(HeteroModel, CommunicationRateShiftsWork) {
+  // Same flop speed, but one class has a slow link: it must get less work.
+  std::vector<HeteroProc> classes(2);
+  classes[0].gamma_t = 1.0;
+  classes[0].count = 1;
+  classes[1].gamma_t = 1.0;
+  classes[1].beta_t = 3.0;
+  classes[1].mem_words = 9.0;  // rate = 1 + 3/3 = 2
+  classes[1].count = 1;
+  const auto bal = hetero_balance(classes, 300.0);
+  EXPECT_LT(rel_diff(bal.flops_per_class[0], 200.0), 1e-12);
+  EXPECT_LT(rel_diff(bal.flops_per_class[1], 100.0), 1e-12);
+}
+
+TEST(HeteroModel, EnergyAccountsLeakageOverMakespan) {
+  std::vector<HeteroProc> classes(1);
+  classes[0].gamma_t = 1.0;
+  classes[0].gamma_e = 2.0;
+  classes[0].eps_e = 0.5;
+  classes[0].count = 4;
+  const auto bal = hetero_balance(classes, 400.0);
+  // Each proc: 100 flops, T = 100; E = 4*(100*2 + 0.5*100).
+  EXPECT_DOUBLE_EQ(bal.energy, 4.0 * (200.0 + 50.0));
+}
+
+TEST(HeteroModel, RejectsBadInput) {
+  EXPECT_THROW(hetero_balance({}, 1.0), invalid_argument_error);
+  std::vector<HeteroProc> classes(1);
+  classes[0].count = 0;
+  EXPECT_THROW(hetero_balance(classes, 1.0), invalid_argument_error);
+}
+
+TEST(HeteroSim, SpeedMultipliersChangeComputeTime) {
+  sim::MachineConfig cfg;
+  cfg.p = 2;
+  cfg.params = MachineParams::unit();
+  cfg.speed = {1.0, 4.0};
+  sim::Machine m(cfg);
+  m.run([&](sim::Comm& c) { c.compute(100.0); });
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).clock, 100.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(1).clock, 25.0);
+  // Flop counts (and hence flop energy) are speed-independent.
+  EXPECT_DOUBLE_EQ(m.rank_counters(1).flops, 100.0);
+}
+
+TEST(HeteroSim, BalancedPartitionEqualizesMeasuredClocks) {
+  // Close the loop: feed the model's partition into the simulator and
+  // check the ranks really finish together.
+  sim::MachineConfig cfg;
+  cfg.p = 3;
+  cfg.params = MachineParams::unit();
+  cfg.speed = {1.0, 2.0, 5.0};
+  std::vector<HeteroProc> classes(3);
+  for (int i = 0; i < 3; ++i) {
+    classes[static_cast<std::size_t>(i)].gamma_t =
+        1.0 / cfg.speed[static_cast<std::size_t>(i)];
+    classes[static_cast<std::size_t>(i)].count = 1;
+  }
+  const auto bal = hetero_balance(classes, 1000.0);
+  sim::Machine m(cfg);
+  m.run([&](sim::Comm& c) {
+    c.compute(bal.flops_per_class[static_cast<std::size_t>(c.rank())]);
+  });
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_LT(rel_diff(m.rank_counters(r).clock, bal.makespan), 1e-12);
+  }
+}
+
+TEST(HeteroSim, RejectsWrongSpeedVector) {
+  sim::MachineConfig cfg;
+  cfg.p = 2;
+  cfg.params = MachineParams::unit();
+  cfg.speed = {1.0};
+  EXPECT_THROW(sim::Machine m(cfg), invalid_argument_error);
+  cfg.speed = {1.0, 0.0};
+  EXPECT_THROW(sim::Machine m2(cfg), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace alge::core

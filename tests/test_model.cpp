@@ -1,0 +1,389 @@
+// Property tests: the paper's closed-form expressions (Eqs. 9–16, 18) must
+// agree with the generic Eq.(1)/(2) evaluation of each AlgModel, energy must
+// be independent of p inside the strong-scaling region, and M0 must be the
+// energy minimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algmodel.hpp"
+#include "core/closed_forms.hpp"
+#include "core/params.hpp"
+#include "core/scaling.hpp"
+#include "core/twolevel.hpp"
+#include "support/common.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace alge::core {
+namespace {
+
+/// Random but well-conditioned machine parameters.
+MachineParams random_params(Rng& rng, bool with_latency = true) {
+  MachineParams mp;
+  mp.gamma_t = rng.uniform(1e-12, 1e-9);
+  mp.beta_t = rng.uniform(1e-11, 1e-8);
+  mp.alpha_t = with_latency ? rng.uniform(1e-8, 1e-5) : 0.0;
+  mp.gamma_e = rng.uniform(1e-11, 1e-8);
+  mp.beta_e = rng.uniform(1e-10, 1e-7);
+  mp.alpha_e = with_latency ? rng.uniform(1e-8, 1e-5) : 0.0;
+  mp.delta_e = rng.uniform(1e-10, 1e-7);
+  mp.eps_e = rng.uniform(0.0, 1e-2);
+  mp.max_msg_words = rng.uniform(64.0, 1e6);
+  return mp;
+}
+
+class ClosedFormAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosedFormAgreement, ClassicalMatmulTimeAndEnergy) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const MachineParams mp = random_params(rng);
+  ClassicalMatmulModel model;
+  const double n = rng.uniform(1e3, 1e5);
+  const double p = rng.uniform(4.0, 1e5);
+  // M anywhere in the valid replication range.
+  const double lo = model.min_memory(n, p);
+  const double hi = model.max_useful_memory(n, p);
+  const double M = lo * std::pow(hi / lo, rng.next_double());
+  EXPECT_LT(rel_diff(model.time(n, p, M, mp), closed::mm25d_time(n, p, M, mp)),
+            1e-12);
+  EXPECT_LT(rel_diff(model.energy(n, p, M, mp), closed::mm25d_energy(n, M, mp)),
+            1e-12);
+}
+
+TEST_P(ClosedFormAgreement, Matmul3DLimit) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const MachineParams mp = random_params(rng);
+  ClassicalMatmulModel model;
+  const double n = rng.uniform(1e3, 1e5);
+  const double p = rng.uniform(8.0, 1e6);
+  const double M = model.max_useful_memory(n, p);
+  EXPECT_LT(rel_diff(model.energy(n, p, M, mp), closed::mm3d_energy(n, p, mp)),
+            1e-10);
+}
+
+TEST_P(ClosedFormAgreement, StrassenLimitedAndUnlimited) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const MachineParams mp = random_params(rng);
+  StrassenModel model;
+  const double w0 = model.omega();
+  const double n = rng.uniform(1e3, 1e5);
+  const double p = rng.uniform(4.0, 1e5);
+  const double lo = model.min_memory(n, p);
+  const double hi = model.max_useful_memory(n, p);
+  const double M = lo * std::pow(hi / lo, rng.next_double());
+  EXPECT_LT(rel_diff(model.energy(n, p, M, mp),
+                     closed::strassen_energy(n, M, w0, mp)),
+            1e-10);
+  EXPECT_LT(rel_diff(model.energy(n, p, hi, mp),
+                     closed::strassen_energy_unlimited(n, p, w0, mp)),
+            1e-10);
+}
+
+TEST_P(ClosedFormAgreement, NBodyTimeAndEnergy) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const MachineParams mp = random_params(rng);
+  const double f = rng.uniform(5.0, 50.0);
+  NBodyModel model(f);
+  const double n = rng.uniform(1e4, 1e8);
+  const double p = rng.uniform(4.0, 1e4);
+  const double lo = model.min_memory(n, p);
+  const double hi = model.max_useful_memory(n, p);
+  const double M = lo * std::pow(hi / lo, rng.next_double());
+  EXPECT_LT(
+      rel_diff(model.time(n, p, M, mp), closed::nbody_time(n, p, M, f, mp)),
+      1e-12);
+  EXPECT_LT(
+      rel_diff(model.energy(n, p, M, mp), closed::nbody_energy(n, M, f, mp)),
+      1e-12);
+}
+
+TEST_P(ClosedFormAgreement, FftTreeTimeAndEnergy) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+  const MachineParams mp = random_params(rng);
+  FftModel model(FftModel::AllToAll::kTree);
+  const double n = std::pow(2.0, std::floor(rng.uniform(16.0, 30.0)));
+  const double p = std::pow(2.0, std::floor(rng.uniform(1.0, 10.0)));
+  const double M = n / p;
+  EXPECT_LT(rel_diff(model.time(n, p, M, mp), closed::fft_time(n, p, mp)),
+            1e-12);
+  EXPECT_LT(rel_diff(model.energy(n, p, M, mp), closed::fft_energy(n, p, mp)),
+            1e-12);
+}
+
+TEST_P(ClosedFormAgreement, EnergyIndependentOfPInScalingRange) {
+  // The paper's headline: same M, more processors, same energy.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 5000);
+  const MachineParams mp = random_params(rng);
+  ClassicalMatmulModel mm;
+  NBodyModel nb(10.0);
+  StrassenModel st;
+  const double n = 65536.0;
+
+  for (const AlgModel* model :
+       {static_cast<const AlgModel*>(&mm), static_cast<const AlgModel*>(&st),
+        static_cast<const AlgModel*>(&nb)}) {
+    const double M = model->min_memory(n, 64.0);  // fits at p >= 64
+    const double p_lo = model->p_min(n, M);
+    const double p_hi = model->p_max(n, M);
+    ASSERT_GT(p_hi, p_lo * 2.0);
+    const double p1 = p_lo * std::pow(p_hi / p_lo, rng.next_double());
+    const double p2 = p_lo * std::pow(p_hi / p_lo, rng.next_double());
+    EXPECT_LT(rel_diff(model->energy(n, p1, M, mp),
+                       model->energy(n, p2, M, mp)),
+              1e-12)
+        << model->name();
+    // ... while time scales exactly as 1/p:
+    EXPECT_LT(rel_diff(model->time(n, p1, M, mp) * p1,
+                       model->time(n, p2, M, mp) * p2),
+              1e-12)
+        << model->name();
+  }
+}
+
+TEST_P(ClosedFormAgreement, M0MinimizesNBodyEnergy) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 6000);
+  const MachineParams mp = random_params(rng);
+  const double f = rng.uniform(2.0, 30.0);
+  const double M0 = closed::nbody_M0(f, mp);
+  const double n = M0 * 1e3;  // keep M0 well inside the valid range
+  const double e0 = closed::nbody_energy(n, M0, f, mp);
+  EXPECT_LT(rel_diff(e0, closed::nbody_min_energy(n, f, mp)), 1e-12);
+  for (double fac : {0.5, 0.9, 1.1, 2.0}) {
+    EXPECT_GE(closed::nbody_energy(n, M0 * fac, f, mp), e0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosedFormAgreement, ::testing::Range(0, 20));
+
+TEST(Params, UnitValidates) {
+  EXPECT_NO_THROW(MachineParams::unit().validate());
+}
+
+TEST(Params, RejectsNegativeAndNonFinite) {
+  MachineParams mp = MachineParams::unit();
+  mp.beta_t = -1.0;
+  EXPECT_THROW(mp.validate(), invalid_argument_error);
+  mp = MachineParams::unit();
+  mp.gamma_e = std::nan("");
+  EXPECT_THROW(mp.validate(), invalid_argument_error);
+  mp = MachineParams::unit();
+  mp.max_msg_words = 0.5;
+  EXPECT_THROW(mp.validate(), invalid_argument_error);
+}
+
+TEST(Costs, Eq1AndEq2Direct) {
+  MachineParams mp;
+  mp.gamma_t = 2.0;
+  mp.beta_t = 3.0;
+  mp.alpha_t = 5.0;
+  mp.gamma_e = 7.0;
+  mp.beta_e = 11.0;
+  mp.alpha_e = 13.0;
+  mp.delta_e = 0.1;
+  mp.eps_e = 0.01;
+  const Costs c{100.0, 10.0, 2.0};
+  const double T = time_of(c, mp);
+  EXPECT_DOUBLE_EQ(T, 2.0 * 100 + 3.0 * 10 + 5.0 * 2);
+  const double E = energy_of(c, 4.0, 50.0, T, mp);
+  EXPECT_DOUBLE_EQ(E, 4.0 * (7.0 * 100 + 11.0 * 10 + 13.0 * 2 +
+                             0.1 * 50.0 * T + 0.01 * T));
+  const EnergyBreakdown b = energy_breakdown(c, 4.0, 50.0, T, mp);
+  EXPECT_DOUBLE_EQ(b.total(), E);
+  EXPECT_DOUBLE_EQ(b.flops, 4.0 * 7.0 * 100);
+}
+
+TEST(AlgModels, MemoryRangesAreOrdered) {
+  ClassicalMatmulModel mm;
+  StrassenModel st;
+  NBodyModel nb(8.0);
+  LuModel lu;
+  const double n = 4096.0;
+  for (double p : {4.0, 64.0, 4096.0}) {
+    for (const AlgModel* m :
+         {static_cast<const AlgModel*>(&mm), static_cast<const AlgModel*>(&st),
+          static_cast<const AlgModel*>(&nb),
+          static_cast<const AlgModel*>(&lu)}) {
+      EXPECT_LE(m->min_memory(n, p), m->max_useful_memory(n, p))
+          << m->name() << " p=" << p;
+    }
+  }
+}
+
+TEST(AlgModels, ScalingRangeEndpointsConsistent) {
+  // p_min(n, M) and p_max(n, M) invert the memory range formulas.
+  ClassicalMatmulModel mm;
+  const double n = 10000.0;
+  const double p = 100.0;
+  const double M = mm.min_memory(n, p);  // 2D memory at p
+  EXPECT_LT(rel_diff(mm.p_min(n, M), p), 1e-12);
+  EXPECT_LT(rel_diff(mm.p_max(n, M), std::pow(p, 1.5)), 1e-12);
+  NBodyModel nb(1.0);
+  const double Mn = nb.min_memory(n, p);
+  EXPECT_LT(rel_diff(nb.p_min(n, Mn), p), 1e-12);
+  EXPECT_LT(rel_diff(nb.p_max(n, Mn), p * p), 1e-12);
+}
+
+TEST(AlgModels, StrassenReducesTowardClassicalAtOmega3) {
+  StrassenModel nearly3(2.999999);
+  ClassicalMatmulModel classical;
+  const MachineParams mp = MachineParams::unit();
+  const double n = 1024.0;
+  const double p = 64.0;
+  const double M = n * n / p;
+  EXPECT_LT(rel_diff(nearly3.energy(n, p, M, mp),
+                     classical.energy(n, p, M, mp)),
+            1e-3);
+}
+
+TEST(AlgModels, RequiresFittingMemory) {
+  ClassicalMatmulModel mm;
+  const MachineParams mp = MachineParams::unit();
+  EXPECT_THROW(mm.costs(1000.0, 4.0, /*M too small=*/100.0, mp.max_msg_words),
+               invalid_argument_error);
+}
+
+TEST(AlgModels, ExtraMemoryBeyond3DLimitDoesNotReduceW) {
+  ClassicalMatmulModel mm;
+  const double n = 4096.0;
+  const double p = 64.0;
+  const double cap = mm.max_useful_memory(n, p);
+  const Costs at_cap = mm.costs(n, p, cap, 1e18);
+  const Costs beyond = mm.costs(n, p, cap * 100.0, 1e18);
+  EXPECT_DOUBLE_EQ(at_cap.W, beyond.W);
+}
+
+TEST(AlgModels, LuLatencyGrowsWithP) {
+  LuModel lu;
+  const double n = 8192.0;
+  const double M = 4096.0;  // fixed per-processor memory
+  const double p1 = lu.p_min(n, M);
+  const Costs c1 = lu.costs(n, p1, M, 1e18);
+  const Costs c2 = lu.costs(n, 4.0 * p1, M, 1e18);
+  // Bandwidth strong-scales...
+  EXPECT_LT(rel_diff(c2.W, c1.W / 4.0), 1e-12);
+  // ...but latency grows with p: S = p·sqrt(M)/n.
+  EXPECT_LT(rel_diff(c2.S, 4.0 * c1.S), 1e-12);
+}
+
+TEST(AlgModels, FftNaiveVsTreeTradeoff) {
+  FftModel naive(FftModel::AllToAll::kNaive);
+  FftModel tree(FftModel::AllToAll::kTree);
+  const double n = 1 << 20;
+  const double p = 256.0;
+  const Costs cn = naive.costs(n, p, n / p, 1e18);
+  const Costs ct = tree.costs(n, p, n / p, 1e18);
+  EXPECT_LT(ct.S, cn.S);
+  EXPECT_GT(ct.W, cn.W);
+  EXPECT_DOUBLE_EQ(cn.S, p);
+  EXPECT_DOUBLE_EQ(ct.S, std::log2(p));
+}
+
+TEST(AlgModels, FftSingleProcessorHasNoComm) {
+  FftModel naive(FftModel::AllToAll::kNaive);
+  const Costs c = naive.costs(1 << 16, 1.0, 1 << 16, 1e18);
+  EXPECT_DOUBLE_EQ(c.W, 0.0);
+  EXPECT_DOUBLE_EQ(c.S, 0.0);
+}
+
+TEST(ScalingSeries, FlatThenRising) {
+  // Figure 3's shape: W·p constant inside the region, rising past p_max.
+  ClassicalMatmulModel mm;
+  const MachineParams mp = MachineParams::unit();
+  const double n = 1 << 16;
+  const double M = 1 << 22;
+  const auto series = strong_scaling_series(mm, n, M, mp, 64.0, 65);
+  ASSERT_GT(series.size(), 10u);
+  double flat_ref = -1.0;
+  double last_beyond = -1.0;
+  int beyond_count = 0;
+  for (const auto& pt : series) {
+    if (pt.in_scaling_range) {
+      if (flat_ref < 0.0) flat_ref = pt.W_times_p;
+      EXPECT_LT(rel_diff(pt.W_times_p, flat_ref), 1e-9);
+    } else if (pt.p > mm.p_max(n, M)) {
+      if (last_beyond > 0.0) {
+        EXPECT_GT(pt.W_times_p, last_beyond);
+      }
+      last_beyond = pt.W_times_p;
+      ++beyond_count;
+    }
+  }
+  EXPECT_GT(beyond_count, 3);
+  // Past the limit the growth rate is p^(1/3) for classical matmul.
+  const auto& a = series[series.size() - 5];
+  const auto& b = series.back();
+  const double slope = std::log(b.W_times_p / a.W_times_p) /
+                       std::log(b.p / a.p);
+  EXPECT_NEAR(slope, 1.0 / 3.0, 0.02);
+}
+
+TEST(ScalingSeries, StrassenRisesSlowerThanClassical) {
+  // Figure 3 shows the Strassen-like curve turning up earlier but with a
+  // shallower slope 1 - 2/ω0 < 1/3... (for W·p the classical slope is 1/3,
+  // the Strassen slope is 1 - 2/ω0 ≈ 0.2876).
+  StrassenModel st;
+  const MachineParams mp = MachineParams::unit();
+  const double n = 1 << 16;
+  const double M = 1 << 22;
+  const auto series = strong_scaling_series(st, n, M, mp, 64.0, 65);
+  const auto& a = series[series.size() - 5];
+  const auto& b = series.back();
+  const double slope = std::log(b.W_times_p / a.W_times_p) /
+                       std::log(b.p / a.p);
+  EXPECT_NEAR(slope, 1.0 - 2.0 / st.omega(), 0.02);
+  // Strassen's scaling range ends earlier: p_max smaller than classical's.
+  ClassicalMatmulModel mm;
+  EXPECT_LT(st.p_max(n, M), mm.p_max(n, M));
+}
+
+TEST(TwoLevel, ReducesToGammaTermWhenCommFree) {
+  TwoLevelParams tp;
+  tp.p_nodes = 4;
+  tp.p_cores = 8;
+  tp.mem_node = 1e6;
+  tp.mem_core = 1e4;
+  tp.gamma_t = 1e-9;
+  tp.beta_t_node = tp.beta_t_core = 0.0;
+  tp.alpha_t_node = tp.alpha_t_core = 0.0;
+  const double n = 512.0;
+  EXPECT_LT(rel_diff(twolevel_mm_time(n, tp), 1e-9 * n * n * n / 32.0),
+            1e-12);
+  EXPECT_LT(rel_diff(twolevel_nbody_time(n, 10.0, tp),
+                     1e-9 * 10.0 * n * n / 32.0),
+            1e-12);
+}
+
+TEST(TwoLevel, EnergyGrowsWithLeakage) {
+  TwoLevelParams tp;
+  tp.p_nodes = 2;
+  tp.p_cores = 4;
+  tp.mem_node = 1e6;
+  tp.mem_core = 1e4;
+  const double base = twolevel_mm_energy(256.0, tp);
+  tp.eps_e *= 10.0;
+  EXPECT_GT(twolevel_mm_energy(256.0, tp), base);
+}
+
+TEST(TwoLevel, FasterIntraNodeLinkReducesTime) {
+  TwoLevelParams tp;
+  tp.p_nodes = 2;
+  tp.p_cores = 8;
+  tp.mem_node = 1 << 20;
+  tp.mem_core = 1 << 12;
+  const double slow = twolevel_mm_time(1024.0, tp);
+  tp.beta_t_core /= 8.0;
+  EXPECT_LT(twolevel_mm_time(1024.0, tp), slow);
+}
+
+TEST(TwoLevel, ValidationRejectsBadStructure) {
+  TwoLevelParams tp;
+  tp.p_nodes = 0;
+  EXPECT_THROW(tp.validate(), invalid_argument_error);
+  tp = TwoLevelParams{};
+  tp.mem_core = 0.0;
+  EXPECT_THROW(tp.validate(), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace alge::core

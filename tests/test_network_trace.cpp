@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algs/matmul/distributed.hpp"
+#include "algs/matmul/local.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+#include "support/common.hpp"
+#include "support/rng.hpp"
+#include "topo/grid.hpp"
+
+namespace alge::sim {
+namespace {
+
+MachineConfig unit_config(int p) {
+  MachineConfig cfg;
+  cfg.p = p;
+  cfg.params = core::MachineParams::unit();
+  return cfg;
+}
+
+// --- Network models ---
+
+TEST(Network, FullyConnectedIsOneHop) {
+  FullyConnectedNetwork net;
+  EXPECT_EQ(net.hops(0, 5, 8), 1);
+  EXPECT_EQ(net.hops(3, 3, 8), 0);
+  EXPECT_THROW(net.hops(0, 8, 8), invalid_argument_error);
+}
+
+TEST(Network, RingWrapsBothWays) {
+  RingNetwork net;
+  EXPECT_EQ(net.hops(0, 1, 8), 1);
+  EXPECT_EQ(net.hops(0, 7, 8), 1);  // wrap
+  EXPECT_EQ(net.hops(0, 4, 8), 4);  // antipode
+  EXPECT_EQ(net.hops(2, 6, 8), 4);
+}
+
+TEST(Network, Torus3DManhattanWithWrap) {
+  Torus3DNetwork net(4, 4, 2);  // 32 ranks, rank = z*16 + y*4 + x
+  EXPECT_EQ(net.hops(0, 1, 32), 1);       // +x
+  EXPECT_EQ(net.hops(0, 3, 32), 1);       // x wrap
+  EXPECT_EQ(net.hops(0, 4, 32), 1);       // +y
+  EXPECT_EQ(net.hops(0, 16, 32), 1);      // +z
+  EXPECT_EQ(net.hops(0, 2 + 2 * 4 + 16, 32), 2 + 2 + 1);  // mixed
+  EXPECT_THROW(net.hops(0, 1, 16), invalid_argument_error);  // wrong p
+}
+
+TEST(Network, TorusMatchesGrid3DNeighbours) {
+  // The Grid3D rank numbering lands on a (q, q, c) torus so that Cannon
+  // shifts and depth broadcasts are 1 hop.
+  const topo::Grid3D grid(4, 2);
+  const Torus3DNetwork net(4, 4, 2);
+  const int p = grid.p();
+  const int r = grid.rank_of(1, 2, 0);
+  EXPECT_EQ(net.hops(r, grid.rank_of(1, 3, 0), p), 1);  // column shift
+  EXPECT_EQ(net.hops(r, grid.rank_of(2, 2, 0), p), 1);  // row shift
+  EXPECT_EQ(net.hops(r, grid.rank_of(1, 2, 1), p), 1);  // depth
+}
+
+TEST(Network, HopWeightedCountersAndLatency) {
+  MachineConfig cfg = unit_config(8);
+  cfg.network = std::make_shared<RingNetwork>();
+  Machine m(cfg);
+  m.run([&](Comm& c) {
+    std::vector<double> buf(10, 1.0);
+    if (c.rank() == 0) {
+      c.send(4, buf);  // 4 hops
+    } else if (c.rank() == 4) {
+      c.recv(0, buf);
+    }
+  });
+  const auto& c0 = m.rank_counters(0);
+  EXPECT_DOUBLE_EQ(c0.words_sent, 10.0);
+  EXPECT_DOUBLE_EQ(c0.words_hops, 40.0);
+  EXPECT_DOUBLE_EQ(c0.msgs_hops, 4.0);
+  // Unit params, wormhole: T = 4 hops * alpha + 10 words * beta.
+  EXPECT_DOUBLE_EQ(c0.clock, 4.0 + 10.0);
+  // Energy words term uses hop-weighted traffic.
+  EXPECT_DOUBLE_EQ(m.energy().breakdown.words, 40.0);
+  EXPECT_DOUBLE_EQ(m.energy().breakdown.messages, 4.0);
+}
+
+TEST(Network, DefaultNetworkKeepsPlainCounts) {
+  Machine m(unit_config(2));
+  m.run([&](Comm& c) {
+    std::vector<double> buf(10, 1.0);
+    if (c.rank() == 0) {
+      c.send(1, buf);
+    } else {
+      c.recv(0, buf);
+    }
+  });
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).words_hops,
+                   m.rank_counters(0).words_sent);
+  EXPECT_DOUBLE_EQ(m.energy().breakdown.words, 10.0);
+}
+
+TEST(Network, CannonTrafficIsNearestNeighbourOnTorus) {
+  // The paper's Section-IV claim, measured: on the matching torus, 2.5D
+  // matmul's hop-weighted words stay close to its plain words (most traffic
+  // is 1 hop), so the flat-link energy model remains valid.
+  const int q = 4;
+  const int c = 2;
+  const int n = 16;
+  topo::Grid3D grid(q, c);
+  Rng rng(5);
+  const auto A = algs::random_matrix(n, n, rng);
+  auto run = [&](std::shared_ptr<const NetworkModel> net) {
+    MachineConfig cfg = unit_config(grid.p());
+    cfg.network = std::move(net);
+    Machine m(cfg);
+    m.run([&](Comm& comm) {
+      const int i = grid.row_of(comm.rank());
+      const int j = grid.col_of(comm.rank());
+      if (grid.layer_of(comm.rank()) == 0) {
+        std::vector<double> a(static_cast<std::size_t>(n / q) * (n / q), 1.0);
+        std::vector<double> cb(a.size(), 0.0);
+        algs::mm_25d(comm, grid, n, a, a, cb);
+      } else {
+        algs::mm_25d(comm, grid, n, {}, {}, {});
+      }
+      (void)i;
+      (void)j;
+    });
+    return m.totals();
+  };
+  const auto torus = run(std::make_shared<Torus3DNetwork>(q, q, c));
+  const auto ring = run(std::make_shared<RingNetwork>());
+  // On the matched torus the average hop count stays small...
+  EXPECT_LT(torus.words_hops_total, 1.7 * torus.words_total);
+  // ...while a 1D ring stretches the same traffic across many hops.
+  EXPECT_GT(ring.words_hops_total, 2.5 * ring.words_total);
+}
+
+// --- Tracing ---
+
+TEST(TraceTest, DisabledByDefault) {
+  Machine m(unit_config(2));
+  m.run([&](Comm& c) { c.compute(5.0); });
+  EXPECT_TRUE(m.trace().empty());
+}
+
+TEST(TraceTest, RecordsComputeSendRecvIdle) {
+  MachineConfig cfg = unit_config(2);
+  cfg.enable_trace = true;
+  Machine m(cfg);
+  m.run([&](Comm& c) {
+    std::vector<double> buf(4, 1.0);
+    if (c.rank() == 0) {
+      c.compute(10.0);
+      c.send(1, buf);
+    } else {
+      c.recv(0, buf);  // idles until arrival
+    }
+  });
+  const Trace& tr = m.trace();
+  ASSERT_FALSE(tr.empty());
+  const auto s0 = tr.summarize(0);
+  EXPECT_DOUBLE_EQ(s0.compute_time, 10.0);
+  EXPECT_EQ(s0.sends, 1u);
+  EXPECT_DOUBLE_EQ(s0.send_time, 1.0 + 4.0);  // alpha + k*beta
+  const auto s1 = tr.summarize(1);
+  EXPECT_EQ(s1.recvs, 1u);
+  EXPECT_DOUBLE_EQ(s1.idle_time, 15.0);  // waited for compute + transfer
+}
+
+TEST(TraceTest, EventsConserveMessages) {
+  MachineConfig cfg = unit_config(4);
+  cfg.enable_trace = true;
+  Machine m(cfg);
+  m.run([&](Comm& c) {
+    std::vector<double> buf(2, 0.0);
+    c.allreduce_sum(buf, Group::world(4));
+  });
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+  for (const auto& ev : m.trace().events()) {
+    if (ev.kind == TraceEvent::Kind::kSend) ++sends;
+    if (ev.kind == TraceEvent::Kind::kRecv) ++recvs;
+  }
+  EXPECT_EQ(sends, recvs);
+  EXPECT_GT(sends, 0u);
+}
+
+TEST(TraceTest, IdleMatchesCounter) {
+  MachineConfig cfg = unit_config(2);
+  cfg.enable_trace = true;
+  Machine m(cfg);
+  m.run([&](Comm& c) {
+    std::vector<double> buf(1, 0.0);
+    if (c.rank() == 0) {
+      c.compute(100.0);
+      c.send(1, buf);
+    } else {
+      c.recv(0, buf);
+    }
+  });
+  EXPECT_DOUBLE_EQ(m.trace().summarize(1).idle_time,
+                   m.rank_counters(1).idle_time);
+}
+
+TEST(TraceTest, TimelineRendersAllRanks) {
+  MachineConfig cfg = unit_config(3);
+  cfg.enable_trace = true;
+  Machine m(cfg);
+  m.run([&](Comm& c) {
+    c.compute(10.0 * (c.rank() + 1));
+    c.barrier();
+  });
+  const std::string chart = m.trace().render_timeline(3, 40);
+  EXPECT_NE(chart.find("rank   0"), std::string::npos);
+  EXPECT_NE(chart.find("rank   2"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);  // compute shows up
+}
+
+TEST(TraceTest, ResetClearsTrace) {
+  MachineConfig cfg = unit_config(1);
+  cfg.enable_trace = true;
+  Machine m(cfg);
+  m.run([&](Comm& c) { c.compute(1.0); });
+  EXPECT_FALSE(m.trace().empty());
+  m.reset();
+  EXPECT_TRUE(m.trace().empty());
+}
+
+}  // namespace
+}  // namespace alge::sim

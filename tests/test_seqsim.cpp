@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "seqsim/cache.hpp"
+#include "support/common.hpp"
+
+namespace alge::seqsim {
+namespace {
+
+TEST(LruCacheTest, ColdMissesThenHits) {
+  LruCache c(4);
+  c.read(1);
+  c.read(2);
+  c.read(1);
+  EXPECT_EQ(c.accesses(), 3u);
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_NEAR(c.hit_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache c(2);
+  c.read(1);
+  c.read(2);
+  c.read(1);  // 2 is now LRU
+  c.read(3);  // evicts 2
+  c.read(1);  // still resident: hit
+  EXPECT_EQ(c.misses(), 3u);
+  c.read(2);  // was evicted: miss
+  EXPECT_EQ(c.misses(), 4u);
+}
+
+TEST(LruCacheTest, DirtyEvictionCountsWriteback) {
+  LruCache c(1);
+  c.write(7);
+  EXPECT_EQ(c.writebacks(), 0u);
+  c.read(8);  // evicts dirty 7
+  EXPECT_EQ(c.writebacks(), 1u);
+  c.read(9);  // evicts clean 8
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(LruCacheTest, FlushAccountsResidentDirty) {
+  LruCache c(4);
+  c.write(1);
+  c.write(2);
+  c.read(3);
+  // 3 misses + 0 writebacks + 2 dirty resident.
+  EXPECT_EQ(c.traffic_with_flush(), 5u);
+}
+
+TEST(LruCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW(LruCache c(0), invalid_argument_error);
+}
+
+TEST(TracedMatmul, BothVariantsComputeCorrectProduct) {
+  const auto naive = traced_matmul_naive(24, 256);
+  EXPECT_LT(naive.max_abs_error, 1e-12);
+  const auto blocked = traced_matmul_blocked(24, 8, 256);
+  EXPECT_LT(blocked.max_abs_error, 1e-12);
+  EXPECT_DOUBLE_EQ(naive.flops, blocked.flops);
+}
+
+TEST(TracedMatmul, WholeProblemInCacheMovesCompulsoryOnly) {
+  // Fast memory holds all three matrices: W = 3n² (load A,B + flush C...
+  // C is loaded once and written back: 3n² loads + n² flush).
+  const int n = 8;
+  const auto run = traced_matmul_naive(n, 4096);
+  EXPECT_EQ(run.words_moved, static_cast<std::size_t>(4 * n * n));
+}
+
+TEST(TracedMatmul, BlockingBeatsNaiveUnderSmallCache) {
+  const int n = 48;
+  const std::size_t M = 768;  // far smaller than 3n² = 6912
+  const auto naive = traced_matmul_naive(n, M);
+  const auto blocked = traced_matmul_blocked(n, optimal_block(M), M);
+  EXPECT_LT(blocked.words_moved, naive.words_moved / 4);
+}
+
+TEST(TracedMatmul, BlockedAttainsSequentialLowerBound) {
+  // Eq. (3): W = Ω(n³/√M). The blocked schedule must sit within a small
+  // constant of it across cache sizes; tightening M must not break that.
+  const int n = 48;
+  for (std::size_t M : {512u, 1024u, 4096u}) {
+    const auto run = traced_matmul_blocked(n, optimal_block(M), M);
+    const double bound = core::bounds::sequential_words(
+        static_cast<double>(n) * n * n, static_cast<double>(M),
+        3.0 * n * n / 2.0, 0.0);
+    const double ratio = static_cast<double>(run.words_moved) / bound;
+    EXPECT_GT(ratio, 0.3) << "M=" << M;
+    EXPECT_LT(ratio, 8.0) << "M=" << M;
+  }
+}
+
+TEST(TracedMatmul, NaiveTrafficDegradesRelativeToBound) {
+  // The naive order re-streams B for every (i, j): its W/bound ratio grows
+  // like √M while the blocked ratio stays flat — the sequential face of
+  // "use all available memory".
+  const int n = 48;
+  auto ratio = [&](std::size_t M, bool blocked) {
+    const auto run = blocked
+                         ? traced_matmul_blocked(n, optimal_block(M), M)
+                         : traced_matmul_naive(n, M);
+    const double bound = core::bounds::sequential_words(
+        static_cast<double>(n) * n * n, static_cast<double>(M), 0.0, 0.0);
+    return static_cast<double>(run.words_moved) / bound;
+  };
+  EXPECT_GT(ratio(2048, false), 4.0 * ratio(2048, true));
+  // Naive ratio grows with M; blocked stays within a narrow band.
+  EXPECT_GT(ratio(2048, false), 1.5 * ratio(512, false));
+  EXPECT_LT(ratio(2048, true) / ratio(512, true), 2.0);
+}
+
+TEST(TracedLu, BothVariantsMatchSerialFactorization) {
+  const auto naive = traced_lu_naive(24, 128);
+  EXPECT_LT(naive.max_abs_error, 1e-10);
+  const auto blocked = traced_lu_blocked(24, 6, 128);
+  EXPECT_LT(blocked.max_abs_error, 1e-10);
+  // Same arithmetic, same flop count: n(n-1)/2 divisions + 2·(trailing).
+  EXPECT_DOUBLE_EQ(naive.flops, blocked.flops);
+}
+
+TEST(TracedLu, BlockingReducesTrafficUnderSmallCache) {
+  const int n = 48;
+  const std::size_t M = 512;  // n² = 2304 does not fit
+  const auto naive = traced_lu_naive(n, M);
+  const auto blocked = traced_lu_blocked(n, optimal_block(M), M);
+  EXPECT_LT(blocked.words_moved, naive.words_moved / 2);
+}
+
+TEST(TracedLu, BlockedStaysNearTheMatmulTypeBound) {
+  // Section III: the Ω(F/√M) bound covers LU (F = n³/3 here).
+  const int n = 48;
+  for (std::size_t M : {256u, 1024u}) {
+    const auto run = traced_lu_blocked(n, optimal_block(M), M);
+    const double bound = core::bounds::sequential_words(
+        run.flops, static_cast<double>(M), 0.0, 0.0);
+    const double ratio = static_cast<double>(run.words_moved) / bound;
+    EXPECT_GT(ratio, 0.2) << "M=" << M;
+    EXPECT_LT(ratio, 10.0) << "M=" << M;
+  }
+}
+
+TEST(OptimalBlock, ThreeTilesFit) {
+  for (std::size_t M : {12u, 48u, 300u, 3000u}) {
+    const int b = optimal_block(M);
+    EXPECT_LE(static_cast<std::size_t>(3 * b * b), M);
+    EXPECT_GT(3 * (b + 1) * (b + 1), static_cast<int>(M));
+  }
+  EXPECT_EQ(optimal_block(1), 1);
+}
+
+}  // namespace
+}  // namespace alge::seqsim

@@ -1,0 +1,549 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "support/common.hpp"
+#include "topo/grid.hpp"
+
+namespace alge::sim {
+namespace {
+
+core::MachineParams unit_params() { return core::MachineParams::unit(); }
+
+MachineConfig unit_config(int p) {
+  MachineConfig cfg;
+  cfg.p = p;
+  cfg.params = unit_params();
+  return cfg;
+}
+
+TEST(SimPointToPoint, PayloadDelivered) {
+  Machine m(unit_config(2));
+  std::vector<double> got(3);
+  m.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> data = {1.0, 2.0, 3.0};
+      c.send(1, data);
+    } else {
+      c.recv(0, got);
+    }
+  });
+  EXPECT_EQ(got, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(SimPointToPoint, CountersMatchTraffic) {
+  Machine m(unit_config(2));
+  m.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> data(10, 1.0);
+      c.send(1, data);
+    } else {
+      std::vector<double> buf(10);
+      c.recv(0, buf);
+    }
+  });
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).words_sent, 10.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).msgs_sent, 1.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(1).words_recv, 10.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(1).msgs_recv, 1.0);
+  // Unit params: sender time = alpha*1 + beta*10 = 11.
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).clock, 11.0);
+  // Receiver synchronizes to arrival.
+  EXPECT_DOUBLE_EQ(m.rank_counters(1).clock, 11.0);
+  EXPECT_DOUBLE_EQ(m.makespan(), 11.0);
+}
+
+TEST(SimPointToPoint, MessageSplitAtCap) {
+  MachineConfig cfg = unit_config(2);
+  cfg.params.max_msg_words = 4;  // 10 words -> 3 messages
+  Machine m(cfg);
+  m.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> data(10, 0.0);
+      c.send(1, data);
+    } else {
+      std::vector<double> buf(10);
+      c.recv(0, buf);
+    }
+  });
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).msgs_sent, 3.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).words_sent, 10.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).clock, 3.0 * 1.0 + 10.0 * 1.0);
+}
+
+TEST(SimPointToPoint, ZeroWordMessageStillCostsLatency) {
+  Machine m(unit_config(2));
+  m.run([&](Comm& c) {
+    std::span<double> none;
+    if (c.rank() == 0) {
+      c.send(1, none);
+    } else {
+      c.recv(0, none);
+    }
+  });
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).msgs_sent, 1.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).words_sent, 0.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).clock, 1.0);
+}
+
+TEST(SimPointToPoint, SelfSendIsFree) {
+  Machine m(unit_config(1));
+  std::vector<double> got(2);
+  m.run([&](Comm& c) {
+    const std::vector<double> data = {5.0, 6.0};
+    c.send(0, data);
+    c.recv(0, got);
+  });
+  EXPECT_EQ(got, (std::vector<double>{5.0, 6.0}));
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).words_sent, 0.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).clock, 0.0);
+}
+
+TEST(SimPointToPoint, TagsKeepStreamsSeparate) {
+  Machine m(unit_config(2));
+  std::vector<double> a(1);
+  std::vector<double> b(1);
+  m.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> x = {1.0};
+      const std::vector<double> y = {2.0};
+      c.send(1, x, /*tag=*/7);
+      c.send(1, y, /*tag=*/8);
+    } else {
+      // Receive in the opposite order of sending: tags must disambiguate.
+      c.recv(0, b, /*tag=*/8);
+      c.recv(0, a, /*tag=*/7);
+    }
+  });
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[0], 2.0);
+}
+
+TEST(SimPointToPoint, FifoPerSourceAndTag) {
+  Machine m(unit_config(2));
+  std::vector<double> first(1);
+  std::vector<double> second(1);
+  m.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> x = {10.0};
+      const std::vector<double> y = {20.0};
+      c.send(1, x);
+      c.send(1, y);
+    } else {
+      c.recv(0, first);
+      c.recv(0, second);
+    }
+  });
+  EXPECT_DOUBLE_EQ(first[0], 10.0);
+  EXPECT_DOUBLE_EQ(second[0], 20.0);
+}
+
+TEST(SimPointToPoint, SizeMismatchIsError) {
+  Machine m(unit_config(2));
+  EXPECT_THROW(
+      m.run([&](Comm& c) {
+        if (c.rank() == 0) {
+          std::vector<double> data(5, 0.0);
+          c.send(1, data);
+        } else {
+          std::vector<double> buf(4);
+          c.recv(0, buf);
+        }
+      }),
+      SimError);
+}
+
+TEST(SimPointToPoint, UnconsumedMessageIsError) {
+  Machine m(unit_config(2));
+  EXPECT_THROW(m.run([&](Comm& c) {
+                 if (c.rank() == 0) {
+                   std::vector<double> data(1, 0.0);
+                   c.send(1, data);
+                 }
+               }),
+               SimError);
+}
+
+TEST(SimDeadlock, MutualRecvDiagnosed) {
+  Machine m(unit_config(2));
+  try {
+    m.run([&](Comm& c) {
+      std::vector<double> buf(1);
+      c.recv(1 - c.rank(), buf);
+    });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock"), std::string::npos);
+    EXPECT_NE(msg.find("rank 0 waiting"), std::string::npos);
+  }
+}
+
+TEST(SimCompute, AdvancesClockAndFlops) {
+  MachineConfig cfg = unit_config(1);
+  cfg.params.gamma_t = 0.5;
+  Machine m(cfg);
+  m.run([&](Comm& c) { c.compute(100.0); });
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).flops, 100.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).clock, 50.0);
+}
+
+TEST(SimTime, ReceiverWaitsForLateSender) {
+  Machine m(unit_config(2));
+  m.run([&](Comm& c) {
+    std::vector<double> buf(1, 0.0);
+    if (c.rank() == 0) {
+      c.compute(100.0);  // clock 100
+      c.send(1, buf);    // arrival 102
+    } else {
+      c.recv(0, buf);
+    }
+  });
+  EXPECT_DOUBLE_EQ(m.rank_counters(1).clock, 102.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(1).idle_time, 102.0);
+}
+
+TEST(SimTime, EarlySendDoesNotStallReceiver) {
+  Machine m(unit_config(2));
+  m.run([&](Comm& c) {
+    std::vector<double> buf(1, 0.0);
+    if (c.rank() == 0) {
+      c.send(1, buf);  // arrival 2
+    } else {
+      c.compute(50.0);
+      c.recv(0, buf);  // already there
+    }
+  });
+  EXPECT_DOUBLE_EQ(m.rank_counters(1).clock, 50.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(1).idle_time, 0.0);
+}
+
+TEST(SimMemory, HighWaterTracksBuffers) {
+  Machine m(unit_config(1));
+  m.run([&](Comm& c) {
+    auto a = c.alloc(100);
+    {
+      auto b = c.alloc(50);
+      EXPECT_EQ(c.counters().mem_words, 150u);
+    }
+    EXPECT_EQ(c.counters().mem_words, 100u);
+    auto d = c.alloc(20);
+  });
+  EXPECT_EQ(m.rank_counters(0).mem_highwater, 150u);
+  EXPECT_EQ(m.rank_counters(0).mem_words, 0u);
+}
+
+TEST(SimMemory, CapacityEnforced) {
+  MachineConfig cfg = unit_config(1);
+  cfg.params.mem_words = 64;
+  Machine m(cfg);
+  EXPECT_THROW(m.run([&](Comm& c) { auto b = c.alloc(65); }), SimError);
+}
+
+TEST(SimMemory, CapacityExactFitOk) {
+  MachineConfig cfg = unit_config(1);
+  cfg.params.mem_words = 64;
+  Machine m(cfg);
+  EXPECT_NO_THROW(m.run([&](Comm& c) { auto b = c.alloc(64); }));
+}
+
+TEST(SimEnergyTest, UnitParamsMatchCounts) {
+  Machine m(unit_config(2));
+  m.run([&](Comm& c) {
+    auto buf = c.alloc(8);
+    c.compute(10.0);
+    if (c.rank() == 0) {
+      c.send(1, buf.span());
+    } else {
+      c.recv(0, buf.span());
+    }
+  });
+  const SimEnergy e = m.energy();
+  // flops: 2 ranks * 10; words: 8; messages: 1.
+  EXPECT_DOUBLE_EQ(e.breakdown.flops, 20.0);
+  EXPECT_DOUBLE_EQ(e.breakdown.words, 8.0);
+  EXPECT_DOUBLE_EQ(e.breakdown.messages, 1.0);
+  // memory: p * mean_highwater(8) * T; leakage: p * T.
+  const double T = m.makespan();
+  EXPECT_DOUBLE_EQ(e.breakdown.memory, 2.0 * 8.0 * T);
+  EXPECT_DOUBLE_EQ(e.breakdown.leakage, 2.0 * T);
+  EXPECT_DOUBLE_EQ(e.total(), 20.0 + 8.0 + 1.0 + 2.0 * 8.0 * T + 2.0 * T);
+  EXPECT_GT(e.power(), 0.0);
+}
+
+// --- Collectives ---
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, BcastDeliversToAll) {
+  const int p = GetParam();
+  Machine m(unit_config(p));
+  std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+  m.run([&](Comm& c) {
+    std::vector<double> data(4);
+    if (c.rank() == 1 % p) {
+      std::iota(data.begin(), data.end(), 1.0);
+    }
+    c.bcast(data, 1 % p, Group::world(p));
+    got[static_cast<std::size_t>(c.rank())] = data;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)],
+              (std::vector<double>{1.0, 2.0, 3.0, 4.0}))
+        << "rank " << r;
+  }
+}
+
+TEST_P(CollectiveSizes, ReduceSumsContributions) {
+  const int p = GetParam();
+  Machine m(unit_config(p));
+  std::vector<double> result;
+  m.run([&](Comm& c) {
+    std::vector<double> mine = {static_cast<double>(c.rank() + 1), 1.0};
+    std::vector<double> out(2);
+    c.reduce_sum(mine, out, 0, Group::world(p));
+    if (c.rank() == 0) result = out;
+  });
+  const double expected = p * (p + 1) / 2.0;
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_DOUBLE_EQ(result[0], expected);
+  EXPECT_DOUBLE_EQ(result[1], static_cast<double>(p));
+}
+
+TEST_P(CollectiveSizes, AllreduceAgreesEverywhere) {
+  const int p = GetParam();
+  Machine m(unit_config(p));
+  std::vector<double> results(static_cast<std::size_t>(p));
+  m.run([&](Comm& c) {
+    std::vector<double> mine = {static_cast<double>(c.rank())};
+    c.allreduce_sum(mine, Group::world(p));
+    results[static_cast<std::size_t>(c.rank())] = mine[0];
+  });
+  const double expected = p * (p - 1) / 2.0;
+  for (double r : results) EXPECT_DOUBLE_EQ(r, expected);
+}
+
+TEST_P(CollectiveSizes, AllgatherOrdersByGroupIndex) {
+  const int p = GetParam();
+  Machine m(unit_config(p));
+  std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+  m.run([&](Comm& c) {
+    std::vector<double> mine = {static_cast<double>(10 * c.rank()),
+                                static_cast<double>(10 * c.rank() + 1)};
+    std::vector<double> out(static_cast<std::size_t>(2 * p));
+    c.allgather(mine, out, Group::world(p));
+    got[static_cast<std::size_t>(c.rank())] = out;
+  });
+  for (int r = 0; r < p; ++r) {
+    for (int j = 0; j < p; ++j) {
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)]
+                          [static_cast<std::size_t>(2 * j)],
+                       10.0 * j);
+    }
+  }
+}
+
+TEST_P(CollectiveSizes, AlltoallRoutesBlocks) {
+  const int p = GetParam();
+  Machine m(unit_config(p));
+  std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+  m.run([&](Comm& c) {
+    // Block j of rank r carries value 100*r + j.
+    std::vector<double> in(static_cast<std::size_t>(p));
+    for (int j = 0; j < p; ++j) {
+      in[static_cast<std::size_t>(j)] = 100.0 * c.rank() + j;
+    }
+    std::vector<double> out(static_cast<std::size_t>(p));
+    c.alltoall(in, out, Group::world(p));
+    got[static_cast<std::size_t>(c.rank())] = out;
+  });
+  for (int r = 0; r < p; ++r) {
+    for (int j = 0; j < p; ++j) {
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(r)]
+                          [static_cast<std::size_t>(j)],
+                       100.0 * j + r);
+    }
+  }
+}
+
+TEST_P(CollectiveSizes, BruckMatchesDirectAlltoall) {
+  const int p = GetParam();
+  Machine m(unit_config(p));
+  std::vector<std::vector<double>> direct(static_cast<std::size_t>(p));
+  std::vector<std::vector<double>> bruck(static_cast<std::size_t>(p));
+  m.run([&](Comm& c) {
+    const std::size_t k = 3;
+    std::vector<double> in(static_cast<std::size_t>(p) * k);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = 1000.0 * c.rank() + static_cast<double>(i);
+    }
+    std::vector<double> out1(in.size());
+    std::vector<double> out2(in.size());
+    c.alltoall(in, out1, Group::world(p));
+    c.alltoall_bruck(in, out2, Group::world(p));
+    direct[static_cast<std::size_t>(c.rank())] = out1;
+    bruck[static_cast<std::size_t>(c.rank())] = out2;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(direct[static_cast<std::size_t>(r)],
+              bruck[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+TEST_P(CollectiveSizes, BarrierSynchronizesClocks) {
+  const int p = GetParam();
+  Machine m(unit_config(p));
+  m.run([&](Comm& c) {
+    c.compute(static_cast<double>(c.rank()) * 10.0);
+    c.barrier();
+    // After a barrier everyone's clock is at least the slowest rank's
+    // pre-barrier clock.
+    EXPECT_GE(c.clock(), (p - 1) * 10.0);
+  });
+}
+
+TEST_P(CollectiveSizes, GatherScatterRoundTrip) {
+  const int p = GetParam();
+  Machine m(unit_config(p));
+  std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+  m.run([&](Comm& c) {
+    std::vector<double> mine = {static_cast<double>(c.rank() * 2),
+                                static_cast<double>(c.rank() * 2 + 1)};
+    std::vector<double> all(static_cast<std::size_t>(2 * p));
+    c.gather(mine, all, 0, Group::world(p));
+    std::vector<double> back(2);
+    c.scatter(all, back, 0, Group::world(p));
+    got[static_cast<std::size_t>(c.rank())] = back;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)],
+              (std::vector<double>{static_cast<double>(r * 2),
+                                   static_cast<double>(r * 2 + 1)}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOddSizes, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 31));
+
+TEST(CollectiveCosts, BcastIsLogDepthInMessages) {
+  const int p = 16;
+  Machine m(unit_config(p));
+  m.run([&](Comm& c) {
+    std::vector<double> data(1, 1.0);
+    c.bcast(data, 0, Group::world(p));
+  });
+  const SimTotals t = m.totals();
+  // Binomial tree: p-1 edges total; no rank sends more than log2(p).
+  EXPECT_DOUBLE_EQ(t.msgs_total, p - 1.0);
+  EXPECT_LE(t.msgs_sent_max, std::log2(p) + 1e-9);
+}
+
+TEST(CollectiveCosts, RingAllgatherWordCount) {
+  const int p = 8;
+  const std::size_t k = 5;
+  Machine m(unit_config(p));
+  m.run([&](Comm& c) {
+    std::vector<double> mine(k, 1.0);
+    std::vector<double> out(k * p);
+    c.allgather(mine, out, Group::world(p));
+  });
+  // Each rank sends (p-1) blocks of k words.
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).words_sent, (p - 1.0) * k);
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).msgs_sent, p - 1.0);
+}
+
+TEST(CollectiveCosts, BruckBeatsDirectOnMessages) {
+  const int p = 16;
+  const std::size_t k = 4;
+  MachineConfig cfg = unit_config(p);
+  Machine direct(cfg);
+  Machine bruck(cfg);
+  auto run = [&](Machine& m, bool use_bruck) {
+    m.run([&](Comm& c) {
+      std::vector<double> in(k * p, 1.0);
+      std::vector<double> out(k * p);
+      if (use_bruck) {
+        c.alltoall_bruck(in, out, Group::world(p));
+      } else {
+        c.alltoall(in, out, Group::world(p));
+      }
+    });
+  };
+  run(direct, false);
+  run(bruck, true);
+  EXPECT_DOUBLE_EQ(direct.totals().msgs_sent_max, p - 1.0);
+  EXPECT_DOUBLE_EQ(bruck.totals().msgs_sent_max, std::log2(p));
+  // ... at the price of more words.
+  EXPECT_GT(bruck.totals().words_total, direct.totals().words_total);
+}
+
+TEST(SimGroups, SubgroupCollectivesDontCross) {
+  // Two disjoint groups run reductions concurrently; results must not mix.
+  const int p = 8;
+  Machine m(unit_config(p));
+  std::vector<double> results(static_cast<std::size_t>(p), -1.0);
+  m.run([&](Comm& c) {
+    const int half = c.rank() / 4;  // 0..3 -> group 0, 4..7 -> group 1
+    Group g = Group::strided(half * 4, 4, 1);
+    std::vector<double> mine = {static_cast<double>(c.rank())};
+    c.allreduce_sum(mine, g);
+    results[static_cast<std::size_t>(c.rank())] = mine[0];
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)], 0.0 + 1 + 2 + 3);
+  for (int r = 4; r < 8; ++r) EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)], 4.0 + 5 + 6 + 7);
+}
+
+TEST(SimMachine, ResetClearsCounters) {
+  Machine m(unit_config(2));
+  m.run([&](Comm& c) { c.compute(5.0); });
+  EXPECT_GT(m.makespan(), 0.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(m.rank_counters(0).flops, 0.0);
+}
+
+TEST(SimMachine, RejectsBadConfig) {
+  MachineConfig cfg;
+  cfg.p = 0;
+  EXPECT_THROW(Machine m(cfg), invalid_argument_error);
+  MachineConfig bad;
+  bad.p = 1;
+  bad.params.gamma_t = -1.0;
+  EXPECT_THROW(Machine m2(bad), invalid_argument_error);
+}
+
+// --- Topology groups drive collectives correctly ---
+
+TEST(SimTopo, Grid3DDepthReplicationAndReduce) {
+  topo::Grid3D g(2, 2);  // q=2, c=2, p=8
+  Machine m(unit_config(g.p()));
+  std::vector<double> layer_sums(static_cast<std::size_t>(g.p()), 0.0);
+  m.run([&](Comm& c) {
+    const int i = g.row_of(c.rank());
+    const int j = g.col_of(c.rank());
+    const int l = g.layer_of(c.rank());
+    std::vector<double> block = {l == 0 ? static_cast<double>(10 * i + j)
+                                        : 0.0};
+    // Replicate layer 0's block down the depth fiber.
+    c.bcast(block, 0, g.depth_group(i, j));
+    EXPECT_DOUBLE_EQ(block[0], 10.0 * i + j);
+    // Each layer contributes its copy; reduce back to layer 0.
+    std::vector<double> sum(1);
+    c.reduce_sum(block, sum, 0, g.depth_group(i, j));
+    if (l == 0) layer_sums[static_cast<std::size_t>(c.rank())] = sum[0];
+  });
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(layer_sums[static_cast<std::size_t>(g.rank_of(i, j, 0))],
+                       2.0 * (10 * i + j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alge::sim

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algs/matmul/local.hpp"
+#include "algs/strassen/caps.hpp"
+#include "algs/strassen/layout.hpp"
+#include "algs/strassen/local.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "sim_test_util.hpp"
+#include "support/rng.hpp"
+
+namespace alge::algs {
+namespace {
+
+using testutil::reference_matmul;
+
+TEST(StrassenLocal, MatchesClassicalProduct) {
+  Rng rng(11);
+  for (auto [n, cutoff] : {std::pair{8, 2}, {16, 4}, {48, 3}, {64, 64},
+                           {64, 8}}) {
+    const auto a = random_matrix(n, n, rng);
+    const auto b = random_matrix(n, n, rng);
+    std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+    strassen_multiply(a, b, c, n, cutoff);
+    EXPECT_LT(max_abs_diff(c, reference_matmul(a, b, n)), 1e-9 * n)
+        << "n=" << n << " cutoff=" << cutoff;
+  }
+}
+
+TEST(StrassenLocal, OddSizesFallBackToClassical) {
+  Rng rng(21);
+  const int n = 7;
+  const auto a = random_matrix(n, n, rng);
+  const auto b = random_matrix(n, n, rng);
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  strassen_multiply(a, b, c, n, 2);
+  EXPECT_LT(max_abs_diff(c, reference_matmul(a, b, n)), 1e-12);
+  EXPECT_DOUBLE_EQ(strassen_flops(7, 2), 2.0 * 7 * 7 * 7);
+}
+
+TEST(StrassenLocal, FlopFormula) {
+  // One level on n=2 with cutoff 1: 7 scalar products (2 flops each as
+  // 1×1×1 multiplies) + 18 one-element additions.
+  EXPECT_DOUBLE_EQ(strassen_flops(2, 1), 7.0 * 2.0 + 18.0);
+  // At or below the cutoff it is the classical count.
+  EXPECT_DOUBLE_EQ(strassen_flops(64, 64), 2.0 * 64.0 * 64.0 * 64.0);
+  // Strassen beats classical once a few levels kick in.
+  EXPECT_LT(strassen_flops(1024, 32), 2.0 * std::pow(1024.0, 3.0));
+  EXPECT_EQ(strassen_levels(64, 8), 3);
+  EXPECT_EQ(strassen_levels(8, 8), 0);
+}
+
+TEST(CapsLayout, ZIndexIsABijection) {
+  const int s = 8;
+  const int levels = 2;
+  std::vector<bool> seen(static_cast<std::size_t>(s) * s, false);
+  for (int r = 0; r < s; ++r) {
+    for (int c = 0; c < s; ++c) {
+      const std::size_t z = z_index(r, c, s, levels);
+      ASSERT_LT(z, seen.size());
+      EXPECT_FALSE(seen[z]) << "collision at (" << r << "," << c << ")";
+      seen[z] = true;
+    }
+  }
+}
+
+TEST(CapsLayout, ZeroLevelsIsRowMajor) {
+  EXPECT_EQ(z_index(2, 3, 4, 0), 2u * 4 + 3);
+}
+
+TEST(CapsLayout, QuadrantsAreContiguousRuns) {
+  const int s = 8;
+  const int levels = 1;
+  // Quadrant (1,0) occupies the third quarter of the Z-order.
+  for (int r = 4; r < 8; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const std::size_t z = z_index(r, c, s, levels);
+      EXPECT_GE(z, 32u);
+      EXPECT_LT(z, 48u);
+    }
+  }
+}
+
+TEST(CapsLayout, RoundTripThroughZOrderAndShares) {
+  Rng rng(5);
+  const int s = 28;
+  const int levels = 2;
+  const int g = 7;
+  const auto m = random_matrix(s, s, rng);
+  const auto z = to_z_order(m, s, levels);
+  // Shares partition the matrix exactly.
+  std::vector<double> rebuilt(z.size(), 0.0);
+  for (int r = 0; r < g; ++r) {
+    const auto share = extract_share(z, g, r);
+    EXPECT_EQ(share.size(), z.size() / g);
+    place_share(rebuilt, g, r, share);
+  }
+  EXPECT_EQ(rebuilt, z);
+  EXPECT_EQ(from_z_order(z, s, levels), m);
+}
+
+TEST(CapsLayout, ValidityRules) {
+  EXPECT_TRUE(caps_schedule_valid(14, 1, "B"));
+  EXPECT_TRUE(caps_schedule_valid(28, 2, "BB"));
+  EXPECT_TRUE(caps_schedule_valid(28, 1, "DB"));
+  EXPECT_FALSE(caps_schedule_valid(16, 1, "B"));   // 64 % 7 != 0
+  EXPECT_FALSE(caps_schedule_valid(14, 1, "BB"));  // too many B's
+  EXPECT_FALSE(caps_schedule_valid(14, 1, "D"));   // too few B's
+  EXPECT_FALSE(caps_schedule_valid(14, 1, "X"));
+  EXPECT_FALSE(caps_schedule_valid(7, 1, "B"));    // odd size
+}
+
+// --- Full CAPS runs ---
+
+class CapsRuns
+    : public ::testing::TestWithParam<std::tuple<int, int, std::string>> {};
+
+TEST_P(CapsRuns, MatchesReferenceProduct) {
+  const auto [n, k, schedule] = GetParam();
+  const int p = caps_ranks(k);
+  const int levels = static_cast<int>(
+      (schedule.empty() ? std::string(static_cast<std::size_t>(k), 'B')
+                        : schedule)
+          .size());
+  Rng rng(77);
+  const auto A = random_matrix(n, n, rng);
+  const auto B = random_matrix(n, n, rng);
+  const auto Az = to_z_order(A, n, levels);
+  const auto Bz = to_z_order(B, n, levels);
+
+  sim::MachineConfig cfg;
+  cfg.p = p;
+  cfg.params = core::MachineParams::unit();
+  sim::Machine m(cfg);
+  std::vector<std::vector<double>> c_shares(static_cast<std::size_t>(p));
+  CapsOptions opts;
+  opts.schedule = schedule;
+  opts.local_cutoff = 4;
+  m.run([&](sim::Comm& comm) {
+    const auto a = extract_share(Az, p, comm.rank());
+    const auto b = extract_share(Bz, p, comm.rank());
+    std::vector<double> c(a.size());
+    caps_multiply(comm, n, k, a, b, c, opts);
+    c_shares[static_cast<std::size_t>(comm.rank())] = std::move(c);
+  });
+
+  std::vector<double> Cz(static_cast<std::size_t>(n) * n, 0.0);
+  for (int r = 0; r < p; ++r) {
+    place_share(Cz, p, r, c_shares[static_cast<std::size_t>(r)]);
+  }
+  const auto C = from_z_order(Cz, n, levels);
+  EXPECT_LT(max_abs_diff(C, reference_matmul(A, B, n)), 1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSchedules, CapsRuns,
+    ::testing::Values(std::tuple{14, 1, std::string("B")},
+                      std::tuple{28, 1, std::string("B")},
+                      std::tuple{28, 1, std::string("DB")},
+                      std::tuple{56, 1, std::string("BD")},
+                      std::tuple{28, 2, std::string("BB")},
+                      std::tuple{56, 2, std::string("BB")},
+                      std::tuple{56, 2, std::string("DBB")},
+                      std::tuple{42, 1, std::string("B")}));
+
+TEST(CapsCosts, BfsWordCountPerRank) {
+  // One BFS level: each rank ships 7 slices of 2·len down and 7 slices of
+  // len up, len = n²/(4·7): W = 21·len = 3n²/4 per rank.
+  const int n = 28;
+  const int k = 1;
+  sim::MachineConfig cfg;
+  cfg.p = caps_ranks(k);
+  cfg.params = core::MachineParams::unit();
+  sim::Machine m(cfg);
+  Rng rng(3);
+  const auto A = random_matrix(n, n, rng);
+  const auto Az = to_z_order(A, n, 1);
+  m.run([&](sim::Comm& comm) {
+    const auto a = extract_share(Az, cfg.p, comm.rank());
+    std::vector<double> c(a.size());
+    caps_multiply(comm, n, k, a, a, c);
+  });
+  const double len = n * n / 28.0;
+  // One of the 7 down-sends and one up-send are self-sends (free).
+  EXPECT_DOUBLE_EQ(m.totals().words_sent_max, 6.0 * 2.0 * len + 6.0 * len);
+  EXPECT_DOUBLE_EQ(m.totals().msgs_sent_max, 12.0);
+}
+
+TEST(CapsCosts, BfsEarlyMovesFewerWordsThanDfsFirst) {
+  // A D step communicates nothing itself but forces the BFS exchange to
+  // happen 7 times at half the size: words("DB")/words("BD") = 7·(1/4)·4
+  // ... = 7/4 exactly. This is why CAPS takes BFS steps as early as memory
+  // allows (the paper's FLM/FUM memory-communication tradeoff).
+  const int n = 56;
+  auto words = [&](const std::string& sched) {
+    sim::MachineConfig cfg;
+    cfg.p = caps_ranks(1);
+    cfg.params = core::MachineParams::unit();
+    sim::Machine m(cfg);
+    Rng rng(9);
+    const auto A = random_matrix(n, n, rng);
+    const auto Az = to_z_order(A, n, 2);
+    CapsOptions opts;
+    opts.schedule = sched;
+    m.run([&](sim::Comm& comm) {
+      const auto a = extract_share(Az, cfg.p, comm.rank());
+      std::vector<double> c(a.size());
+      caps_multiply(comm, n, 1, a, a, c, opts);
+    });
+    return m.totals().words_total;
+  };
+  const double w_bd = words("BD");
+  const double w_db = words("DB");
+  EXPECT_LT(w_bd, w_db);
+  EXPECT_NEAR(w_db / w_bd, 7.0 / 4.0, 1e-9);
+}
+
+TEST(CapsCosts, StrongScalingAcrossK) {
+  // CAPS headline: with per-rank memory ~ c·n²/p (here implied by fixed n
+  // and growing p = 7^k), per-rank words drop by ~7^(k·(1-2/w0))... we
+  // check the simple monotone fact: per-rank W shrinks when p grows 7x.
+  auto w_max = [&](int n, int k) {
+    sim::MachineConfig cfg;
+    cfg.p = caps_ranks(k);
+    cfg.params = core::MachineParams::unit();
+    sim::Machine m(cfg);
+    Rng rng(13);
+    const auto A = random_matrix(n, n, rng);
+    const auto Az = to_z_order(A, n, k);
+    m.run([&](sim::Comm& comm) {
+      const auto a = extract_share(Az, cfg.p, comm.rank());
+      std::vector<double> c(a.size());
+      caps_multiply(comm, n, k, a, a, c);
+    });
+    return m.totals().words_sent_max;
+  };
+  const double w1 = w_max(28, 1);
+  const double w2 = w_max(28, 2);
+  EXPECT_LT(w2, w1 / 2.0);
+}
+
+}  // namespace
+}  // namespace alge::algs

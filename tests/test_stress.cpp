@@ -1,0 +1,85 @@
+// Stress sweep: every algorithm family executed under randomized machine
+// parameters, always verified against its sequential reference and always
+// satisfying the energy-ledger identities. Machine parameters must never
+// affect *results* — only clocks and joules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algs/harness.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace alge::algs::harness {
+namespace {
+
+core::MachineParams random_machine(std::uint64_t seed) {
+  Rng rng(seed);
+  core::MachineParams mp;
+  mp.gamma_t = rng.uniform(1e-3, 1e2);
+  mp.beta_t = rng.uniform(1e-3, 1e2);
+  mp.alpha_t = rng.uniform(1e-3, 1e3);
+  mp.gamma_e = rng.uniform(1e-3, 1e2);
+  mp.beta_e = rng.uniform(1e-3, 1e2);
+  mp.alpha_e = rng.uniform(1e-3, 1e3);
+  mp.delta_e = rng.uniform(1e-9, 1e-3);
+  mp.eps_e = rng.uniform(0.0, 1.0);
+  mp.max_msg_words = std::floor(rng.uniform(4.0, 4096.0));
+  return mp;
+}
+
+void check(const RunResult& r) {
+  EXPECT_TRUE(r.verified);
+  EXPECT_LT(r.max_abs_error, 1e-7);
+  EXPECT_GT(r.makespan, 0.0);
+  const auto& b = r.energy.breakdown;
+  EXPECT_GT(b.total(), 0.0);
+  EXPECT_NEAR(b.total(),
+              b.flops + b.words + b.messages + b.memory + b.leakage,
+              1e-9 * b.total());
+}
+
+class StressSeeds : public ::testing::TestWithParam<int> {
+ protected:
+  core::MachineParams mp_ = random_machine(
+      static_cast<std::uint64_t>(GetParam()) * 7907 + 11);
+};
+
+TEST_P(StressSeeds, Matmul25D) {
+  check(run_mm25d(24, 2, 2, mp_, true, GetParam()));
+}
+
+TEST_P(StressSeeds, Summa) { check(run_summa(24, 3, mp_, true, GetParam())); }
+
+TEST_P(StressSeeds, Caps) {
+  CapsOptions opts;
+  opts.local_cutoff = 4;
+  check(run_caps(14, 1, mp_, opts, true, GetParam()));
+}
+
+TEST_P(StressSeeds, NBody) {
+  check(run_nbody(48, 8, 2, mp_, true, GetParam()));
+}
+
+TEST_P(StressSeeds, Lu25D) {
+  check(run_lu(16, 2, 2, 2, mp_, true, GetParam()));
+}
+
+TEST_P(StressSeeds, Fft) {
+  check(run_fft(16, 16, 4, AllToAllKind::kBruck, mp_, true, GetParam()));
+}
+
+TEST_P(StressSeeds, ResultsIndependentOfMachineParameters) {
+  // The same seed must give bit-identical *data* under any machine: only
+  // the clocks and joules may differ.
+  const auto a = run_mm25d(16, 2, 2, mp_, true, /*seed=*/99);
+  const auto b = run_mm25d(16, 2, 2, core::MachineParams::unit(), true, 99);
+  EXPECT_DOUBLE_EQ(a.max_abs_error, b.max_abs_error);
+  EXPECT_DOUBLE_EQ(a.totals.flops_total, b.totals.flops_total);
+  EXPECT_DOUBLE_EQ(a.totals.words_total, b.totals.words_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, StressSeeds, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace alge::algs::harness

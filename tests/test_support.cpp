@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/common.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace alge {
+namespace {
+
+TEST(StrFmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("x=%d y=%.2f s=%s", 3, 1.5, "hi"), "x=3 y=1.50 s=hi");
+  EXPECT_EQ(strfmt(""), "");
+}
+
+TEST(Check, ThrowsInternalErrorWithMessage) {
+  try {
+    ALGE_CHECK(1 == 2, "math broke: %d", 42);
+    FAIL() << "expected throw";
+  } catch (const internal_error& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke: 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Require, ThrowsInvalidArgument) {
+  EXPECT_THROW(ALGE_REQUIRE(false, "bad input"), invalid_argument_error);
+  EXPECT_NO_THROW(ALGE_REQUIRE(true));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, NextBelowCoversRangeUniformly) {
+  Rng r(11);
+  std::vector<int> hits(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hits[r.next_below(10)];
+  for (int h : hits) {
+    EXPECT_GT(h, n / 10 - n / 50);
+    EXPECT_LT(h, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng r(1);
+  EXPECT_THROW(r.next_below(0), invalid_argument_error);
+}
+
+TEST(Stats, BasicMoments) {
+  StatAccumulator s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, EmptyAccumulatorThrows) {
+  StatAccumulator s;
+  EXPECT_THROW(s.mean(), invalid_argument_error);
+  EXPECT_THROW(s.min(), invalid_argument_error);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, RelDiff) {
+  EXPECT_DOUBLE_EQ(rel_diff(1.0, 1.0), 0.0);
+  EXPECT_NEAR(rel_diff(1.0, 2.0), 0.5, 1e-15);
+  EXPECT_NEAR(rel_diff(0.0, 0.0), 0.0, 1e-15);
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5);
+  t.row().cell("b").cell(22);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, CsvEscapes) {
+  Table t({"a", "b"});
+  t.row().cell("x,y").cell("say \"hi\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RejectsOverfullRow) {
+  Table t({"only"});
+  t.row().cell("one");
+  EXPECT_THROW(t.cell("two"), invalid_argument_error);
+}
+
+TEST(Table, RejectsCellBeforeRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), invalid_argument_error);
+}
+
+TEST(Cli, ParsesFlagsBothStyles) {
+  CliArgs cli;
+  cli.add_flag("n", "10", "problem size");
+  cli.add_flag("mode", "fast", "mode");
+  const char* argv[] = {"prog", "--n=32", "--mode", "slow"};
+  cli.parse(4, argv);
+  EXPECT_EQ(cli.get_int("n"), 32);
+  EXPECT_EQ(cli.get("mode"), "slow");
+}
+
+TEST(Cli, DefaultsApply) {
+  CliArgs cli;
+  cli.add_flag("x", "2.5", "");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), 2.5);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  CliArgs cli;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(cli.parse(2, argv), invalid_argument_error);
+}
+
+TEST(Cli, IntList) {
+  CliArgs cli;
+  cli.add_flag("p", "1,2,4", "");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  const auto v = cli.get_int_list("p");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 4);
+}
+
+TEST(Cli, BoolParsing) {
+  CliArgs cli;
+  cli.add_flag("flag", "true", "");
+  const char* argv[] = {"prog", "--flag=no"};
+  cli.parse(2, argv);
+  EXPECT_FALSE(cli.get_bool("flag"));
+}
+
+TEST(Cli, HelpRequested) {
+  CliArgs cli;
+  cli.add_flag("n", "1", "size");
+  const char* argv[] = {"prog", "--help"};
+  cli.parse(2, argv);
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.usage("prog").find("size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alge
