@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_2d_baselines.dir/bench/ablation_2d_baselines.cpp.o"
+  "CMakeFiles/ablation_2d_baselines.dir/bench/ablation_2d_baselines.cpp.o.d"
+  "bench/ablation_2d_baselines"
+  "bench/ablation_2d_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_2d_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

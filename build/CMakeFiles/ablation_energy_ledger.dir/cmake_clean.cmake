@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_energy_ledger.dir/bench/ablation_energy_ledger.cpp.o"
+  "CMakeFiles/ablation_energy_ledger.dir/bench/ablation_energy_ledger.cpp.o.d"
+  "bench/ablation_energy_ledger"
+  "bench/ablation_energy_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_msg_cap.dir/bench/ablation_msg_cap.cpp.o"
+  "CMakeFiles/ablation_msg_cap.dir/bench/ablation_msg_cap.cpp.o.d"
+  "bench/ablation_msg_cap"
+  "bench/ablation_msg_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_msg_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strassen_schedule.dir/bench/ablation_strassen_schedule.cpp.o"
+  "CMakeFiles/ablation_strassen_schedule.dir/bench/ablation_strassen_schedule.cpp.o.d"
+  "bench/ablation_strassen_schedule"
+  "bench/ablation_strassen_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strassen_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_optimality.dir/bench/bounds_optimality.cpp.o"
+  "CMakeFiles/bounds_optimality.dir/bench/bounds_optimality.cpp.o.d"
+  "bench/bounds_optimality"
+  "bench/bounds_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_hetero.dir/bench/extension_hetero.cpp.o"
+  "CMakeFiles/extension_hetero.dir/bench/extension_hetero.cpp.o.d"
+  "bench/extension_hetero"
+  "bench/extension_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tsqr.dir/bench/extension_tsqr.cpp.o"
+  "CMakeFiles/extension_tsqr.dir/bench/extension_tsqr.cpp.o.d"
+  "bench/extension_tsqr"
+  "bench/extension_tsqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tsqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

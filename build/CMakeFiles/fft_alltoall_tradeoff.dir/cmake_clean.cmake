@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_alltoall_tradeoff.dir/bench/fft_alltoall_tradeoff.cpp.o"
+  "CMakeFiles/fft_alltoall_tradeoff.dir/bench/fft_alltoall_tradeoff.cpp.o.d"
+  "bench/fft_alltoall_tradeoff"
+  "bench/fft_alltoall_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_alltoall_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_strong_scaling_limits.dir/bench/fig3_strong_scaling_limits.cpp.o"
+  "CMakeFiles/fig3_strong_scaling_limits.dir/bench/fig3_strong_scaling_limits.cpp.o.d"
+  "bench/fig3_strong_scaling_limits"
+  "bench/fig3_strong_scaling_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_strong_scaling_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

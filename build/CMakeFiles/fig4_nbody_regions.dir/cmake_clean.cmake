@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nbody_regions.dir/bench/fig4_nbody_regions.cpp.o"
+  "CMakeFiles/fig4_nbody_regions.dir/bench/fig4_nbody_regions.cpp.o.d"
+  "bench/fig4_nbody_regions"
+  "bench/fig4_nbody_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nbody_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_param_scaling.dir/bench/fig6_param_scaling.cpp.o"
+  "CMakeFiles/fig6_param_scaling.dir/bench/fig6_param_scaling.cpp.o.d"
+  "bench/fig6_param_scaling"
+  "bench/fig6_param_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_param_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_joint_scaling.dir/bench/fig7_joint_scaling.cpp.o"
+  "CMakeFiles/fig7_joint_scaling.dir/bench/fig7_joint_scaling.cpp.o.d"
+  "bench/fig7_joint_scaling"
+  "bench/fig7_joint_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_joint_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_lu_latency.dir/bench/scaling_lu_latency.cpp.o"
+  "CMakeFiles/scaling_lu_latency.dir/bench/scaling_lu_latency.cpp.o.d"
+  "bench/scaling_lu_latency"
+  "bench/scaling_lu_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_lu_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_mm_energy.dir/bench/scaling_mm_energy.cpp.o"
+  "CMakeFiles/scaling_mm_energy.dir/bench/scaling_mm_energy.cpp.o.d"
+  "bench/scaling_mm_energy"
+  "bench/scaling_mm_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_mm_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

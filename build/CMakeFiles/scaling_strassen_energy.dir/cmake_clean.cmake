@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_strassen_energy.dir/bench/scaling_strassen_energy.cpp.o"
+  "CMakeFiles/scaling_strassen_energy.dir/bench/scaling_strassen_energy.cpp.o.d"
+  "bench/scaling_strassen_energy"
+  "bench/scaling_strassen_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_strassen_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

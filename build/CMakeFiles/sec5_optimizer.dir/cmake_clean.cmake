@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_optimizer.dir/bench/sec5_optimizer.cpp.o"
+  "CMakeFiles/sec5_optimizer.dir/bench/sec5_optimizer.cpp.o.d"
+  "bench/sec5_optimizer"
+  "bench/sec5_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/seq_cache_locality.cpp" "CMakeFiles/seq_cache_locality.dir/bench/seq_cache_locality.cpp.o" "gcc" "CMakeFiles/seq_cache_locality.dir/bench/seq_cache_locality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seqsim/CMakeFiles/alge_seqsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/alge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alge_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/algs/CMakeFiles/alge_algs.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/alge_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/alge_fiber.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

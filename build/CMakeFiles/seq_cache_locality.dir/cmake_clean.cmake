@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_cache_locality.dir/bench/seq_cache_locality.cpp.o"
+  "CMakeFiles/seq_cache_locality.dir/bench/seq_cache_locality.cpp.o.d"
+  "bench/seq_cache_locality"
+  "bench/seq_cache_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_cache_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_case_study.dir/bench/table1_case_study.cpp.o"
+  "CMakeFiles/table1_case_study.dir/bench/table1_case_study.cpp.o.d"
+  "bench/table1_case_study"
+  "bench/table1_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_processors.dir/bench/table2_processors.cpp.o"
+  "CMakeFiles/table2_processors.dir/bench/table2_processors.cpp.o.d"
+  "bench/table2_processors"
+  "bench/table2_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_torus.dir/bench/topology_torus.cpp.o"
+  "CMakeFiles/topology_torus.dir/bench/topology_torus.cpp.o.d"
+  "bench/topology_torus"
+  "bench/topology_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

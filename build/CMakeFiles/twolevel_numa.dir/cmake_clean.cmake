@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twolevel_numa.dir/bench/twolevel_numa.cpp.o"
+  "CMakeFiles/twolevel_numa.dir/bench/twolevel_numa.cpp.o.d"
+  "bench/twolevel_numa"
+  "bench/twolevel_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twolevel_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

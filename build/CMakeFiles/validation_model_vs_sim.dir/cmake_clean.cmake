@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_model_vs_sim.dir/bench/validation_model_vs_sim.cpp.o"
+  "CMakeFiles/validation_model_vs_sim.dir/bench/validation_model_vs_sim.cpp.o.d"
+  "bench/validation_model_vs_sim"
+  "bench/validation_model_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_model_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_cluster.dir/simulate_cluster.cpp.o"
+  "CMakeFiles/simulate_cluster.dir/simulate_cluster.cpp.o.d"
+  "simulate_cluster"
+  "simulate_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algs/fft/fft.cpp" "src/algs/CMakeFiles/alge_algs.dir/fft/fft.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/algs/harness.cpp" "src/algs/CMakeFiles/alge_algs.dir/harness.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/harness.cpp.o.d"
+  "/root/repo/src/algs/lu/distributed.cpp" "src/algs/CMakeFiles/alge_algs.dir/lu/distributed.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/lu/distributed.cpp.o.d"
+  "/root/repo/src/algs/lu/local.cpp" "src/algs/CMakeFiles/alge_algs.dir/lu/local.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/lu/local.cpp.o.d"
+  "/root/repo/src/algs/matmul/distributed.cpp" "src/algs/CMakeFiles/alge_algs.dir/matmul/distributed.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/matmul/distributed.cpp.o.d"
+  "/root/repo/src/algs/matmul/local.cpp" "src/algs/CMakeFiles/alge_algs.dir/matmul/local.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/matmul/local.cpp.o.d"
+  "/root/repo/src/algs/nbody/nbody.cpp" "src/algs/CMakeFiles/alge_algs.dir/nbody/nbody.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/nbody/nbody.cpp.o.d"
+  "/root/repo/src/algs/qr/tsqr.cpp" "src/algs/CMakeFiles/alge_algs.dir/qr/tsqr.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/qr/tsqr.cpp.o.d"
+  "/root/repo/src/algs/strassen/caps.cpp" "src/algs/CMakeFiles/alge_algs.dir/strassen/caps.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/strassen/caps.cpp.o.d"
+  "/root/repo/src/algs/strassen/layout.cpp" "src/algs/CMakeFiles/alge_algs.dir/strassen/layout.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/strassen/layout.cpp.o.d"
+  "/root/repo/src/algs/strassen/local.cpp" "src/algs/CMakeFiles/alge_algs.dir/strassen/local.cpp.o" "gcc" "src/algs/CMakeFiles/alge_algs.dir/strassen/local.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/alge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/alge_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/alge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alge_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/alge_fiber.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alge_algs.dir/fft/fft.cpp.o"
+  "CMakeFiles/alge_algs.dir/fft/fft.cpp.o.d"
+  "CMakeFiles/alge_algs.dir/harness.cpp.o"
+  "CMakeFiles/alge_algs.dir/harness.cpp.o.d"
+  "CMakeFiles/alge_algs.dir/lu/distributed.cpp.o"
+  "CMakeFiles/alge_algs.dir/lu/distributed.cpp.o.d"
+  "CMakeFiles/alge_algs.dir/lu/local.cpp.o"
+  "CMakeFiles/alge_algs.dir/lu/local.cpp.o.d"
+  "CMakeFiles/alge_algs.dir/matmul/distributed.cpp.o"
+  "CMakeFiles/alge_algs.dir/matmul/distributed.cpp.o.d"
+  "CMakeFiles/alge_algs.dir/matmul/local.cpp.o"
+  "CMakeFiles/alge_algs.dir/matmul/local.cpp.o.d"
+  "CMakeFiles/alge_algs.dir/nbody/nbody.cpp.o"
+  "CMakeFiles/alge_algs.dir/nbody/nbody.cpp.o.d"
+  "CMakeFiles/alge_algs.dir/qr/tsqr.cpp.o"
+  "CMakeFiles/alge_algs.dir/qr/tsqr.cpp.o.d"
+  "CMakeFiles/alge_algs.dir/strassen/caps.cpp.o"
+  "CMakeFiles/alge_algs.dir/strassen/caps.cpp.o.d"
+  "CMakeFiles/alge_algs.dir/strassen/layout.cpp.o"
+  "CMakeFiles/alge_algs.dir/strassen/layout.cpp.o.d"
+  "CMakeFiles/alge_algs.dir/strassen/local.cpp.o"
+  "CMakeFiles/alge_algs.dir/strassen/local.cpp.o.d"
+  "libalge_algs.a"
+  "libalge_algs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alge_algs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algmodel.cpp" "src/core/CMakeFiles/alge_core.dir/algmodel.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/algmodel.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/alge_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/closed_forms.cpp" "src/core/CMakeFiles/alge_core.dir/closed_forms.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/closed_forms.cpp.o.d"
+  "/root/repo/src/core/codesign.cpp" "src/core/CMakeFiles/alge_core.dir/codesign.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/codesign.cpp.o.d"
+  "/root/repo/src/core/costs.cpp" "src/core/CMakeFiles/alge_core.dir/costs.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/costs.cpp.o.d"
+  "/root/repo/src/core/hetero.cpp" "src/core/CMakeFiles/alge_core.dir/hetero.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/hetero.cpp.o.d"
+  "/root/repo/src/core/nbody_opt.cpp" "src/core/CMakeFiles/alge_core.dir/nbody_opt.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/nbody_opt.cpp.o.d"
+  "/root/repo/src/core/opt.cpp" "src/core/CMakeFiles/alge_core.dir/opt.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/opt.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/alge_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "src/core/CMakeFiles/alge_core.dir/scaling.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/scaling.cpp.o.d"
+  "/root/repo/src/core/twolevel.cpp" "src/core/CMakeFiles/alge_core.dir/twolevel.cpp.o" "gcc" "src/core/CMakeFiles/alge_core.dir/twolevel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/alge_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

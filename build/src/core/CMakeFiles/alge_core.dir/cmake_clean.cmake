@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alge_core.dir/algmodel.cpp.o"
+  "CMakeFiles/alge_core.dir/algmodel.cpp.o.d"
+  "CMakeFiles/alge_core.dir/bounds.cpp.o"
+  "CMakeFiles/alge_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/alge_core.dir/closed_forms.cpp.o"
+  "CMakeFiles/alge_core.dir/closed_forms.cpp.o.d"
+  "CMakeFiles/alge_core.dir/codesign.cpp.o"
+  "CMakeFiles/alge_core.dir/codesign.cpp.o.d"
+  "CMakeFiles/alge_core.dir/costs.cpp.o"
+  "CMakeFiles/alge_core.dir/costs.cpp.o.d"
+  "CMakeFiles/alge_core.dir/hetero.cpp.o"
+  "CMakeFiles/alge_core.dir/hetero.cpp.o.d"
+  "CMakeFiles/alge_core.dir/nbody_opt.cpp.o"
+  "CMakeFiles/alge_core.dir/nbody_opt.cpp.o.d"
+  "CMakeFiles/alge_core.dir/opt.cpp.o"
+  "CMakeFiles/alge_core.dir/opt.cpp.o.d"
+  "CMakeFiles/alge_core.dir/params.cpp.o"
+  "CMakeFiles/alge_core.dir/params.cpp.o.d"
+  "CMakeFiles/alge_core.dir/scaling.cpp.o"
+  "CMakeFiles/alge_core.dir/scaling.cpp.o.d"
+  "CMakeFiles/alge_core.dir/twolevel.cpp.o"
+  "CMakeFiles/alge_core.dir/twolevel.cpp.o.d"
+  "libalge_core.a"
+  "libalge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

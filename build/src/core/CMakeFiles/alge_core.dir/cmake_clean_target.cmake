@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalge_core.a"
+)

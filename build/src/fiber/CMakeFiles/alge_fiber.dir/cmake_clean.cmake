@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alge_fiber.dir/fiber.cpp.o"
+  "CMakeFiles/alge_fiber.dir/fiber.cpp.o.d"
+  "libalge_fiber.a"
+  "libalge_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alge_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

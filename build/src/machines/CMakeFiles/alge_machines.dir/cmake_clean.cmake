@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alge_machines.dir/db.cpp.o"
+  "CMakeFiles/alge_machines.dir/db.cpp.o.d"
+  "libalge_machines.a"
+  "libalge_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alge_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alge_seqsim.dir/cache.cpp.o"
+  "CMakeFiles/alge_seqsim.dir/cache.cpp.o.d"
+  "libalge_seqsim.a"
+  "libalge_seqsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alge_seqsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

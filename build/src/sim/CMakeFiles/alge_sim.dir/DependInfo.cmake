@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/collectives.cpp" "src/sim/CMakeFiles/alge_sim.dir/collectives.cpp.o" "gcc" "src/sim/CMakeFiles/alge_sim.dir/collectives.cpp.o.d"
+  "/root/repo/src/sim/comm.cpp" "src/sim/CMakeFiles/alge_sim.dir/comm.cpp.o" "gcc" "src/sim/CMakeFiles/alge_sim.dir/comm.cpp.o.d"
+  "/root/repo/src/sim/group.cpp" "src/sim/CMakeFiles/alge_sim.dir/group.cpp.o" "gcc" "src/sim/CMakeFiles/alge_sim.dir/group.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/alge_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/alge_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/alge_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/alge_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/alge_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/alge_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fiber/CMakeFiles/alge_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/alge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alge_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

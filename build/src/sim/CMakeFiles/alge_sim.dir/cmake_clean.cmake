@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alge_sim.dir/collectives.cpp.o"
+  "CMakeFiles/alge_sim.dir/collectives.cpp.o.d"
+  "CMakeFiles/alge_sim.dir/comm.cpp.o"
+  "CMakeFiles/alge_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/alge_sim.dir/group.cpp.o"
+  "CMakeFiles/alge_sim.dir/group.cpp.o.d"
+  "CMakeFiles/alge_sim.dir/machine.cpp.o"
+  "CMakeFiles/alge_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/alge_sim.dir/network.cpp.o"
+  "CMakeFiles/alge_sim.dir/network.cpp.o.d"
+  "CMakeFiles/alge_sim.dir/trace.cpp.o"
+  "CMakeFiles/alge_sim.dir/trace.cpp.o.d"
+  "libalge_sim.a"
+  "libalge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

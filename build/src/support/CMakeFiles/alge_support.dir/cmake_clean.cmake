@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alge_support.dir/cli.cpp.o"
+  "CMakeFiles/alge_support.dir/cli.cpp.o.d"
+  "CMakeFiles/alge_support.dir/common.cpp.o"
+  "CMakeFiles/alge_support.dir/common.cpp.o.d"
+  "CMakeFiles/alge_support.dir/rng.cpp.o"
+  "CMakeFiles/alge_support.dir/rng.cpp.o.d"
+  "CMakeFiles/alge_support.dir/stats.cpp.o"
+  "CMakeFiles/alge_support.dir/stats.cpp.o.d"
+  "CMakeFiles/alge_support.dir/table.cpp.o"
+  "CMakeFiles/alge_support.dir/table.cpp.o.d"
+  "libalge_support.a"
+  "libalge_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alge_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alge_topo.dir/grid.cpp.o"
+  "CMakeFiles/alge_topo.dir/grid.cpp.o.d"
+  "libalge_topo.a"
+  "libalge_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alge_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

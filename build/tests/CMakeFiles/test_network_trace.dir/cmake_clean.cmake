@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_trace.dir/test_network_trace.cpp.o"
+  "CMakeFiles/test_network_trace.dir/test_network_trace.cpp.o.d"
+  "test_network_trace"
+  "test_network_trace.pdb"
+  "test_network_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

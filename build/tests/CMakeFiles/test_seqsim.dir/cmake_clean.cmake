@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seqsim.dir/test_seqsim.cpp.o"
+  "CMakeFiles/test_seqsim.dir/test_seqsim.cpp.o.d"
+  "test_seqsim"
+  "test_seqsim.pdb"
+  "test_seqsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seqsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

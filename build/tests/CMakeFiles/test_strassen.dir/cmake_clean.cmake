@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strassen.dir/test_strassen.cpp.o"
+  "CMakeFiles/test_strassen.dir/test_strassen.cpp.o.d"
+  "test_strassen"
+  "test_strassen.pdb"
+  "test_strassen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strassen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_fiber[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_machines[1]_include.cmake")
+include("/root/repo/build/tests/test_matmul[1]_include.cmake")
+include("/root/repo/build/tests/test_strassen[1]_include.cmake")
+include("/root/repo/build/tests/test_nbody[1]_include.cmake")
+include("/root/repo/build/tests/test_lu[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_network_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_tsqr[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_seqsim[1]_include.cmake")
+include("/root/repo/build/tests/test_hetero[1]_include.cmake")
+include("/root/repo/build/tests/test_collective_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
