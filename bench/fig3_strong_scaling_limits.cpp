@@ -8,14 +8,16 @@
 //
 // Simulator series: the executable 2.5D algorithm / CAPS measured at grid
 // points with the same per-rank block memory, showing the same flat-then-
-// rising shape with real message counting.
+// rising shape with real message counting. The simulator points run through
+// the experiment engine (--threads, --cache-dir).
 #include <cmath>
 #include <iostream>
+#include <vector>
 
-#include "algs/harness.hpp"
 #include "bench_common.hpp"
 #include "core/algmodel.hpp"
 #include "core/scaling.hpp"
+#include "engine/runner.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
   cli.add_flag("n", "65536", "matrix dimension for the model series");
   cli.add_flag("pmin", "64", "p at the left edge (M = n^2/pmin)");
   cli.add_flag("samples", "17", "model sample count");
+  engine::add_engine_flags(cli);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("fig3_strong_scaling_limits");
@@ -70,10 +73,8 @@ int main(int argc, char** argv) {
             << strassen.p_max(n, M) / pmin << "x pmin.\n\n";
 
   // Simulator measurements: same per-rank block size (fixed M), p grown by
-  // replication up to the 3D limit and beyond it by shrinking blocks.
-  std::cout << "Simulator (2.5D matmul, n=48, fixed block memory until the "
-               "3D limit):\n";
-  Table s({"p", "config", "W/rank", "W x p", "normalized"});
+  // replication up to the 3D limit and beyond it by shrinking blocks. Both
+  // series go through the engine as one sweep.
   struct Cfg {
     int q;
     int c;
@@ -84,14 +85,38 @@ int main(int argc, char** argv) {
                       {3, 3, "3D q=c=3 (beyond: less memory usable)"},
                       {4, 4, "3D q=c=4"},
                       {6, 6, "3D q=c=6"}};
-  double norm = -1.0;
+  std::vector<engine::ExperimentSpec> specs;
   for (const auto& cfg : cfgs) {
-    const auto r = algs::harness::run_mm25d(48, cfg.q, cfg.c, mp);
+    engine::ExperimentSpec s;
+    s.alg = engine::Alg::kMm25d;
+    s.params = mp;
+    s.n = 48;
+    s.q = cfg.q;
+    s.c = cfg.c;
+    specs.push_back(s);
+  }
+  for (int k = 0; k <= 2; ++k) {
+    engine::ExperimentSpec s;
+    s.alg = engine::Alg::kCaps;
+    s.params = mp;
+    s.n = 28;
+    s.k = k;
+    specs.push_back(s);
+  }
+  engine::SweepRunner runner(engine::sweep_options_from_cli(cli));
+  const auto results = runner.run(specs);
+
+  std::cout << "Simulator (2.5D matmul, n=48, fixed block memory until the "
+               "3D limit):\n";
+  Table s({"p", "config", "W/rank", "W x p", "normalized"});
+  double norm = -1.0;
+  for (std::size_t i = 0; i < std::size(cfgs); ++i) {
+    const auto& r = results[i];
     const double wxp = r.words_per_proc() * r.p;
     if (norm < 0.0) norm = wxp;
     s.row()
         .cell(r.p)
-        .cell(cfg.label)
+        .cell(cfgs[i].label)
         .cell(r.words_per_proc(), "%.0f")
         .cell(wxp, "%.0f")
         .cell(wxp / norm, "%.3f");
@@ -102,7 +127,7 @@ int main(int argc, char** argv) {
   Table cs({"p", "k", "W/rank", "W x p", "normalized"});
   double cnorm = -1.0;
   for (int k = 0; k <= 2; ++k) {
-    const auto r = algs::harness::run_caps(28, k, mp);
+    const auto& r = results[std::size(cfgs) + static_cast<std::size_t>(k)];
     const double wxp = r.words_per_proc() * r.p;
     if (k == 1) cnorm = wxp;  // k=0 has no communication
     cs.row()
@@ -113,5 +138,7 @@ int main(int argc, char** argv) {
         .cell(cnorm > 0.0 ? wxp / cnorm : 0.0, "%.3f");
   }
   cs.print(std::cout);
+  engine::append_bench_record("fig3_strong_scaling_limits", runner,
+                              cli.get("bench-json"));
   return 0;
 }

@@ -2,16 +2,17 @@
 // and fixed per-rank memory, grow p by the replication factor c; the
 // simulator-measured runtime must fall ~c-fold while Eq. (2) energy stays
 // ~constant. Uses case-study-like parameters so every energy term is live.
+//
+// Both sweeps (tree and ring replication) run as one batch through the
+// experiment engine: --threads N runs the (c, variant) points concurrently,
+// --cache-dir PATH reuses results across invocations. The counters and
+// energies are data-independent, so the tables are identical regardless.
 #include <iostream>
+#include <vector>
 
-#include "algs/harness.hpp"
-#include "algs/matmul/distributed.hpp"
-#include "algs/matmul/local.hpp"
-#include "sim/machine.hpp"
-#include "support/rng.hpp"
-#include "topo/grid.hpp"
 #include "bench_common.hpp"
 #include "core/algmodel.hpp"
+#include "engine/runner.hpp"
 #include "machines/db.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   cli.add_flag("n", "48", "matrix dimension (simulated)");
   cli.add_flag("q", "8", "grid edge (p = q^2 c)");
   cli.add_flag("verify", "true", "check results against a serial product");
+  engine::add_engine_flags(cli);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("scaling_mm_energy");
@@ -49,21 +51,49 @@ int main(int argc, char** argv) {
   mp.eps_e = 1e-2;
   mp.max_msg_words = 64;
 
+  std::vector<int> cs;
+  for (int c = 1; c <= q; c *= 2) {
+    if (q % c != 0) continue;
+    cs.push_back(c);
+  }
+  std::vector<engine::ExperimentSpec> specs;
+  for (const int c : cs) {  // tree replication, verified
+    engine::ExperimentSpec s;
+    s.alg = engine::Alg::kMm25d;
+    s.params = mp;
+    s.n = n;
+    s.q = q;
+    s.c = c;
+    s.verify = verify;
+    specs.push_back(s);
+  }
+  for (const int c : cs) {  // ring (pipelined) replication
+    engine::ExperimentSpec s;
+    s.alg = engine::Alg::kMm25d;
+    s.params = mp;
+    s.n = n;
+    s.q = q;
+    s.c = c;
+    s.ring_replication = true;
+    specs.push_back(s);
+  }
+  engine::SweepRunner runner(engine::sweep_options_from_cli(cli));
+  const auto results = runner.run(specs);
+
   Table t({"c", "p", "T (sim)", "T x p / (T x p)_2D", "E (sim)", "E/E_2D",
            "W/rank", "S/rank", "max |err|"});
   double t0p = -1.0;
   double e0 = -1.0;
-  for (int c = 1; c <= q; c *= 2) {
-    if (q % c != 0) continue;
-    const auto r = algs::harness::run_mm25d(n, q, c, mp, verify);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const auto& r = results[i];
     const double txp = r.makespan * r.p;
-    const double e = r.energy.total();
+    const double e = r.energy_total();
     if (t0p < 0.0) {
       t0p = txp;
       e0 = e;
     }
     t.row()
-        .cell(c)
+        .cell(cs[i])
         .cell(r.p)
         .cell(r.makespan, "%.0f")
         .cell(txp / t0p, "%.3f")
@@ -81,42 +111,17 @@ int main(int argc, char** argv) {
                "the removed beta_e copies):\n";
   Table t2({"c", "p", "T (sim)", "E (sim)", "E/E_2D", "W/rank"});
   double e0r = -1.0;
-  for (int c = 1; c <= q; c *= 2) {
-    if (q % c != 0) continue;
-    // run_mm25d always uses tree replication; drive the ring variant
-    // directly through the grid machinery at the same sizes.
-    topo::Grid3D grid(q, c);
-    sim::MachineConfig cfg;
-    cfg.p = grid.p();
-    cfg.params = mp;
-    sim::Machine m(cfg);
-    Rng rng(1);
-    const auto A = algs::random_matrix(n, n, rng);
-    algs::Mm25dOptions ring;
-    ring.ring_replication = true;
-    m.run([&](sim::Comm& comm) {
-      const int i = grid.row_of(comm.rank());
-      const int j = grid.col_of(comm.rank());
-      if (grid.layer_of(comm.rank()) == 0) {
-        const int nb = n / q;
-        std::vector<double> a(static_cast<std::size_t>(nb) * nb, 1.0);
-        std::vector<double> cb(a.size(), 0.0);
-        algs::mm_25d(comm, grid, n, a, a, cb, ring);
-      } else {
-        algs::mm_25d(comm, grid, n, {}, {}, {}, ring);
-      }
-      (void)i;
-      (void)j;
-    });
-    const double e = m.energy().total();
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const auto& r = results[cs.size() + i];
+    const double e = r.energy_total();
     if (e0r < 0.0) e0r = e;
     t2.row()
-        .cell(c)
-        .cell(grid.p())
-        .cell(m.makespan(), "%.0f")
+        .cell(cs[i])
+        .cell(r.p)
+        .cell(r.makespan, "%.0f")
         .cell(e, "%.4g")
         .cell(e / e0r, "%.3f")
-        .cell(m.totals().words_sent_max, "%.0f");
+        .cell(r.words_per_proc(), "%.0f");
   }
   t2.print(std::cout);
   std::cout << "\n(The paper's claim is perfect strong scaling *modulo "
@@ -130,8 +135,7 @@ int main(int argc, char** argv) {
   Table mt({"c", "p", "T model", "E model", "E/E_2D"});
   const double nn = n;
   double em0 = -1.0;
-  for (int c = 1; c <= q; c *= 2) {
-    if (q % c != 0) continue;
+  for (const int c : cs) {
     const double p = static_cast<double>(q) * q * c;
     const double M = nn * nn * c / p;  // fixed per-rank block memory
     const double tm = model.time(nn, p, M, mp);
@@ -141,5 +145,7 @@ int main(int argc, char** argv) {
         em / em0, "%.3f");
   }
   mt.print(std::cout);
+  engine::append_bench_record("scaling_mm_energy", runner,
+                              cli.get("bench-json"));
   return 0;
 }

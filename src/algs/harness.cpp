@@ -44,7 +44,8 @@ RunResult finish(sim::Machine& m, bool verified, double err) {
 }  // namespace
 
 RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
-                    bool verify, std::uint64_t seed) {
+                    bool verify, std::uint64_t seed,
+                    const Mm25dOptions& opts) {
   topo::Grid3D grid(q, c);
   sim::MachineConfig cfg;
   cfg.p = grid.p();
@@ -61,10 +62,10 @@ RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
       const auto a = block_of(A, n, q, i, j);
       const auto b = block_of(B, n, q, i, j);
       std::vector<double> cb(a.size(), 0.0);
-      mm_25d(comm, grid, n, a, b, cb);
+      mm_25d(comm, grid, n, a, b, cb, opts);
       c_blocks[static_cast<std::size_t>(i) * q + j] = std::move(cb);
     } else {
-      mm_25d(comm, grid, n, {}, {}, {});
+      mm_25d(comm, grid, n, {}, {}, {}, opts);
     }
   });
   double err = 0.0;

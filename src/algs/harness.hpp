@@ -10,6 +10,7 @@
 #include <string>
 
 #include "algs/fft/fft.hpp"
+#include "algs/matmul/distributed.hpp"
 #include "algs/strassen/caps.hpp"
 #include "core/params.hpp"
 #include "sim/machine.hpp"
@@ -32,7 +33,8 @@ struct RunResult {
 
 /// 2.5D (c=1: 2D Cannon; c=q: 3D) matrix multiplication, p = q²c ranks.
 RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
-                    bool verify = false, std::uint64_t seed = 1);
+                    bool verify = false, std::uint64_t seed = 1,
+                    const Mm25dOptions& opts = {});
 
 /// SUMMA 2D baseline, p = q² ranks.
 RunResult run_summa(int n, int q, const core::MachineParams& mp,

@@ -37,6 +37,8 @@ struct EnergyBreakdown {
   double total() const {
     return flops + words + messages + memory + leakage;
   }
+
+  bool operator==(const EnergyBreakdown&) const = default;
 };
 
 EnergyBreakdown energy_breakdown(const Costs& c, double p, double M, double T,

@@ -1,0 +1,112 @@
+#include "engine/cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/common.hpp"
+#include "support/json.hpp"
+
+namespace alge::engine {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::filesystem::create_directories(dir_);
+  }
+}
+
+std::string ResultCache::path_of(std::uint64_t key) const {
+  return dir_ + "/" + strfmt("%016" PRIx64 ".json", key);
+}
+
+std::optional<ResultCache::Entry> ResultCache::load_disk(
+    std::uint64_t key, const std::string& canonical_spec) {
+  // Caller holds mu_.
+  const std::string path = path_of(key);
+  std::ifstream in(path);
+  if (!in) return std::nullopt;  // plain miss, not corruption
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    const json::Value doc = json::parse(buf.str());
+    Entry e;
+    e.canonical_spec = doc.at("spec").dump();
+    if (e.canonical_spec != canonical_spec) {
+      // Hash collision or a stale/foreign file under this address.
+      ++stats_.corrupt;
+      return std::nullopt;
+    }
+    e.result = ExperimentResult::from_json(doc.at("result"));
+    return e;
+  } catch (const json::json_error&) {
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+}
+
+std::optional<ExperimentResult> ResultCache::lookup(
+    const ExperimentSpec& spec) {
+  const std::string canonical = spec.canonical_json();
+  const std::uint64_t key = fnv1a64(canonical);
+  std::lock_guard lock(mu_);
+  if (const auto it = mem_.find(key);
+      it != mem_.end() && it->second.canonical_spec == canonical) {
+    ++stats_.hits;
+    return it->second.result;
+  }
+  if (!dir_.empty()) {
+    if (auto e = load_disk(key, canonical)) {
+      ++stats_.hits;
+      ++stats_.disk_hits;
+      ExperimentResult result = e->result;
+      mem_[key] = std::move(*e);
+      return result;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::store(const ExperimentSpec& spec,
+                        const ExperimentResult& result) {
+  const std::string canonical = spec.canonical_json();
+  const std::uint64_t key = fnv1a64(canonical);
+  std::lock_guard lock(mu_);
+  mem_[key] = Entry{canonical, result};
+  if (dir_.empty()) return;
+  json::Value doc = json::Value::object();
+  doc.set("spec", spec.to_json()).set("result", result.to_json());
+  const std::string path = path_of(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // disk store is best-effort; memory entry stands
+    out << doc.dump() << '\n';
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::remove(tmp.c_str());
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace alge::engine

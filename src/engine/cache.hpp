@@ -1,0 +1,71 @@
+// Content-addressed result cache for experiment jobs.
+//
+// The key is the FNV-1a-64 hash of the spec's canonical JSON encoding, so
+// any change to any field (including machine parameters or the seed) is a
+// different address. Lookups check an in-memory map first and then the
+// optional on-disk store (one JSON file per key, holding both the spec and
+// the result). The stored spec is compared byte-for-byte against the probe
+// before a disk entry is accepted: hash collisions and stale/corrupt files
+// degrade to cache misses, never to wrong results. store() writes via a
+// temp file + rename so a crash cannot leave a half-written entry behind.
+//
+// All public methods are thread-safe; the runner calls them from pool
+// workers concurrently.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "engine/job.hpp"
+
+namespace alge::engine {
+
+/// FNV-1a 64-bit over bytes; the cache's content address.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+class ResultCache {
+ public:
+  /// `dir` empty = in-memory only. Otherwise the directory is created and
+  /// used as the persistent store.
+  explicit ResultCache(std::string dir = "");
+
+  std::uint64_t key_of(const ExperimentSpec& spec) const {
+    return fnv1a64(spec.canonical_json());
+  }
+
+  /// In-memory hit, then disk hit (loading it into memory), else nullopt.
+  std::optional<ExperimentResult> lookup(const ExperimentSpec& spec);
+
+  void store(const ExperimentSpec& spec, const ExperimentResult& result);
+
+  const std::string& dir() const { return dir_; }
+
+  struct Stats {
+    std::size_t hits = 0;         ///< memory + disk
+    std::size_t disk_hits = 0;    ///< subset of hits served from disk
+    std::size_t misses = 0;
+    std::size_t corrupt = 0;      ///< unreadable/mismatched disk entries
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string canonical_spec;  ///< collision guard
+    ExperimentResult result;
+  };
+
+  std::string path_of(std::uint64_t key) const;
+  std::optional<Entry> load_disk(std::uint64_t key,
+                                 const std::string& canonical_spec);
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> mem_;
+  Stats stats_;
+};
+
+}  // namespace alge::engine

@@ -1,0 +1,183 @@
+#include "engine/job.hpp"
+
+#include <cinttypes>
+#include <cstdlib>
+
+#include "support/common.hpp"
+
+namespace alge::engine {
+
+namespace {
+
+constexpr struct {
+  Alg alg;
+  std::string_view name;
+} kAlgNames[] = {
+    {Alg::kMm25d, "mm25d"},
+    {Alg::kSumma, "summa"},
+    {Alg::kCaps, "caps"},
+    {Alg::kNBody, "nbody"},
+    {Alg::kLu, "lu"},
+    {Alg::kFft, "fft"},
+    {Alg::kCollBcast, "coll_bcast"},
+    {Alg::kCollReduce, "coll_reduce"},
+    {Alg::kCollAllgather, "coll_allgather"},
+    {Alg::kCollA2aDirect, "coll_a2a_direct"},
+    {Alg::kCollA2aBruck, "coll_a2a_bruck"},
+};
+
+int get_int(const json::Value& v, std::string_view key) {
+  return static_cast<int>(v.at(key).as_double());
+}
+
+json::Value params_to_json(const core::MachineParams& mp) {
+  json::Value o = json::Value::object();
+  o.set("gamma_t", mp.gamma_t)
+      .set("beta_t", mp.beta_t)
+      .set("alpha_t", mp.alpha_t)
+      .set("gamma_e", mp.gamma_e)
+      .set("beta_e", mp.beta_e)
+      .set("alpha_e", mp.alpha_e)
+      .set("delta_e", mp.delta_e)
+      .set("eps_e", mp.eps_e)
+      .set("mem_words", mp.mem_words)
+      .set("max_msg_words", mp.max_msg_words);
+  return o;
+}
+
+core::MachineParams params_from_json(const json::Value& v) {
+  core::MachineParams mp;
+  mp.gamma_t = v.at("gamma_t").as_double();
+  mp.beta_t = v.at("beta_t").as_double();
+  mp.alpha_t = v.at("alpha_t").as_double();
+  mp.gamma_e = v.at("gamma_e").as_double();
+  mp.beta_e = v.at("beta_e").as_double();
+  mp.alpha_e = v.at("alpha_e").as_double();
+  mp.delta_e = v.at("delta_e").as_double();
+  mp.eps_e = v.at("eps_e").as_double();
+  mp.mem_words = v.at("mem_words").as_double();
+  mp.max_msg_words = v.at("max_msg_words").as_double();
+  return mp;
+}
+
+}  // namespace
+
+std::string_view to_string(Alg alg) {
+  for (const auto& e : kAlgNames) {
+    if (e.alg == alg) return e.name;
+  }
+  ALGE_CHECK(false, "unnamed Alg value %d", static_cast<int>(alg));
+  return {};
+}
+
+Alg alg_from_string(std::string_view name) {
+  for (const auto& e : kAlgNames) {
+    if (e.name == name) return e.alg;
+  }
+  throw invalid_argument_error(
+      strfmt("unknown algorithm \"%.*s\"", static_cast<int>(name.size()),
+             name.data()));
+}
+
+json::Value ExperimentSpec::to_json() const {
+  json::Value o = json::Value::object();
+  o.set("alg", std::string(to_string(alg)))
+      .set("n", n)
+      .set("q", q)
+      .set("c", c)
+      .set("p", p)
+      .set("k", k)
+      .set("nb", nb)
+      .set("r_dim", r_dim)
+      .set("c_dim", c_dim)
+      .set("payload_words", payload_words)
+      .set("ring_replication", ring_replication)
+      .set("caps_schedule", caps_schedule)
+      .set("caps_cutoff", caps_cutoff)
+      .set("fft_bruck", fft_bruck)
+      .set("verify", verify)
+      // Decimal string: a double could not hold every 64-bit seed exactly.
+      .set("seed", strfmt("%" PRIu64, seed))
+      .set("params", params_to_json(params));
+  return o;
+}
+
+ExperimentSpec ExperimentSpec::from_json(const json::Value& v) {
+  ExperimentSpec s;
+  s.alg = alg_from_string(v.at("alg").as_string());
+  s.n = get_int(v, "n");
+  s.q = get_int(v, "q");
+  s.c = get_int(v, "c");
+  s.p = get_int(v, "p");
+  s.k = get_int(v, "k");
+  s.nb = get_int(v, "nb");
+  s.r_dim = get_int(v, "r_dim");
+  s.c_dim = get_int(v, "c_dim");
+  s.payload_words = get_int(v, "payload_words");
+  s.ring_replication = v.at("ring_replication").as_bool();
+  s.caps_schedule = v.at("caps_schedule").as_string();
+  s.caps_cutoff = get_int(v, "caps_cutoff");
+  s.fft_bruck = v.at("fft_bruck").as_bool();
+  s.verify = v.at("verify").as_bool();
+  s.seed = std::strtoull(v.at("seed").as_string().c_str(), nullptr, 10);
+  s.params = params_from_json(v.at("params"));
+  return s;
+}
+
+json::Value ExperimentResult::to_json() const {
+  json::Value t = json::Value::object();
+  t.set("flops_total", totals.flops_total)
+      .set("words_total", totals.words_total)
+      .set("msgs_total", totals.msgs_total)
+      .set("words_hops_total", totals.words_hops_total)
+      .set("msgs_hops_total", totals.msgs_hops_total)
+      .set("flops_max", totals.flops_max)
+      .set("words_sent_max", totals.words_sent_max)
+      .set("msgs_sent_max", totals.msgs_sent_max)
+      .set("mem_highwater_max", totals.mem_highwater_max)
+      .set("mem_highwater_total", totals.mem_highwater_total);
+  json::Value e = json::Value::object();
+  e.set("flops", energy.flops)
+      .set("words", energy.words)
+      .set("messages", energy.messages)
+      .set("memory", energy.memory)
+      .set("leakage", energy.leakage);
+  json::Value o = json::Value::object();
+  o.set("p", p)
+      .set("makespan", makespan)
+      .set("totals", std::move(t))
+      .set("energy", std::move(e))
+      .set("max_abs_error", max_abs_error)
+      .set("verified", verified);
+  return o;
+}
+
+ExperimentResult ExperimentResult::from_json(const json::Value& v) {
+  ExperimentResult r;
+  r.p = get_int(v, "p");
+  r.makespan = v.at("makespan").as_double();
+  const json::Value& t = v.at("totals");
+  r.totals.flops_total = t.at("flops_total").as_double();
+  r.totals.words_total = t.at("words_total").as_double();
+  r.totals.msgs_total = t.at("msgs_total").as_double();
+  r.totals.words_hops_total = t.at("words_hops_total").as_double();
+  r.totals.msgs_hops_total = t.at("msgs_hops_total").as_double();
+  r.totals.flops_max = t.at("flops_max").as_double();
+  r.totals.words_sent_max = t.at("words_sent_max").as_double();
+  r.totals.msgs_sent_max = t.at("msgs_sent_max").as_double();
+  r.totals.mem_highwater_max =
+      static_cast<std::size_t>(t.at("mem_highwater_max").as_double());
+  r.totals.mem_highwater_total =
+      static_cast<std::size_t>(t.at("mem_highwater_total").as_double());
+  const json::Value& e = v.at("energy");
+  r.energy.flops = e.at("flops").as_double();
+  r.energy.words = e.at("words").as_double();
+  r.energy.messages = e.at("messages").as_double();
+  r.energy.memory = e.at("memory").as_double();
+  r.energy.leakage = e.at("leakage").as_double();
+  r.max_abs_error = v.at("max_abs_error").as_double();
+  r.verified = v.at("verified").as_bool();
+  return r;
+}
+
+}  // namespace alge::engine

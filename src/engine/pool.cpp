@@ -1,0 +1,91 @@
+#include "engine/pool.hpp"
+
+#include "support/common.hpp"
+
+namespace alge::engine {
+
+ThreadPool::ThreadPool(int threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  ALGE_REQUIRE(threads >= 1, "thread pool needs at least one thread, got %d",
+               threads);
+  ALGE_REQUIRE(queue_capacity >= 1, "queue capacity must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { drain(); }
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  std::unique_lock lock(mu_);
+  not_full_.wait(lock,
+                 [this]() { return !accepting_ || queue_.size() < capacity_; });
+  ALGE_REQUIRE(accepting_, "submit() on a shut-down thread pool");
+  queue_.push_back(std::move(job));
+  not_empty_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock,
+                      [this]() { return !queue_.empty() || exit_when_empty_; });
+      if (queue_.empty()) return;  // exit_when_empty_ and nothing left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      not_full_.notify_one();
+    }
+    job();  // a packaged_task: exceptions land in the job's future
+    {
+      std::lock_guard lock(mu_);
+      ++jobs_run_;
+    }
+  }
+}
+
+void ThreadPool::drain() {
+  {
+    std::lock_guard lock(mu_);
+    accepting_ = false;
+    exit_when_empty_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+  join_all();
+}
+
+std::size_t ThreadPool::discard() {
+  std::size_t dropped = 0;
+  {
+    std::lock_guard lock(mu_);
+    accepting_ = false;
+    exit_when_empty_ = true;
+    dropped = queue_.size();
+    queue_.clear();  // destroying a packaged_task breaks its promise
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+  join_all();
+  return dropped;
+}
+
+void ThreadPool::join_all() {
+  {
+    std::lock_guard lock(mu_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t ThreadPool::jobs_run() const {
+  std::lock_guard lock(mu_);
+  return jobs_run_;
+}
+
+}  // namespace alge::engine

@@ -1,0 +1,80 @@
+// Fixed-size thread pool with a bounded work queue.
+//
+// The experiment engine runs one simulated Machine per job; jobs are
+// CPU-bound and independent, so the pool is deliberately simple: N OS
+// threads pull std::function jobs from one locked deque. submit() blocks
+// when the queue is full (backpressure instead of unbounded memory growth),
+// and every job's exceptions are captured into its std::future rather than
+// taking the process down.
+//
+// Shutdown is explicit and graceful:
+//   drain()    stop accepting, run everything already queued, join.
+//   discard()  stop accepting, drop queued jobs (their futures report
+//              broken_promise), finish only the in-flight jobs, join.
+// The destructor drains.
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace alge::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` >= 1 workers; submit() blocks once `queue_capacity`
+  /// jobs are waiting (capacity must be >= 1).
+  explicit ThreadPool(int threads, std::size_t queue_capacity = 1024);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a callable; returns a future for its result. Blocks while the
+  /// queue is at capacity. Throws invalid_argument_error after shutdown.
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Graceful shutdown: run all queued jobs, then join. Idempotent.
+  void drain();
+
+  /// Drop queued jobs (futures get std::future_error/broken_promise),
+  /// finish in-flight jobs, join. Returns the number of jobs dropped.
+  std::size_t discard();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Jobs completed so far (including ones whose callable threw).
+  std::size_t jobs_run() const;
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+  void join_all();
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t capacity_;
+  std::size_t jobs_run_ = 0;
+  bool accepting_ = true;
+  bool exit_when_empty_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace alge::engine

@@ -1,0 +1,266 @@
+#include "engine/runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "algs/harness.hpp"
+#include "engine/pool.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "support/common.hpp"
+#include "support/json.hpp"
+
+namespace alge::engine {
+
+namespace {
+
+ExperimentResult from_run(const algs::harness::RunResult& r) {
+  ExperimentResult out;
+  out.p = r.p;
+  out.makespan = r.makespan;
+  out.totals = r.totals;
+  out.energy = r.energy.breakdown;
+  out.max_abs_error = r.max_abs_error;
+  out.verified = r.verified;
+  return out;
+}
+
+/// The collective microbenches of ablation_collectives as engine jobs: one
+/// Machine of spec.p ranks runs the collective once on a payload of
+/// spec.payload_words.
+ExperimentResult run_collective(const ExperimentSpec& spec) {
+  ALGE_REQUIRE(spec.p >= 1, "collective spec needs p >= 1");
+  ALGE_REQUIRE(spec.payload_words >= 1,
+               "collective spec needs payload_words >= 1");
+  sim::MachineConfig cfg;
+  cfg.p = spec.p;
+  cfg.params = spec.params;
+  sim::Machine m(cfg);
+  const std::size_t k = static_cast<std::size_t>(spec.payload_words);
+  const int p = spec.p;
+  m.run([&](sim::Comm& c) {
+    switch (spec.alg) {
+      case Alg::kCollBcast: {
+        std::vector<double> d(k, 1.0);
+        c.bcast(d, 0, sim::Group::world(p));
+        break;
+      }
+      case Alg::kCollReduce: {
+        std::vector<double> d(k, 1.0);
+        std::vector<double> out(k);
+        c.reduce_sum(d, out, 0, sim::Group::world(p));
+        break;
+      }
+      case Alg::kCollAllgather: {
+        std::vector<double> d(k, 1.0);
+        std::vector<double> out(k * static_cast<std::size_t>(p));
+        c.allgather(d, out, sim::Group::world(p));
+        break;
+      }
+      case Alg::kCollA2aDirect: {
+        std::vector<double> d(k * static_cast<std::size_t>(p), 1.0);
+        std::vector<double> out(d.size());
+        c.alltoall(d, out, sim::Group::world(p));
+        break;
+      }
+      case Alg::kCollA2aBruck: {
+        std::vector<double> d(k * static_cast<std::size_t>(p), 1.0);
+        std::vector<double> out(d.size());
+        c.alltoall_bruck(d, out, sim::Group::world(p));
+        break;
+      }
+      default:
+        ALGE_CHECK(false, "not a collective alg");
+    }
+  });
+  ExperimentResult out;
+  out.p = m.p();
+  out.makespan = m.makespan();
+  out.totals = m.totals();
+  out.energy = m.energy().breakdown;
+  return out;
+}
+
+}  // namespace
+
+ExperimentResult execute(const ExperimentSpec& spec) {
+  using namespace algs;
+  switch (spec.alg) {
+    case Alg::kMm25d: {
+      Mm25dOptions opts;
+      opts.ring_replication = spec.ring_replication;
+      return from_run(harness::run_mm25d(spec.n, spec.q, spec.c, spec.params,
+                                         spec.verify, spec.seed, opts));
+    }
+    case Alg::kSumma:
+      return from_run(harness::run_summa(spec.n, spec.q, spec.params,
+                                         spec.verify, spec.seed));
+    case Alg::kCaps: {
+      CapsOptions opts;
+      opts.schedule = spec.caps_schedule;
+      opts.local_cutoff = spec.caps_cutoff;
+      return from_run(harness::run_caps(spec.n, spec.k, spec.params, opts,
+                                        spec.verify, spec.seed));
+    }
+    case Alg::kNBody:
+      return from_run(harness::run_nbody(spec.n, spec.p, spec.c, spec.params,
+                                         spec.verify, spec.seed));
+    case Alg::kLu:
+      return from_run(harness::run_lu(spec.n, spec.nb, spec.q, spec.c,
+                                      spec.params, spec.verify, spec.seed));
+    case Alg::kFft:
+      return from_run(harness::run_fft(
+          spec.r_dim, spec.c_dim, spec.p,
+          spec.fft_bruck ? AllToAllKind::kBruck : AllToAllKind::kDirect,
+          spec.params, spec.verify, spec.seed));
+    case Alg::kCollBcast:
+    case Alg::kCollReduce:
+    case Alg::kCollAllgather:
+    case Alg::kCollA2aDirect:
+    case Alg::kCollA2aBruck:
+      return run_collective(spec);
+  }
+  ALGE_CHECK(false, "unhandled Alg value %d", static_cast<int>(spec.alg));
+  return {};
+}
+
+SweepRunner::SweepRunner(SweepOptions opts)
+    : opts_(std::move(opts)),
+      cache_(std::make_unique<ResultCache>(opts_.cache_dir)) {}
+
+ExperimentResult SweepRunner::run_one(const ExperimentSpec& spec,
+                                      bool* was_hit) {
+  if (auto hit = cache_->lookup(spec)) {
+    *was_hit = true;
+    return *hit;
+  }
+  *was_hit = false;
+  ExperimentResult r = execute(spec);
+  cache_->store(spec, r);
+  return r;
+}
+
+std::vector<ExperimentResult> SweepRunner::run(
+    const std::vector<ExperimentSpec>& specs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int total = static_cast<int>(specs.size());
+  stats_ = SweepStats{};
+  stats_.jobs = total;
+  std::vector<ExperimentResult> out(specs.size());
+
+  std::mutex mu;  // guards done/hits and serializes the progress callback
+  int done = 0;
+  int hits = 0;
+  auto finish_job = [&](bool hit) {
+    std::lock_guard lock(mu);
+    ++done;
+    if (hit) ++hits;
+    if (opts_.progress) opts_.progress(done, total);
+  };
+
+  if (opts_.threads <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      bool hit = false;
+      out[i] = run_one(specs[i], &hit);
+      finish_job(hit);
+    }
+  } else {
+    ThreadPool pool(opts_.threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      futures.push_back(pool.submit([this, &specs, &out, &finish_job, i]() {
+        bool hit = false;
+        out[i] = run_one(specs[i], &hit);
+        finish_job(hit);
+      }));
+    }
+    pool.drain();
+    // All jobs finished; surface the first failure (if any) after the
+    // sweep so no future is abandoned mid-flight.
+    std::exception_ptr first;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
+  stats_.cache_hits = hits;
+  stats_.executed = total - hits;
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stats_.jobs_per_sec =
+      stats_.wall_seconds > 0.0 ? total / stats_.wall_seconds : 0.0;
+  return out;
+}
+
+void add_engine_flags(CliArgs& cli) {
+  cli.add_flag("threads", "1",
+               "worker threads for the experiment sweep (1 = serial)");
+  cli.add_flag("cache-dir", "",
+               "directory for the persistent result cache (empty = off)");
+  cli.add_flag("progress", "false", "print sweep progress to stderr");
+  cli.add_flag("bench-json", "BENCH_engine.json",
+               "append a machine-readable perf record here (empty = off)");
+}
+
+SweepOptions sweep_options_from_cli(const CliArgs& cli) {
+  SweepOptions opts;
+  opts.threads = static_cast<int>(cli.get_int("threads"));
+  ALGE_REQUIRE(opts.threads >= 1, "--threads must be >= 1");
+  opts.cache_dir = cli.get("cache-dir");
+  if (cli.get_bool("progress")) {
+    opts.progress = [](int done, int total) {
+      std::fprintf(stderr, "[engine] %d/%d jobs done\n", done, total);
+    };
+  }
+  return opts;
+}
+
+void append_bench_record(const std::string& bench_name,
+                         const SweepRunner& runner, const std::string& path) {
+  if (path.empty()) return;
+  json::Value records = json::Value::array();
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      try {
+        json::Value existing = json::parse(buf.str());
+        if (existing.is_array()) records = std::move(existing);
+      } catch (const json::json_error&) {
+        // Malformed history: start a fresh array rather than failing the
+        // bench run.
+      }
+    }
+  }
+  const SweepStats& s = runner.stats();
+  json::Value rec = json::Value::object();
+  rec.set("bench", bench_name)
+      .set("jobs", s.jobs)
+      .set("cache_hits", s.cache_hits)
+      .set("executed", s.executed)
+      .set("threads", runner.options().threads)
+      .set("wall_seconds", s.wall_seconds)
+      .set("jobs_per_sec", s.jobs_per_sec)
+      .set("unix_time",
+           static_cast<double>(std::chrono::duration_cast<std::chrono::seconds>(
+                                   std::chrono::system_clock::now()
+                                       .time_since_epoch())
+                                   .count()));
+  records.push_back(std::move(rec));
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << records.dump() << '\n';
+}
+
+}  // namespace alge::engine

@@ -1,0 +1,84 @@
+// Sweep runner: execute a vector of ExperimentSpecs through the result
+// cache and the thread pool, returning results in input order.
+//
+// Every job is a self-contained deterministic simulation (one Machine, its
+// fibers, and its Rng live entirely on the executing thread — see the
+// threading note in sim/machine.hpp), so a sweep's results are bit-identical
+// regardless of thread count; threads only change wall-clock time. The bench
+// binaries build their parameter grids as specs, call run(), and print the
+// same tables they always printed — with --threads N for concurrency and
+// --cache-dir PATH to persist results so re-runs only compute changed
+// points.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/cache.hpp"
+#include "engine/job.hpp"
+#include "support/cli.hpp"
+
+namespace alge::engine {
+
+/// Execute one spec on the calling thread (cache not consulted): dispatches
+/// to the algs/harness entry point (or runs the collective microbench) named
+/// by spec.alg.
+ExperimentResult execute(const ExperimentSpec& spec);
+
+struct SweepOptions {
+  int threads = 1;        ///< <= 1: run inline on the calling thread
+  std::string cache_dir;  ///< "" = in-memory cache only
+  /// Called after each job completes with (done, total). May be invoked
+  /// from pool workers (serialized); keep it cheap and write to stderr so
+  /// table output on stdout stays clean.
+  std::function<void(int done, int total)> progress;
+};
+
+struct SweepStats {
+  int jobs = 0;
+  int cache_hits = 0;
+  int executed = 0;
+  double wall_seconds = 0.0;
+  double jobs_per_sec = 0.0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+
+  /// Run all specs; result[i] corresponds to specs[i]. Rethrows the first
+  /// job exception after the remaining jobs finish.
+  std::vector<ExperimentResult> run(const std::vector<ExperimentSpec>& specs);
+
+  /// Stats of the most recent run().
+  const SweepStats& stats() const { return stats_; }
+  ResultCache& cache() { return *cache_; }
+  const SweepOptions& options() const { return opts_; }
+
+ private:
+  ExperimentResult run_one(const ExperimentSpec& spec, bool* was_hit);
+
+  SweepOptions opts_;
+  std::unique_ptr<ResultCache> cache_;
+  SweepStats stats_;
+};
+
+/// Declare the standard engine flags (--threads, --cache-dir, --progress,
+/// --bench-json) on a bench binary's CLI.
+void add_engine_flags(CliArgs& cli);
+
+/// Build SweepOptions from flags declared by add_engine_flags(). When
+/// --progress is set, wires a stderr progress printer.
+SweepOptions sweep_options_from_cli(const CliArgs& cli);
+
+/// Append {bench, jobs, cache_hits, executed, threads, wall_seconds,
+/// jobs_per_sec} to the JSON array in `path` (the --bench-json flag;
+/// empty path disables). Creates the file on first use; a malformed
+/// existing file is replaced rather than fatal. Gives later PRs a perf
+/// trajectory to compare against.
+void append_bench_record(const std::string& bench_name,
+                         const SweepRunner& runner, const std::string& path);
+
+}  // namespace alge::engine

@@ -20,6 +20,19 @@
 // until a matching message (same source and tag, FIFO per pair) exists.
 // If every live rank is blocked the run aborts with a deadlock diagnosis
 // listing what each rank was waiting for.
+//
+// THREADING INVARIANT (relied on by src/engine): a Machine and everything
+// it owns — fibers, mailboxes, counters, the run() call — are confined to
+// the single OS thread that calls run(); a Machine is NOT safe to share
+// between threads. Distinct Machines on distinct threads are safe to run
+// concurrently: the fiber scheduler's active-scheduler pointer is
+// thread_local (fiber/fiber.cpp), Rng state is per-instance
+// (support/rng.hpp), and there is no other mutable global state in sim/,
+// fiber/, topo/, algs/ or support/ (machines/db.cpp holds a const table
+// with thread-safe magic-static initialization). This is what lets the
+// experiment engine run one simulated Machine per pool thread with
+// bit-identical results at any thread count (verified under TSan by
+// tests/test_engine.cpp).
 #pragma once
 
 #include <deque>
@@ -75,6 +88,8 @@ struct SimTotals {
   double msgs_sent_max = 0.0;
   std::size_t mem_highwater_max = 0;
   std::size_t mem_highwater_total = 0;
+
+  bool operator==(const SimTotals&) const = default;
 };
 
 /// Eq. (2) evaluated on the measured run; see Machine::energy().

@@ -1,6 +1,11 @@
 // Deterministic PRNG (xoshiro256++) used everywhere instead of std::mt19937
 // so that simulated runs and generated workloads are bit-reproducible across
 // platforms and standard-library versions.
+//
+// Thread-safety: all state is per-instance (no statics), so distinct Rng
+// objects may be used from distinct threads concurrently — the experiment
+// engine (src/engine) seeds one Rng per job from ExperimentSpec::seed. A
+// single instance is not synchronized; do not share one across threads.
 #pragma once
 
 #include <cstdint>

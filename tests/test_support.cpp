@@ -4,6 +4,7 @@
 
 #include "support/cli.hpp"
 #include "support/common.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -184,6 +185,55 @@ TEST(Cli, HelpRequested) {
   cli.parse(2, argv);
   EXPECT_TRUE(cli.help_requested());
   EXPECT_NE(cli.usage("prog").find("size"), std::string::npos);
+}
+
+TEST(Json, BuildAndDumpIsCanonical) {
+  json::Value o = json::Value::object();
+  o.set("name", "alge").set("count", 3).set("ok", true).set("none", nullptr);
+  json::Value arr = json::Value::array();
+  arr.push_back(1).push_back(2.5).push_back("x");
+  o.set("list", std::move(arr));
+  EXPECT_EQ(o.dump(),
+            "{\"name\":\"alge\",\"count\":3,\"ok\":true,\"none\":null,"
+            "\"list\":[1,2.5,\"x\"]}");
+}
+
+TEST(Json, ParseRoundTripsDump) {
+  const std::string text =
+      "{\"a\":[1,2,{\"b\":false}],\"s\":\"he\\\"llo\\n\",\"x\":-1.25e-3}";
+  const json::Value v = json::parse(text);
+  EXPECT_EQ(json::parse(v.dump()), v);
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("s").as_string(), "he\"llo\n");
+  EXPECT_DOUBLE_EQ(v.at("x").as_double(), -1.25e-3);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (const double d : {0.1, 1.0 / 3.0, 1e18, 9007199254740992.0, -0.0,
+                         3.141592653589793, 1.5625e-2}) {
+    json::Value v(d);
+    const double back = json::parse(v.dump()).as_double();
+    EXPECT_EQ(back, d) << v.dump();
+  }
+  EXPECT_EQ(json::Value(48.0).dump(), "48");
+  EXPECT_EQ(json::Value(-7).dump(), "-7");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(json::parse("{"), json::json_error);
+  EXPECT_THROW(json::parse("[1,]"), json::json_error);
+  EXPECT_THROW(json::parse("\"unterminated"), json::json_error);
+  EXPECT_THROW(json::parse("12 34"), json::json_error);
+  EXPECT_THROW(json::parse("{\"a\":nul}"), json::json_error);
+  EXPECT_THROW(json::Value(1.0).at("k"), json::json_error);
+  EXPECT_THROW(json::parse("[1]").as_object(), json::json_error);
+}
+
+TEST(Json, MissingKeyThrowsFindReturnsNull) {
+  const json::Value v = json::parse("{\"a\":1}");
+  EXPECT_EQ(v.find("b"), nullptr);
+  EXPECT_THROW(v.at("b"), json::json_error);
+  EXPECT_DOUBLE_EQ(v.at("a").as_double(), 1.0);
 }
 
 }  // namespace
