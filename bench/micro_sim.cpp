@@ -1,0 +1,152 @@
+// Wall-clock micro-benchmarks (google-benchmark) for the simulator's three
+// hot paths — message matching, payload transport, and fiber scheduling —
+// tracked before/after optimization work in BENCH_sim.json.
+//
+// The four benchmarks map onto the costs a simulated experiment pays:
+//   BM_PingPong            per-message latency incl. the block/unblock path
+//   BM_AllToAllMatch/p     recv-side matching with p-1 pending messages per
+//                          rank (recvs issued in reverse arrival order: the
+//                          worst case for a linear mailbox scan)
+//   BM_ContextSwitch/n     switch rate with n-2 blocked bystander fibers (a
+//                          scheduler that scans all fibers degrades with n)
+//   BM_SendRecvThroughput  credit-window streaming (payload transport +
+//                          the blocking exchange cycle, the shape of real
+//                          collective traffic)
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fiber/fiber.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace alge;
+
+sim::MachineConfig unit_config(int p) {
+  sim::MachineConfig cfg;
+  cfg.p = p;
+  cfg.params = core::MachineParams::unit();
+  return cfg;
+}
+
+void BM_PingPong(benchmark::State& state) {
+  // Round-trip of an 8-word message between two ranks. Every recv blocks
+  // (the partner has not sent yet), so this measures matching + the
+  // block/unblock path + two payload transports per round.
+  const int rounds = 2000;
+  const sim::MachineConfig cfg = unit_config(2);
+  for (auto _ : state) {
+    sim::Machine m(cfg);
+    m.run([&](sim::Comm& c) {
+      std::vector<double> buf(8, 1.0);
+      for (int i = 0; i < rounds; ++i) {
+        if (c.rank() == 0) {
+          c.send(1, buf);
+          c.recv(1, buf);
+        } else {
+          c.recv(0, buf);
+          c.send(0, buf);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rounds);
+}
+BENCHMARK(BM_PingPong);
+
+void BM_AllToAllMatch(benchmark::State& state) {
+  // Each rank posts p-1 eager sends, then receives from every peer in
+  // reverse order of arrival. A mailbox that scans linearly pays
+  // O(pending) per recv — O(p^2) scans per rank and round; indexed
+  // matching pays O(1).
+  const int p = static_cast<int>(state.range(0));
+  const int rounds = 4;
+  const sim::MachineConfig cfg = unit_config(p);
+  for (auto _ : state) {
+    sim::Machine m(cfg);
+    m.run([&](sim::Comm& c) {
+      std::vector<double> out(4, 0.0);
+      const std::vector<double> in(4, 1.0);
+      for (int r = 0; r < rounds; ++r) {
+        for (int d = 1; d < p; ++d) c.send((c.rank() + d) % p, in, r);
+        for (int d = p - 1; d >= 1; --d) c.recv((c.rank() + d) % p, out, r);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * p *
+                          static_cast<int64_t>(p - 1));
+}
+BENCHMARK(BM_AllToAllMatch)->Arg(16)->Arg(64);
+
+void BM_ContextSwitch(benchmark::State& state) {
+  // Two fibers yield to each other while n-2 bystanders sit blocked, then
+  // everything is released. A scheduler that scans the whole fiber table
+  // per switch costs O(n); a ready queue costs O(1).
+  const int n = static_cast<int>(state.range(0));
+  const int yields = 4000;
+  for (auto _ : state) {
+    fiber::Scheduler s;
+    std::vector<fiber::Scheduler::FiberId> blocked;
+    for (int f = 0; f < 2; ++f) {
+      s.spawn([&, f] {
+        for (int i = 0; i < yields; ++i) fiber::Scheduler::active()->yield();
+        if (f == 0) {
+          for (auto id : blocked) fiber::Scheduler::active()->unblock(id);
+        }
+      });
+    }
+    for (int f = 2; f < n; ++f) {
+      blocked.push_back(s.spawn(
+          [] { fiber::Scheduler::active()->block("bystander"); }));
+    }
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * yields);
+}
+BENCHMARK(BM_ContextSwitch)->Arg(2)->Arg(64)->Arg(256);
+
+void BM_SendRecvThroughput(benchmark::State& state) {
+  // Rank 0 streams `words`-word messages to rank 1 under a two-message
+  // credit window (rank 1 acks each window with an empty message) — the
+  // shape of the simulator's real traffic: collective steps are blocking
+  // neighbor exchanges, never unbounded eager bursts. Measures payload
+  // transport end to end: rendezvous delivery into the blocked receiver,
+  // pooled buffers for the queued half, and the block/unblock cycle.
+  // Items are words moved.
+  const int msgs = 2000;
+  const int window = 2;
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  const sim::MachineConfig cfg = unit_config(2);
+  for (auto _ : state) {
+    sim::Machine m(cfg);
+    m.run([&](sim::Comm& c) {
+      if (c.rank() == 0) {
+        const std::vector<double> buf(words, 1.0);
+        for (int i = 0; i < msgs; ++i) {
+          c.send(1, buf, 0);
+          if (i % window == window - 1) c.recv(1, std::span<double>(), 1);
+        }
+      } else {
+        std::vector<double> buf(words, 0.0);
+        for (int i = 0; i < msgs; ++i) {
+          c.recv(0, buf, 0);
+          if (i % window == window - 1) {
+            c.send(0, std::span<const double>(), 1);
+          }
+        }
+        benchmark::DoNotOptimize(buf.data());
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * msgs *
+                          static_cast<int64_t>(words));
+}
+BENCHMARK(BM_SendRecvThroughput)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,34 +2,129 @@
 
 #include <ucontext.h>
 
+#include <cstdint>
 #include <exception>
 #include <utility>
 
+#include "fiber/ready_set.hpp"
 #include "support/common.hpp"
+
+// Context-switch mechanism selection.
+//
+// swapcontext() preserves the signal mask, which costs a sigprocmask
+// syscall on every switch — an order of magnitude more than all of the
+// scheduler's own bookkeeping combined. Fibers never touch the signal
+// mask, so on x86-64 we switch stacks directly: push the System V
+// callee-saved registers, swap %rsp, pop, ret (the classic fcontext
+// technique). Sanitizer builds keep the ucontext path: TSan/ASan track
+// fiber stacks through the intercepted swapcontext and would lose their
+// shadow state across a raw %rsp swap. -DALGE_FIBER_FORCE_UCONTEXT
+// restores the portable path everywhere. Both mechanisms are pure
+// plumbing; scheduling order and all observable behavior are identical.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define ALGE_FIBER_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define ALGE_FIBER_SANITIZED 1
+#endif
+#endif
+#if defined(__x86_64__) && !defined(ALGE_FIBER_SANITIZED) && \
+    !defined(ALGE_FIBER_FORCE_UCONTEXT)
+#define ALGE_FIBER_FAST_SWITCH 1
+#endif
+
+#if defined(ALGE_FIBER_FAST_SWITCH)
+// Save the callee-saved registers on the current stack, store the stack
+// pointer through save_sp, adopt load_sp, restore, return "into" the
+// resumed context. The compiler treats the call as a normal opaque
+// function call, so caller-saved state is already spilled per the ABI.
+extern "C" void alge_fiber_switch(void** save_sp, void* load_sp);
+asm(".text\n"
+    ".align 16\n"
+    ".globl alge_fiber_switch\n"
+    ".type alge_fiber_switch, @function\n"
+    "alge_fiber_switch:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n"
+    ".size alge_fiber_switch, . - alge_fiber_switch\n");
+#endif
 
 namespace alge::fiber {
 
 namespace {
 thread_local Scheduler* g_active = nullptr;
+
+#if defined(ALGE_FIBER_FAST_SWITCH)
+/// Lay out a fresh fiber stack so that the first alge_fiber_switch into it
+/// pops six zeroed registers and `ret`s into `entry`. The entry slot sits
+/// at a 16-byte boundary so `entry` starts with the ABI-mandated
+/// rsp % 16 == 8 of a just-called function; the zero word above it stops
+/// stack walkers at the fiber boundary.
+void* prepare_fast_stack(char* base, std::size_t size, void (*entry)()) {
+  std::uintptr_t top = reinterpret_cast<std::uintptr_t>(base + size);
+  top &= ~static_cast<std::uintptr_t>(15);
+  top -= 16;
+  void** slots = reinterpret_cast<void**>(top);
+  slots[0] = reinterpret_cast<void*>(entry);
+  slots[1] = nullptr;
+  void** sp = slots - 6;
+  for (int i = 0; i < 6; ++i) sp[i] = nullptr;
+  return sp;
+}
+#endif
 }  // namespace
 
 struct Scheduler::Impl {
   ucontext_t main_ctx{};
+#if defined(ALGE_FIBER_FAST_SWITCH)
+  void* main_sp = nullptr;
+#endif
+  ReadySet ready;
 };
 
 struct Scheduler::Fiber {
   enum class State { Ready, Blocked, Done };
 
-  explicit Fiber(std::function<void()> f, std::size_t stack_bytes)
-      : fn(std::move(f)), stack(stack_bytes) {}
+  // make_unique_for_overwrite: a fiber stack must not be value-initialized
+  // — zeroing would touch (and fault in) every page of every stack up
+  // front, where actual use only ever touches the top few.
+  explicit Fiber(std::function<void()> f, std::size_t bytes)
+      : fn(std::move(f)),
+        stack(std::make_unique_for_overwrite<char[]>(bytes)),
+        stack_bytes(bytes) {}
+
+  /// The reason shown in deadlock diagnostics: describe(describe_arg) when
+  /// the lazy block() overload was used, block_reason otherwise.
+  std::string reason() const {
+    return describe != nullptr ? describe(describe_arg) : block_reason;
+  }
 
   std::function<void()> fn;
-  std::vector<char> stack;
+  std::unique_ptr<char[]> stack;
+  std::size_t stack_bytes;
   ucontext_t ctx{};
+#if defined(ALGE_FIBER_FAST_SWITCH)
+  void* sp = nullptr;  ///< suspended stack pointer (fast-switch mode)
+#endif
   State state = State::Ready;
   bool started = false;
   bool cancel_requested = false;
   std::string block_reason;
+  BlockDescriber describe = nullptr;
+  const void* describe_arg = nullptr;
   std::exception_ptr exception;
 };
 
@@ -56,6 +151,8 @@ Scheduler::FiberId Scheduler::spawn(std::function<void()> fn,
                stack_bytes);
   fibers_.push_back(std::make_unique<Fiber>(std::move(fn), stack_bytes));
   ++live_;
+  impl_->ready.resize(fibers_.size());
+  impl_->ready.insert(fibers_.size() - 1);
   return static_cast<FiberId>(fibers_.size()) - 1;
 }
 
@@ -72,7 +169,11 @@ void Scheduler::trampoline() {
   self.state = Fiber::State::Done;
   --sched->live_;
   // Jump back to the scheduler; this fiber never resumes.
+#if defined(ALGE_FIBER_FAST_SWITCH)
+  alge_fiber_switch(&self.sp, sched->impl_->main_sp);
+#else
   swapcontext(&self.ctx, &sched->impl_->main_ctx);
+#endif
   ALGE_CHECK(false, "resumed a finished fiber");
   std::abort();
 }
@@ -86,46 +187,50 @@ void Scheduler::run() {
 
   std::size_t cursor = 0;
   while (live_ > 0) {
-    // Round-robin scan for the next ready fiber. (volatile: the value is
-    // read after swapcontext, which the compiler models like setjmp.)
-    volatile bool found = false;
-    for (std::size_t i = 0; i < fibers_.size(); ++i) {
-      const std::size_t idx = (cursor + i) % fibers_.size();
-      Fiber& f = *fibers_[idx];
-      if (f.state != Fiber::State::Ready) continue;
-      found = true;
-      cursor = (idx + 1) % fibers_.size();
-      current_ = static_cast<FiberId>(idx);
-      if (!f.started) {
-        f.started = true;
-        getcontext(&f.ctx);
-        f.ctx.uc_stack.ss_sp = f.stack.data();
-        f.ctx.uc_stack.ss_size = f.stack.size();
-        f.ctx.uc_link = nullptr;
-        makecontext(&f.ctx, reinterpret_cast<void (*)()>(&trampoline), 0);
-      }
-      swapcontext(&impl_->main_ctx, &f.ctx);
-      current_ = -1;
-      if (f.exception && !failure) {
-        failure = f.exception;
-        f.exception = nullptr;
-      }
-      if (failure) break;
-      break;  // Re-scan from cursor so newly unblocked fibers are seen.
-    }
-    if (failure) break;
-    if (!found && live_ > 0) {
+    // Round-robin: first ready fiber at or after the cursor, cyclically.
+    // The ready set keeps this O(1) regardless of how many fibers are
+    // blocked; the wake order is identical to the historical linear scan.
+    const std::ptrdiff_t next = impl_->ready.next_cyclic(cursor);
+    if (next < 0) {
       // Every live fiber is blocked: deadlock.
       std::string msg = "deadlock: all live fibers blocked:";
       for (std::size_t i = 0; i < fibers_.size(); ++i) {
         const Fiber& f = *fibers_[i];
         if (f.state == Fiber::State::Blocked) {
-          msg += strfmt("\n  fiber %zu: %s", i, f.block_reason.c_str());
+          msg += strfmt("\n  fiber %zu: %s", i, f.reason().c_str());
         }
       }
       failure = std::make_exception_ptr(DeadlockError(msg));
       break;
     }
+    const std::size_t idx = static_cast<std::size_t>(next);
+    Fiber& f = *fibers_[idx];
+    cursor = idx + 1;  // next_cyclic wraps an off-the-end cursor to 0
+    current_ = static_cast<FiberId>(idx);
+    if (!f.started) {
+      f.started = true;
+#if defined(ALGE_FIBER_FAST_SWITCH)
+      f.sp = prepare_fast_stack(f.stack.get(), f.stack_bytes, &trampoline);
+#else
+      getcontext(&f.ctx);
+      f.ctx.uc_stack.ss_sp = f.stack.get();
+      f.ctx.uc_stack.ss_size = f.stack_bytes;
+      f.ctx.uc_link = nullptr;
+      makecontext(&f.ctx, reinterpret_cast<void (*)()>(&trampoline), 0);
+#endif
+    }
+#if defined(ALGE_FIBER_FAST_SWITCH)
+    alge_fiber_switch(&impl_->main_sp, f.sp);
+#else
+    swapcontext(&impl_->main_ctx, &f.ctx);
+#endif
+    current_ = -1;
+    if (f.state == Fiber::State::Done) impl_->ready.erase(idx);
+    if (f.exception && !failure) {
+      failure = f.exception;
+      f.exception = nullptr;
+    }
+    if (failure) break;
   }
 
   if (failure) {
@@ -150,6 +255,7 @@ void Scheduler::cancel_all_live() {
     if (!f.started) {
       // Never ran: nothing on its stack; just retire it.
       f.state = Fiber::State::Done;
+      impl_->ready.erase(i);
       --live_;
       continue;
     }
@@ -157,9 +263,14 @@ void Scheduler::cancel_all_live() {
     g_active = this;
     f.state = Fiber::State::Ready;
     current_ = static_cast<FiberId>(i);
+#if defined(ALGE_FIBER_FAST_SWITCH)
+    alge_fiber_switch(&impl_->main_sp, f.sp);
+#else
     swapcontext(&impl_->main_ctx, &f.ctx);
+#endif
     current_ = -1;
     g_active = prev_active;
+    impl_->ready.erase(i);
     ALGE_CHECK(f.state == Fiber::State::Done,
                "cancelled fiber %zu suspended again", i);
   }
@@ -172,7 +283,11 @@ void Scheduler::check_cancel() const {
 
 void Scheduler::switch_to_scheduler() {
   Fiber& f = *fibers_[static_cast<std::size_t>(current_)];
+#if defined(ALGE_FIBER_FAST_SWITCH)
+  alge_fiber_switch(&f.sp, impl_->main_sp);
+#else
   swapcontext(&f.ctx, &impl_->main_ctx);
+#endif
   // Resumed: if the scheduler wants us dead, unwind now.
   check_cancel();
 }
@@ -183,13 +298,33 @@ void Scheduler::yield() {
   switch_to_scheduler();
 }
 
+void Scheduler::block_common(Fiber& f) {
+  f.state = Fiber::State::Blocked;
+  impl_->ready.erase(static_cast<std::size_t>(current_));
+  switch_to_scheduler();
+  // Resumed: the describer argument pointed at stack state that is only
+  // guaranteed alive while blocked; drop it before running on.
+  f.describe = nullptr;
+  f.describe_arg = nullptr;
+}
+
 void Scheduler::block(std::string reason) {
   ALGE_REQUIRE(current_ >= 0, "block() outside a fiber");
   check_cancel();
   Fiber& f = *fibers_[static_cast<std::size_t>(current_)];
-  f.state = Fiber::State::Blocked;
   f.block_reason = std::move(reason);
-  switch_to_scheduler();
+  f.describe = nullptr;
+  block_common(f);
+}
+
+void Scheduler::block(BlockDescriber describe, const void* arg) {
+  ALGE_REQUIRE(current_ >= 0, "block() outside a fiber");
+  ALGE_REQUIRE(describe != nullptr, "block() needs a describer");
+  check_cancel();
+  Fiber& f = *fibers_[static_cast<std::size_t>(current_)];
+  f.describe = describe;
+  f.describe_arg = arg;
+  block_common(f);
 }
 
 void Scheduler::unblock(FiberId id) {
@@ -198,7 +333,10 @@ void Scheduler::unblock(FiberId id) {
   Fiber& f = *fibers_[static_cast<std::size_t>(id)];
   ALGE_REQUIRE(f.state != Fiber::State::Done, "unblock(%d): fiber finished",
                id);
-  f.state = Fiber::State::Ready;
+  if (f.state == Fiber::State::Blocked) {
+    f.state = Fiber::State::Ready;
+    impl_->ready.insert(static_cast<std::size_t>(id));
+  }
 }
 
 }  // namespace alge::fiber

@@ -1,0 +1,124 @@
+// The scheduler's ready structure: a set of fiber ids supporting O(1)
+// insert/erase and O(1) "first ready id at or after a cursor, cyclically".
+//
+// A plain FIFO ready queue would be O(1) too, but it wakes fibers in
+// unblock order, which differs from the historical round-robin scan
+// whenever one fiber unblocks several others before suspending (binomial
+// collectives do exactly that). Cyclic-next over a bitmap reproduces the
+// scan's wake order bit-for-bit — the determinism the trace and counter
+// tests rely on — while a context switch stays O(1) no matter how many
+// fibers are blocked.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alge::fiber {
+
+/// Two-level bitmap over ids in [0, capacity): leaf words of 64 ids and one
+/// summary bit per leaf word. next_cyclic touches at most two leaf words,
+/// two summary words, and a linear pass over the summary array (one word up
+/// to 4096 ids), so lookups are O(1) for any realistic fiber count.
+class ReadySet {
+ public:
+  /// Grow capacity to at least `n` ids (never shrinks).
+  void resize(std::size_t n) {
+    if (n <= n_) return;
+    n_ = n;
+    leaf_.resize((n_ + 63) / 64, 0);
+    summary_.resize((leaf_.size() + 63) / 64, 0);
+  }
+
+  std::size_t capacity() const { return n_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  bool contains(std::size_t i) const {
+    return i < n_ && ((leaf_[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+
+  void insert(std::size_t i) {
+    if (contains(i)) return;
+    leaf_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    summary_[i >> 12] |= std::uint64_t{1} << ((i >> 6) & 63);
+    ++count_;
+  }
+
+  void erase(std::size_t i) {
+    if (!contains(i)) return;
+    leaf_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    if (leaf_[i >> 6] == 0) {
+      summary_[i >> 12] &= ~(std::uint64_t{1} << ((i >> 6) & 63));
+    }
+    --count_;
+  }
+
+  /// Smallest member id >= start, wrapping past capacity-1 back to 0;
+  /// -1 if the set is empty. start may equal capacity (treated as 0).
+  std::ptrdiff_t next_cyclic(std::size_t start) const {
+    if (count_ == 0) return -1;
+    if (start >= n_) start = 0;
+    const std::size_t w0 = start >> 6;
+    const unsigned b0 = static_cast<unsigned>(start & 63);
+    // Tail of the starting word.
+    if (const std::uint64_t m = leaf_[w0] >> b0) {
+      return static_cast<std::ptrdiff_t>(start) + std::countr_zero(m);
+    }
+    // Next non-empty leaf word strictly after w0, cyclically, then w0's
+    // low bits as the final wrap-around candidate.
+    const std::size_t w = next_word_cyclic(w0);
+    if (w == w0) {
+      const std::uint64_t m =
+          b0 == 0 ? 0 : (leaf_[w0] & ((std::uint64_t{1} << b0) - 1));
+      if (m == 0) return -1;
+      return static_cast<std::ptrdiff_t>((w0 << 6) +
+                                         static_cast<std::size_t>(
+                                             std::countr_zero(m)));
+    }
+    return static_cast<std::ptrdiff_t>(
+        (w << 6) + static_cast<std::size_t>(std::countr_zero(leaf_[w])));
+  }
+
+ private:
+  /// Index of the first non-empty leaf word strictly after w0 in cyclic
+  /// order; returns w0 itself when every other word is empty (the caller
+  /// then inspects w0's wrapped-around low bits).
+  std::size_t next_word_cyclic(std::size_t w0) const {
+    const std::size_t s0 = w0 >> 6;
+    const unsigned sb = static_cast<unsigned>(w0 & 63);
+    // Summary bits for leaf words in block s0 strictly above w0.
+    if (sb != 63) {
+      if (const std::uint64_t m = summary_[s0] >> (sb + 1)) {
+        return (s0 << 6) + sb + 1 +
+               static_cast<std::size_t>(std::countr_zero(m));
+      }
+    }
+    const std::size_t ns = summary_.size();
+    for (std::size_t i = 1; i < ns; ++i) {
+      const std::size_t si = (s0 + i) % ns;
+      if (summary_[si] != 0) {
+        return (si << 6) +
+               static_cast<std::size_t>(std::countr_zero(summary_[si]));
+      }
+    }
+    // Only block s0 remains: leaf words at or below w0.
+    const std::uint64_t low =
+        summary_[s0] & ((sb == 63) ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << (sb + 1)) - 1));
+    if (const std::uint64_t m = low) {
+      const std::size_t w =
+          (s0 << 6) + static_cast<std::size_t>(std::countr_zero(m));
+      if (w != w0) return w;
+    }
+    return w0;
+  }
+
+  std::vector<std::uint64_t> leaf_;
+  std::vector<std::uint64_t> summary_;
+  std::size_t n_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace alge::fiber

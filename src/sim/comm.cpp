@@ -23,6 +23,19 @@ Buffer::Buffer(Buffer&& o) noexcept : comm_(o.comm_), data_(std::move(o.data_)) 
   o.data_.clear();
 }
 
+Buffer& Buffer::operator=(Buffer&& o) noexcept {
+  if (this == &o) return *this;
+  // Release this buffer's accounting before adopting the other's: the
+  // words move with the storage, and each side's registration follows its
+  // own Comm (self-assignment and moved-from destruction stay no-ops).
+  if (comm_ != nullptr) comm_->unregister_memory(data_.size());
+  comm_ = o.comm_;
+  data_ = std::move(o.data_);
+  o.comm_ = nullptr;
+  o.data_.clear();
+  return *this;
+}
+
 // --- Comm ---
 
 Comm::Comm(Machine& machine, int rank) : machine_(machine), rank_(rank) {}
@@ -85,65 +98,123 @@ void Comm::send(int dst, std::span<const double> data, int tag) {
     }
   }
 
-  Machine::Message msg;
+  Machine::Rank& target = machine_.ranks_[static_cast<std::size_t>(dst)];
+  if (target.waiting && target.wait_src == rank_ && target.wait_tag == tag) {
+    if (target.wait_out.size() == data.size()) {
+      // Rendezvous: the receiver is already blocked on exactly this
+      // message, so deliver straight into its output span — one copy, no
+      // queue traffic, no pool buffer. The receiver applies clocks,
+      // counters, and trace from the metadata exactly as the queued path
+      // would, so results are bit-identical either way.
+      std::copy(data.begin(), data.end(), target.wait_out.begin());
+      target.direct = true;
+      target.direct_arrival = c.clock;
+      target.direct_msg_count = nmsg;
+      target.waiting = false;  // satisfied: later sends must queue
+      ALGE_CHECK(machine_.sched_ != nullptr, "send outside a run");
+      machine_.sched_->unblock(target.fid);
+      return;
+    }
+    // Size mismatch: queue it so the receiver raises its usual error.
+    ALGE_CHECK(machine_.sched_ != nullptr, "send outside a run");
+    machine_.sched_->unblock(target.fid);
+  }
+  Message msg;
   msg.src = rank_;
   msg.tag = tag;
   msg.arrival = c.clock;  // available once the sender has pushed it out
   msg.msg_count = nmsg;
-  msg.payload.assign(data.begin(), data.end());
-
-  Machine::Rank& target = machine_.ranks_[static_cast<std::size_t>(dst)];
-  target.mailbox.push_back(std::move(msg));
-  if (target.waiting) {
-    ALGE_CHECK(machine_.sched_ != nullptr, "send outside a run");
-    machine_.sched_->unblock(target.fid);
-  }
+  msg.seq = target.next_seq++;
+  msg.payload = machine_.acquire_payload(data);
+  target.mailbox.push(std::move(msg));
 }
+
+namespace {
+struct RecvWait {
+  int rank;
+  int src;
+  int tag;
+};
+
+std::string describe_recv_wait(const void* arg) {
+  const auto* w = static_cast<const RecvWait*>(arg);
+  return strfmt("rank %d waiting for recv from rank %d tag %d", w->rank,
+                w->src, w->tag);
+}
+}  // namespace
 
 void Comm::recv(int src, std::span<double> out, int tag) {
   ALGE_REQUIRE(src >= 0 && src < size(), "recv from invalid rank %d", src);
+  ALGE_REQUIRE(tag >= 0 && tag < kCollTag * 2, "tag %d out of range", tag);
   Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(rank_)];
 
-  for (;;) {
-    auto it = std::find_if(me.mailbox.begin(), me.mailbox.end(),
-                           [&](const Machine::Message& m) {
-                             return m.src == src && m.tag == tag;
-                           });
-    if (it != me.mailbox.end()) {
-      if (it->payload.size() != out.size()) {
-        throw SimError(strfmt(
-            "rank %d recv from %d tag %d: expected %zu words, message has "
-            "%zu",
-            rank_, src, tag, out.size(), it->payload.size()));
-      }
+  // O(1) matching: the (src, tag) queue holds exactly the candidates, in
+  // arrival order. The index stays valid across blocking waits.
+  const std::uint32_t qi = me.mailbox.queue_index(src, tag);
+  if (me.mailbox.queue(qi).empty()) {
+    ALGE_CHECK(machine_.sched_ != nullptr, "recv outside a run");
+    const RecvWait wait{rank_, src, tag};
+    me.waiting = true;
+    me.wait_src = src;
+    me.wait_tag = tag;
+    me.wait_out = out;
+    me.direct = false;
+    do {
+      machine_.sched_->block(&describe_recv_wait, &wait);
+    } while (!me.direct && me.mailbox.queue(qi).empty());
+    me.waiting = false;
+    if (me.direct) {
+      // Rendezvous delivery: the payload is already in `out`; account for
+      // it exactly as the queued path below does.
+      me.direct = false;
       RankCounters& c = mutable_counters();
-      if (it->arrival > c.clock) {
+      if (me.direct_arrival > c.clock) {
         if (machine_.cfg_.enable_trace) {
           machine_.trace_.record({TraceEvent::Kind::kIdle, rank_, c.clock,
-                                  it->arrival, src, 0.0, tag});
+                                  me.direct_arrival, src, 0.0, tag});
         }
-        c.idle_time += it->arrival - c.clock;
-        c.clock = it->arrival;
+        c.idle_time += me.direct_arrival - c.clock;
+        c.clock = me.direct_arrival;
       }
       if (machine_.cfg_.enable_trace) {
         machine_.trace_.record({TraceEvent::Kind::kRecv, rank_, c.clock,
                                 c.clock, src,
-                                static_cast<double>(it->payload.size()),
-                                tag});
+                                static_cast<double>(out.size()), tag});
       }
-      c.words_recv += static_cast<double>(it->payload.size());
-      c.msgs_recv += it->msg_count;
-      std::copy(it->payload.begin(), it->payload.end(), out.begin());
-      me.mailbox.erase(it);
+      c.words_recv += static_cast<double>(out.size());
+      c.msgs_recv += me.direct_msg_count;
       return;
     }
-    ALGE_CHECK(machine_.sched_ != nullptr, "recv outside a run");
-    me.waiting = true;
-    machine_.sched_->block(
-        strfmt("rank %d waiting for recv from rank %d tag %d", rank_, src,
-               tag));
-    me.waiting = false;
   }
+  // Consume the message in place (no pop-by-value move); the payload
+  // buffer goes back to the pool and the queue slot is retired.
+  Message& msg = me.mailbox.queue(qi).front();
+
+  if (msg.payload.size() != out.size()) {
+    throw SimError(strfmt(
+        "rank %d recv from %d tag %d: expected %zu words, message has "
+        "%zu",
+        rank_, src, tag, out.size(), msg.payload.size()));
+  }
+  RankCounters& c = mutable_counters();
+  if (msg.arrival > c.clock) {
+    if (machine_.cfg_.enable_trace) {
+      machine_.trace_.record({TraceEvent::Kind::kIdle, rank_, c.clock,
+                              msg.arrival, src, 0.0, tag});
+    }
+    c.idle_time += msg.arrival - c.clock;
+    c.clock = msg.arrival;
+  }
+  if (machine_.cfg_.enable_trace) {
+    machine_.trace_.record({TraceEvent::Kind::kRecv, rank_, c.clock, c.clock,
+                            src, static_cast<double>(msg.payload.size()),
+                            tag});
+  }
+  c.words_recv += static_cast<double>(msg.payload.size());
+  c.msgs_recv += msg.msg_count;
+  std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
+  machine_.release_payload(std::move(msg.payload));
+  me.mailbox.consume(qi);
 }
 
 void Comm::sendrecv(int dst, std::span<const double> send_data, int src,

@@ -12,13 +12,15 @@ namespace alge::sim {
 
 /// RAII-tracked allocation of `words` doubles, counted against the rank's
 /// memory high-water mark (and against the configured per-rank memory M,
-/// when one is set — exceeding it throws SimError).
+/// when one is set — exceeding it throws SimError). Movable: the words move
+/// with the storage, and move assignment releases the destination's old
+/// registration first, so accounting is exact across reassignment.
 class Buffer {
  public:
   Buffer(Comm& comm, std::size_t words);
   ~Buffer();
   Buffer(Buffer&& o) noexcept;
-  Buffer& operator=(Buffer&&) = delete;
+  Buffer& operator=(Buffer&& o) noexcept;
   Buffer(const Buffer&) = delete;
   Buffer& operator=(const Buffer&) = delete;
 
@@ -54,7 +56,8 @@ class Comm {
   void send(int dst, std::span<const double> data, int tag = 0);
 
   /// Blocking receive from a specific source and tag; `out.size()` must
-  /// equal the payload size of the matching message.
+  /// equal the payload size of the matching message. Matching is O(1):
+  /// per-(src, tag) FIFO queues, not a mailbox scan.
   void recv(int src, std::span<double> out, int tag = 0);
 
   /// send + recv, safe in exchange patterns because sends are eager.

@@ -62,11 +62,11 @@ void Machine::run(const std::function<void(Comm&)>& program) {
   for (int r = 0; r < cfg_.p; ++r) {
     const auto& mb = ranks_[static_cast<std::size_t>(r)].mailbox;
     if (!mb.empty()) {
+      const Message* first = mb.oldest();
       throw SimError(strfmt(
           "rank %d finished with %zu unconsumed message(s); first is from "
           "rank %d tag %d (%zu words)",
-          r, mb.size(), mb.front().src, mb.front().tag,
-          mb.front().payload.size()));
+          r, mb.pending(), first->src, first->tag, first->payload.size()));
     }
   }
 }

@@ -21,6 +21,13 @@
 // If every live rank is blocked the run aborts with a deadlock diagnosis
 // listing what each rank was waiting for.
 //
+// Hot-path structure: each rank's mailbox is indexed by (src, tag) so
+// matching a recv is O(1) in the number of pending messages
+// (sim/mailbox.hpp); payload buffers are leased from a free-list pool
+// owned by the Machine, so steady-state traffic allocates nothing; a recv
+// blocks with a lazily-materialized diagnostic and is only woken by a send
+// that actually matches its (src, tag).
+//
 // THREADING INVARIANT (relied on by src/engine): a Machine and everything
 // it owns — fibers, mailboxes, counters, the run() call — are confined to
 // the single OS thread that calls run(); a Machine is NOT safe to share
@@ -35,9 +42,9 @@
 // tests/test_engine.cpp).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +52,7 @@
 #include "core/params.hpp"
 #include "fiber/fiber.hpp"
 #include "sim/counters.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
 
@@ -140,23 +148,46 @@ class Machine {
  private:
   friend class Comm;
 
-  struct Message {
-    int src = 0;
-    int tag = 0;
-    double arrival = 0.0;
-    double msg_count = 0.0;  ///< messages after splitting at cap m
-    std::vector<double> payload;
-  };
-
   struct Rank {
     RankCounters counters;
-    std::deque<Message> mailbox;
-    bool waiting = false;  ///< blocked in recv
+    Mailbox mailbox;
+    std::uint64_t next_seq = 0;  ///< arrival-order stamp for diagnostics
+    bool waiting = false;        ///< blocked in recv for (wait_src, wait_tag)
+    int wait_src = -1;
+    int wait_tag = -1;
+    /// Rendezvous delivery: while blocked, the receiver exposes its output
+    /// span; a matching same-size send copies straight into it (no queue,
+    /// no pool buffer) and reports the metadata below with `direct` set.
+    std::span<double> wait_out;
+    bool direct = false;
+    double direct_arrival = 0.0;
+    double direct_msg_count = 0.0;
     fiber::Scheduler::FiberId fid = -1;
   };
 
+  /// Lease a payload buffer holding a copy of `data` from the free list
+  /// (steady-state traffic reuses capacity instead of allocating); the
+  /// buffer comes back via release_payload once the message is delivered.
+  /// One pool per Machine preserves the single-thread confinement above.
+  std::vector<double> acquire_payload(std::span<const double> data) {
+    std::vector<double> buf;
+    if (!payload_pool_.empty()) {
+      buf = std::move(payload_pool_.back());
+      payload_pool_.pop_back();
+    }
+    // assign() reuses the pooled capacity: one copy, no allocation once
+    // the pool has warmed up to the traffic's message sizes.
+    buf.assign(data.begin(), data.end());
+    return buf;
+  }
+  void release_payload(std::vector<double>&& buf) {
+    buf.clear();
+    payload_pool_.push_back(std::move(buf));
+  }
+
   MachineConfig cfg_;
   std::vector<Rank> ranks_;
+  std::vector<std::vector<double>> payload_pool_;
   Trace trace_;
   fiber::Scheduler* sched_ = nullptr;  ///< valid only during run()
 };

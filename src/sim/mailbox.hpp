@@ -1,0 +1,156 @@
+// Indexed per-rank mailbox: one FIFO queue per (source, tag) pair behind a
+// flat hash on the packed key, so receive matching is O(1) in the number
+// of pending messages (the old single-deque mailbox scanned linearly — an
+// all-to-all at p ranks paid O(p²) scans per rank).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/flat_map.hpp"
+
+namespace alge::sim {
+
+/// One in-flight point-to-point message. The payload vector is leased from
+/// the owning Machine's payload pool and returned to it on delivery.
+struct Message {
+  int src = 0;
+  int tag = 0;
+  double arrival = 0.0;
+  double msg_count = 0.0;   ///< messages after splitting at cap m
+  std::uint64_t seq = 0;    ///< per-destination arrival order (diagnostics)
+  std::vector<double> payload;
+};
+
+/// FIFO of messages for one (src, tag) pair: a vector with a consumed-prefix
+/// head index, compacted once the dead prefix dominates, so push and pop are
+/// amortized O(1) with no per-node allocation.
+class MessageQueue {
+ public:
+  bool empty() const { return head_ == items_.size(); }
+  std::size_t size() const { return items_.size() - head_; }
+  const Message& front() const { return items_[head_]; }
+  Message& front() { return items_[head_]; }
+
+  void push(Message&& m) { items_.push_back(std::move(m)); }
+
+  /// Retire the front message (its contents have been consumed in place).
+  void drop_front() {
+    ++head_;
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    } else if (head_ >= 32 && head_ * 2 >= items_.size()) {
+      items_.erase(items_.begin(),
+                   items_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  Message pop() {
+    Message m = std::move(items_[head_]);
+    drop_front();
+    return m;
+  }
+
+  std::size_t capacity() const { return items_.capacity(); }
+
+  /// Storage recycling between queues (see Mailbox::queue_index). Only
+  /// meaningful on an empty queue: the returned vector is logically empty
+  /// but keeps its heap capacity.
+  std::vector<Message> take_storage() {
+    head_ = 0;
+    std::vector<Message> s = std::move(items_);
+    s.clear();
+    return s;
+  }
+  void adopt_storage(std::vector<Message>&& s) {
+    items_ = std::move(s);
+    head_ = 0;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = head_; i < items_.size(); ++i) f(items_[i]);
+  }
+
+ private:
+  std::vector<Message> items_;
+  std::size_t head_ = 0;
+};
+
+class Mailbox {
+ public:
+  /// Stable index of the queue for (src, tag), created on first use. Valid
+  /// for the mailbox's lifetime — safe to cache across blocking waits.
+  std::uint32_t queue_index(int src, int tag) {
+    constexpr std::uint32_t kUnset = 0xffffffffu;
+    std::uint32_t& idx = index_.find_or_emplace(key(src, tag), kUnset);
+    if (idx == kUnset) {
+      idx = static_cast<std::uint32_t>(queues_.size());
+      queues_.emplace_back();
+      // Tags churn over a run (collectives take a fresh tag per phase), so
+      // old queues drain for good while new ones appear. Hand a drained
+      // queue's heap storage to the newcomer instead of allocating: the
+      // cursor is monotone, so each queue donates at most once and the
+      // scan is amortized O(1) per queue ever created. Steady-state
+      // same-(src, tag) traffic never enters this branch at all.
+      while (scavenge_ < idx) {
+        MessageQueue& old = queues_[scavenge_];
+        ++scavenge_;
+        if (old.empty() && old.capacity() > 0) {
+          queues_.back().adopt_storage(old.take_storage());
+          break;
+        }
+      }
+    }
+    return idx;
+  }
+
+  MessageQueue& queue(std::uint32_t index) { return queues_[index]; }
+
+  void push(Message&& m) {
+    ++pending_;
+    queues_[queue_index(m.src, m.tag)].push(std::move(m));
+  }
+
+  Message pop(std::uint32_t index) {
+    --pending_;
+    return queues_[index].pop();
+  }
+
+  /// In-place consumption: read queue(i).front(), then drop it here.
+  void consume(std::uint32_t index) {
+    --pending_;
+    queues_[index].drop_front();
+  }
+
+  std::size_t pending() const { return pending_; }
+  bool empty() const { return pending_ == 0; }
+
+  /// The earliest-arrived pending message (smallest seq), or nullptr if
+  /// none. Error-path only: scans queue fronts, O(distinct (src, tag)).
+  const Message* oldest() const {
+    const Message* best = nullptr;
+    for (const MessageQueue& q : queues_) {
+      if (q.empty()) continue;
+      if (best == nullptr || q.front().seq < best->seq) best = &q.front();
+    }
+    return best;
+  }
+
+ private:
+  static std::uint64_t key(int src, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  FlatU64Map<std::uint32_t> index_;
+  std::vector<MessageQueue> queues_;
+  std::size_t pending_ = 0;
+  std::uint32_t scavenge_ = 0;  ///< storage-recycling cursor (queue_index)
+};
+
+}  // namespace alge::sim

@@ -1,0 +1,112 @@
+// Minimal open-addressing hash map from 64-bit keys, built for the
+// simulator's message-matching hot path: no per-node allocation, no
+// iterator invalidation rules to think about (values are looked up again
+// after any mutation), and no erase — only clear — which keeps probing
+// tombstone-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace alge {
+
+/// Flat hash map from std::uint64_t keys to V with linear probing over a
+/// power-of-two slot array (max load factor 1/2). V must be movable and
+/// cheap to move: slots are rehashed by moving on growth.
+template <typename V>
+class FlatU64Map {
+ public:
+  FlatU64Map() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Value for `key`, inserting a copy of `init` if absent. The reference
+  /// is invalidated by the next find_or_emplace (growth may rehash).
+  V& find_or_emplace(std::uint64_t key, const V& init) {
+    if ((size_ + 1) * 2 > slots_.size()) grow();
+    std::size_t i = probe_start(key);
+    for (;;) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        s.value = init;
+        ++size_;
+        return s.value;
+      }
+      if (s.key == key) return s.value;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  V* find(std::uint64_t key) {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = probe_start(key);
+    for (;;) {
+      Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == key) return &s.value;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<FlatU64Map*>(this)->find(key);
+  }
+
+  void clear() {
+    for (Slot& s : slots_) s.used = false;
+    size_ = 0;
+  }
+
+  /// Visit every (key, value) pair in unspecified order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Slot& s : slots_) {
+      if (s.used) f(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    V value{};
+    bool used = false;
+  };
+
+  static std::uint64_t mix(std::uint64_t k) {
+    // splitmix64 finalizer: full avalanche so packed (src, tag) keys that
+    // differ only in low bits spread across the table.
+    k ^= k >> 30;
+    k *= 0xbf58476d1ce4e5b9ULL;
+    k ^= k >> 27;
+    k *= 0x94d049bb133111ebULL;
+    k ^= k >> 31;
+    return k;
+  }
+
+  std::size_t probe_start(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix(key)) & (slots_.size() - 1);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    for (Slot& s : old) {
+      if (!s.used) continue;
+      std::size_t i = probe_start(s.key);
+      while (slots_[i].used) i = (i + 1) & (slots_.size() - 1);
+      slots_[i].used = true;
+      slots_[i].key = s.key;
+      slots_[i].value = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace alge

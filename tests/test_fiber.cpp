@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fiber/fiber.hpp"
+#include "fiber/ready_set.hpp"
 #include "support/common.hpp"
 
 namespace alge::fiber {
@@ -170,6 +171,138 @@ TEST(Fiber, DestructorUnwindsUnfinishedFibers) {
     }
   }
   EXPECT_TRUE(destroyed);
+}
+
+
+TEST(Fiber, LazyBlockDescriberOnlyRunsOnDeadlock) {
+  static int describer_calls = 0;
+  describer_calls = 0;
+  struct Ctx {
+    int id;
+  };
+  Scheduler::BlockDescriber describe = [](const void* arg) {
+    ++describer_calls;
+    return std::string("custom wait on widget ") +
+           std::to_string(static_cast<const Ctx*>(arg)->id);
+  };
+
+  // Normal block/unblock round trip: the describer must never run.
+  {
+    Scheduler s;
+    Scheduler::FiberId sleeper = -1;
+    sleeper = s.spawn([&] {
+      Ctx ctx{3};
+      Scheduler::active()->block(describe, &ctx);
+    });
+    s.spawn([&] { Scheduler::active()->unblock(sleeper); });
+    s.run();
+    EXPECT_EQ(describer_calls, 0);
+  }
+
+  // Deadlock: the describer materializes the reason into the diagnosis.
+  {
+    Scheduler s;
+    s.spawn([&] {
+      Ctx ctx{42};
+      Scheduler::active()->block(describe, &ctx);
+    });
+    try {
+      s.run();
+      FAIL() << "expected DeadlockError";
+    } catch (const DeadlockError& e) {
+      EXPECT_NE(std::string(e.what()).find("custom wait on widget 42"),
+                std::string::npos);
+    }
+    EXPECT_GE(describer_calls, 1);
+  }
+}
+
+TEST(ReadySet, InsertEraseContains) {
+  ReadySet r;
+  r.resize(10);
+  EXPECT_TRUE(r.empty());
+  r.insert(3);
+  r.insert(7);
+  r.insert(3);  // idempotent
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.contains(3));
+  EXPECT_TRUE(r.contains(7));
+  EXPECT_FALSE(r.contains(4));
+  r.erase(3);
+  r.erase(3);  // idempotent
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_FALSE(r.contains(3));
+  r.erase(7);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.next_cyclic(0), -1);
+}
+
+TEST(ReadySet, NextCyclicMatchesRoundRobinScan) {
+  // Reference model: the linear scan it replaced — first member at or
+  // after the cursor, wrapping to the smallest member.
+  const std::size_t n = 300;  // spans several leaf words
+  ReadySet r;
+  r.resize(n);
+  const std::vector<std::size_t> members = {0, 1, 63, 64, 65, 127, 128,
+                                            200, 299};
+  for (std::size_t m : members) r.insert(m);
+  for (std::size_t start = 0; start <= n; ++start) {
+    const std::size_t s = start >= n ? 0 : start;
+    std::ptrdiff_t want = static_cast<std::ptrdiff_t>(members.front());
+    for (std::size_t m : members) {
+      if (m >= s) {
+        want = static_cast<std::ptrdiff_t>(m);
+        break;
+      }
+    }
+    EXPECT_EQ(r.next_cyclic(start), want) << "start=" << start;
+  }
+}
+
+TEST(ReadySet, WrapAroundFindsLowIds) {
+  ReadySet r;
+  r.resize(256);
+  r.insert(5);
+  EXPECT_EQ(r.next_cyclic(0), 5);
+  EXPECT_EQ(r.next_cyclic(5), 5);
+  EXPECT_EQ(r.next_cyclic(6), 5);    // wraps the whole bitmap
+  EXPECT_EQ(r.next_cyclic(255), 5);  // from the last id
+  EXPECT_EQ(r.next_cyclic(256), 5);  // off-the-end cursor treated as 0
+  r.insert(250);
+  EXPECT_EQ(r.next_cyclic(6), 250);
+  EXPECT_EQ(r.next_cyclic(251), 5);
+}
+
+TEST(ReadySet, SparseLargeCapacity) {
+  // Capacity beyond one summary block (> 4096 ids) still wraps correctly.
+  ReadySet r;
+  r.resize(5000);
+  r.insert(4999);
+  EXPECT_EQ(r.next_cyclic(0), 4999);
+  EXPECT_EQ(r.next_cyclic(4999), 4999);
+  r.insert(10);
+  EXPECT_EQ(r.next_cyclic(5000), 10);  // off-the-end cursor
+  EXPECT_EQ(r.next_cyclic(11), 4999);
+  r.erase(4999);
+  EXPECT_EQ(r.next_cyclic(11), 10);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(ReadySet, ResizeGrowsAndKeepsMembers) {
+  ReadySet r;
+  r.resize(2);
+  r.insert(0);
+  r.insert(1);
+  r.resize(130);
+  EXPECT_TRUE(r.contains(0));
+  EXPECT_TRUE(r.contains(1));
+  r.insert(129);
+  EXPECT_EQ(r.next_cyclic(2), 129);
+  EXPECT_EQ(r.next_cyclic(0), 0);
+  EXPECT_EQ(r.size(), 3u);
+  r.resize(10);  // never shrinks
+  EXPECT_EQ(r.capacity(), 130u);
+  EXPECT_TRUE(r.contains(129));
 }
 
 }  // namespace

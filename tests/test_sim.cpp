@@ -545,5 +545,138 @@ TEST(SimTopo, Grid3DDepthReplicationAndReduce) {
   }
 }
 
+
+TEST(SimPointToPoint, RecvRejectsInvalidTag) {
+  // recv validates tags exactly like send: user tags must stay below the
+  // internal collective tag space.
+  Machine m(unit_config(2));
+  EXPECT_THROW(m.run([&](Comm& c) {
+                 std::vector<double> buf(1);
+                 if (c.rank() == 1) c.recv(0, buf, /*tag=*/-1);
+               }),
+               invalid_argument_error);
+  Machine m2(unit_config(2));
+  EXPECT_THROW(m2.run([&](Comm& c) {
+                 std::vector<double> buf(1);
+                 if (c.rank() == 1) c.recv(0, buf, /*tag=*/1 << 26);
+               }),
+               invalid_argument_error);
+}
+
+TEST(SimBuffer, MoveAssignmentKeepsAccountingExact) {
+  Machine m(unit_config(1));
+  m.run([&](Comm& c) {
+    Buffer a = c.alloc(100);
+    a[0] = 7.0;
+    {
+      Buffer b = c.alloc(40);
+      EXPECT_EQ(c.counters().mem_words, 140u);
+      // Assignment releases b's 40 words and adopts a's 100 (which stay
+      // registered: they moved, they were never freed).
+      b = std::move(a);
+      EXPECT_EQ(c.counters().mem_words, 100u);
+      EXPECT_EQ(b.size(), 100u);
+      EXPECT_DOUBLE_EQ(b[0], 7.0);
+      // Self-assignment must not unregister the words it still owns.
+      Buffer& same = b;
+      b = std::move(same);
+      EXPECT_EQ(c.counters().mem_words, 100u);
+      EXPECT_EQ(b.size(), 100u);
+      EXPECT_DOUBLE_EQ(b[0], 7.0);
+    }
+    // b destroyed: its 100 words release exactly once.
+    EXPECT_EQ(c.counters().mem_words, 0u);
+    // `a` is moved-from; its destruction at end of scope is a no-op.
+  });
+  EXPECT_EQ(m.rank_counters(0).mem_highwater, 140u);
+}
+
+TEST(SimBuffer, MovedFromBufferDestructionIsNoOp) {
+  Machine m(unit_config(1));
+  m.run([&](Comm& c) {
+    {
+      Buffer a = c.alloc(8);
+      {
+        Buffer b = std::move(a);
+        EXPECT_EQ(c.counters().mem_words, 8u);
+      }
+      // b released the words; destroying moved-from a must not underflow.
+      EXPECT_EQ(c.counters().mem_words, 0u);
+    }
+    EXPECT_EQ(c.counters().mem_words, 0u);
+  });
+}
+
+// Property test for the indexed mailbox: interleaved same-(src, tag)
+// streams are FIFO, and distinct tags from the same source can be drained
+// in any interleaving without disturbing each other.
+class FifoStreams : public ::testing::TestWithParam<int> {};
+
+TEST_P(FifoStreams, InterleavedStreamsStayFifoAndTagsIndependent) {
+  const int p = GetParam();
+  const int kMsgs = 16;  // per (src, tag) stream
+  Machine m(unit_config(p));
+  m.run([&](Comm& c) {
+    // Interleave two tagged streams to every peer: message i carries
+    // (sequence, stream id) so the receiver can check order and identity.
+    std::vector<double> msg(2);
+    for (int i = 0; i < kMsgs; ++i) {
+      for (int d = 0; d < p; ++d) {
+        if (d == c.rank()) continue;
+        for (int tag = 0; tag < 2; ++tag) {
+          msg[0] = static_cast<double>(i);
+          msg[1] = static_cast<double>(2 * c.rank() + tag);
+          c.send(d, msg, tag);
+        }
+      }
+    }
+    // Drain tag 1 before tag 0 at each step: cross-tag arrival order must
+    // not matter, while each (src, tag) stream stays FIFO.
+    std::vector<double> got(2);
+    for (int s = 0; s < p; ++s) {
+      if (s == c.rank()) continue;
+      for (int i = 0; i < kMsgs; ++i) {
+        c.recv(s, got, /*tag=*/1);
+        EXPECT_DOUBLE_EQ(got[0], static_cast<double>(i));
+        EXPECT_DOUBLE_EQ(got[1], static_cast<double>(2 * s + 1));
+        c.recv(s, got, /*tag=*/0);
+        EXPECT_DOUBLE_EQ(got[0], static_cast<double>(i));
+        EXPECT_DOUBLE_EQ(got[1], static_cast<double>(2 * s));
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(PairToLarge, FifoStreams,
+                         ::testing::Values(2, 8, 32));
+
+TEST(SimStress, TenThousandPendingMessagesExercisePool) {
+  // One sender floods 12k messages across three tags before the receiver
+  // drains a single one (mailbox queues grow and compact; the payload pool
+  // then absorbs 12k buffers), and a second run on the same Machine reuses
+  // the warmed pool.
+  constexpr int kMsgs = 12000;
+  Machine m(unit_config(2));
+  for (int round = 0; round < 2; ++round) {
+    m.run([&](Comm& c) {
+      std::vector<double> buf(4, 0.0);
+      if (c.rank() == 0) {
+        for (int i = 0; i < kMsgs; ++i) {
+          buf[0] = static_cast<double>(i);
+          c.send(1, buf, i % 3);
+        }
+      } else {
+        for (int tag = 2; tag >= 0; --tag) {
+          for (int i = tag; i < kMsgs; i += 3) {
+            c.recv(0, buf, tag);
+            EXPECT_DOUBLE_EQ(buf[0], static_cast<double>(i));
+          }
+        }
+      }
+    });
+    m.reset();
+  }
+}
+
 }  // namespace
 }  // namespace alge::sim

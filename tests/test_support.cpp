@@ -4,6 +4,7 @@
 
 #include "support/cli.hpp"
 #include "support/common.hpp"
+#include "support/flat_map.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -234,6 +235,64 @@ TEST(Json, MissingKeyThrowsFindReturnsNull) {
   EXPECT_EQ(v.find("b"), nullptr);
   EXPECT_THROW(v.at("b"), json::json_error);
   EXPECT_DOUBLE_EQ(v.at("a").as_double(), 1.0);
+}
+
+
+TEST(FlatU64Map, FindOrEmplaceInsertsOnce) {
+  FlatU64Map<int> m;
+  EXPECT_TRUE(m.empty());
+  int& a = m.find_or_emplace(42, 7);
+  EXPECT_EQ(a, 7);
+  a = 9;
+  EXPECT_EQ(m.find_or_emplace(42, 0), 9);  // existing value, init ignored
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(42), 9);
+  EXPECT_EQ(m.find(43), nullptr);
+}
+
+TEST(FlatU64Map, GrowthRehashesAllEntries) {
+  FlatU64Map<std::uint64_t> m;
+  // Far past several doublings; keys packed like the mailbox's (src, tag).
+  const std::uint64_t n = 3000;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    m.find_or_emplace((k << 32) | (k & 3), k * k);
+  }
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(n));
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const std::uint64_t* v = m.find((k << 32) | (k & 3));
+    ASSERT_NE(v, nullptr) << "key " << k;
+    EXPECT_EQ(*v, k * k);
+  }
+  EXPECT_EQ(m.find(std::uint64_t{n} << 32), nullptr);
+}
+
+TEST(FlatU64Map, ClearEmptiesButKeepsWorking) {
+  FlatU64Map<int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.find_or_emplace(k, 1);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(5), nullptr);
+  m.find_or_emplace(5, 77);
+  EXPECT_EQ(*m.find(5), 77);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatU64Map, ForEachVisitsEveryEntry) {
+  FlatU64Map<int> m;
+  for (std::uint64_t k = 10; k < 20; ++k) {
+    m.find_or_emplace(k, static_cast<int>(k));
+  }
+  std::size_t visited = 0;
+  std::uint64_t key_sum = 0;
+  int value_sum = 0;
+  m.for_each([&](std::uint64_t k, int v) {
+    ++visited;
+    key_sum += k;
+    value_sum += v;
+  });
+  EXPECT_EQ(visited, 10u);
+  EXPECT_EQ(key_sum, 145u);  // 10 + 11 + ... + 19
+  EXPECT_EQ(value_sum, 145);
 }
 
 }  // namespace
