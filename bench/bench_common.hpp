@@ -1,15 +1,45 @@
 // Shared bits for the bench executables: a uniform banner so
-// bench_output.txt is self-describing.
+// bench_output.txt is self-describing, and the observability flags
+// (--trace-out) for the engine-driven benches.
 #pragma once
 
 #include <cstdio>
 #include <string>
+
+#include "engine/runner.hpp"
+#include "obs/chrome_trace.hpp"
+#include "support/cli.hpp"
 
 namespace alge::bench {
 
 inline void banner(const std::string& experiment_id,
                    const std::string& what) {
   std::printf("\n==== %s ====\n%s\n\n", experiment_id.c_str(), what.c_str());
+}
+
+/// Declare the observability flags on a bench binary's CLI. Callers that use
+/// maybe_write_trace() must link alge_obs (and alge_engine).
+inline void add_trace_flags(CliArgs& cli) {
+  cli.add_flag("trace-out", "",
+               "write a Chrome trace_event JSON of one representative run "
+               "to this path, for chrome://tracing / Perfetto (empty = off)");
+}
+
+/// When --trace-out is set, re-execute `spec` with tracing enabled (outside
+/// the sweep: the result cache and the printed tables are untouched) and
+/// export its timeline as Chrome trace JSON. Notice goes to stderr so
+/// stdout stays byte-identical with the flag unset.
+inline void maybe_write_trace(const CliArgs& cli,
+                              const engine::ExperimentSpec& spec) {
+  const std::string path = cli.get("trace-out");
+  if (path.empty()) return;
+  sim::Trace trace;
+  const engine::ExperimentResult r = engine::execute_traced(spec, &trace);
+  obs::write_chrome_trace_file(trace, r.p, path);
+  std::fprintf(stderr,
+               "[trace] wrote %s (p=%d) -- load in chrome://tracing or "
+               "https://ui.perfetto.dev\n",
+               path.c_str(), r.p);
 }
 
 }  // namespace alge::bench

@@ -15,11 +15,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "fiber/fiber.hpp"
+#include "obs/chrome_trace.hpp"
 #include "sim/comm.hpp"
+#include "sim/group.hpp"
 #include "sim/machine.hpp"
 
 namespace {
@@ -147,6 +152,69 @@ void BM_SendRecvThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SendRecvThroughput)->Arg(32)->Arg(256);
 
+// --trace-out=PATH: export a Chrome trace of a small representative run — a
+// p=4 machine doing phased compute, a ring exchange, and an allreduce —
+// exercising every exported track (spans, collectives, phases, F/W/S/M
+// counters). micro_sim links only the sim layer, so the demo is built from
+// raw collectives rather than an engine spec.
+void write_demo_trace(const std::string& path) {
+  sim::MachineConfig cfg = unit_config(4);
+  cfg.enable_trace = true;
+  sim::Machine m(cfg);
+  m.run([](sim::Comm& c) {
+    const sim::Group world = sim::Group::world(c.size());
+    sim::Buffer buf = c.alloc(32);
+    {
+      auto ph = c.phase("local-work");
+      c.compute(100.0 * (c.rank() + 1));
+    }
+    {
+      auto ph = c.phase("ring-exchange");
+      const int next = (c.rank() + 1) % c.size();
+      const int prev = (c.rank() + c.size() - 1) % c.size();
+      sim::Buffer in = c.alloc(32);
+      c.sendrecv(next, buf.span(), prev, in.span());
+    }
+    {
+      auto ph = c.phase("reduce");
+      std::vector<double> v(16, 1.0);
+      c.allreduce_sum(v, world);
+    }
+  });
+  obs::write_chrome_trace_file(m.trace(), m.p(), path);
+  std::fprintf(stderr,
+               "[trace] wrote %s (p=%d) -- load in chrome://tracing or "
+               "https://ui.perfetto.dev\n",
+               path.c_str(), m.p());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the --trace-out flag google-benchmark would reject:
+// strip it from argv before Initialize, act on it after the benchmarks run.
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+      continue;
+    }
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace_out.empty()) write_demo_trace(trace_out);
+  return 0;
+}

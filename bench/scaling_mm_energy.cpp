@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   cli.add_flag("q", "8", "grid edge (p = q^2 c)");
   cli.add_flag("verify", "true", "check results against a serial product");
   engine::add_engine_flags(cli);
+  bench::add_trace_flags(cli);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("scaling_mm_energy");
@@ -147,5 +148,7 @@ int main(int argc, char** argv) {
   mt.print(std::cout);
   engine::append_bench_record("scaling_mm_energy", runner,
                               cli.get("bench-json"));
+  // --trace-out: export the largest replicated point's timeline.
+  bench::maybe_write_trace(cli, specs[cs.size() - 1]);
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   using namespace alge;
   CliArgs cli;
   engine::add_engine_flags(cli);
+  bench::add_trace_flags(cli);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("validation_model_vs_sim");
@@ -156,5 +157,7 @@ int main(int argc, char** argv) {
                "these tiny scales.\n";
   engine::append_bench_record("validation_model_vs_sim", runner,
                               cli.get("bench-json"));
+  // --trace-out: export the first configuration's timeline (2.5D matmul).
+  bench::maybe_write_trace(cli, specs.front());
   return 0;
 }

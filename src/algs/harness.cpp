@@ -18,6 +18,29 @@
 namespace alge::algs::harness {
 
 namespace {
+thread_local RunObserver tls_observer;
+}  // namespace
+
+RunObserver& run_observer() { return tls_observer; }
+
+ScopedRunObserver::ScopedRunObserver(RunObserver obs)
+    : prev_(std::move(tls_observer)) {
+  tls_observer = std::move(obs);
+}
+
+ScopedRunObserver::~ScopedRunObserver() { tls_observer = std::move(prev_); }
+
+namespace {
+/// MachineConfig seeded from the calling thread's observer; with the default
+/// (inert) observer this is exactly the config the harness always built.
+sim::MachineConfig observed_config(const core::MachineParams& mp) {
+  sim::MachineConfig cfg;
+  cfg.params = mp;
+  cfg.enable_trace = tls_observer.enable_trace;
+  cfg.enable_ledger = tls_observer.enable_ledger;
+  return cfg;
+}
+
 std::vector<double> block_of(const std::vector<double>& m, int n, int q,
                              int bi, int bj) {
   const int nb = n / q;
@@ -39,6 +62,7 @@ RunResult finish(sim::Machine& m, bool verified, double err) {
   res.energy = m.energy();
   res.verified = verified;
   res.max_abs_error = err;
+  if (tls_observer.after_run) tls_observer.after_run(m);
   return res;
 }
 }  // namespace
@@ -47,9 +71,8 @@ RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
                     bool verify, std::uint64_t seed,
                     const Mm25dOptions& opts) {
   topo::Grid3D grid(q, c);
-  sim::MachineConfig cfg;
+  sim::MachineConfig cfg = observed_config(mp);
   cfg.p = grid.p();
-  cfg.params = mp;
   sim::Machine m(cfg);
   Rng rng(seed);
   const auto A = random_matrix(n, n, rng);
@@ -87,9 +110,8 @@ RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
 RunResult run_summa(int n, int q, const core::MachineParams& mp, bool verify,
                     std::uint64_t seed) {
   topo::Grid2D grid(q);
-  sim::MachineConfig cfg;
+  sim::MachineConfig cfg = observed_config(mp);
   cfg.p = grid.p();
-  cfg.params = mp;
   sim::Machine m(cfg);
   Rng rng(seed);
   const auto A = random_matrix(n, n, rng);
@@ -126,9 +148,8 @@ RunResult run_caps(int n, int k, const core::MachineParams& mp,
       opts.schedule.empty() ? std::string(static_cast<std::size_t>(k), 'B')
                             : opts.schedule;
   const int levels = static_cast<int>(sched.size());
-  sim::MachineConfig cfg;
+  sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
-  cfg.params = mp;
   sim::Machine m(cfg);
   Rng rng(seed);
   const auto A = random_matrix(n, n, rng);
@@ -160,9 +181,8 @@ RunResult run_caps(int n, int k, const core::MachineParams& mp,
 RunResult run_nbody(int n, int p, int c, const core::MachineParams& mp,
                     bool verify, std::uint64_t seed) {
   topo::TeamGrid grid(p, c);
-  sim::MachineConfig cfg;
+  sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
-  cfg.params = mp;
   sim::Machine m(cfg);
   Rng rng(seed);
   const auto parts = random_particles(n, rng);
@@ -217,8 +237,7 @@ RunResult run_lu(int n, int nb, int q, int c, const core::MachineParams& mp,
     }
   }
 
-  sim::MachineConfig cfg;
-  cfg.params = mp;
+  sim::MachineConfig cfg = observed_config(mp);
   double err = 0.0;
   if (c <= 1) {
     topo::Grid2D grid(q);
@@ -287,9 +306,8 @@ RunResult run_fft(int r_dim, int c_dim, int p, AllToAllKind kind,
                   const core::MachineParams& mp, bool verify,
                   std::uint64_t seed) {
   const int n = r_dim * c_dim;
-  sim::MachineConfig cfg;
+  sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
-  cfg.params = mp;
   sim::Machine m(cfg);
   Rng rng(seed);
   std::vector<double> x(2 * static_cast<std::size_t>(n));

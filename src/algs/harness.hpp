@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "algs/fft/fft.hpp"
@@ -16,6 +17,40 @@
 #include "sim/machine.hpp"
 
 namespace alge::algs::harness {
+
+/// Per-thread observation hooks for harness runs. The run_* entry points
+/// construct their MachineConfig from the calling thread's observer
+/// (run_observer()), so callers — e.g. engine::execute_traced — can turn on
+/// tracing or the energy ledger and inspect the finished Machine without any
+/// change to the run_* signatures (and therefore without perturbing the
+/// engine's content-addressed cache keys, which hash only the spec).
+///
+/// Thread-local on purpose: each engine pool worker observes only its own
+/// Machines, preserving the one-Machine-per-thread confinement documented in
+/// sim/machine.hpp.
+struct RunObserver {
+  bool enable_trace = false;   ///< sets MachineConfig::enable_trace
+  bool enable_ledger = false;  ///< sets MachineConfig::enable_ledger
+  /// Called with the finished Machine (counters final, run complete) before
+  /// the harness returns, e.g. to copy the trace or build an energy ledger.
+  std::function<void(const sim::Machine&)> after_run;
+};
+
+/// The calling thread's observer; default-constructed (inert) until set.
+RunObserver& run_observer();
+
+/// RAII: install `obs` on the current thread, restore the previous observer
+/// on destruction.
+class ScopedRunObserver {
+ public:
+  explicit ScopedRunObserver(RunObserver obs);
+  ~ScopedRunObserver();
+  ScopedRunObserver(const ScopedRunObserver&) = delete;
+  ScopedRunObserver& operator=(const ScopedRunObserver&) = delete;
+
+ private:
+  RunObserver prev_;
+};
 
 struct RunResult {
   int p = 0;               ///< machine size

@@ -1,5 +1,7 @@
 #include "engine/pool.hpp"
 
+#include <algorithm>
+
 #include "support/common.hpp"
 
 namespace alge::engine {
@@ -22,26 +24,38 @@ void ThreadPool::enqueue(std::function<void()> job) {
   not_full_.wait(lock,
                  [this]() { return !accepting_ || queue_.size() < capacity_; });
   ALGE_REQUIRE(accepting_, "submit() on a shut-down thread pool");
-  queue_.push_back(std::move(job));
+  queue_.push_back({std::move(job), std::chrono::steady_clock::now()});
   not_empty_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
+  using clock = std::chrono::steady_clock;
   while (true) {
     std::function<void()> job;
+    double waited = 0.0;
     {
       std::unique_lock lock(mu_);
       not_empty_.wait(lock,
                       [this]() { return !queue_.empty() || exit_when_empty_; });
       if (queue_.empty()) return;  // exit_when_empty_ and nothing left
-      job = std::move(queue_.front());
+      Item item = std::move(queue_.front());
       queue_.pop_front();
+      job = std::move(item.fn);
+      waited = std::chrono::duration<double>(clock::now() - item.enqueued)
+                   .count();
       not_full_.notify_one();
     }
+    const auto t0 = clock::now();
     job();  // a packaged_task: exceptions land in the job's future
+    const double busy = std::chrono::duration<double>(clock::now() - t0)
+                            .count();
     {
       std::lock_guard lock(mu_);
       ++jobs_run_;
+      profile_.queue_wait_total += waited;
+      profile_.queue_wait_max = std::max(profile_.queue_wait_max, waited);
+      profile_.busy_total += busy;
+      profile_.busy_max = std::max(profile_.busy_max, busy);
     }
   }
 }
@@ -86,6 +100,11 @@ void ThreadPool::join_all() {
 std::size_t ThreadPool::jobs_run() const {
   std::lock_guard lock(mu_);
   return jobs_run_;
+}
+
+PoolProfile ThreadPool::profile() const {
+  std::lock_guard lock(mu_);
+  return profile_;
 }
 
 }  // namespace alge::engine

@@ -14,6 +14,7 @@
 // The destructor drains.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <condition_variable>
 #include <deque>
@@ -26,6 +27,17 @@
 #include <vector>
 
 namespace alge::engine {
+
+/// Aggregate timing of everything the pool has run so far (wall-clock
+/// seconds). queue_wait is submit-to-dequeue latency per job; busy is the
+/// time workers spent inside job callables. busy_total / (threads × span)
+/// is the pool's occupancy over any span of interest.
+struct PoolProfile {
+  double queue_wait_total = 0.0;
+  double queue_wait_max = 0.0;
+  double busy_total = 0.0;
+  double busy_max = 0.0;  ///< longest single job
+};
 
 class ThreadPool {
  public:
@@ -60,7 +72,15 @@ class ThreadPool {
   /// Jobs completed so far (including ones whose callable threw).
   std::size_t jobs_run() const;
 
+  /// Queue-wait and busy-time aggregates over all jobs run so far.
+  PoolProfile profile() const;
+
  private:
+  struct Item {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void enqueue(std::function<void()> job);
   void worker_loop();
   void join_all();
@@ -68,10 +88,11 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Item> queue_;
   std::vector<std::thread> workers_;
   std::size_t capacity_;
   std::size_t jobs_run_ = 0;
+  PoolProfile profile_;
   bool accepting_ = true;
   bool exit_when_empty_ = false;
   bool joined_ = false;

@@ -1,5 +1,6 @@
 #include "engine/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -36,9 +37,12 @@ ExperimentResult run_collective(const ExperimentSpec& spec) {
   ALGE_REQUIRE(spec.p >= 1, "collective spec needs p >= 1");
   ALGE_REQUIRE(spec.payload_words >= 1,
                "collective spec needs payload_words >= 1");
+  const algs::harness::RunObserver& obs = algs::harness::run_observer();
   sim::MachineConfig cfg;
   cfg.p = spec.p;
   cfg.params = spec.params;
+  cfg.enable_trace = obs.enable_trace;
+  cfg.enable_ledger = obs.enable_ledger;
   sim::Machine m(cfg);
   const std::size_t k = static_cast<std::size_t>(spec.payload_words);
   const int p = spec.p;
@@ -82,6 +86,7 @@ ExperimentResult run_collective(const ExperimentSpec& spec) {
   out.makespan = m.makespan();
   out.totals = m.totals();
   out.energy = m.energy().breakdown;
+  if (obs.after_run) obs.after_run(m);
   return out;
 }
 
@@ -128,19 +133,40 @@ ExperimentResult execute(const ExperimentSpec& spec) {
   return {};
 }
 
+ExperimentResult execute_traced(const ExperimentSpec& spec,
+                                sim::Trace* trace) {
+  ALGE_REQUIRE(trace != nullptr, "execute_traced needs a trace to fill");
+  algs::harness::RunObserver obs;
+  obs.enable_trace = true;
+  obs.after_run = [trace](const sim::Machine& m) { *trace = m.trace(); };
+  algs::harness::ScopedRunObserver scoped(std::move(obs));
+  return execute(spec);
+}
+
 SweepRunner::SweepRunner(SweepOptions opts)
     : opts_(std::move(opts)),
       cache_(std::make_unique<ResultCache>(opts_.cache_dir)) {}
 
 ExperimentResult SweepRunner::run_one(const ExperimentSpec& spec,
-                                      bool* was_hit) {
-  if (auto hit = cache_->lookup(spec)) {
-    *was_hit = true;
+                                      JobTiming* timing) {
+  using clock = std::chrono::steady_clock;
+  auto seconds_since = [](clock::time_point t0) {
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  const auto t_lookup = clock::now();
+  auto hit = cache_->lookup(spec);
+  timing->lookup = seconds_since(t_lookup);
+  if (hit) {
+    timing->hit = true;
     return *hit;
   }
-  *was_hit = false;
+  timing->hit = false;
+  const auto t_run = clock::now();
   ExperimentResult r = execute(spec);
+  timing->run = seconds_since(t_run);
+  const auto t_store = clock::now();
   cache_->store(spec, r);
+  timing->store = seconds_since(t_store);
   return r;
 }
 
@@ -152,21 +178,26 @@ std::vector<ExperimentResult> SweepRunner::run(
   stats_.jobs = total;
   std::vector<ExperimentResult> out(specs.size());
 
-  std::mutex mu;  // guards done/hits and serializes the progress callback
+  std::mutex mu;  // guards done/hits/prof and serializes progress callbacks
   int done = 0;
   int hits = 0;
-  auto finish_job = [&](bool hit) {
+  SweepProfile prof;
+  auto finish_job = [&](const JobTiming& t) {
     std::lock_guard lock(mu);
     ++done;
-    if (hit) ++hits;
+    if (t.hit) ++hits;
+    prof.cache_lookup_seconds += t.lookup;
+    prof.run_seconds += t.run;
+    prof.run_max_seconds = std::max(prof.run_max_seconds, t.run);
+    prof.serialize_seconds += t.store;
     if (opts_.progress) opts_.progress(done, total);
   };
 
   if (opts_.threads <= 1) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      bool hit = false;
-      out[i] = run_one(specs[i], &hit);
-      finish_job(hit);
+      JobTiming t;
+      out[i] = run_one(specs[i], &t);
+      finish_job(t);
     }
   } else {
     ThreadPool pool(opts_.threads);
@@ -174,12 +205,16 @@ std::vector<ExperimentResult> SweepRunner::run(
     futures.reserve(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
       futures.push_back(pool.submit([this, &specs, &out, &finish_job, i]() {
-        bool hit = false;
-        out[i] = run_one(specs[i], &hit);
-        finish_job(hit);
+        JobTiming t;
+        out[i] = run_one(specs[i], &t);
+        finish_job(t);
       }));
     }
     pool.drain();
+    const PoolProfile pp = pool.profile();
+    prof.queue_wait_seconds = pp.queue_wait_total;
+    prof.queue_wait_max_seconds = pp.queue_wait_max;
+    prof.pool_busy_seconds = pp.busy_total;
     // All jobs finished; surface the first failure (if any) after the
     // sweep so no future is abandoned mid-flight.
     std::exception_ptr first;
@@ -200,6 +235,16 @@ std::vector<ExperimentResult> SweepRunner::run(
           .count();
   stats_.jobs_per_sec =
       stats_.wall_seconds > 0.0 ? total / stats_.wall_seconds : 0.0;
+  if (opts_.threads <= 1) {
+    // Serial runs have no pool: jobs are "busy" for their whole duration.
+    prof.pool_busy_seconds =
+        prof.cache_lookup_seconds + prof.run_seconds + prof.serialize_seconds;
+  }
+  if (stats_.wall_seconds > 0.0) {
+    prof.pool_occupancy = prof.pool_busy_seconds /
+                          (std::max(opts_.threads, 1) * stats_.wall_seconds);
+  }
+  stats_.profile = prof;
   return out;
 }
 
@@ -245,6 +290,15 @@ void append_bench_record(const std::string& bench_name,
     }
   }
   const SweepStats& s = runner.stats();
+  json::Value prof = json::Value::object();
+  prof.set("cache_lookup_seconds", s.profile.cache_lookup_seconds)
+      .set("serialize_seconds", s.profile.serialize_seconds)
+      .set("run_seconds", s.profile.run_seconds)
+      .set("run_max_seconds", s.profile.run_max_seconds)
+      .set("queue_wait_seconds", s.profile.queue_wait_seconds)
+      .set("queue_wait_max_seconds", s.profile.queue_wait_max_seconds)
+      .set("pool_busy_seconds", s.profile.pool_busy_seconds)
+      .set("pool_occupancy", s.profile.pool_occupancy);
   json::Value rec = json::Value::object();
   rec.set("bench", bench_name)
       .set("jobs", s.jobs)
@@ -253,6 +307,7 @@ void append_bench_record(const std::string& bench_name,
       .set("threads", runner.options().threads)
       .set("wall_seconds", s.wall_seconds)
       .set("jobs_per_sec", s.jobs_per_sec)
+      .set("profile", std::move(prof))
       .set("unix_time",
            static_cast<double>(std::chrono::duration_cast<std::chrono::seconds>(
                                    std::chrono::system_clock::now()

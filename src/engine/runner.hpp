@@ -18,6 +18,7 @@
 
 #include "engine/cache.hpp"
 #include "engine/job.hpp"
+#include "sim/trace.hpp"
 #include "support/cli.hpp"
 
 namespace alge::engine {
@@ -26,6 +27,13 @@ namespace alge::engine {
 /// to the algs/harness entry point (or runs the collective microbench) named
 /// by spec.alg.
 ExperimentResult execute(const ExperimentSpec& spec);
+
+/// Like execute(), but with tracing enabled on the simulated machine: the
+/// run's event stream is copied into *trace before the machine is torn
+/// down (via the thread's harness RunObserver, so cache keys and the
+/// execute() path itself are untouched). Use result.p for the rank count
+/// when exporting, e.g. obs::write_chrome_trace.
+ExperimentResult execute_traced(const ExperimentSpec& spec, sim::Trace* trace);
 
 struct SweepOptions {
   int threads = 1;        ///< <= 1: run inline on the calling thread
@@ -36,12 +44,30 @@ struct SweepOptions {
   std::function<void(int done, int total)> progress;
 };
 
+/// Where a sweep's wall-clock time went (seconds, summed over jobs). Emitted
+/// as the "profile" block of the --bench-json record so perf regressions can
+/// be localized (queueing vs simulation vs cache serialization) rather than
+/// just detected.
+struct SweepProfile {
+  double cache_lookup_seconds = 0.0;  ///< total time in ResultCache::lookup
+  double serialize_seconds = 0.0;     ///< total time in ResultCache::store
+  double run_seconds = 0.0;           ///< total time in execute()
+  double run_max_seconds = 0.0;       ///< slowest single job's execute()
+  double queue_wait_seconds = 0.0;    ///< pool: total submit-to-start latency
+  double queue_wait_max_seconds = 0.0;
+  double pool_busy_seconds = 0.0;     ///< pool: total time workers ran jobs
+  /// pool_busy / (threads × wall): 1.0 = workers never idle. Serial runs
+  /// report job time over wall time (so ~1.0 unless spec-building dominates).
+  double pool_occupancy = 0.0;
+};
+
 struct SweepStats {
   int jobs = 0;
   int cache_hits = 0;
   int executed = 0;
   double wall_seconds = 0.0;
   double jobs_per_sec = 0.0;
+  SweepProfile profile;
 };
 
 class SweepRunner {
@@ -58,7 +84,15 @@ class SweepRunner {
   const SweepOptions& options() const { return opts_; }
 
  private:
-  ExperimentResult run_one(const ExperimentSpec& spec, bool* was_hit);
+  /// Per-job wall-clock breakdown, folded into SweepStats::profile.
+  struct JobTiming {
+    bool hit = false;
+    double lookup = 0.0;  ///< cache lookup seconds
+    double run = 0.0;     ///< execute() seconds (0 on a hit)
+    double store = 0.0;   ///< cache store seconds (0 on a hit)
+  };
+
+  ExperimentResult run_one(const ExperimentSpec& spec, JobTiming* timing);
 
   SweepOptions opts_;
   std::unique_ptr<ResultCache> cache_;

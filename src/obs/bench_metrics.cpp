@@ -1,0 +1,230 @@
+#include "obs/bench_metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "support/common.hpp"
+
+namespace alge::obs {
+
+namespace {
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Keys that change every run by construction and must never be compared.
+bool is_timestamp_key(const std::string& key) {
+  const std::string k = lower(key);
+  return contains(k, "unix_time") || contains(k, "timestamp") || k == "date";
+}
+
+void flatten(const std::string& prefix, const json::Value& v,
+             std::vector<Metric>& out) {
+  switch (v.kind()) {
+    case json::Value::Kind::kNumber:
+      out.push_back({prefix, v.as_double()});
+      break;
+    case json::Value::Kind::kObject:
+      for (const auto& [key, child] : v.as_object()) {
+        if (is_timestamp_key(key)) continue;
+        flatten(prefix.empty() ? key : prefix + "." + key, child, out);
+      }
+      break;
+    case json::Value::Kind::kArray: {
+      int i = 0;
+      for (const json::Value& child : v.as_array()) {
+        flatten(strfmt("%s[%d]", prefix.c_str(), i++), child, out);
+      }
+      break;
+    }
+    default:
+      break;  // strings/bools/null are not metrics
+  }
+}
+
+double time_unit_to_ns(const json::Value& entry) {
+  const json::Value* unit = entry.find("time_unit");
+  if (unit == nullptr || !unit->is_string()) return 1.0;
+  const std::string& u = unit->as_string();
+  if (u == "ns") return 1.0;
+  if (u == "us") return 1e3;
+  if (u == "ms") return 1e6;
+  if (u == "s") return 1e9;
+  return 1.0;
+}
+
+/// google-benchmark --benchmark_out JSON: {"context":…, "benchmarks":[…]}.
+void normalize_google_benchmark(const json::Value& doc,
+                                std::vector<Metric>& out) {
+  for (const json::Value& entry : doc.at("benchmarks").as_array()) {
+    const json::Value* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const double to_ns = time_unit_to_ns(entry);
+    for (const auto& [key, field] : entry.as_object()) {
+      if (!field.is_number() || is_timestamp_key(key)) continue;
+      if (key == "real_time" || key == "cpu_time") {
+        out.push_back(
+            {name->as_string() + "." + key + "_ns",
+             field.as_double() * to_ns});
+      } else if (key == "items_per_second" || key == "bytes_per_second") {
+        out.push_back({name->as_string() + "." + key, field.as_double()});
+      }
+      // repetition indices, thread counts etc. are configuration, not
+      // performance; skip them.
+    }
+  }
+}
+
+/// BENCH_sim.json: {"benchmarks": {"BM_X": {"baseline": {…}, "optimized":
+/// {…}, "speedup": s}}}. The "optimized" record is the current performance
+/// contract, so its fields are emitted under the bare benchmark name
+/// ("BM_X.real_time_ns") — directly comparable with a fresh
+/// --benchmark_out run of the same binary. Entries without an "optimized"
+/// object are flattened whole (still under the bare name).
+void normalize_baseline_table(const json::Value& doc,
+                              std::vector<Metric>& out) {
+  for (const auto& [name, entry] : doc.at("benchmarks").as_object()) {
+    const json::Value* opt =
+        entry.is_object() ? entry.find("optimized") : nullptr;
+    flatten(name, (opt != nullptr && opt->is_object()) ? *opt : entry, out);
+  }
+}
+
+/// BENCH_engine.json: an append-only array of run records; compare the
+/// latest record of each bench.
+void normalize_engine_history(const json::Value& doc,
+                              std::vector<Metric>& out) {
+  std::map<std::string, const json::Value*> latest;
+  for (const json::Value& rec : doc.as_array()) {
+    if (!rec.is_object()) continue;
+    const json::Value* bench = rec.find("bench");
+    if (bench == nullptr || !bench->is_string()) continue;
+    latest[bench->as_string()] = &rec;  // later records overwrite
+  }
+  for (const auto& [bench, rec] : latest) {
+    for (const auto& [key, field] : rec->as_object()) {
+      if (key == "bench" || is_timestamp_key(key)) continue;
+      flatten("engine." + bench + "." + key, field, out);
+    }
+  }
+}
+
+}  // namespace
+
+int metric_direction(const std::string& name) {
+  const std::string n = lower(name);
+  // Throughput-like: more is better. Checked first so "items_per_second"
+  // is not caught by the time-like rules below.
+  if (contains(n, "per_second") || contains(n, "per_sec") ||
+      contains(n, "speedup") || contains(n, "occupancy") ||
+      contains(n, "hits")) {
+    return 1;
+  }
+  if (contains(n, "time") || contains(n, "seconds") || contains(n, "_ns") ||
+      contains(n, "wall") || contains(n, "wait") || contains(n, "miss")) {
+    return -1;
+  }
+  return 0;
+}
+
+std::vector<Metric> normalize_bench_json(const json::Value& doc) {
+  std::vector<Metric> out;
+  if (doc.is_array()) {
+    normalize_engine_history(doc, out);
+  } else if (doc.is_object()) {
+    const json::Value* benchmarks = doc.find("benchmarks");
+    if (benchmarks != nullptr && benchmarks->is_array()) {
+      normalize_google_benchmark(doc, out);
+    } else if (benchmarks != nullptr && benchmarks->is_object()) {
+      normalize_baseline_table(doc, out);
+    } else {
+      flatten("", doc, out);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return out;
+}
+
+BenchDiff diff_bench_json(const json::Value& base, const json::Value& current,
+                          double threshold) {
+  ALGE_REQUIRE(threshold >= 0.0, "threshold must be non-negative");
+  const std::vector<Metric> b = normalize_bench_json(base);
+  const std::vector<Metric> c = normalize_bench_json(current);
+  BenchDiff diff;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < b.size() || j < c.size()) {
+    if (j >= c.size() || (i < b.size() && b[i].name < c[j].name)) {
+      diff.only_base.push_back(b[i++].name);
+      continue;
+    }
+    if (i >= b.size() || c[j].name < b[i].name) {
+      diff.only_current.push_back(c[j++].name);
+      continue;
+    }
+    MetricDiff m;
+    m.name = b[i].name;
+    m.base = b[i].value;
+    m.current = c[j].value;
+    if (m.base != 0.0) {
+      m.rel_change = (m.current - m.base) / std::abs(m.base);
+    } else if (m.current != 0.0) {
+      m.rel_change = m.current > 0.0
+                         ? std::numeric_limits<double>::infinity()
+                         : -std::numeric_limits<double>::infinity();
+    }
+    m.direction = metric_direction(m.name);
+    m.regression = (m.direction < 0 && m.rel_change > threshold) ||
+                   (m.direction > 0 && m.rel_change < -threshold);
+    if (m.regression) ++diff.regressions;
+    diff.metrics.push_back(std::move(m));
+    ++i;
+    ++j;
+  }
+  return diff;
+}
+
+std::string render_diff(const BenchDiff& diff, double threshold,
+                        bool verbose) {
+  std::string out;
+  int improvements = 0;
+  for (const MetricDiff& m : diff.metrics) {
+    const bool improved =
+        (m.direction < 0 && m.rel_change < -threshold) ||
+        (m.direction > 0 && m.rel_change > threshold);
+    if (improved) ++improvements;
+    if (m.regression) {
+      out += strfmt("REGRESSION  %-60s %14.6g -> %14.6g  (%+.1f%%)\n",
+                    m.name.c_str(), m.base, m.current, m.rel_change * 100.0);
+    } else if (verbose || improved) {
+      out += strfmt("%-11s %-60s %14.6g -> %14.6g  (%+.1f%%)\n",
+                    improved ? "improved" : "ok", m.name.c_str(), m.base,
+                    m.current, m.rel_change * 100.0);
+    }
+  }
+  for (const std::string& name : diff.only_base) {
+    out += strfmt("removed     %s\n", name.c_str());
+  }
+  for (const std::string& name : diff.only_current) {
+    out += strfmt("added       %s\n", name.c_str());
+  }
+  out += strfmt(
+      "%zu metric(s) compared at threshold %.0f%%: %d regression(s), "
+      "%d improvement(s), %zu removed, %zu added\n",
+      diff.metrics.size(), threshold * 100.0, diff.regressions, improvements,
+      diff.only_base.size(), diff.only_current.size());
+  return out;
+}
+
+}  // namespace alge::obs

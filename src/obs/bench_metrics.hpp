@@ -1,0 +1,74 @@
+// Normalization and comparison of the repo's benchmark JSON files, shared
+// by tools/bench_diff and the CI bench-regression gate.
+//
+// Three on-disk formats are understood, detected by shape:
+//
+//   BENCH_sim.json          object with a "benchmarks" OBJECT of named
+//                           {baseline, optimized, speedup} entries — the
+//                           "optimized" record (the current performance
+//                           contract) is emitted under the bare name
+//                           ("BM_PingPong.real_time_ns"), so the committed
+//                           baseline compares directly against a fresh
+//                           --benchmark_out run of the same binary
+//   google-benchmark output object with a "benchmarks" ARRAY — each entry
+//                           keyed by its "name" field, times normalized to
+//                           ns via "time_unit"
+//   BENCH_engine.json       top-level array of run records — the LAST
+//                           record per "bench" name wins (it is an
+//                           append-only history), keyed "engine.<bench>.*"
+//
+// Everything else falls back to the generic numeric-leaf flatten, so the
+// tool keeps working when a new format appears. Wall-clock keys
+// ("unix_time", "date") are dropped: they change every run by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace alge::obs {
+
+/// A named numeric metric extracted from a bench file.
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Which direction is better for a metric, inferred from its name:
+/// +1 higher-better (throughput-like), -1 lower-better (time-like),
+/// 0 neutral (counts/configuration: reported, never a regression).
+int metric_direction(const std::string& name);
+
+/// Flatten `doc` (any of the formats above) into sorted name→value pairs.
+std::vector<Metric> normalize_bench_json(const json::Value& doc);
+
+struct MetricDiff {
+  std::string name;
+  double base = 0.0;
+  double current = 0.0;
+  /// Signed relative change (current - base) / |base|; ±inf when base is 0
+  /// and current is not.
+  double rel_change = 0.0;
+  int direction = 0;       ///< see metric_direction
+  bool regression = false; ///< worsened beyond the threshold
+};
+
+struct BenchDiff {
+  std::vector<MetricDiff> metrics;        ///< metrics present in both files
+  std::vector<std::string> only_base;     ///< disappeared metrics
+  std::vector<std::string> only_current;  ///< new metrics
+  int regressions = 0;
+};
+
+/// Compare two bench documents. A metric regresses when it moves against
+/// its direction by more than `threshold` (relative, e.g. 0.1 = 10%).
+BenchDiff diff_bench_json(const json::Value& base, const json::Value& current,
+                          double threshold);
+
+/// Human-readable report: regressions first, then improvements and notable
+/// changes; `verbose` lists every common metric.
+std::string render_diff(const BenchDiff& diff, double threshold,
+                        bool verbose = false);
+
+}  // namespace alge::obs

@@ -1,0 +1,161 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+
+#include "support/common.hpp"
+#include "support/json.hpp"
+
+namespace alge::obs {
+
+namespace {
+
+constexpr double kUsPerSecond = 1e6;  // trace_event ts/dur are microseconds
+
+json::Value span(const char* name, int pid, int tid, double t0, double t1) {
+  json::Value v = json::Value::object();
+  v.set("name", name)
+      .set("ph", "X")
+      .set("pid", pid)
+      .set("tid", tid)
+      .set("ts", t0 * kUsPerSecond)
+      .set("dur", (t1 - t0) * kUsPerSecond);
+  return v;
+}
+
+json::Value counter(const char* name, int pid, double ts, double value) {
+  json::Value args = json::Value::object();
+  args.set(name, value);
+  json::Value v = json::Value::object();
+  v.set("name", name)
+      .set("ph", "C")
+      .set("pid", pid)
+      .set("tid", 0)
+      .set("ts", ts * kUsPerSecond)
+      .set("args", std::move(args));
+  return v;
+}
+
+json::Value metadata(const char* what, int pid, int tid, std::string name) {
+  json::Value args = json::Value::object();
+  args.set("name", std::move(name));
+  json::Value v = json::Value::object();
+  v.set("name", what)
+      .set("ph", "M")
+      .set("pid", pid)
+      .set("tid", tid)
+      .set("args", std::move(args));
+  return v;
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& out, int p) : out_(out) {
+  ALGE_REQUIRE(p >= 1, "chrome trace needs at least one rank, got %d", p);
+  cum_.resize(static_cast<std::size_t>(p));
+  out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (int r = 0; r < p; ++r) {
+    emit(metadata("process_name", r, 0, strfmt("rank %d", r)));
+    emit(metadata("thread_name", r, 0, "p2p"));
+    emit(metadata("thread_name", r, 1, "collectives"));
+    emit(metadata("thread_name", r, 2, "phases"));
+  }
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
+
+void ChromeTraceWriter::emit(const json::Value& v) {
+  if (!first_) out_ << ",\n";
+  first_ = false;
+  out_ << v.dump();
+}
+
+void ChromeTraceWriter::on_event(const sim::TraceEvent& ev) {
+  ALGE_CHECK(!finished_, "trace event after finish()");
+  ALGE_CHECK(ev.rank >= 0 &&
+                 static_cast<std::size_t>(ev.rank) < cum_.size(),
+             "trace event for rank %d outside machine", ev.rank);
+  Cum& c = cum_[static_cast<std::size_t>(ev.rank)];
+  using Kind = sim::TraceEvent::Kind;
+  switch (ev.kind) {
+    case Kind::kCompute: {
+      json::Value v = span("compute", ev.rank, 0, ev.t0, ev.t1);
+      json::Value args = json::Value::object();
+      args.set("flops", ev.flops);
+      v.set("args", std::move(args));
+      emit(v);
+      c.flops += ev.flops;
+      emit(counter("F", ev.rank, ev.t1, c.flops));
+      break;
+    }
+    case Kind::kSend: {
+      json::Value v = span("send", ev.rank, 0, ev.t0, ev.t1);
+      json::Value args = json::Value::object();
+      args.set("dst", ev.peer).set("words", ev.words).set("msgs", ev.msgs)
+          .set("tag", ev.tag);
+      v.set("args", std::move(args));
+      emit(v);
+      c.words += ev.words;
+      c.msgs += ev.msgs;
+      emit(counter("W", ev.rank, ev.t1, c.words));
+      emit(counter("S", ev.rank, ev.t1, c.msgs));
+      break;
+    }
+    case Kind::kRecv: {
+      json::Value args = json::Value::object();
+      args.set("src", ev.peer).set("words", ev.words).set("tag", ev.tag);
+      json::Value v = json::Value::object();
+      v.set("name", "recv")
+          .set("ph", "i")
+          .set("pid", ev.rank)
+          .set("tid", 0)
+          .set("ts", ev.t0 * kUsPerSecond)
+          .set("s", "t")
+          .set("args", std::move(args));
+      emit(v);
+      break;
+    }
+    case Kind::kIdle: {
+      json::Value v = span("idle", ev.rank, 0, ev.t0, ev.t1);
+      json::Value args = json::Value::object();
+      args.set("src", ev.peer).set("tag", ev.tag);
+      v.set("args", std::move(args));
+      emit(v);
+      break;
+    }
+    case Kind::kColl:
+      emit(span(ev.label != nullptr ? ev.label : "collective", ev.rank, 1,
+                ev.t0, ev.t1));
+      break;
+    case Kind::kPhase:
+      emit(span(ev.label != nullptr ? ev.label : "phase", ev.rank, 2, ev.t0,
+                ev.t1));
+      break;
+    case Kind::kMem:
+      emit(counter("M", ev.rank, ev.t0, ev.words));
+      break;
+  }
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_ << "\n]}\n";
+}
+
+void write_chrome_trace(const sim::Trace& trace, int p, std::ostream& out) {
+  ChromeTraceWriter w(out, p);
+  for (const sim::TraceEvent& ev : trace.events()) w.on_event(ev);
+  w.finish();
+}
+
+void write_chrome_trace_file(const sim::Trace& trace, int p,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw invalid_argument_error(
+        strfmt("cannot open trace output file '%s'", path.c_str()));
+  }
+  write_chrome_trace(trace, p, out);
+}
+
+}  // namespace alge::obs

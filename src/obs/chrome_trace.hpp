@@ -1,0 +1,73 @@
+// Chrome trace_event JSON export of a simulated run's timeline, for
+// chrome://tracing and https://ui.perfetto.dev.
+//
+// One trace "process" (pid) per simulated rank, on virtual-clock timestamps
+// (simulated seconds × 1e6, the format's microsecond unit). Each rank gets
+// three named threads so nesting is unambiguous:
+//
+//   tid 0 "p2p"         compute / send / idle spans, recv instants
+//   tid 1 "collectives" one span per collective call (bcast, allgather, …)
+//   tid 2 "phases"      user phase scopes (Comm::phase)
+//
+// plus per-process counter tracks F/W/S (running cumulative flops, words
+// and messages sent) and M (live registered words, from kMem events).
+//
+// ChromeTraceWriter is a streaming sim::TraceSink: attach it with
+// Machine::set_trace_sink(&w, /*keep_events=*/false) to export arbitrarily
+// long runs without holding the event vector in memory, or convert a stored
+// trace after the fact with write_chrome_trace().
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace alge::json {
+class Value;
+}
+
+namespace alge::obs {
+
+class ChromeTraceWriter : public sim::TraceSink {
+ public:
+  /// Writes the JSON header and per-rank process metadata immediately;
+  /// `p` is the simulated rank count (pids 0..p-1).
+  ChromeTraceWriter(std::ostream& out, int p);
+
+  /// finish()es if the caller has not.
+  ~ChromeTraceWriter() override;
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  void on_event(const sim::TraceEvent& ev) override;
+
+  /// Close the traceEvents array and the document. Idempotent; no events
+  /// may be recorded after it.
+  void finish();
+
+ private:
+  void emit(const json::Value& v);
+
+  std::ostream& out_;
+  bool first_ = true;
+  bool finished_ = false;
+  /// Running cumulative F/W/S per rank, for the counter tracks.
+  struct Cum {
+    double flops = 0.0;
+    double words = 0.0;
+    double msgs = 0.0;
+  };
+  std::vector<Cum> cum_;
+};
+
+/// Export a stored trace (cfg.enable_trace with events kept) in one call.
+void write_chrome_trace(const sim::Trace& trace, int p, std::ostream& out);
+
+/// Same, to a file; throws alge::invalid_argument_error when the file
+/// cannot be opened.
+void write_chrome_trace_file(const sim::Trace& trace, int p,
+                             const std::string& path);
+
+}  // namespace alge::obs

@@ -46,6 +46,7 @@ void Comm::barrier(const Group& g) {
   ALGE_REQUIRE(idx >= 0, "rank %d not in barrier group", rank_);
   const int n = g.size();
   const int tag = kCollTag + kBarrier;
+  const double ct0 = coll_begin();
   // Binomial fan-in to index 0, then binomial fan-out; empty payloads.
   std::span<double> none;
   for (int mask = 1; mask < n; mask <<= 1) {
@@ -70,6 +71,7 @@ void Comm::barrier(const Group& g) {
     }
     mask >>= 1;
   }
+  coll_end("barrier", ct0);
 }
 
 void Comm::bcast(std::span<double> data, int root, const Group& g) {
@@ -79,6 +81,7 @@ void Comm::bcast(std::span<double> data, int root, const Group& g) {
                root);
   const int n = g.size();
   const int tag = kCollTag + kBcast;
+  const double ct0 = coll_begin();
   const int vr = (idx - root + n) % n;
   auto world_of = [&](int rel) { return g.world_rank((rel + root) % n); };
 
@@ -97,6 +100,7 @@ void Comm::bcast(std::span<double> data, int root, const Group& g) {
     }
     mask >>= 1;
   }
+  coll_end("bcast", ct0);
 }
 
 void Comm::bcast_ring(std::span<double> data, int root, const Group& g,
@@ -107,7 +111,11 @@ void Comm::bcast_ring(std::span<double> data, int root, const Group& g,
                root);
   ALGE_REQUIRE(segments >= 0, "segment count must be non-negative");
   const int n = g.size();
-  if (n == 1 || data.empty()) return;
+  const double ct0 = coll_begin();
+  if (n == 1 || data.empty()) {
+    coll_end("bcast_ring", ct0);
+    return;
+  }
   const int tag = kCollTag + kBcastRing;
   if (segments == 0) {
     // Balance pipeline fill (n-2 hops) against per-segment latency.
@@ -130,6 +138,7 @@ void Comm::bcast_ring(std::span<double> data, int root, const Group& g,
     // Everyone forwards except the last rank before the root on the ring.
     if (vr != n - 1) send(next, chunk, tag);
   }
+  coll_end("bcast_ring", ct0);
 }
 
 void Comm::reduce_sum(std::span<const double> in, std::span<double> out,
@@ -140,6 +149,7 @@ void Comm::reduce_sum(std::span<const double> in, std::span<double> out,
                root);
   const int n = g.size();
   const int tag = kCollTag + kReduce;
+  const double ct0 = coll_begin();
   const int vr = (idx - root + n) % n;
   auto world_of = [&](int rel) { return g.world_rank((rel + root) % n); };
 
@@ -162,14 +172,17 @@ void Comm::reduce_sum(std::span<const double> in, std::span<double> out,
                  in.size());
     std::copy(acc.begin(), acc.end(), out.begin());
   }
+  coll_end("reduce_sum", ct0);
 }
 
 void Comm::allreduce_sum(std::span<double> inout, const Group& g) {
+  const double ct0 = coll_begin();
   std::vector<double> result(inout.size());
   reduce_sum(inout, result, 0, g);
   if (g.index_of(rank_) == 0) std::copy(result.begin(), result.end(),
                                         inout.begin());
   bcast(inout, 0, g);
+  coll_end("allreduce_sum", ct0);
 }
 
 void Comm::allreduce_doubling(std::span<double> inout, const Group& g) {
@@ -177,6 +190,7 @@ void Comm::allreduce_doubling(std::span<double> inout, const Group& g) {
   ALGE_REQUIRE(idx >= 0, "rank %d not in allreduce group", rank_);
   const int n = g.size();
   const int tag = kCollTag + kAllreduceDoubling;
+  const double ct0 = coll_begin();
   // Largest power of two <= n; the remainder folds into [0, r) first.
   int r = 1;
   while (r * 2 <= n) r *= 2;
@@ -191,6 +205,7 @@ void Comm::allreduce_doubling(std::span<double> inout, const Group& g) {
     // Fold my contribution into my pair and wait for the final result.
     send(g.world_rank(idx - r), inout, tag);
     recv(g.world_rank(idx - r), inout, tag);
+    coll_end("allreduce_doubling", ct0);
     return;
   }
   if (idx < rem) {
@@ -203,6 +218,7 @@ void Comm::allreduce_doubling(std::span<double> inout, const Group& g) {
     absorb();
   }
   if (idx < rem) send(g.world_rank(idx + r), inout, tag);
+  coll_end("allreduce_doubling", ct0);
 }
 
 void Comm::allgather(std::span<const double> in, std::span<double> out,
@@ -214,6 +230,7 @@ void Comm::allgather(std::span<const double> in, std::span<double> out,
   ALGE_REQUIRE(out.size() == k * static_cast<std::size_t>(n),
                "allgather output size %zu != %d * %zu", out.size(), n, k);
   const int tag = kCollTag + kAllgather;
+  const double ct0 = coll_begin();
 
   auto block = [&](int j) {
     return out.subspan(static_cast<std::size_t>(j) * k, k);
@@ -227,6 +244,7 @@ void Comm::allgather(std::span<const double> in, std::span<double> out,
     const int recv_block = (idx - s - 1 + 2 * n) % n;
     sendrecv(right, block(send_block), left, block(recv_block), tag);
   }
+  coll_end("allgather", ct0);
 }
 
 void Comm::alltoall(std::span<const double> in, std::span<double> out,
@@ -238,6 +256,7 @@ void Comm::alltoall(std::span<const double> in, std::span<double> out,
                "alltoall buffers must hold g equal blocks");
   const std::size_t k = in.size() / static_cast<std::size_t>(n);
   const int tag = kCollTag + kAlltoall;
+  const double ct0 = coll_begin();
 
   auto in_block = [&](int j) {
     return in.subspan(static_cast<std::size_t>(j) * k, k);
@@ -253,6 +272,7 @@ void Comm::alltoall(std::span<const double> in, std::span<double> out,
     sendrecv(g.world_rank(dst), in_block(dst), g.world_rank(src),
              out_block(src), tag);
   }
+  coll_end("alltoall", ct0);
 }
 
 void Comm::alltoall_bruck(std::span<const double> in, std::span<double> out,
@@ -264,6 +284,7 @@ void Comm::alltoall_bruck(std::span<const double> in, std::span<double> out,
                "alltoall buffers must hold g equal blocks");
   const std::size_t k = in.size() / static_cast<std::size_t>(n);
   const int tag = kCollTag + kBruck;
+  const double ct0 = coll_begin();
 
   // Phase 1: local rotation so block 0 is my own.
   std::vector<double> tmp(in.size());
@@ -313,6 +334,7 @@ void Comm::alltoall_bruck(std::span<const double> in, std::span<double> out,
                 out.begin() + static_cast<std::ptrdiff_t>(dst_block) *
                                   static_cast<std::ptrdiff_t>(k));
   }
+  coll_end("alltoall_bruck", ct0);
 }
 
 void Comm::gather(std::span<const double> in, std::span<double> out, int root,
@@ -322,6 +344,7 @@ void Comm::gather(std::span<const double> in, std::span<double> out, int root,
   const int n = g.size();
   const std::size_t k = in.size();
   const int tag = kCollTag + kGather;
+  const double ct0 = coll_begin();
   if (idx == root) {
     ALGE_REQUIRE(out.size() == k * static_cast<std::size_t>(n),
                  "gather output size %zu != %d * %zu", out.size(), n, k);
@@ -336,6 +359,7 @@ void Comm::gather(std::span<const double> in, std::span<double> out, int root,
   } else {
     send(g.world_rank(root), in, tag);
   }
+  coll_end("gather", ct0);
 }
 
 void Comm::scatter(std::span<const double> in, std::span<double> out, int root,
@@ -345,6 +369,7 @@ void Comm::scatter(std::span<const double> in, std::span<double> out, int root,
   const int n = g.size();
   const std::size_t k = out.size();
   const int tag = kCollTag + kScatter;
+  const double ct0 = coll_begin();
   if (idx == root) {
     ALGE_REQUIRE(in.size() == k * static_cast<std::size_t>(n),
                  "scatter input size %zu != %d * %zu", in.size(), n, k);
@@ -359,6 +384,7 @@ void Comm::scatter(std::span<const double> in, std::span<double> out, int root,
   } else {
     recv(g.world_rank(root), out, tag);
   }
+  coll_end("scatter", ct0);
 }
 
 }  // namespace alge::sim

@@ -64,9 +64,14 @@ void Comm::compute(double flops) {
           : machine_.cfg_.speed[static_cast<std::size_t>(rank_)];
   c.flops += flops;
   c.clock += machine_.cfg_.params.gamma_t * flops / speed;
+  if (machine_.cfg_.enable_ledger) {
+    PhaseCounters& pc = ledger();
+    pc.flops += flops;
+    pc.time += c.clock - t0;
+  }
   if (machine_.cfg_.enable_trace) {
     machine_.trace_.record({TraceEvent::Kind::kCompute, rank_, t0, c.clock,
-                            -1, 0.0, 0});
+                            -1, 0.0, 0, flops});
   }
 }
 
@@ -92,9 +97,17 @@ void Comm::send(int dst, std::span<const double> data, int tag) {
     // once (the message pipelines through intermediate links).
     c.clock += nmsg * hops * machine_.cfg_.params.alpha_t +
                k * machine_.cfg_.params.beta_t;
+    if (machine_.cfg_.enable_ledger) {
+      PhaseCounters& pc = ledger();
+      pc.words_sent += k;
+      pc.msgs_sent += nmsg;
+      pc.words_hops += k * hops;
+      pc.msgs_hops += nmsg * hops;
+      pc.time += c.clock - t0;
+    }
     if (machine_.cfg_.enable_trace) {
       machine_.trace_.record({TraceEvent::Kind::kSend, rank_, t0, c.clock,
-                              dst, k, tag});
+                              dst, k, tag, 0.0, nmsg});
     }
   }
 
@@ -173,6 +186,11 @@ void Comm::recv(int src, std::span<double> out, int tag) {
           machine_.trace_.record({TraceEvent::Kind::kIdle, rank_, c.clock,
                                   me.direct_arrival, src, 0.0, tag});
         }
+        if (machine_.cfg_.enable_ledger) {
+          PhaseCounters& pc = ledger();
+          pc.idle += me.direct_arrival - c.clock;
+          pc.time += me.direct_arrival - c.clock;
+        }
         c.idle_time += me.direct_arrival - c.clock;
         c.clock = me.direct_arrival;
       }
@@ -201,6 +219,11 @@ void Comm::recv(int src, std::span<double> out, int tag) {
     if (machine_.cfg_.enable_trace) {
       machine_.trace_.record({TraceEvent::Kind::kIdle, rank_, c.clock,
                               msg.arrival, src, 0.0, tag});
+    }
+    if (machine_.cfg_.enable_ledger) {
+      PhaseCounters& pc = ledger();
+      pc.idle += msg.arrival - c.clock;
+      pc.time += msg.arrival - c.clock;
     }
     c.idle_time += msg.arrival - c.clock;
     c.clock = msg.arrival;
@@ -235,12 +258,44 @@ void Comm::register_memory(std::size_t words) {
         "rank %d out of memory: %zu words live, per-rank capacity M=%.0f",
         rank_, c.mem_words, cap));
   }
+  if (machine_.cfg_.enable_trace) {
+    machine_.trace_.record({TraceEvent::Kind::kMem, rank_, c.clock, c.clock,
+                            -1, static_cast<double>(c.mem_words)});
+  }
 }
 
 void Comm::unregister_memory(std::size_t words) {
   RankCounters& c = mutable_counters();
   ALGE_CHECK(c.mem_words >= words, "memory underflow on rank %d", rank_);
   c.mem_words -= words;
+  if (machine_.cfg_.enable_trace) {
+    machine_.trace_.record({TraceEvent::Kind::kMem, rank_, c.clock, c.clock,
+                            -1, static_cast<double>(c.mem_words)});
+  }
+}
+
+Machine::PhaseScope Comm::phase(const std::string& name) {
+  const int id = machine_.phase_id(name);
+  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(rank_)];
+  std::vector<int> prev{me.phase};
+  me.phase = id;
+  return Machine::PhaseScope(
+      &machine_, rank_, counters().clock, std::move(prev),
+      machine_.phase_names_[static_cast<std::size_t>(id)].c_str());
+}
+
+// coll_begin/coll_end are called by every collective in collectives.cpp;
+// they only touch the trace, never the counters, so enabling spans cannot
+// perturb clocks or energy.
+void Comm::coll_end(const char* name, double t0) {
+  if (!machine_.cfg_.enable_trace) return;
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kColl;
+  ev.rank = rank_;
+  ev.t0 = t0;
+  ev.t1 = counters().clock;
+  ev.label = name;
+  machine_.trace_.record(ev);
 }
 
 }  // namespace alge::sim

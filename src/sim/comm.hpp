@@ -108,10 +108,22 @@ class Comm {
   void register_memory(std::size_t words);
   void unregister_memory(std::size_t words);
 
+  /// Enter energy-ledger phase `name` on the calling rank until the returned
+  /// scope closes (see Machine::phase for the whole-machine variant and
+  /// MachineConfig::enable_ledger for what is accumulated). When tracing is
+  /// on, the scope also records a kPhase span over its virtual-time extent.
+  [[nodiscard]] Machine::PhaseScope phase(const std::string& name);
+
  private:
   friend class Buffer;
 
   RankCounters& mutable_counters();
+  /// The calling rank's ledger slice for its current phase (enable_ledger).
+  PhaseCounters& ledger() { return machine_.ledger_cell(rank_); }
+  /// Collective-span helpers used by collectives.cpp: remember the clock at
+  /// entry, record a kColl trace span [t0, now] labelled `name` on exit.
+  double coll_begin() const { return counters().clock; }
+  void coll_end(const char* name, double t0);
   /// Internal tag space for collectives, disjoint from user tags.
   static constexpr int kCollTag = 1 << 24;
 

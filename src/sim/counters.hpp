@@ -24,4 +24,20 @@ struct RankCounters {
   std::size_t mem_highwater = 0;  ///< max of mem_words over the run
 };
 
+/// Per-(rank, phase) slice of the counters above, accumulated when
+/// MachineConfig::enable_ledger is set. `time` is the rank's virtual-clock
+/// advance while the phase was active (compute + send + recv
+/// synchronization), so summing over phases reproduces the rank's final
+/// clock; the residual up to the machine makespan is trailing idle that
+/// obs::build_energy_ledger attributes to a synthetic tail phase.
+struct PhaseCounters {
+  double flops = 0.0;
+  double words_sent = 0.0;
+  double msgs_sent = 0.0;
+  double words_hops = 0.0;
+  double msgs_hops = 0.0;
+  double time = 0.0;  ///< virtual clock advance while in the phase
+  double idle = 0.0;  ///< subset of `time` spent waiting in recv
+};
+
 }  // namespace alge::sim

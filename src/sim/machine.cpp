@@ -27,7 +27,56 @@ void Machine::reset() {
     ALGE_CHECK(!r.waiting, "reset() during a run");
     r = Rank{};
   }
+  phase_names_ = {"(main)"};
   trace_.clear();
+}
+
+int Machine::phase_id(const std::string& name) {
+  for (std::size_t i = 0; i < phase_names_.size(); ++i) {
+    if (phase_names_[i] == name) return static_cast<int>(i);
+  }
+  phase_names_.push_back(name);
+  return static_cast<int>(phase_names_.size() - 1);
+}
+
+Machine::PhaseScope Machine::phase(const std::string& name) {
+  ALGE_REQUIRE(sched_ == nullptr,
+               "Machine::phase() inside run(); use Comm::phase from a "
+               "simulated program");
+  const int id = phase_id(name);
+  std::vector<int> prev;
+  prev.reserve(ranks_.size());
+  for (auto& r : ranks_) {
+    prev.push_back(r.phase);
+    r.phase = id;
+  }
+  return PhaseScope(this, -1, 0.0, std::move(prev), nullptr);
+}
+
+Machine::PhaseScope::~PhaseScope() {
+  if (m_ == nullptr) return;
+  if (rank_ < 0) {
+    for (std::size_t r = 0; r < m_->ranks_.size(); ++r) {
+      m_->ranks_[r].phase = prev_[r];
+    }
+    return;
+  }
+  Rank& r = m_->ranks_[static_cast<std::size_t>(rank_)];
+  if (m_->cfg_.enable_trace && name_ != nullptr) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kPhase;
+    ev.rank = rank_;
+    ev.t0 = t0_;
+    ev.t1 = r.counters.clock;
+    ev.label = name_;
+    m_->trace_.record(ev);
+  }
+  r.phase = prev_.front();
+}
+
+const std::vector<PhaseCounters>& Machine::phase_counters(int rank) const {
+  ALGE_REQUIRE(rank >= 0 && rank < cfg_.p, "rank %d out of range", rank);
+  return ranks_[static_cast<std::size_t>(rank)].ledger;
 }
 
 void Machine::run(const std::function<void(Comm&)>& program) {

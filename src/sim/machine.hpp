@@ -42,6 +42,7 @@
 // tests/test_engine.cpp).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
@@ -77,6 +78,11 @@ struct MachineConfig {
   std::shared_ptr<const NetworkModel> network;
   /// Record per-rank compute/send/recv/idle intervals (see sim/trace.hpp).
   bool enable_trace = false;
+  /// Accumulate per-(rank, phase) counter slices for the Eq. (2) energy
+  /// ledger (see counters.hpp PhaseCounters and obs/energy_ledger.hpp).
+  /// Phases are labelled with Machine::phase / Comm::phase scopes; with no
+  /// scopes everything lands in the default "(main)" phase.
+  bool enable_ledger = false;
   /// Heterogeneous machines: per-rank speed multipliers (rank r computes
   /// at speed[r] times the base rate, i.e. effective γt/speed[r]). Empty =
   /// uniform. Must have exactly p entries otherwise.
@@ -134,6 +140,62 @@ class Machine {
   /// The recorded trace (empty unless cfg.enable_trace).
   const Trace& trace() const { return trace_; }
 
+  /// Attach a streaming trace sink (see sim/trace.hpp). Events are only
+  /// generated when cfg.enable_trace is set; with keep_events false they are
+  /// forwarded to the sink without being stored.
+  void set_trace_sink(TraceSink* sink, bool keep_events = true) {
+    trace_.set_sink(sink, keep_events);
+  }
+
+  // --- Energy-ledger phases (cfg.enable_ledger) ---
+
+  /// RAII phase label. Obtain from Machine::phase (outside run(): labels
+  /// every rank until the scope closes, e.g. one scope per run() call) or
+  /// Comm::phase (inside a program: labels the calling rank only, and
+  /// records a kPhase trace span when tracing is on). Scopes nest; closing
+  /// restores the enclosing phase.
+  class PhaseScope {
+   public:
+    PhaseScope(PhaseScope&& o) noexcept
+        : m_(o.m_), rank_(o.rank_), t0_(o.t0_), prev_(std::move(o.prev_)),
+          name_(o.name_) {
+      o.m_ = nullptr;
+    }
+    PhaseScope& operator=(PhaseScope&&) = delete;
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+    ~PhaseScope();
+
+   private:
+    friend class Machine;
+    friend class Comm;
+    PhaseScope(Machine* m, int rank, double t0, std::vector<int> prev,
+               const char* name)
+        : m_(m), rank_(rank), t0_(t0), prev_(std::move(prev)), name_(name) {}
+    Machine* m_;
+    int rank_;  ///< -1: scope covers every rank (Machine::phase)
+    double t0_;
+    std::vector<int> prev_;  ///< phase ids to restore (size 1 or p)
+    const char* name_;       ///< interned label, for the kPhase trace span
+  };
+
+  /// Enter phase `name` on every rank. Must be called outside run() — use
+  /// Comm::phase from inside a simulated program. Counter deltas recorded
+  /// while the scope is open are attributed to the phase (when
+  /// cfg.enable_ledger is set; otherwise the scope is inert).
+  [[nodiscard]] PhaseScope phase(const std::string& name);
+
+  bool ledger_enabled() const { return cfg_.enable_ledger; }
+
+  /// Phase labels in first-use order; index == phase id. Id 0 is the
+  /// default "(main)" phase. Never shrinks until reset(). (A deque so the
+  /// interned strings never move: kPhase trace spans point at them.)
+  const std::deque<std::string>& phase_names() const { return phase_names_; }
+
+  /// Rank's per-phase counter slices, indexed by phase id. May be shorter
+  /// than phase_names() when the rank never entered later phases.
+  const std::vector<PhaseCounters>& phase_counters(int rank) const;
+
   /// Eq. (2) on the measured run. The γe/βe/αe terms use total (summed)
   /// counts — physically every executed flop and transmitted word costs
   /// energy — and the δe/εe terms use p·(δe·M̄+εe)·T with M̄ the mean per-rank
@@ -150,6 +212,10 @@ class Machine {
 
   struct Rank {
     RankCounters counters;
+    /// Per-phase slices of `counters` (cfg.enable_ledger); indexed by the
+    /// Machine-wide phase id, grown on first touch.
+    std::vector<PhaseCounters> ledger;
+    int phase = 0;  ///< current phase id deltas are attributed to
     Mailbox mailbox;
     std::uint64_t next_seq = 0;  ///< arrival-order stamp for diagnostics
     bool waiting = false;        ///< blocked in recv for (wait_src, wait_tag)
@@ -185,9 +251,23 @@ class Machine {
     payload_pool_.push_back(std::move(buf));
   }
 
+  /// Find-or-add `name` in the phase registry; returns its id.
+  int phase_id(const std::string& name);
+
+  /// The (rank, current-phase) ledger slice, growing the rank's vector on
+  /// demand. Only called when cfg_.enable_ledger is set.
+  PhaseCounters& ledger_cell(int rank) {
+    Rank& r = ranks_[static_cast<std::size_t>(rank)];
+    if (r.ledger.size() <= static_cast<std::size_t>(r.phase)) {
+      r.ledger.resize(static_cast<std::size_t>(r.phase) + 1);
+    }
+    return r.ledger[static_cast<std::size_t>(r.phase)];
+  }
+
   MachineConfig cfg_;
   std::vector<Rank> ranks_;
   std::vector<std::vector<double>> payload_pool_;
+  std::deque<std::string> phase_names_{"(main)"};
   Trace trace_;
   fiber::Scheduler* sched_ = nullptr;  ///< valid only during run()
 };

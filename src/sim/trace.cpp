@@ -33,6 +33,12 @@ Trace::RankSummary Trace::summarize(int rank) const {
       case TraceEvent::Kind::kIdle:
         s.idle_time += dt;
         break;
+      case TraceEvent::Kind::kColl:
+      case TraceEvent::Kind::kPhase:
+      case TraceEvent::Kind::kMem:
+        // Envelopes and watermarks: their time is already counted by the
+        // point-to-point events they enclose (or they have no duration).
+        break;
     }
   }
   return s;
@@ -56,6 +62,10 @@ std::string Trace::render_timeline(int p, int width) const {
         return 3;
       case TraceEvent::Kind::kRecv:
         return 0;  // instantaneous; never fills a bucket
+      case TraceEvent::Kind::kColl:
+      case TraceEvent::Kind::kPhase:
+      case TraceEvent::Kind::kMem:
+        return 0;  // envelopes/watermarks; the enclosed events fill buckets
     }
     return 0;
   };

@@ -3,6 +3,11 @@
 // (an ASCII Gantt chart) and summary statistics. Enable with
 // MachineConfig::enable_trace; traces answer "where does the critical path
 // go" questions the aggregate counters cannot.
+//
+// Besides the stored event vector, a Trace can forward every event to a
+// streaming TraceSink as it is recorded (optionally without storing it), so
+// long runs can export — e.g. to Chrome trace_event JSON via
+// obs::ChromeTraceWriter — without holding the whole timeline in memory.
 #pragma once
 
 #include <cstddef>
@@ -12,7 +17,15 @@
 namespace alge::sim {
 
 struct TraceEvent {
-  enum class Kind { kCompute, kSend, kRecv, kIdle };
+  enum class Kind {
+    kCompute,  ///< local flops: [t0, t1], flops set
+    kSend,     ///< link time charged to the sender: [t0, t1], words/msgs set
+    kRecv,     ///< instantaneous consumption at t0 == t1, words set
+    kIdle,     ///< receiver waiting for an arrival: [t0, t1]
+    kColl,     ///< collective span enclosing its point-to-point traffic
+    kPhase,    ///< user phase span recorded by a Comm::phase scope
+    kMem,      ///< memory watermark change; words = live words after it
+  };
   Kind kind = Kind::kCompute;
   int rank = 0;
   double t0 = 0.0;  ///< virtual start time
@@ -20,14 +33,38 @@ struct TraceEvent {
   int peer = -1;    ///< other rank for send/recv, -1 otherwise
   double words = 0.0;
   int tag = 0;
+  double flops = 0.0;  ///< kCompute: flops executed in the interval
+  double msgs = 0.0;   ///< kSend: messages after splitting at cap m
+  /// kColl/kPhase: static-storage span name (collective op or phase label).
+  const char* label = nullptr;
+};
+
+/// Streaming consumer of trace events, called synchronously from record()
+/// in recording order (per rank this is virtual-time order).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& ev) = 0;
 };
 
 class Trace {
  public:
-  void record(const TraceEvent& ev) { events_.push_back(ev); }
+  void record(const TraceEvent& ev) {
+    if (sink_ != nullptr) sink_->on_event(ev);
+    if (keep_events_) events_.push_back(ev);
+  }
   void clear() { events_.clear(); }
   const std::vector<TraceEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
+
+  /// Attach (or detach, with nullptr) a streaming sink. With keep_events
+  /// false, events are forwarded to the sink only and not stored — the
+  /// accessor methods then see an empty trace.
+  void set_sink(TraceSink* sink, bool keep_events = true) {
+    sink_ = sink;
+    keep_events_ = (sink == nullptr) || keep_events;
+  }
+  TraceSink* sink() const { return sink_; }
 
   /// Events of one rank, in recording (= virtual time) order.
   std::vector<TraceEvent> rank_events(int rank) const;
@@ -48,6 +85,8 @@ class Trace {
 
  private:
   std::vector<TraceEvent> events_;
+  TraceSink* sink_ = nullptr;
+  bool keep_events_ = true;
 };
 
 }  // namespace alge::sim
