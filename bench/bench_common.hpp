@@ -3,8 +3,10 @@
 // (--trace-out) for the engine-driven benches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "engine/runner.hpp"
 #include "obs/chrome_trace.hpp"
@@ -23,6 +25,37 @@ inline void add_trace_flags(CliArgs& cli) {
   cli.add_flag("trace-out", "",
                "write a Chrome trace_event JSON of one representative run "
                "to this path, for chrome://tracing / Perfetto (empty = off)");
+}
+
+/// Declare the chaos axes (src/chaos) on a bench binary's CLI. Both are
+/// inert by default; see EXPERIMENTS.md "Chaos flags".
+inline void add_chaos_flags(CliArgs& cli) {
+  cli.add_flag("chaos-seed", "0",
+               "nonzero: permute the simulator's fiber wake order with this "
+               "seed (results must be bit-identical; a difference is a "
+               "determinism bug)");
+  cli.add_flag("fault-plan", "",
+               "run every spec under this bundled fault plan "
+               "(delay|drop|duplicate|reorder|pause|mixed; empty = "
+               "fault-free)");
+}
+
+/// Stamp the --chaos-seed / --fault-plan values onto every spec. With both
+/// flags at their defaults the specs are untouched, so cache keys and
+/// printed tables stay byte-identical with pre-chaos runs.
+inline void apply_chaos_flags(const CliArgs& cli,
+                              std::vector<engine::ExperimentSpec>& specs) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("chaos-seed"));
+  const std::string plan = cli.get("fault-plan");
+  if (seed == 0 && plan.empty()) return;
+  for (engine::ExperimentSpec& spec : specs) {
+    spec.chaos_seed = seed;
+    spec.fault_plan = plan;
+  }
+  std::fprintf(stderr, "[chaos] chaos-seed=%llu fault-plan=%s\n",
+               static_cast<unsigned long long>(seed),
+               plan.empty() ? "(none)" : plan.c_str());
 }
 
 /// When --trace-out is set, re-execute `spec` with tracing enabled (outside

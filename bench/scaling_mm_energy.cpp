@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   cli.add_flag("verify", "true", "check results against a serial product");
   engine::add_engine_flags(cli);
   bench::add_trace_flags(cli);
+  bench::add_chaos_flags(cli);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("scaling_mm_energy");
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
     s.ring_replication = true;
     specs.push_back(s);
   }
+  bench::apply_chaos_flags(cli, specs);
   engine::SweepRunner runner(engine::sweep_options_from_cli(cli));
   const auto results = runner.run(specs);
 

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   CliArgs cli;
   engine::add_engine_flags(cli);
   bench::add_trace_flags(cli);
+  bench::add_chaos_flags(cli);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("validation_model_vs_sim");
@@ -141,6 +142,7 @@ int main(int argc, char** argv) {
     add(strfmt("fft bruck p=%d", p), fft_tree, n, 2.0 * n / p, bruck);
   }
 
+  bench::apply_chaos_flags(cli, specs);
   engine::SweepRunner runner(engine::sweep_options_from_cli(cli));
   const auto results = runner.run(specs);
   for (std::size_t i = 0; i < results.size(); ++i) rows[i](results[i]);

@@ -9,6 +9,7 @@
 #include "algs/matmul/distributed.hpp"
 #include "algs/matmul/local.hpp"
 #include "algs/nbody/nbody.hpp"
+#include "algs/qr/tsqr.hpp"
 #include "algs/strassen/layout.hpp"
 #include "sim/comm.hpp"
 #include "support/common.hpp"
@@ -30,17 +31,16 @@ ScopedRunObserver::ScopedRunObserver(RunObserver obs)
 
 ScopedRunObserver::~ScopedRunObserver() { tls_observer = std::move(prev_); }
 
-namespace {
-/// MachineConfig seeded from the calling thread's observer; with the default
-/// (inert) observer this is exactly the config the harness always built.
 sim::MachineConfig observed_config(const core::MachineParams& mp) {
   sim::MachineConfig cfg;
   cfg.params = mp;
   cfg.enable_trace = tls_observer.enable_trace;
   cfg.enable_ledger = tls_observer.enable_ledger;
+  if (tls_observer.configure) tls_observer.configure(cfg);
   return cfg;
 }
 
+namespace {
 std::vector<double> block_of(const std::vector<double>& m, int n, int q,
                              int bi, int bj) {
   const int nb = n / q;
@@ -345,6 +345,48 @@ RunResult run_fft(int r_dim, int c_dim, int p, AllToAllKind kind,
         err = std::max(err, std::abs(blk[src + 1] - ref[dst + 1]));
       }
     }
+  }
+  return finish(m, verify, err);
+}
+
+RunResult run_tsqr(int rows_local, int b, int p,
+                   const core::MachineParams& mp, bool verify,
+                   std::uint64_t seed) {
+  ALGE_REQUIRE(rows_local >= b && b >= 1 && p >= 1,
+               "tsqr needs rows_local >= b >= 1 and p >= 1");
+  sim::MachineConfig cfg = observed_config(mp);
+  cfg.p = p;
+  sim::Machine m(cfg);
+  Rng rng(seed);
+  const auto A = random_matrix(rows_local * p, b, rng);
+  const std::size_t lw = static_cast<std::size_t>(rows_local) * b;
+  std::vector<double> r(static_cast<std::size_t>(b) * b, 0.0);
+  m.run([&](sim::Comm& comm) {
+    auto mine = std::span<const double>(A).subspan(
+        lw * static_cast<std::size_t>(comm.rank()), lw);
+    std::span<double> out =
+        comm.rank() == 0 ? std::span<double>(r) : std::span<double>{};
+    tsqr(comm, b, mine, out);
+  });
+  double err = 0.0;
+  if (verify) {
+    // QᵀQ = I  =>  AᵀA = RᵀR: the factorization-independent check (R is
+    // only unique up to row signs, so compare Gram matrices, not entries).
+    auto gram = [b](std::span<const double> a, int rows) {
+      std::vector<double> g(static_cast<std::size_t>(b) * b, 0.0);
+      for (int i = 0; i < b; ++i) {
+        for (int j = 0; j < b; ++j) {
+          double s = 0.0;
+          for (int row = 0; row < rows; ++row) {
+            s += a[static_cast<std::size_t>(row) * b + i] *
+                 a[static_cast<std::size_t>(row) * b + j];
+          }
+          g[static_cast<std::size_t>(i) * b + j] = s;
+        }
+      }
+      return g;
+    };
+    err = max_abs_diff(gram(r, b), gram(A, rows_local * p));
   }
   return finish(m, verify, err);
 }

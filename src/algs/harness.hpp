@@ -31,6 +31,10 @@ namespace alge::algs::harness {
 struct RunObserver {
   bool enable_trace = false;   ///< sets MachineConfig::enable_trace
   bool enable_ledger = false;  ///< sets MachineConfig::enable_ledger
+  /// Called on the MachineConfig just before the Machine is constructed —
+  /// the hook chaos uses to install fault injectors and wake policies
+  /// (MachineConfig::faults / wake_policy) without new run_* parameters.
+  std::function<void(sim::MachineConfig&)> configure;
   /// Called with the finished Machine (counters final, run complete) before
   /// the harness returns, e.g. to copy the trace or build an energy ledger.
   std::function<void(const sim::Machine&)> after_run;
@@ -38,6 +42,12 @@ struct RunObserver {
 
 /// The calling thread's observer; default-constructed (inert) until set.
 RunObserver& run_observer();
+
+/// MachineConfig seeded from the calling thread's observer (trace/ledger
+/// flags applied, then the configure hook); with the default (inert)
+/// observer this is exactly the config the harness always built. Exported
+/// so engine::run_collective shares the identical config path.
+sim::MachineConfig observed_config(const core::MachineParams& mp);
 
 /// RAII: install `obs` on the current thread, restore the previous observer
 /// on destruction.
@@ -92,5 +102,12 @@ RunResult run_lu(int n, int nb, int q, int c, const core::MachineParams& mp,
 RunResult run_fft(int r_dim, int c_dim, int p, AllToAllKind kind,
                   const core::MachineParams& mp, bool verify = false,
                   std::uint64_t seed = 1);
+
+/// TSQR tree reduction of a (rows_local·p)×b tall matrix, p ranks.
+/// Verification checks the factorization-independent Gram identity
+/// AᵀA = RᵀR on rank 0's global R.
+RunResult run_tsqr(int rows_local, int b, int p,
+                   const core::MachineParams& mp, bool verify = false,
+                   std::uint64_t seed = 1);
 
 }  // namespace alge::algs::harness

@@ -1,0 +1,372 @@
+#include "chaos/differential.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "algs/harness.hpp"
+#include "chaos/schedule.hpp"
+#include "support/common.hpp"
+
+namespace alge::chaos {
+
+namespace {
+
+using algs::harness::RunResult;
+
+/// Relative slack for "may only grow" clock comparisons: injected stalls
+/// interleave extra additions into the clock accumulation, so the faulted
+/// sum is not bit-for-bit a superset of the baseline's rounding sequence.
+constexpr double kGrowSlack = 1e-12;
+
+bool grew(double faulted, double baseline) {
+  return faulted >= baseline * (1.0 - kGrowSlack);
+}
+
+/// Non-unit parameters (bench/scaling_mm_energy.cpp's tuning) so injected
+/// latency, retries, and stalls are visible in time and every Eq. (2) term.
+core::MachineParams tuned_params() {
+  core::MachineParams mp;
+  mp.gamma_t = 1.0;
+  mp.beta_t = 2.0;
+  mp.alpha_t = 10.0;
+  mp.gamma_e = 1.0;
+  mp.beta_e = 4.0;
+  mp.alpha_e = 20.0;
+  mp.delta_e = 1e-4;
+  mp.eps_e = 1e-2;
+  mp.max_msg_words = 64.0;
+  return mp;
+}
+
+/// Valid grid parameters per size class; see effective_p for the mapping.
+struct Mm25dShape {
+  int q;
+  int c;
+};
+Mm25dShape mm25d_shape(int p) {
+  // q = 2 keeps problems tiny; c absorbs the rest when p is a multiple
+  // of q² (p = 8 -> the 2×2×2 grid), else the 2D c = 1 grid.
+  return {2, p % 4 == 0 ? p / 4 : 1};
+}
+
+int isqrt(int p) {
+  int q = static_cast<int>(std::sqrt(static_cast<double>(p)));
+  while ((q + 1) * (q + 1) <= p) ++q;
+  while (q > 1 && q * q > p) --q;
+  return q;
+}
+
+RunResult dispatch(const CaseSpec& spec) {
+  namespace h = algs::harness;
+  const int p = spec.p;
+  const auto seed = spec.problem_seed;
+  const core::MachineParams& mp = spec.params;
+  switch (spec.alg) {
+    case Alg::kMm25d: {
+      const auto [q, c] = mm25d_shape(p);
+      return h::run_mm25d(8 * q, q, c, mp, /*verify=*/true, seed);
+    }
+    case Alg::kSumma: {
+      const int q = isqrt(p);
+      return h::run_summa(8 * q, q, mp, /*verify=*/true, seed);
+    }
+    case Alg::kCaps:
+      // CAPS runs on 7^k ranks; k = 1 is the smallest nontrivial tree,
+      // and n = 14 is the smallest even size with 7 | n² (share layout).
+      return h::run_caps(14, 1, mp, {}, /*verify=*/true, seed);
+    case Alg::kNbody: {
+      const int c = p % 2 == 0 ? 2 : 1;
+      return h::run_nbody(4 * (p / c), p, c, mp, /*verify=*/true, seed);
+    }
+    case Alg::kLu: {
+      const auto [q, c] = mm25d_shape(p);
+      return h::run_lu(8 * q, 4, q, c, mp, /*verify=*/true, seed);
+    }
+    case Alg::kTsqr:
+      return h::run_tsqr(8, 4, p, mp, /*verify=*/true, seed);
+    case Alg::kFft:
+      return h::run_fft(2 * p, 2 * p, p, algs::AllToAllKind::kDirect, mp,
+                        /*verify=*/true, seed);
+  }
+  throw invalid_argument_error("unknown algorithm");
+}
+
+}  // namespace
+
+const char* alg_name(Alg alg) {
+  switch (alg) {
+    case Alg::kMm25d: return "mm25d";
+    case Alg::kSumma: return "summa";
+    case Alg::kCaps: return "caps";
+    case Alg::kNbody: return "nbody";
+    case Alg::kLu: return "lu";
+    case Alg::kTsqr: return "tsqr";
+    case Alg::kFft: return "fft";
+  }
+  return "?";
+}
+
+Alg parse_alg(std::string_view name) {
+  for (Alg a : all_algs()) {
+    if (name == alg_name(a)) return a;
+  }
+  throw invalid_argument_error(
+      strfmt("unknown algorithm '%.*s' (have: mm25d, summa, caps, nbody, "
+             "lu, tsqr, fft)",
+             static_cast<int>(name.size()), name.data()));
+}
+
+const std::vector<Alg>& all_algs() {
+  static const std::vector<Alg> algs = {Alg::kMm25d, Alg::kSumma, Alg::kCaps,
+                                        Alg::kNbody, Alg::kLu,   Alg::kTsqr,
+                                        Alg::kFft};
+  return algs;
+}
+
+int effective_p(Alg alg, int p) {
+  switch (alg) {
+    case Alg::kMm25d:
+    case Alg::kLu: {
+      const auto [q, c] = mm25d_shape(p);
+      return q * q * c;
+    }
+    case Alg::kSumma: {
+      const int q = isqrt(p);
+      return q * q;
+    }
+    case Alg::kCaps:
+      return 7;
+    case Alg::kNbody:
+    case Alg::kTsqr:
+    case Alg::kFft:
+      return p;
+  }
+  return p;
+}
+
+bool RunSignature::identical_to(const RunSignature& o) const {
+  return ranks == o.ranks && totals == o.totals && makespan == o.makespan &&
+         energy == o.energy && max_abs_error == o.max_abs_error;
+}
+
+RunSignature run_case(const CaseSpec& spec, const ChaosConfig& chaos) {
+  algs::harness::RunObserver obs;
+  std::shared_ptr<PlanInjector> injector;
+  obs.configure = [&chaos, &injector](sim::MachineConfig& cfg) {
+    if (chaos.schedule_seed != 0) {
+      cfg.wake_policy =
+          std::make_shared<SchedulePermuter>(chaos.schedule_seed);
+    }
+    if (!chaos.plan.inert()) {
+      injector =
+          chaos.plan.make_injector(chaos.fault_seed, cfg.params.alpha_t);
+      cfg.faults = injector;
+    }
+  };
+  RunSignature sig;
+  obs.after_run = [&sig](const sim::Machine& m) {
+    sig.ranks.clear();
+    sig.ranks.reserve(static_cast<std::size_t>(m.p()));
+    for (int r = 0; r < m.p(); ++r) sig.ranks.push_back(m.rank_counters(r));
+  };
+  algs::harness::ScopedRunObserver scope(std::move(obs));
+  const RunResult res = dispatch(spec);
+  sig.totals = res.totals;
+  sig.makespan = res.makespan;
+  sig.energy = res.energy.breakdown;
+  sig.max_abs_error = res.max_abs_error;
+  if (injector) sig.faults = injector->stats();
+  return sig;
+}
+
+namespace {
+
+/// Name the first field that differs between two signatures (diagnostics).
+std::string first_difference(const RunSignature& a, const RunSignature& b) {
+  if (a.ranks.size() != b.ranks.size()) return "rank count";
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    const sim::RankCounters& x = a.ranks[r];
+    const sim::RankCounters& y = b.ranks[r];
+    if (x == y) continue;
+    if (x.flops != y.flops) return strfmt("rank %zu flops", r);
+    if (x.words_sent != y.words_sent) return strfmt("rank %zu words", r);
+    if (x.msgs_sent != y.msgs_sent) return strfmt("rank %zu msgs", r);
+    if (x.clock != y.clock) return strfmt("rank %zu clock", r);
+    if (x.idle_time != y.idle_time) return strfmt("rank %zu idle", r);
+    return strfmt("rank %zu counters", r);
+  }
+  if (!(a.totals == b.totals)) return "totals";
+  if (a.makespan != b.makespan) return "makespan";
+  if (!(a.energy == b.energy)) return "energy";
+  if (a.max_abs_error != b.max_abs_error) return "max_abs_error";
+  return "(none)";
+}
+
+/// Invariants a faulted run must satisfy vs the fault-free baseline.
+/// Returns an empty string when all hold.
+std::string check_faulted(const RunSignature& base, const RunSignature& sig,
+                          const FaultPlan& plan) {
+  if (sig.ranks.size() != base.ranks.size()) return "rank count changed";
+  // The transport hides faults from the algorithm: identical work and
+  // identical numerics, bit for bit.
+  for (std::size_t r = 0; r < sig.ranks.size(); ++r) {
+    if (sig.ranks[r].flops != base.ranks[r].flops) {
+      return strfmt("rank %zu flops changed", r);
+    }
+    if (sig.ranks[r].mem_highwater != base.ranks[r].mem_highwater) {
+      return strfmt("rank %zu memory high-water changed", r);
+    }
+  }
+  if (sig.max_abs_error != base.max_abs_error) {
+    return "numerical result changed";
+  }
+  // Faults only ever add cost.
+  for (std::size_t r = 0; r < sig.ranks.size(); ++r) {
+    if (sig.ranks[r].words_sent < base.ranks[r].words_sent ||
+        sig.ranks[r].msgs_sent < base.ranks[r].msgs_sent) {
+      return strfmt("rank %zu traffic shrank", r);
+    }
+    if (!grew(sig.ranks[r].clock, base.ranks[r].clock)) {
+      return strfmt("rank %zu clock shrank", r);
+    }
+  }
+  if (!grew(sig.makespan, base.makespan)) return "makespan shrank";
+  // Plans that never retransmit (delay/reorder/pause) shift time only:
+  // W, S — and therefore the traffic terms of Eq. (2) — are *exactly* the
+  // baseline's.
+  const FaultPlanConfig& c = plan.config();
+  if (c.p_drop <= 0.0 && c.p_duplicate <= 0.0) {
+    for (std::size_t r = 0; r < sig.ranks.size(); ++r) {
+      const sim::RankCounters& x = sig.ranks[r];
+      const sim::RankCounters& y = base.ranks[r];
+      if (x.words_sent != y.words_sent || x.msgs_sent != y.msgs_sent ||
+          x.words_recv != y.words_recv || x.msgs_recv != y.msgs_recv ||
+          x.words_hops != y.words_hops || x.msgs_hops != y.msgs_hops) {
+        return strfmt("rank %zu traffic changed under a time-only plan", r);
+      }
+    }
+    if (sig.energy.flops != base.energy.flops ||
+        sig.energy.words != base.energy.words ||
+        sig.energy.messages != base.energy.messages) {
+      return "traffic energy changed under a time-only plan";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+DiffReport explore(const DiffOptions& opts) {
+  ALGE_REQUIRE(opts.seeds >= 1, "need at least one seed");
+  DiffReport rep;
+  std::ostream* out = opts.out;
+  for (Alg alg : opts.algs) {
+    for (int p : opts.ps) {
+      ++rep.cases;
+      CaseSpec spec;
+      spec.alg = alg;
+      spec.p = p;
+      spec.problem_seed = opts.problem_seed;
+      spec.params = tuned_params();
+
+      RunSignature base;
+      try {
+        base = run_case(spec, ChaosConfig{});
+      } catch (const std::exception& e) {
+        ++rep.failures;
+        if (out != nullptr) {
+          *out << strfmt("FAIL %s p=%d: baseline threw: %s\n",
+                         alg_name(alg), p, e.what());
+        }
+        continue;
+      }
+
+      // (b) Schedule permutation: dataflow determinism demands full bit
+      // identity — F, W, S, clocks, energy, numerics.
+      int sched_bad = 0;
+      for (int s = 1; s <= opts.seeds; ++s) {
+        ++rep.schedule_runs;
+        ChaosConfig cc;
+        cc.schedule_seed = static_cast<std::uint64_t>(s);
+        try {
+          const RunSignature sig = run_case(spec, cc);
+          if (!sig.identical_to(base)) {
+            ++rep.mismatches;
+            ++sched_bad;
+            if (out != nullptr) {
+              *out << strfmt(
+                  "FAIL %s p=%d schedule seed %d: differs from round-robin "
+                  "baseline at %s\n",
+                  alg_name(alg), p, s,
+                  first_difference(base, sig).c_str());
+            }
+          }
+        } catch (const std::exception& e) {
+          ++rep.failures;
+          ++sched_bad;
+          if (out != nullptr) {
+            *out << strfmt("FAIL %s p=%d schedule seed %d: threw: %s\n",
+                           alg_name(alg), p, s, e.what());
+          }
+        }
+      }
+
+      // (a) Fault plans: convergence plus graceful, monotone degradation.
+      int fault_bad = 0;
+      int case_fault_runs = 0;
+      std::uint64_t injected = 0;
+      for (const std::string& plan_name : opts.plans) {
+        if (plan_name == "none") continue;  // that *is* the baseline
+        const FaultPlan plan = FaultPlan::bundled(plan_name);
+        for (int s = 1; s <= opts.seeds; ++s) {
+          ++rep.fault_runs;
+          ++case_fault_runs;
+          ChaosConfig cc;
+          cc.plan = plan;
+          cc.fault_seed = static_cast<std::uint64_t>(s);
+          try {
+            const RunSignature sig = run_case(spec, cc);
+            injected += sig.faults.total();
+            const std::string err = check_faulted(base, sig, plan);
+            if (!err.empty()) {
+              ++rep.mismatches;
+              ++fault_bad;
+              if (out != nullptr) {
+                *out << strfmt("FAIL %s p=%d plan=%s seed %d: %s\n",
+                               alg_name(alg), p, plan_name.c_str(), s,
+                               err.c_str());
+              }
+            }
+          } catch (const std::exception& e) {
+            ++rep.failures;
+            ++fault_bad;
+            if (out != nullptr) {
+              *out << strfmt(
+                  "FAIL %s p=%d plan=%s seed %d: did not converge: %s\n",
+                  alg_name(alg), p, plan_name.c_str(), s, e.what());
+            }
+          }
+        }
+      }
+
+      if (out != nullptr && opts.verbose) {
+        *out << strfmt(
+            "%-6s p=%d (runs on %d ranks): %d/%d schedules bit-identical, "
+            "%d/%d fault runs converged (%llu faults injected)\n",
+            alg_name(alg), p, effective_p(alg, p), opts.seeds - sched_bad,
+            opts.seeds, case_fault_runs - fault_bad, case_fault_runs,
+            static_cast<unsigned long long>(injected));
+      }
+    }
+  }
+  rep.summary = strfmt(
+      "%d cases: %d schedule runs, %d fault runs; %d mismatches, %d "
+      "failures -> %s",
+      rep.cases, rep.schedule_runs, rep.fault_runs, rep.mismatches,
+      rep.failures, rep.ok() ? "OK" : "FAIL");
+  if (out != nullptr) *out << rep.summary << "\n";
+  return rep;
+}
+
+}  // namespace alge::chaos

@@ -1,0 +1,109 @@
+// Differential determinism harness: run every distributed algorithm under
+// (a) permuted fiber wake orders and (b) seeded fault plans, and compare
+// full run signatures — per-rank counters, totals, makespan, Eq. (2)
+// energy, numerical error — against the fault-free round-robin baseline.
+//
+// What must hold, and why:
+//  - Schedule permutation (no faults): the simulator is a dataflow machine
+//    — each rank's op sequence is fixed and matching is FIFO per (src, tag)
+//    flow — so *every* signature field must be bit-identical under any
+//    legal wake order. Any difference is a real bug (hidden schedule
+//    dependence), which is exactly what this harness exists to catch.
+//  - Fault plans: the transport recovers (retry/dedup/resequence), so
+//    results and per-rank flops stay bit-identical and numerical output is
+//    unchanged; counters may only grow, and must be *exactly* equal for
+//    plans that never retransmit (delay/reorder/pause inject time, not
+//    traffic). Convergence is part of the contract: bounded retries, no
+//    deadlock.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "core/costs.hpp"
+#include "core/params.hpp"
+#include "sim/counters.hpp"
+#include "sim/machine.hpp"
+
+namespace alge::chaos {
+
+/// Algorithms under differential test (the repo's full distributed set).
+enum class Alg { kMm25d, kSumma, kCaps, kNbody, kLu, kTsqr, kFft };
+
+const char* alg_name(Alg alg);
+/// Parse "mm25d" etc.; throws invalid_argument_error on unknown names.
+Alg parse_alg(std::string_view name);
+const std::vector<Alg>& all_algs();
+
+/// One concrete run: algorithm + requested machine size + problem seed.
+/// The harness maps `p` to valid per-algorithm grid parameters (CAPS, for
+/// example, always runs on 7^k ranks); `p` is a size class, not a promise.
+struct CaseSpec {
+  Alg alg = Alg::kMm25d;
+  int p = 4;
+  std::uint64_t problem_seed = 1;
+  core::MachineParams params;
+};
+
+/// Chaos knobs for one run. Default = the fault-free round-robin baseline.
+struct ChaosConfig {
+  /// Nonzero: install a SchedulePermuter with this seed.
+  std::uint64_t schedule_seed = 0;
+  /// Non-inert: install plan.make_injector(fault_seed, αt).
+  FaultPlan plan;
+  std::uint64_t fault_seed = 1;
+};
+
+/// Everything observable about a finished run. Compared field-for-field
+/// (bitwise on doubles) by the harness.
+struct RunSignature {
+  std::vector<sim::RankCounters> ranks;
+  sim::SimTotals totals;
+  double makespan = 0.0;
+  core::EnergyBreakdown energy;
+  double max_abs_error = 0.0;  ///< vs the sequential reference
+  FaultStats faults;           ///< what the injector actually injected
+
+  bool identical_to(const RunSignature& o) const;
+};
+
+/// Run one case under the given chaos knobs (verification always on).
+/// Throws sim::SimError on divergence (deadlock / retry exhaustion) — the
+/// caller decides whether that is expected.
+RunSignature run_case(const CaseSpec& spec, const ChaosConfig& chaos);
+
+/// The per-alg machine-size mapping run_case uses (exposed for reports):
+/// the rank count the algorithm actually runs on for size class `p`.
+int effective_p(Alg alg, int p);
+
+struct DiffOptions {
+  std::vector<Alg> algs = all_algs();
+  std::vector<int> ps = {4, 8};
+  int seeds = 32;  ///< schedule seeds (and fault seeds) per case
+  /// Bundled plan names to run; "none" is skipped (it is the baseline).
+  std::vector<std::string> plans = FaultPlan::bundled_names();
+  std::uint64_t problem_seed = 1;
+  bool verbose = false;
+  std::ostream* out = nullptr;  ///< progress/failure stream (null = silent)
+};
+
+struct DiffReport {
+  int cases = 0;
+  int schedule_runs = 0;
+  int fault_runs = 0;
+  int mismatches = 0;  ///< signature differences (determinism violations)
+  int failures = 0;    ///< unexpected exceptions (deadlock, retry blowup)
+  std::string summary;
+
+  bool ok() const { return mismatches == 0 && failures == 0; }
+};
+
+/// The full sweep: for every (alg, p), establish the fault-free
+/// round-robin baseline, then assert bit-identity under `seeds` schedule
+/// permutations and bounded, convergent degradation under every plan.
+DiffReport explore(const DiffOptions& opts);
+
+}  // namespace alge::chaos

@@ -1,0 +1,147 @@
+#include "chaos/fault_plan.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace alge::chaos {
+
+namespace {
+
+/// splitmix64 finalizer: the standard 64-bit avalanche mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void FaultPlanConfig::validate() const {
+  for (double pr : {p_delay, p_drop, p_duplicate, p_reorder, p_pause}) {
+    ALGE_REQUIRE(pr >= 0.0 && pr <= 1.0,
+                 "fault probability %g outside [0, 1]", pr);
+  }
+  ALGE_REQUIRE(max_drops >= 1, "max_drops must be >= 1");
+  ALGE_REQUIRE(delay_alphas >= 0.0 && reorder_window_alphas >= 0.0 &&
+                   pause_alphas >= 0.0,
+               "fault magnitudes must be non-negative");
+}
+
+PlanInjector::PlanInjector(FaultPlanConfig cfg, std::uint64_t seed,
+                           double alpha_t)
+    : cfg_(std::move(cfg)), seed_(seed), alpha_t_(alpha_t) {
+  cfg_.validate();
+  ALGE_REQUIRE(alpha_t_ > 0.0, "alpha_t must be positive");
+}
+
+double PlanInjector::u(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                       std::uint64_t salt) const {
+  std::uint64_t h = mix64(seed_ ^ 0xa1cebeefULL);
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ c);
+  h = mix64(h ^ salt);
+  // 53 high bits -> [0, 1), the usual double construction.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+sim::FaultDecision PlanInjector::on_message(const sim::FaultSite& site) {
+  // Flow sequence number: how many messages this (src, dst, tag) flow has
+  // carried so far. Keyed by a mixed packing so distinct flows cannot
+  // alias; the counter itself is schedule-independent (program order).
+  const std::uint64_t flow_key = mix64(
+      mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(site.src))
+             << 32) |
+            static_cast<std::uint32_t>(site.dst)) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(site.tag)));
+  const std::uint64_t n = flow_seq_.find_or_emplace(flow_key, 0)++;
+
+  const std::uint64_t a = flow_key;
+  const std::uint64_t b =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(site.tag));
+  sim::FaultDecision d;
+  if (cfg_.p_drop > 0.0 && u(a, b, n, 1) < cfg_.p_drop) {
+    // Uniform in [1, max_drops]: u < 1 keeps the floor below max_drops.
+    d.drops = 1 + static_cast<int>(u(a, b, n, 2) *
+                                   static_cast<double>(cfg_.max_drops));
+    ++stats_.drops;
+  }
+  if (cfg_.p_duplicate > 0.0 && u(a, b, n, 3) < cfg_.p_duplicate) {
+    d.duplicates = 1;
+    ++stats_.duplicates;
+  }
+  if (cfg_.p_delay > 0.0 && u(a, b, n, 4) < cfg_.p_delay) {
+    d.delay = u(a, b, n, 5) * cfg_.delay_alphas * alpha_t_;
+    ++stats_.delays;
+  }
+  if (cfg_.p_reorder > 0.0 && u(a, b, n, 6) < cfg_.p_reorder) {
+    d.overtake = true;
+    d.reorder_window = cfg_.reorder_window_alphas * alpha_t_;
+    ++stats_.reorders;
+  }
+  return d;
+}
+
+double PlanInjector::pause_before_event(int rank, std::uint64_t k) {
+  if (cfg_.p_pause <= 0.0) return 0.0;
+  const auto r = static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank));
+  if (u(r, k, 0, 8) >= cfg_.p_pause) return 0.0;
+  ++stats_.pauses;
+  // (0.5, 1.0]·pause_alphas·αt: a pause is never degenerate.
+  return (0.5 + 0.5 * u(r, k, 0, 9)) * cfg_.pause_alphas * alpha_t_;
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+}
+
+bool FaultPlan::inert() const {
+  return cfg_.p_delay <= 0.0 && cfg_.p_drop <= 0.0 &&
+         cfg_.p_duplicate <= 0.0 && cfg_.p_reorder <= 0.0 &&
+         cfg_.p_pause <= 0.0;
+}
+
+std::shared_ptr<PlanInjector> FaultPlan::make_injector(
+    std::uint64_t seed, double alpha_t) const {
+  return std::make_shared<PlanInjector>(cfg_, seed, alpha_t);
+}
+
+const std::vector<std::string>& FaultPlan::bundled_names() {
+  static const std::vector<std::string> names = {
+      "none", "delay", "drop", "duplicate", "reorder", "pause", "mixed"};
+  return names;
+}
+
+FaultPlan FaultPlan::bundled(std::string_view name) {
+  FaultPlanConfig c;
+  c.name = std::string(name);
+  if (name == "none") {
+    // inert defaults
+  } else if (name == "delay") {
+    c.p_delay = 0.3;
+  } else if (name == "drop") {
+    c.p_drop = 0.15;
+  } else if (name == "duplicate") {
+    c.p_duplicate = 0.25;
+  } else if (name == "reorder") {
+    c.p_reorder = 0.3;
+  } else if (name == "pause") {
+    c.p_pause = 0.05;
+  } else if (name == "mixed") {
+    c.p_delay = 0.15;
+    c.p_drop = 0.08;
+    c.p_duplicate = 0.1;
+    c.p_reorder = 0.15;
+    c.p_pause = 0.02;
+  } else {
+    throw invalid_argument_error(
+        strfmt("unknown fault plan '%.*s' (bundled: none, delay, drop, "
+               "duplicate, reorder, pause, mixed)",
+               static_cast<int>(name.size()), name.data()));
+  }
+  return FaultPlan(std::move(c));
+}
+
+}  // namespace alge::chaos

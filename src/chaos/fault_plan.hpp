@@ -1,0 +1,109 @@
+// Seeded fault plans: named, reproducible mixes of message-level faults
+// (delay, drop, duplicate, reorder) and rank pauses, realized as a
+// sim::FaultInjector the simulator consults on every message.
+//
+// Determinism is the whole design: every decision is a pure function of
+// (plan seed, flow identity, per-flow sequence number) through a splitmix64
+// hash — no sequential RNG state. Because each rank issues its sends in
+// fixed program order, the per-flow sequence numbers are identical under
+// any fiber wake order, so a plan injects the *same* faults whether the
+// scheduler runs round-robin or a chaos::SchedulePermuter. That is what
+// lets the differential harness (differential.hpp) compare faulted runs
+// across schedules and attribute every delta to the plan, not the
+// interleaving.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "support/flat_map.hpp"
+
+namespace alge::chaos {
+
+/// Per-message fault probabilities and magnitudes. Magnitudes are in units
+/// of the machine's αt (one message latency), so a plan is meaningful on
+/// any MachineParams without retuning.
+struct FaultPlanConfig {
+  std::string name = "none";
+  double p_delay = 0.0;  ///< chance of extra in-flight latency per message
+  double delay_alphas = 8.0;  ///< max injected delay, in units of αt
+  double p_drop = 0.0;  ///< chance a message is lost at least once
+  int max_drops = 2;    ///< losses per afflicted message: 1..max_drops
+  double p_duplicate = 0.0;  ///< chance of one spurious paid copy
+  double p_reorder = 0.0;    ///< chance a message overtakes its predecessor
+  double reorder_window_alphas = 4.0;  ///< fallback delay when none queued
+  double p_pause = 0.0;      ///< per comm event: chance the rank stalls
+  double pause_alphas = 16.0;  ///< max stall length, in units of αt
+
+  void validate() const;
+};
+
+/// Counts of injected faults, for reporting and tests.
+struct FaultStats {
+  std::uint64_t delays = 0;
+  std::uint64_t drops = 0;       ///< messages that lost >= 1 transmission
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t pauses = 0;
+  std::uint64_t total() const {
+    return delays + drops + duplicates + reorders + pauses;
+  }
+};
+
+/// sim::FaultInjector realizing a FaultPlanConfig under one seed. One
+/// instance per Machine (single-thread confinement, see sim/machine.hpp).
+class PlanInjector final : public sim::FaultInjector {
+ public:
+  PlanInjector(FaultPlanConfig cfg, std::uint64_t seed, double alpha_t);
+
+  sim::FaultDecision on_message(const sim::FaultSite& site) override;
+  double pause_before_event(int rank, std::uint64_t k) override;
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  /// Uniform [0, 1) keyed purely by (seed, a, b, c, salt).
+  double u(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+           std::uint64_t salt) const;
+
+  FaultPlanConfig cfg_;
+  std::uint64_t seed_;
+  double alpha_t_;
+  /// Per-(src, dst, tag) message counter: the flow sequence number that
+  /// keys decisions. Program order fixes it independent of the schedule.
+  FlatU64Map<std::uint64_t> flow_seq_;
+  FaultStats stats_;
+};
+
+/// A named fault plan; value type, cheap to copy. Default-constructed
+/// plans are inert (the fault-free baseline).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(FaultPlanConfig cfg);
+
+  /// Look up a bundled plan by name; throws invalid_argument_error for
+  /// unknown names. Bundled: none, delay, drop, duplicate, reorder,
+  /// pause, mixed.
+  static FaultPlan bundled(std::string_view name);
+  static const std::vector<std::string>& bundled_names();
+
+  /// True when no fault has nonzero probability (e.g. the "none" plan).
+  bool inert() const;
+  const FaultPlanConfig& config() const { return cfg_; }
+  const std::string& name() const { return cfg_.name; }
+
+  /// Build the injector for one Machine. `alpha_t` scales the plan's
+  /// magnitude knobs to the machine's latency unit.
+  std::shared_ptr<PlanInjector> make_injector(std::uint64_t seed,
+                                              double alpha_t) const;
+
+ private:
+  FaultPlanConfig cfg_;
+};
+
+}  // namespace alge::chaos

@@ -125,8 +125,12 @@ double NBodyOptimum::max_M_given_proc_power(double P_proc_max) const {
     return C > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
   }
   const double disc = C * C - 4.0 * a * D;
-  if (disc < 0.0 || C <= 0.0) return 0.0;  // no feasible memory size
-  return (C + std::sqrt(disc)) / (2.0 * a);
+  if (disc < 0.0) return 0.0;  // power curve never dips below the budget
+  // The larger root. When D < 0 (a budget above εe + be/bt, so arbitrarily
+  // small memory is affordable) it is positive even with C <= 0; a sign
+  // test on C alone would wrongly report infeasibility there.
+  const double M_hi = (C + std::sqrt(disc)) / (2.0 * a);
+  return M_hi > 0.0 ? M_hi : 0.0;
 }
 
 double NBodyOptimum::flops_per_joule_at_optimum() const {

@@ -19,6 +19,7 @@ constexpr struct {
     {Alg::kNBody, "nbody"},
     {Alg::kLu, "lu"},
     {Alg::kFft, "fft"},
+    {Alg::kTsqr, "tsqr"},
     {Alg::kCollBcast, "coll_bcast"},
     {Alg::kCollReduce, "coll_reduce"},
     {Alg::kCollAllgather, "coll_allgather"},
@@ -99,6 +100,10 @@ json::Value ExperimentSpec::to_json() const {
       // Decimal string: a double could not hold every 64-bit seed exactly.
       .set("seed", strfmt("%" PRIu64, seed))
       .set("params", params_to_json(params));
+  // Chaos axes only when active: the canonical encoding of every
+  // pre-existing spec — and therefore its cache key — is unchanged.
+  if (chaos_seed != 0) o.set("chaos_seed", strfmt("%" PRIu64, chaos_seed));
+  if (!fault_plan.empty()) o.set("fault_plan", fault_plan);
   return o;
 }
 
@@ -121,6 +126,12 @@ ExperimentSpec ExperimentSpec::from_json(const json::Value& v) {
   s.verify = v.at("verify").as_bool();
   s.seed = std::strtoull(v.at("seed").as_string().c_str(), nullptr, 10);
   s.params = params_from_json(v.at("params"));
+  if (const json::Value* cs = v.find("chaos_seed"); cs != nullptr) {
+    s.chaos_seed = std::strtoull(cs->as_string().c_str(), nullptr, 10);
+  }
+  if (const json::Value* fp = v.find("fault_plan"); fp != nullptr) {
+    s.fault_plan = fp->as_string();
+  }
   return s;
 }
 

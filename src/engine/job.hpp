@@ -32,6 +32,7 @@ enum class Alg {
   kNBody,          ///< replicating n-body, p ranks in c teams
   kLu,             ///< block-cyclic LU (2D or 2.5D), p = q²c
   kFft,            ///< four-step FFT, n = r_dim·c_dim
+  kTsqr,           ///< TSQR tree QR: n rows per rank × nb columns, p ranks
   kCollBcast,      ///< binomial broadcast of payload_words
   kCollReduce,     ///< binomial reduce of payload_words
   kCollAllgather,  ///< ring allgather of payload_words per rank
@@ -64,6 +65,11 @@ struct ExperimentSpec {
   bool fft_bruck = false;          ///< FFT transpose: Bruck vs direct
   bool verify = false;             ///< check against the sequential reference
   std::uint64_t seed = 1;
+
+  // Chaos axes (src/chaos): both default-inert. Serialized only when set,
+  // so existing cache keys (and cached results) stay valid.
+  std::uint64_t chaos_seed = 0;  ///< nonzero: permute the fiber wake order
+  std::string fault_plan;        ///< bundled chaos::FaultPlan name ("" = off)
 
   json::Value to_json() const;
   static ExperimentSpec from_json(const json::Value& v);

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "algs/harness.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/schedule.hpp"
 #include "engine/pool.hpp"
 #include "sim/comm.hpp"
 #include "sim/machine.hpp"
@@ -38,11 +40,11 @@ ExperimentResult run_collective(const ExperimentSpec& spec) {
   ALGE_REQUIRE(spec.payload_words >= 1,
                "collective spec needs payload_words >= 1");
   const algs::harness::RunObserver& obs = algs::harness::run_observer();
-  sim::MachineConfig cfg;
+  // Shared config path with the harness run_* entry points, so the
+  // observer's trace/ledger flags and configure hook (chaos fault
+  // injection, wake policies) apply to collectives too.
+  sim::MachineConfig cfg = algs::harness::observed_config(spec.params);
   cfg.p = spec.p;
-  cfg.params = spec.params;
-  cfg.enable_trace = obs.enable_trace;
-  cfg.enable_ledger = obs.enable_ledger;
   sim::Machine m(cfg);
   const std::size_t k = static_cast<std::size_t>(spec.payload_words);
   const int p = spec.p;
@@ -94,6 +96,32 @@ ExperimentResult run_collective(const ExperimentSpec& spec) {
 
 ExperimentResult execute(const ExperimentSpec& spec) {
   using namespace algs;
+  if (spec.chaos_seed != 0 || !spec.fault_plan.empty()) {
+    // Chaos axes: chain a configure hook onto the caller's observer (so
+    // tracing/ledger/after_run still work), strip the chaos fields, and
+    // dispatch the plain spec under the scoped observer.
+    harness::RunObserver obs = harness::run_observer();
+    const std::uint64_t seed = spec.chaos_seed;
+    const chaos::FaultPlan plan =
+        spec.fault_plan.empty() ? chaos::FaultPlan{}
+                                : chaos::FaultPlan::bundled(spec.fault_plan);
+    auto prev = obs.configure;
+    obs.configure = [prev, seed, plan](sim::MachineConfig& cfg) {
+      if (prev) prev(cfg);
+      if (seed != 0) {
+        cfg.wake_policy = std::make_shared<chaos::SchedulePermuter>(seed);
+      }
+      if (!plan.inert()) {
+        cfg.faults =
+            plan.make_injector(seed != 0 ? seed : 1, cfg.params.alpha_t);
+      }
+    };
+    harness::ScopedRunObserver scoped(std::move(obs));
+    ExperimentSpec inner = spec;
+    inner.chaos_seed = 0;
+    inner.fault_plan.clear();
+    return execute(inner);
+  }
   switch (spec.alg) {
     case Alg::kMm25d: {
       Mm25dOptions opts;
@@ -122,6 +150,9 @@ ExperimentResult execute(const ExperimentSpec& spec) {
           spec.r_dim, spec.c_dim, spec.p,
           spec.fft_bruck ? AllToAllKind::kBruck : AllToAllKind::kDirect,
           spec.params, spec.verify, spec.seed));
+    case Alg::kTsqr:
+      return from_run(harness::run_tsqr(spec.n, spec.nb, spec.p, spec.params,
+                                        spec.verify, spec.seed));
     case Alg::kCollBcast:
     case Alg::kCollReduce:
     case Alg::kCollAllgather:

@@ -190,7 +190,17 @@ void Scheduler::run() {
     // Round-robin: first ready fiber at or after the cursor, cyclically.
     // The ready set keeps this O(1) regardless of how many fibers are
     // blocked; the wake order is identical to the historical linear scan.
-    const std::ptrdiff_t next = impl_->ready.next_cyclic(cursor);
+    // A wake policy (schedule exploration) substitutes its own pick among
+    // the same ready fibers — still a legal cooperative interleaving.
+    std::ptrdiff_t next;
+    if (policy_ != nullptr && !impl_->ready.empty()) {
+      const std::size_t pick = policy_->pick(impl_->ready, cursor);
+      ALGE_CHECK(impl_->ready.contains(pick),
+                 "wake policy picked non-ready fiber %zu", pick);
+      next = static_cast<std::ptrdiff_t>(pick);
+    } else {
+      next = impl_->ready.next_cyclic(cursor);
+    }
     if (next < 0) {
       // Every live fiber is blocked: deadlock.
       std::string msg = "deadlock: all live fibers blocked:";

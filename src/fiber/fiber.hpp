@@ -38,6 +38,22 @@ class DeadlockError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+class ReadySet;
+
+/// Pluggable wake-order policy for schedule exploration (src/chaos). The
+/// default (no policy) is the strictly deterministic round-robin scan; a
+/// policy substitutes any other choice among the *ready* fibers — every
+/// pick is a legal interleaving of the cooperative schedule, which is
+/// exactly the space the differential determinism harness explores.
+class WakePolicy {
+ public:
+  virtual ~WakePolicy() = default;
+  /// Choose the next fiber to resume. `ready` is non-empty and the return
+  /// value must be a member of it; `cursor` is the round-robin position
+  /// (the id after the previously resumed fiber).
+  virtual std::size_t pick(const ReadySet& ready, std::size_t cursor) = 0;
+};
+
 class Scheduler {
  public:
   using FiberId = int;
@@ -85,6 +101,11 @@ class Scheduler {
   /// The scheduler driving the calling fiber, or nullptr outside run().
   static Scheduler* active();
 
+  /// Install a wake-order policy (nullptr restores round-robin). The
+  /// policy must outlive run(); it is consulted once per context switch.
+  void set_wake_policy(WakePolicy* policy) { policy_ = policy; }
+  WakePolicy* wake_policy() const { return policy_; }
+
   std::size_t fiber_count() const { return fibers_.size(); }
   std::size_t live_count() const { return live_; }
 
@@ -98,6 +119,7 @@ class Scheduler {
   void cancel_all_live();
 
   std::vector<std::unique_ptr<Fiber>> fibers_;
+  WakePolicy* policy_ = nullptr;
   FiberId current_ = -1;
   std::size_t live_ = 0;
   bool running_ = false;

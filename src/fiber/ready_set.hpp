@@ -55,6 +55,28 @@ class ReadySet {
     --count_;
   }
 
+  /// The k-th smallest member id (k < size()); -1 when out of range. Used
+  /// by schedule-exploring wake policies to pick a uniformly indexed ready
+  /// fiber; O(words), off the default round-robin path.
+  std::ptrdiff_t select(std::size_t k) const {
+    if (k >= count_) return -1;
+    for (std::size_t w = 0; w < leaf_.size(); ++w) {
+      std::uint64_t m = leaf_[w];
+      const auto pop = static_cast<std::size_t>(std::popcount(m));
+      if (k >= pop) {
+        k -= pop;
+        continue;
+      }
+      while (k > 0) {
+        m &= m - 1;  // drop the lowest set bit
+        --k;
+      }
+      return static_cast<std::ptrdiff_t>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(m)));
+    }
+    return -1;
+  }
+
   /// Smallest member id >= start, wrapping past capacity-1 back to 0;
   /// -1 if the set is empty. start may equal capacity (treated as 0).
   std::ptrdiff_t next_cyclic(std::size_t start) const {

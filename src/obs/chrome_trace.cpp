@@ -133,6 +133,24 @@ void ChromeTraceWriter::on_event(const sim::TraceEvent& ev) {
     case Kind::kMem:
       emit(counter("M", ev.rank, ev.t0, ev.words));
       break;
+    case Kind::kFault: {
+      // Injected fault marker (src/chaos): an instant event named after
+      // the fault kind, so drops/dups/delays/pauses line up visually with
+      // the send/idle spans whose cost they explain.
+      json::Value args = json::Value::object();
+      args.set("peer", ev.peer).set("words", ev.words).set("tag", ev.tag)
+          .set("count", ev.msgs);
+      json::Value v = json::Value::object();
+      v.set("name", ev.label != nullptr ? ev.label : "fault")
+          .set("ph", "i")
+          .set("pid", ev.rank)
+          .set("tid", 0)
+          .set("ts", ev.t0 * kUsPerSecond)
+          .set("s", "t")
+          .set("args", std::move(args));
+      emit(v);
+      break;
+    }
   }
 }
 

@@ -75,39 +75,107 @@ void Comm::compute(double flops) {
   }
 }
 
+void Comm::fault_pause() {
+  FaultInjector* fi = machine_.cfg_.faults.get();
+  if (fi == nullptr) return;
+  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(rank_)];
+  const double stall = fi->pause_before_event(rank_, me.comm_events++);
+  if (stall <= 0.0) return;
+  RankCounters& c = mutable_counters();
+  const double t0 = c.clock;
+  c.clock += stall;
+  c.idle_time += stall;
+  if (machine_.cfg_.enable_ledger) {
+    PhaseCounters& pc = ledger();
+    pc.idle += stall;
+    pc.time += stall;
+  }
+  if (machine_.cfg_.enable_trace) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kFault;
+    ev.rank = rank_;
+    ev.t0 = t0;
+    ev.t1 = c.clock;
+    ev.label = "pause";
+    machine_.trace_.record(ev);
+  }
+}
+
 void Comm::send(int dst, std::span<const double> data, int tag) {
   ALGE_REQUIRE(dst >= 0 && dst < size(), "send to invalid rank %d", dst);
   ALGE_REQUIRE(tag >= 0 && tag < kCollTag * 2, "tag %d out of range", tag);
+  fault_pause();
 
   RankCounters& c = mutable_counters();
   const double k = static_cast<double>(data.size());
   const double t0 = c.clock;
   double nmsg = 0.0;
+  FaultDecision fd;  // all-zero without an injector: the fault-free path
   if (dst != rank_) {
+    if (FaultInjector* fi = machine_.cfg_.faults.get(); fi != nullptr) {
+      fd = fi->on_message({rank_, dst, tag, k});
+      if (fd.drops > machine_.cfg_.retry.max_retries) {
+        throw SimError(strfmt(
+            "rank %d -> %d tag %d: message dropped %d times, exceeding "
+            "max_retries=%d — transport gives up",
+            rank_, dst, tag, fd.drops, machine_.cfg_.retry.max_retries));
+      }
+    }
     const double m = machine_.cfg_.params.max_msg_words;
     const int hops = machine_.cfg_.network
                          ? machine_.cfg_.network->hops(rank_, dst, size())
                          : 1;
     nmsg = std::max(1.0, std::ceil(k / m));
-    c.words_sent += k;
-    c.msgs_sent += nmsg;
-    c.words_hops += k * hops;
-    c.msgs_hops += nmsg * hops;
+    // Every transmission — the delivered one, each dropped attempt, each
+    // spurious duplicate — moves k words over the links and is paid in
+    // full, so injected faults surface in Eq. (1)/(2) through the ordinary
+    // counters with no special cases.
+    const double tx = 1.0 + fd.drops + fd.duplicates;
+    c.words_sent += k * tx;
+    c.msgs_sent += nmsg * tx;
+    c.words_hops += k * hops * tx;
+    c.msgs_hops += nmsg * hops * tx;
     // Wormhole routing: latency accumulates per hop, bandwidth is paid
     // once (the message pipelines through intermediate links).
-    c.clock += nmsg * hops * machine_.cfg_.params.alpha_t +
-               k * machine_.cfg_.params.beta_t;
+    c.clock += (nmsg * hops * machine_.cfg_.params.alpha_t +
+                k * machine_.cfg_.params.beta_t) *
+               tx;
+    // A drop is only detected by the retransmission timeout: the sender
+    // idles timeout·backoff^i before attempt i+1.
+    double wait = 0.0;
+    if (fd.drops > 0) {
+      double to = machine_.cfg_.retry.resolve_timeout(
+          machine_.cfg_.params.alpha_t);
+      for (int i = 0; i < fd.drops; ++i) {
+        wait += to;
+        to *= machine_.cfg_.retry.backoff;
+      }
+      c.clock += wait;
+      c.idle_time += wait;
+    }
     if (machine_.cfg_.enable_ledger) {
       PhaseCounters& pc = ledger();
-      pc.words_sent += k;
-      pc.msgs_sent += nmsg;
-      pc.words_hops += k * hops;
-      pc.msgs_hops += nmsg * hops;
+      pc.words_sent += k * tx;
+      pc.msgs_sent += nmsg * tx;
+      pc.words_hops += k * hops * tx;
+      pc.msgs_hops += nmsg * hops * tx;
       pc.time += c.clock - t0;
+      pc.idle += wait;
     }
     if (machine_.cfg_.enable_trace) {
       machine_.trace_.record({TraceEvent::Kind::kSend, rank_, t0, c.clock,
-                              dst, k, tag, 0.0, nmsg});
+                              dst, k * tx, tag, 0.0, nmsg * tx});
+      if (fd.any()) {
+        const char* label = fd.drops > 0        ? "drop"
+                            : fd.duplicates > 0 ? "dup"
+                            : fd.overtake       ? "reorder"
+                                                : "delay";
+        machine_.trace_.record({TraceEvent::Kind::kFault, rank_,
+                                c.clock - wait, c.clock, dst, k, tag, 0.0,
+                                static_cast<double>(fd.drops +
+                                                    fd.duplicates),
+                                label});
+      }
     }
   }
 
@@ -118,10 +186,13 @@ void Comm::send(int dst, std::span<const double> data, int tag) {
       // message, so deliver straight into its output span — one copy, no
       // queue traffic, no pool buffer. The receiver applies clocks,
       // counters, and trace from the metadata exactly as the queued path
-      // would, so results are bit-identical either way.
+      // would, so results are bit-identical either way. An overtake fault
+      // has no queued predecessor here and degrades to its reorder window
+      // of extra delay.
       std::copy(data.begin(), data.end(), target.wait_out.begin());
       target.direct = true;
-      target.direct_arrival = c.clock;
+      target.direct_arrival =
+          c.clock + fd.delay + (fd.overtake ? fd.reorder_window : 0.0);
       target.direct_msg_count = nmsg;
       target.waiting = false;  // satisfied: later sends must queue
       ALGE_CHECK(machine_.sched_ != nullptr, "send outside a run");
@@ -135,10 +206,26 @@ void Comm::send(int dst, std::span<const double> data, int tag) {
   Message msg;
   msg.src = rank_;
   msg.tag = tag;
-  msg.arrival = c.clock;  // available once the sender has pushed it out
+  // Available once the sender has pushed it out, plus any injected
+  // in-flight delay.
+  msg.arrival = c.clock + fd.delay;
   msg.msg_count = nmsg;
   msg.seq = target.next_seq++;
   msg.payload = machine_.acquire_payload(data);
+  MessageQueue& q =
+      target.mailbox.queue(target.mailbox.queue_index(rank_, tag));
+  if (fd.overtake) {
+    if (!q.empty()) {
+      // This message overtakes its queued predecessor in flight; the
+      // reliable transport resequences, so payload order is preserved and
+      // only the arrival times swap (the predecessor is delayed to this
+      // message's arrival). recv's max(clock, arrival) makes the
+      // non-monotone times safe.
+      std::swap(q.back().arrival, msg.arrival);
+    } else {
+      msg.arrival += fd.reorder_window;
+    }
+  }
   target.mailbox.push(std::move(msg));
 }
 
@@ -159,6 +246,7 @@ std::string describe_recv_wait(const void* arg) {
 void Comm::recv(int src, std::span<double> out, int tag) {
   ALGE_REQUIRE(src >= 0 && src < size(), "recv from invalid rank %d", src);
   ALGE_REQUIRE(tag >= 0 && tag < kCollTag * 2, "tag %d out of range", tag);
+  fault_pause();
   Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(rank_)];
 
   // O(1) matching: the (src, tag) queue holds exactly the candidates, in

@@ -120,6 +120,10 @@ class Comm {
   RankCounters& mutable_counters();
   /// The calling rank's ledger slice for its current phase (enable_ledger).
   PhaseCounters& ledger() { return machine_.ledger_cell(rank_); }
+  /// Fault hook at the top of send/recv: counts the rank's comm event and
+  /// applies any injected pause as a virtual-time stall (clock + idle).
+  /// No-op without MachineConfig::faults.
+  void fault_pause();
   /// Collective-span helpers used by collectives.cpp: remember the clock at
   /// entry, record a kColl trace span [t0, now] labelled `name` on exit.
   double coll_begin() const { return counters().clock; }

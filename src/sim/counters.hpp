@@ -22,6 +22,10 @@ struct RankCounters {
   double idle_time = 0.0;         ///< time spent waiting on receives
   std::size_t mem_words = 0;      ///< currently registered live words
   std::size_t mem_highwater = 0;  ///< max of mem_words over the run
+
+  /// Exact (bitwise on the doubles) equality — what the differential
+  /// determinism harness asserts across schedules.
+  bool operator==(const RankCounters&) const = default;
 };
 
 /// Per-(rank, phase) slice of the counters above, accumulated when

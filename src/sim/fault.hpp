@@ -1,0 +1,91 @@
+// Fault-injection hook for the simulator's message layer (src/chaos
+// implements the seeded plans; the simulator only defines the contract).
+//
+// Faults model an unreliable network under a reliable transport: the
+// simulated algorithm never sees a lost or duplicated payload — it sees the
+// *cost* of the recovery. A dropped transmission is retransmitted after a
+// timeout (with exponential backoff, bounded by RetryConfig::max_retries,
+// after which the run aborts with SimError instead of hanging); a duplicate
+// is sent, paid for, and discarded by the receiver's dedup logic; a delayed
+// or reordered message shifts arrival times only. Every retry and duplicate
+// goes through the ordinary counter path, so the injected W/S/time deltas
+// flow into Eq. (1) time and Eq. (2) energy with no special cases.
+//
+// Determinism: Comm calls the injector from the sending/receiving fiber in
+// that rank's program order. An injector whose decisions are a pure function
+// of the FaultSite (seed-keyed hashing, as chaos::FaultPlan does) therefore
+// injects the *same* faults under any fiber wake order, which is what lets
+// the differential harness compare faulted runs across schedules.
+#pragma once
+
+#include <cstdint>
+
+namespace alge::sim {
+
+/// Reliable-transport tuning, used only when MachineConfig::faults is set.
+struct RetryConfig {
+  /// Retransmissions allowed per message before the run aborts (SimError).
+  int max_retries = 8;
+  /// Virtual seconds the sender waits before a retransmission; 0 picks
+  /// 4·αt (a few link latencies, the classical rule of thumb).
+  double timeout = 0.0;
+  /// Timeout multiplier per successive retry of the same message.
+  double backoff = 2.0;
+
+  double resolve_timeout(double alpha_t) const {
+    return timeout > 0.0 ? timeout : 4.0 * alpha_t;
+  }
+};
+
+/// One logical point-to-point message as seen by the fault layer (before
+/// splitting at the message-size cap m).
+struct FaultSite {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  double words = 0.0;
+};
+
+/// What the fault layer injects into one message.
+struct FaultDecision {
+  /// Extra in-flight latency added to the arrival time (seconds). Costs
+  /// the sender nothing; the receiver may idle longer.
+  double delay = 0.0;
+  /// Times the network loses the message before a transmission succeeds.
+  /// Each loss costs the sender a full retransmission (words, messages,
+  /// link time) plus the transport timeout.
+  int drops = 0;
+  /// Spurious extra copies delivered and discarded: each costs the sender
+  /// a full transmission but never reaches the algorithm.
+  int duplicates = 0;
+  /// The message overtakes its queued predecessor on the same (src, tag)
+  /// flow: the transport resequences, so the predecessor's arrival is
+  /// delayed to this message's arrival (payload order is preserved). When
+  /// no predecessor is pending the fault degrades to `reorder_window` of
+  /// extra delay.
+  bool overtake = false;
+  double reorder_window = 0.0;
+
+  bool any() const {
+    return delay > 0.0 || drops > 0 || duplicates > 0 || overtake;
+  }
+};
+
+/// Implemented by chaos::PlanInjector. One injector instance serves one
+/// Machine (it is called from the Machine's own thread; see the threading
+/// invariant in sim/machine.hpp).
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Faults for one message, called once per Comm::send to another rank,
+  /// in the sender's program order.
+  virtual FaultDecision on_message(const FaultSite& site) = 0;
+
+  /// Virtual-time stall injected before the rank's k-th communication
+  /// event (sends and receives both count; k is per rank, in program
+  /// order). Models a paused/preempted rank; 0 = run on.
+  virtual double pause_before_event(int rank, std::uint64_t k) = 0;
+};
+
+}  // namespace alge::sim

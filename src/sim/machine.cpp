@@ -84,6 +84,7 @@ void Machine::run(const std::function<void(Comm&)>& program) {
   ALGE_REQUIRE(sched_ == nullptr, "Machine::run() is not reentrant");
 
   fiber::Scheduler sched;
+  sched.set_wake_policy(cfg_.wake_policy.get());
   sched_ = &sched;
   for (int r = 0; r < cfg_.p; ++r) {
     ranks_[static_cast<std::size_t>(r)].fid = sched.spawn(

@@ -53,8 +53,10 @@
 #include "core/params.hpp"
 #include "fiber/fiber.hpp"
 #include "sim/counters.hpp"
+#include "sim/fault.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/network.hpp"
+#include "sim/payload_pool.hpp"
 #include "sim/trace.hpp"
 
 namespace alge::sim {
@@ -87,6 +89,17 @@ struct MachineConfig {
   /// at speed[r] times the base rate, i.e. effective γt/speed[r]). Empty =
   /// uniform. Must have exactly p entries otherwise.
   std::vector<double> speed;
+  /// Fault injection (src/chaos): consulted on every message and before
+  /// every comm event. Null = fault-free. The transport stays reliable —
+  /// drops are retransmitted (bounded by `retry`), duplicates deduplicated,
+  /// reorders resequenced — so programs see unchanged payloads and only pay
+  /// the Eq. (1)/(2) time/energy cost of the recovery traffic.
+  std::shared_ptr<FaultInjector> faults;
+  /// Retransmission bounds/timeouts used when `faults` drops messages.
+  RetryConfig retry;
+  /// Wake-order policy for schedule exploration (src/chaos); null keeps
+  /// the default deterministic round-robin scan.
+  std::shared_ptr<fiber::WakePolicy> wake_policy;
 };
 
 /// Aggregates over ranks, plus the per-processor maxima used when comparing
@@ -228,27 +241,22 @@ class Machine {
     bool direct = false;
     double direct_arrival = 0.0;
     double direct_msg_count = 0.0;
+    /// Comm events (send or recv calls) issued by this rank so far; the
+    /// index handed to FaultInjector::pause_before_event. Fixed per rank by
+    /// program order, so pause placement is schedule-independent.
+    std::uint64_t comm_events = 0;
     fiber::Scheduler::FiberId fid = -1;
   };
 
-  /// Lease a payload buffer holding a copy of `data` from the free list
-  /// (steady-state traffic reuses capacity instead of allocating); the
+  /// Lease a payload buffer holding a copy of `data` from the pool's free
+  /// list (steady-state traffic reuses capacity instead of allocating); the
   /// buffer comes back via release_payload once the message is delivered.
   /// One pool per Machine preserves the single-thread confinement above.
   std::vector<double> acquire_payload(std::span<const double> data) {
-    std::vector<double> buf;
-    if (!payload_pool_.empty()) {
-      buf = std::move(payload_pool_.back());
-      payload_pool_.pop_back();
-    }
-    // assign() reuses the pooled capacity: one copy, no allocation once
-    // the pool has warmed up to the traffic's message sizes.
-    buf.assign(data.begin(), data.end());
-    return buf;
+    return payload_pool_.acquire(data);
   }
   void release_payload(std::vector<double>&& buf) {
-    buf.clear();
-    payload_pool_.push_back(std::move(buf));
+    payload_pool_.release(std::move(buf));
   }
 
   /// Find-or-add `name` in the phase registry; returns its id.
@@ -266,7 +274,7 @@ class Machine {
 
   MachineConfig cfg_;
   std::vector<Rank> ranks_;
-  std::vector<std::vector<double>> payload_pool_;
+  PayloadPool payload_pool_;
   std::deque<std::string> phase_names_{"(main)"};
   Trace trace_;
   fiber::Scheduler* sched_ = nullptr;  ///< valid only during run()

@@ -32,6 +32,9 @@ class MessageQueue {
   std::size_t size() const { return items_.size() - head_; }
   const Message& front() const { return items_[head_]; }
   Message& front() { return items_[head_]; }
+  /// Most recently pushed pending message (the fault layer's "queued
+  /// predecessor" for reorder injection). Queue must be non-empty.
+  Message& back() { return items_.back(); }
 
   void push(Message&& m) { items_.push_back(std::move(m)); }
 

@@ -1,0 +1,90 @@
+// Free-list pool for message payload buffers, owned by a Machine so the
+// single-thread confinement documented in sim/machine.hpp carries over.
+// Steady-state traffic reuses heap capacity instead of allocating: acquire
+// hands out a recycled vector, release takes it back once the message is
+// delivered.
+//
+// A lease is a plain std::vector, so two bugs are structurally possible and
+// invisible in release builds: returning the same storage twice (the pool
+// would then hand one buffer to two messages) and touching storage after
+// returning it (the next lease silently corrupts, or reads, stale traffic).
+// With `checked` on — the default in debug builds — both are caught: a
+// released buffer is poison-filled and remembered by address, a second
+// release of the same storage throws, and a poison mismatch on acquire
+// means someone wrote through a stale handle. Checked mode is a runtime
+// flag (not an #ifdef) so release-built tests can still exercise the guard
+// by constructing PayloadPool(true).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+class PayloadPool {
+ public:
+#ifdef NDEBUG
+  static constexpr bool kCheckedByDefault = false;
+#else
+  static constexpr bool kCheckedByDefault = true;
+#endif
+
+  explicit PayloadPool(bool checked = kCheckedByDefault)
+      : checked_(checked) {}
+
+  /// Lease a buffer holding a copy of `data`. assign() reuses the pooled
+  /// capacity: one copy, no allocation once the pool has warmed up to the
+  /// traffic's message sizes.
+  std::vector<double> acquire(std::span<const double> data) {
+    std::vector<double> buf;
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+      if (checked_) {
+        for (double v : buf) {
+          ALGE_CHECK(std::bit_cast<std::uint64_t>(v) == kPoisonBits,
+                     "payload pool: buffer written after release "
+                     "(use-after-return through a stale handle)");
+        }
+      }
+    }
+    buf.assign(data.begin(), data.end());
+    return buf;
+  }
+
+  /// Return a delivered message's buffer to the free list.
+  void release(std::vector<double>&& buf) {
+    if (checked_) {
+      // Double-return guard: the same storage must not sit in the pool
+      // twice. O(pool size), debug only; pools stay shallow (bounded by
+      // in-flight messages).
+      for (const std::vector<double>& pooled : free_) {
+        ALGE_CHECK(pooled.data() == nullptr || pooled.data() != buf.data(),
+                   "payload pool: buffer released twice");
+      }
+      // Poison at full size so acquire can detect later writes; the pooled
+      // vector keeps its elements (not clear()ed) until it is re-leased.
+      buf.assign(buf.capacity(), std::bit_cast<double>(kPoisonBits));
+    } else {
+      buf.clear();
+    }
+    free_.push_back(std::move(buf));
+  }
+
+  std::size_t size() const { return free_.size(); }
+  bool checked() const { return checked_; }
+
+ private:
+  /// A quiet-NaN payload no simulated algorithm produces by accident;
+  /// compared by bit pattern (NaN compares unequal to itself by value).
+  static constexpr std::uint64_t kPoisonBits = 0xfff8'abad'1dea'0b0eULL;
+
+  std::vector<std::vector<double>> free_;
+  bool checked_;
+};
+
+}  // namespace alge::sim

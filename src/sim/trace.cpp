@@ -36,8 +36,10 @@ Trace::RankSummary Trace::summarize(int rank) const {
       case TraceEvent::Kind::kColl:
       case TraceEvent::Kind::kPhase:
       case TraceEvent::Kind::kMem:
-        // Envelopes and watermarks: their time is already counted by the
-        // point-to-point events they enclose (or they have no duration).
+      case TraceEvent::Kind::kFault:
+        // Envelopes, watermarks and fault markers: their time is already
+        // counted by the point-to-point / idle events they overlap (or they
+        // have no duration).
         break;
     }
   }
@@ -65,7 +67,9 @@ std::string Trace::render_timeline(int p, int width) const {
       case TraceEvent::Kind::kColl:
       case TraceEvent::Kind::kPhase:
       case TraceEvent::Kind::kMem:
-        return 0;  // envelopes/watermarks; the enclosed events fill buckets
+      case TraceEvent::Kind::kFault:
+        return 0;  // envelopes/watermarks/fault markers; the enclosed (or
+                   // co-recorded idle) events fill buckets
     }
     return 0;
   };

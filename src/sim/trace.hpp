@@ -25,6 +25,8 @@ struct TraceEvent {
     kColl,     ///< collective span enclosing its point-to-point traffic
     kPhase,    ///< user phase span recorded by a Comm::phase scope
     kMem,      ///< memory watermark change; words = live words after it
+    kFault,    ///< injected fault (label: drop/dup/delay/reorder/pause);
+               ///< [t0, t1] covers any stall it caused, words/peer/tag set
   };
   Kind kind = Kind::kCompute;
   int rank = 0;

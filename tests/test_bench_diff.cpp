@@ -1,0 +1,208 @@
+// Golden-input coverage for the bench_diff CLI (tools/bench_diff_main.hpp)
+// and the obs::metric_direction heuristics it gates on. Exercises all three
+// exit codes — 0 clean, 1 regression, 2 usage/IO error — across the three
+// bench JSON formats the repo produces.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/bench_metrics.hpp"
+#include "support/json.hpp"
+#include "../tools/bench_diff_main.hpp"
+
+namespace {
+
+using alge::tools::run_bench_diff;
+
+std::string golden(const std::string& name) {
+  return std::string(ALGE_GOLDEN_DIR) + "/bench_diff/" + name;
+}
+
+struct CliResult {
+  int rc;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<std::string> args) {
+  CliResult r;
+  r.rc = run_bench_diff(args, &r.out, &r.err);
+  return r;
+}
+
+// ---------------------------------------------------------------- exit 0
+
+TEST(BenchDiffCli, CleanPairWithinThresholdExitsZero) {
+  const CliResult r = run({golden("sim_base.json"), golden("sim_clean.json")});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_TRUE(r.err.empty()) << r.err;
+  EXPECT_EQ(r.out.find("REGRESSION"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("0 regression(s)"), std::string::npos) << r.out;
+}
+
+TEST(BenchDiffCli, ImprovementsExitZeroAndAreReported) {
+  const CliResult r =
+      run({golden("sim_base.json"), golden("sim_improved.json")});
+  EXPECT_EQ(r.rc, 0);
+  // Time halved and throughput doubled: both directions improved.
+  EXPECT_NE(r.out.find("improved"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("2 improvement(s)"), std::string::npos) << r.out;
+}
+
+TEST(BenchDiffCli, RenamedMetricIsReportedButNotARegression) {
+  const CliResult r =
+      run({golden("sim_base.json"), golden("sim_renamed.json")});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("removed     BM_fft.real_time_ns"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("added       BM_fft2.real_time_ns"), std::string::npos)
+      << r.out;
+}
+
+TEST(BenchDiffCli, GoogleBenchmarkTimeUnitsAreNormalized) {
+  // Base reports in us, current the same values in ns; after unit
+  // normalization nothing changed.
+  const CliResult r =
+      run({golden("gbench_base.json"), golden("gbench_current.json")});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("3 metric(s) compared"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("0 regression(s), 0 improvement(s)"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(BenchDiffCli, EngineHistoryComparesLatestRecordOnly) {
+  // Base history has two records for sweep_mm; only the last one (wall 8.0,
+  // hits 7) is the comparison point, so current (7.5, 9) is clean.
+  const CliResult r =
+      run({golden("engine_base.json"), golden("engine_current.json")});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("2 metric(s) compared"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("0 regression(s)"), std::string::npos) << r.out;
+}
+
+TEST(BenchDiffCli, VerboseListsUnchangedMetrics) {
+  const CliResult r = run(
+      {golden("sim_base.json"), golden("sim_clean.json"), "--verbose"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("ok "), std::string::npos) << r.out;
+}
+
+TEST(BenchDiffCli, LooseThresholdSilencesRegressions) {
+  const CliResult r = run({golden("sim_base.json"),
+                           golden("sim_regressed.json"), "--threshold=0.60"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("0 regression(s)"), std::string::npos) << r.out;
+}
+
+// ---------------------------------------------------------------- exit 1
+
+TEST(BenchDiffCli, RegressionsExitOne) {
+  const CliResult r =
+      run({golden("sim_base.json"), golden("sim_regressed.json")});
+  EXPECT_EQ(r.rc, 1);
+  // Time +50% and throughput -40% both regress; the neutral "iterations"
+  // counter jumping 8 -> 1000 must not.
+  EXPECT_NE(r.out.find("REGRESSION"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("2 regression(s)"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("REGRESSION  BM_mm25d.iterations"), std::string::npos)
+      << r.out;
+}
+
+// ---------------------------------------------------------------- exit 2
+
+TEST(BenchDiffCli, MissingPathsAreAUsageError) {
+  for (const std::vector<std::string>& args :
+       {std::vector<std::string>{},
+        std::vector<std::string>{golden("sim_base.json")},
+        std::vector<std::string>{golden("sim_base.json"),
+                                 golden("sim_clean.json"), "extra.json"}}) {
+    CliResult r;
+    r.rc = run_bench_diff(args, &r.out, &r.err);
+    EXPECT_EQ(r.rc, 2);
+    EXPECT_NE(r.err.find("usage:"), std::string::npos) << r.err;
+  }
+}
+
+TEST(BenchDiffCli, UnknownFlagIsAUsageError) {
+  const CliResult r = run(
+      {golden("sim_base.json"), golden("sim_clean.json"), "--frobnicate"});
+  EXPECT_EQ(r.rc, 2);
+  EXPECT_NE(r.err.find("unknown flag"), std::string::npos) << r.err;
+}
+
+TEST(BenchDiffCli, BadThresholdIsAUsageError) {
+  for (const char* flag : {"--threshold=abc", "--threshold=-0.5"}) {
+    const CliResult r =
+        run({golden("sim_base.json"), golden("sim_clean.json"), flag});
+    EXPECT_EQ(r.rc, 2) << flag;
+    EXPECT_NE(r.err.find("usage:"), std::string::npos) << r.err;
+  }
+}
+
+TEST(BenchDiffCli, UnreadableFileExitsTwo) {
+  const CliResult r =
+      run({golden("no_such_file.json"), golden("sim_clean.json")});
+  EXPECT_EQ(r.rc, 2);
+  EXPECT_NE(r.err.find("cannot read"), std::string::npos) << r.err;
+}
+
+TEST(BenchDiffCli, MalformedJsonExitsTwo) {
+  const CliResult r =
+      run({golden("sim_base.json"), golden("malformed.json")});
+  EXPECT_EQ(r.rc, 2);
+  EXPECT_NE(r.err.find("not valid JSON"), std::string::npos) << r.err;
+}
+
+TEST(BenchDiffCli, NullSinksAreAccepted) {
+  EXPECT_EQ(run_bench_diff({golden("sim_base.json"), golden("sim_clean.json")},
+                           nullptr, nullptr),
+            0);
+  EXPECT_EQ(run_bench_diff({}, nullptr, nullptr), 2);
+}
+
+// ------------------------------------------------- direction heuristics
+
+TEST(MetricDirection, ThroughputLikeNamesAreMoreIsBetter) {
+  using alge::obs::metric_direction;
+  EXPECT_EQ(metric_direction("BM_mm.items_per_second"), 1);
+  EXPECT_EQ(metric_direction("bytes_per_sec"), 1);
+  EXPECT_EQ(metric_direction("BM_mm25d.speedup"), 1);
+  EXPECT_EQ(metric_direction("engine.pool.occupancy"), 1);
+  EXPECT_EQ(metric_direction("engine.sweep.cache_hits"), 1);
+}
+
+TEST(MetricDirection, TimeLikeNamesAreLessIsBetter) {
+  using alge::obs::metric_direction;
+  EXPECT_EQ(metric_direction("BM_mm.real_time_ns"), -1);
+  EXPECT_EQ(metric_direction("engine.sweep.wall_seconds"), -1);
+  EXPECT_EQ(metric_direction("rank0.idle_wait"), -1);
+  EXPECT_EQ(metric_direction("engine.sweep.cache_miss"), -1);
+  EXPECT_EQ(metric_direction("makespan_ns"), -1);
+}
+
+TEST(MetricDirection, ThroughputRuleWinsOverEmbeddedTimeWords) {
+  // "items_per_second" contains "second" but must read as throughput.
+  EXPECT_EQ(alge::obs::metric_direction("items_per_second"), 1);
+}
+
+TEST(MetricDirection, NeutralNamesNeverGate) {
+  using alge::obs::metric_direction;
+  EXPECT_EQ(metric_direction("iterations"), 0);
+  EXPECT_EQ(metric_direction("BM_mm.flops"), 0);
+  EXPECT_EQ(metric_direction("words_sent"), 0);
+}
+
+// Zero baselines can't form a relative change; the diff treats any growth
+// from zero as an infinite regression for time-like metrics.
+TEST(MetricDirection, ZeroBaseGrowthIsAnInfiniteRegression) {
+  const alge::json::Value base = alge::json::parse(R"({"startup_time": 0.0})");
+  const alge::json::Value cur = alge::json::parse(R"({"startup_time": 1.0})");
+  const alge::obs::BenchDiff d = alge::obs::diff_bench_json(base, cur, 0.10);
+  ASSERT_EQ(d.metrics.size(), 1u);
+  EXPECT_TRUE(d.metrics[0].regression);
+  EXPECT_EQ(d.regressions, 1);
+}
+
+}  // namespace

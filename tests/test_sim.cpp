@@ -6,6 +6,7 @@
 
 #include "sim/comm.hpp"
 #include "sim/machine.hpp"
+#include "sim/payload_pool.hpp"
 #include "support/common.hpp"
 #include "topo/grid.hpp"
 
@@ -676,6 +677,57 @@ TEST(SimStress, TenThousandPendingMessagesExercisePool) {
     });
     m.reset();
   }
+}
+
+// Construct PayloadPool(true) explicitly: release builds define NDEBUG, so
+// the default-checked mode would silently vanish from these regressions.
+
+TEST(PayloadPool, RecyclesStorageWithoutReallocating) {
+  PayloadPool pool(true);
+  const std::vector<double> data(32, 1.25);
+  std::vector<double> a = pool.acquire(data);
+  const double* storage = a.data();
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<double> b = pool.acquire(data);
+  EXPECT_EQ(b.data(), storage);  // same capacity, no fresh allocation
+  EXPECT_EQ(b, data);            // poison fully overwritten by the copy
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(PayloadPool, WriteThroughStaleHandleIsCaughtOnNextAcquire) {
+  PayloadPool pool(true);
+  const std::vector<double> data(16, 2.0);
+  std::vector<double> buf = pool.acquire(data);
+  double* stale = buf.data();
+  pool.release(std::move(buf));
+  // The storage now sits poisoned in the free list; a write through a
+  // stale handle is exactly the use-after-return bug the guard exists for.
+  stale[3] = 42.0;
+  EXPECT_THROW((void)pool.acquire(data), internal_error);
+}
+
+TEST(PayloadPool, UncheckedModeToleratesStaleWrites) {
+  PayloadPool pool(false);
+  EXPECT_FALSE(pool.checked());
+  const std::vector<double> data(16, 2.0);
+  std::vector<double> buf = pool.acquire(data);
+  double* stale = buf.data();
+  pool.release(std::move(buf));
+  stale[0] = 42.0;  // storage is owned by the pool, so this stays defined
+  EXPECT_EQ(pool.acquire(data), data);
+}
+
+TEST(PayloadPool, ReleasingAMovedFromHandleIsBenign) {
+  // The realistic double-release: release(std::move(v)) called twice on
+  // the same lvalue. The second call sees an empty vector (no storage), so
+  // the double-return guard must not fire.
+  PayloadPool pool(true);
+  const std::vector<double> data(8, 1.0);
+  std::vector<double> v = pool.acquire(data);
+  pool.release(std::move(v));
+  EXPECT_NO_THROW(pool.release(std::move(v)));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(pool.size(), 2u);
 }
 
 }  // namespace

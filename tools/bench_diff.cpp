@@ -11,91 +11,20 @@
 // never fail the diff.
 //
 // Exit codes: 0 clean, 1 regressions found, 2 usage or I/O error —
-// CI uses 1 as the (warn-only) gate signal.
+// CI uses 1 as the (warn-only) gate signal. The actual CLI logic lives
+// in bench_diff_main.hpp so tests can drive it in-process.
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
+#include <vector>
 
-#include "obs/bench_metrics.hpp"
-#include "support/json.hpp"
-
-namespace {
-
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: bench_diff BASELINE.json CURRENT.json [--threshold=REL]"
-      " [--verbose]\n"
-      "  --threshold=REL  relative change that counts as a regression\n"
-      "                   (default 0.10 = 10%%)\n"
-      "  --verbose        list every compared metric, not just changes\n");
-  return 2;
-}
-
-bool read_file(const std::string& path, std::string* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  *out = buf.str();
-  return true;
-}
-
-}  // namespace
+#include "bench_diff_main.hpp"
 
 int main(int argc, char** argv) {
-  std::string paths[2];
-  int npaths = 0;
-  double threshold = 0.10;
-  bool verbose = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--threshold=", 0) == 0) {
-      try {
-        threshold = std::stod(arg.substr(12));
-      } catch (...) {
-        std::fprintf(stderr, "bench_diff: bad threshold '%s'\n", arg.c_str());
-        return usage();
-      }
-      if (threshold < 0.0) {
-        std::fprintf(stderr, "bench_diff: threshold must be >= 0\n");
-        return usage();
-      }
-    } else if (arg == "--verbose") {
-      verbose = true;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "bench_diff: unknown flag '%s'\n", arg.c_str());
-      return usage();
-    } else if (npaths < 2) {
-      paths[npaths++] = arg;
-    } else {
-      std::fprintf(stderr, "bench_diff: too many arguments\n");
-      return usage();
-    }
-  }
-  if (npaths != 2) return usage();
-
-  alge::json::Value docs[2];
-  for (int i = 0; i < 2; ++i) {
-    std::string text;
-    if (!read_file(paths[i], &text)) {
-      std::fprintf(stderr, "bench_diff: cannot read '%s'\n",
-                   paths[i].c_str());
-      return 2;
-    }
-    try {
-      docs[i] = alge::json::parse(text);
-    } catch (const alge::json::json_error& e) {
-      std::fprintf(stderr, "bench_diff: '%s' is not valid JSON: %s\n",
-                   paths[i].c_str(), e.what());
-      return 2;
-    }
-  }
-
-  const alge::obs::BenchDiff diff =
-      alge::obs::diff_bench_json(docs[0], docs[1], threshold);
-  std::printf("%s",
-              alge::obs::render_diff(diff, threshold, verbose).c_str());
-  return diff.regressions > 0 ? 1 : 0;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  std::string err;
+  const int rc = alge::tools::run_bench_diff(args, &out, &err);
+  std::fputs(out.c_str(), stdout);
+  std::fputs(err.c_str(), stderr);
+  return rc;
 }
