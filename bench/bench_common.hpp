@@ -11,6 +11,7 @@
 #include "engine/runner.hpp"
 #include "obs/chrome_trace.hpp"
 #include "support/cli.hpp"
+#include "support/common.hpp"
 
 namespace alge::bench {
 
@@ -56,6 +57,38 @@ inline void apply_chaos_flags(const CliArgs& cli,
   std::fprintf(stderr, "[chaos] chaos-seed=%llu fault-plan=%s\n",
                static_cast<unsigned long long>(seed),
                plan.empty() ? "(none)" : plan.c_str());
+}
+
+/// Declare the --data-mode flag (sim/payload.hpp DataMode). Inert by
+/// default; see EXPERIMENTS.md "Data modes".
+inline void add_data_mode_flag(CliArgs& cli) {
+  cli.add_flag("data-mode", "",
+               "ghost: run payloads as storage-free size-only views -- "
+               "identical F/W/S, clocks and energy, no data movement or "
+               "local kernels (disables verification; empty = full data)");
+}
+
+/// Stamp --data-mode=ghost onto every spec. With the flag unset the specs
+/// are untouched, so cache keys and printed tables stay byte-identical
+/// with pre-ghost runs.
+inline void apply_data_mode_flag(const CliArgs& cli,
+                                 std::vector<engine::ExperimentSpec>& specs) {
+  const std::string mode = cli.get("data-mode");
+  if (mode.empty() || mode == "full") return;
+  ALGE_REQUIRE(mode == "ghost", "--data-mode must be ghost or full (got %s)",
+               mode.c_str());
+  bool verify_dropped = false;
+  for (engine::ExperimentSpec& spec : specs) {
+    spec.data_mode = sim::DataMode::kGhost;
+    if (spec.verify) {
+      spec.verify = false;
+      verify_dropped = true;
+    }
+  }
+  std::fprintf(stderr, "[ghost] data-mode=ghost%s\n",
+               verify_dropped
+                   ? " (verification disabled: ghost runs have no output)"
+                   : "");
 }
 
 /// When --trace-out is set, re-execute `spec` with tracing enabled (outside

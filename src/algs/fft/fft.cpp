@@ -95,9 +95,10 @@ double fft_flops(int n) {
 }
 
 void fft_parallel(sim::Comm& comm, int n, int r_dim, int c_dim,
-                  std::span<const double> my_cols, std::span<double> my_rows,
+                  sim::ConstPayload my_cols, sim::Payload my_rows,
                   AllToAllKind kind) {
   const int p = comm.size();
+  const bool gm = comm.ghost();
   ALGE_REQUIRE(r_dim >= 1 && c_dim >= 1 && r_dim * c_dim == n,
                "need n = R·C (got %d ≠ %d·%d)", n, r_dim, c_dim);
   ALGE_REQUIRE(is_pow2(r_dim) && is_pow2(c_dim),
@@ -115,23 +116,30 @@ void fft_parallel(sim::Comm& comm, int n, int r_dim, int c_dim,
   // Step 1+2: R-point FFT down each of my columns, then twiddle
   // Z[k1,j2] = Y[k1,j2]·w_n^{j2·k1}.
   sim::Buffer work = comm.alloc(my_cols.size());
-  std::copy(my_cols.begin(), my_cols.end(), work.data());
+  if (!gm) std::copy(my_cols.span().begin(), my_cols.span().end(),
+                     work.data());
   for (int jl = 0; jl < cl; ++jl) {
-    auto col = work.span().subspan(2 * static_cast<std::size_t>(jl) * r_dim,
-                                   2 * static_cast<std::size_t>(r_dim));
-    fft_inplace(col, r_dim);
+    if (!gm) {
+      auto col = work.span().subspan(2 * static_cast<std::size_t>(jl) * r_dim,
+                                     2 * static_cast<std::size_t>(r_dim));
+      fft_inplace(col, r_dim);
+    }
     comm.compute(fft_flops(r_dim));
-    const int j2 = h * cl + jl;
-    for (int k1 = 0; k1 < r_dim; ++k1) {
-      const double ang = -2.0 * std::numbers::pi *
-                         static_cast<double>(j2) * k1 / n;
-      const double cr = std::cos(ang);
-      const double ci = std::sin(ang);
-      double& re = col[2 * static_cast<std::size_t>(k1)];
-      double& im = col[2 * static_cast<std::size_t>(k1) + 1];
-      const double nr = re * cr - im * ci;
-      im = re * ci + im * cr;
-      re = nr;
+    if (!gm) {
+      auto col = work.span().subspan(2 * static_cast<std::size_t>(jl) * r_dim,
+                                     2 * static_cast<std::size_t>(r_dim));
+      const int j2 = h * cl + jl;
+      for (int k1 = 0; k1 < r_dim; ++k1) {
+        const double ang = -2.0 * std::numbers::pi *
+                           static_cast<double>(j2) * k1 / n;
+        const double cr = std::cos(ang);
+        const double ci = std::sin(ang);
+        double& re = col[2 * static_cast<std::size_t>(k1)];
+        double& im = col[2 * static_cast<std::size_t>(k1) + 1];
+        const double nr = re * cr - im * ci;
+        im = re * ci + im * cr;
+        re = nr;
+      }
     }
     comm.compute(6.0 * r_dim);  // twiddle multiplies
   }
@@ -141,38 +149,42 @@ void fft_parallel(sim::Comm& comm, int n, int r_dim, int c_dim,
   const std::size_t blk = 2 * static_cast<std::size_t>(cl) * rl;
   sim::Buffer sendbuf = comm.alloc(blk * static_cast<std::size_t>(p));
   sim::Buffer recvbuf = comm.alloc(blk * static_cast<std::size_t>(p));
-  for (int dst = 0; dst < p; ++dst) {
-    double* out = sendbuf.data() + blk * static_cast<std::size_t>(dst);
-    std::size_t w = 0;
-    for (int jl = 0; jl < cl; ++jl) {
-      for (int k1l = 0; k1l < rl; ++k1l) {
-        const int k1 = dst * rl + k1l;
-        const std::size_t src =
-            2 * (static_cast<std::size_t>(jl) * r_dim + k1);
-        out[w++] = work[src];
-        out[w++] = work[src + 1];
+  if (!gm) {
+    for (int dst = 0; dst < p; ++dst) {
+      double* out = sendbuf.data() + blk * static_cast<std::size_t>(dst);
+      std::size_t w = 0;
+      for (int jl = 0; jl < cl; ++jl) {
+        for (int k1l = 0; k1l < rl; ++k1l) {
+          const int k1 = dst * rl + k1l;
+          const std::size_t src =
+              2 * (static_cast<std::size_t>(jl) * r_dim + k1);
+          out[w++] = work[src];
+          out[w++] = work[src + 1];
+        }
       }
     }
   }
   const sim::Group world = sim::Group::world(p);
   if (kind == AllToAllKind::kDirect) {
-    comm.alltoall(sendbuf.span(), recvbuf.span(), world);
+    comm.alltoall(sendbuf.view(), recvbuf.view(), world);
   } else {
-    comm.alltoall_bruck(sendbuf.span(), recvbuf.span(), world);
+    comm.alltoall_bruck(sendbuf.view(), recvbuf.view(), world);
   }
 
   // Reassemble my rows: the block from rank `src` holds its columns
   // j2 = src·C/p + jl at my k1 values.
-  for (int src = 0; src < p; ++src) {
-    const double* in = recvbuf.data() + blk * static_cast<std::size_t>(src);
-    std::size_t w = 0;
-    for (int jl = 0; jl < cl; ++jl) {
-      const int j2 = src * cl + jl;
-      for (int k1l = 0; k1l < rl; ++k1l) {
-        const std::size_t dst =
-            2 * (static_cast<std::size_t>(k1l) * c_dim + j2);
-        my_rows[dst] = in[w++];
-        my_rows[dst + 1] = in[w++];
+  if (!gm) {
+    for (int src = 0; src < p; ++src) {
+      const double* in = recvbuf.data() + blk * static_cast<std::size_t>(src);
+      std::size_t w = 0;
+      for (int jl = 0; jl < cl; ++jl) {
+        const int j2 = src * cl + jl;
+        for (int k1l = 0; k1l < rl; ++k1l) {
+          const std::size_t dst =
+              2 * (static_cast<std::size_t>(k1l) * c_dim + j2);
+          my_rows.span()[dst] = in[w++];
+          my_rows.span()[dst + 1] = in[w++];
+        }
       }
     }
   }
@@ -180,9 +192,12 @@ void fft_parallel(sim::Comm& comm, int n, int r_dim, int c_dim,
   // Step 4: C-point FFT along each of my rows; entry k2 of the row FFT is
   // X[k1 + k2·R].
   for (int k1l = 0; k1l < rl; ++k1l) {
-    auto row = my_rows.subspan(2 * static_cast<std::size_t>(k1l) * c_dim,
-                               2 * static_cast<std::size_t>(c_dim));
-    fft_inplace(row, c_dim);
+    if (!gm) {
+      auto row = my_rows.span().subspan(
+          2 * static_cast<std::size_t>(k1l) * c_dim,
+          2 * static_cast<std::size_t>(c_dim));
+      fft_inplace(row, c_dim);
+    }
     comm.compute(fft_flops(c_dim));
   }
 }

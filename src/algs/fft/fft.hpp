@@ -38,8 +38,10 @@ enum class AllToAllKind { kDirect, kBruck };
 /// After column FFTs, twiddles, the all-to-all transpose, and row FFTs,
 /// rank h holds output rows k1 ∈ [h·R/p, (h+1)·R/p):
 ///   my_rows[(k1l·C + k2)·2] = X[k1 + k2·R]  (row-major in k2).
+/// Buffers are payload views — spans convert implicitly in full-data mode;
+/// ghost views replay the identical cost schedule without data.
 void fft_parallel(sim::Comm& comm, int n, int r_dim, int c_dim,
-                  std::span<const double> my_cols, std::span<double> my_rows,
+                  sim::ConstPayload my_cols, sim::Payload my_rows,
                   AllToAllKind kind = AllToAllKind::kDirect);
 
 }  // namespace alge::algs

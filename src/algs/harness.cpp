@@ -54,6 +54,16 @@ std::vector<double> block_of(const std::vector<double>& m, int n, int q,
   return out;
 }
 
+/// True iff `cfg` runs ghost payloads; ghost runs replay the exact cost
+/// schedule without data, so there is no output to verify.
+bool ghost_mode(const sim::MachineConfig& cfg, bool verify) {
+  const bool ghost = cfg.data_mode == sim::DataMode::kGhost;
+  ALGE_REQUIRE(!(ghost && verify),
+               "ghost data mode measures cost, not output; run with "
+               "verify=false");
+  return ghost;
+}
+
 RunResult finish(sim::Machine& m, bool verified, double err) {
   RunResult res;
   res.p = m.p();
@@ -73,23 +83,34 @@ RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
   topo::Grid3D grid(q, c);
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = grid.p();
+  const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
-  const auto A = random_matrix(n, n, rng);
-  const auto B = random_matrix(n, n, rng);
+  std::vector<double> A, B;
+  if (!ghost) {
+    A = random_matrix(n, n, rng);
+    B = random_matrix(n, n, rng);
+  }
+  const std::size_t nb2 = static_cast<std::size_t>(n / q) *
+                          static_cast<std::size_t>(n / q);
   std::vector<std::vector<double>> c_blocks(static_cast<std::size_t>(q) * q);
   m.run([&](sim::Comm& comm) {
     const int i = grid.row_of(comm.rank());
     const int j = grid.col_of(comm.rank());
-    if (grid.layer_of(comm.rank()) == 0) {
-      const auto a = block_of(A, n, q, i, j);
-      const auto b = block_of(B, n, q, i, j);
-      std::vector<double> cb(a.size(), 0.0);
-      mm_25d(comm, grid, n, a, b, cb, opts);
-      c_blocks[static_cast<std::size_t>(i) * q + j] = std::move(cb);
-    } else {
+    if (grid.layer_of(comm.rank()) != 0) {
       mm_25d(comm, grid, n, {}, {}, {}, opts);
+      return;
     }
+    if (ghost) {
+      mm_25d(comm, grid, n, sim::ConstPayload::ghost(nb2),
+             sim::ConstPayload::ghost(nb2), sim::Payload::ghost(nb2), opts);
+      return;
+    }
+    const auto a = block_of(A, n, q, i, j);
+    const auto b = block_of(B, n, q, i, j);
+    std::vector<double> cb(a.size(), 0.0);
+    mm_25d(comm, grid, n, a, b, cb, opts);
+    c_blocks[static_cast<std::size_t>(i) * q + j] = std::move(cb);
   });
   double err = 0.0;
   if (verify) {
@@ -112,14 +133,25 @@ RunResult run_summa(int n, int q, const core::MachineParams& mp, bool verify,
   topo::Grid2D grid(q);
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = grid.p();
+  const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
-  const auto A = random_matrix(n, n, rng);
-  const auto B = random_matrix(n, n, rng);
+  std::vector<double> A, B;
+  if (!ghost) {
+    A = random_matrix(n, n, rng);
+    B = random_matrix(n, n, rng);
+  }
+  const std::size_t nb2 = static_cast<std::size_t>(n / q) *
+                          static_cast<std::size_t>(n / q);
   std::vector<std::vector<double>> c_blocks(static_cast<std::size_t>(q) * q);
   m.run([&](sim::Comm& comm) {
     const int i = grid.row_of(comm.rank());
     const int j = grid.col_of(comm.rank());
+    if (ghost) {
+      summa_2d(comm, grid, n, sim::ConstPayload::ghost(nb2),
+               sim::ConstPayload::ghost(nb2), sim::Payload::ghost(nb2));
+      return;
+    }
     const auto a = block_of(A, n, q, i, j);
     const auto b = block_of(B, n, q, i, j);
     std::vector<double> cb(a.size(), 0.0);
@@ -150,14 +182,27 @@ RunResult run_caps(int n, int k, const core::MachineParams& mp,
   const int levels = static_cast<int>(sched.size());
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
+  const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
-  const auto A = random_matrix(n, n, rng);
-  const auto B = random_matrix(n, n, rng);
-  const auto Az = to_z_order(A, n, levels);
-  const auto Bz = to_z_order(B, n, levels);
+  std::vector<double> A, B, Az, Bz;
+  if (!ghost) {
+    A = random_matrix(n, n, rng);
+    B = random_matrix(n, n, rng);
+    Az = to_z_order(A, n, levels);
+    Bz = to_z_order(B, n, levels);
+  }
+  const std::size_t share = static_cast<std::size_t>(n) *
+                            static_cast<std::size_t>(n) /
+                            static_cast<std::size_t>(p);
   std::vector<std::vector<double>> c_shares(static_cast<std::size_t>(p));
   m.run([&](sim::Comm& comm) {
+    if (ghost) {
+      caps_multiply(comm, n, k, sim::ConstPayload::ghost(share),
+                    sim::ConstPayload::ghost(share),
+                    sim::Payload::ghost(share), opts);
+      return;
+    }
     const auto a = extract_share(Az, p, comm.rank());
     const auto b = extract_share(Bz, p, comm.rank());
     std::vector<double> cs(a.size());
@@ -183,25 +228,35 @@ RunResult run_nbody(int n, int p, int c, const core::MachineParams& mp,
   topo::TeamGrid grid(p, c);
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
+  const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
-  const auto parts = random_particles(n, rng);
+  std::vector<double> parts;
+  if (!ghost) parts = random_particles(n, rng);
   const int P = grid.cols();
   const int nb = n / P;
   std::vector<std::vector<double>> force_blocks(static_cast<std::size_t>(P));
   m.run([&](sim::Comm& comm) {
     const int i = grid.row_of(comm.rank());
     const int j = grid.col_of(comm.rank());
-    if (i == 0) {
-      auto mine = std::span<const double>(parts).subspan(
-          static_cast<std::size_t>(j) * nb * kParticleWords,
-          static_cast<std::size_t>(nb) * kParticleWords);
-      std::vector<double> f(static_cast<std::size_t>(nb) * kForceWords, 0.0);
-      nbody_replicated(comm, grid, n, mine, f);
-      force_blocks[static_cast<std::size_t>(j)] = std::move(f);
-    } else {
+    if (i != 0) {
       nbody_replicated(comm, grid, n, {}, {});
+      return;
     }
+    if (ghost) {
+      nbody_replicated(
+          comm, grid, n,
+          sim::ConstPayload::ghost(static_cast<std::size_t>(nb) *
+                                   kParticleWords),
+          sim::Payload::ghost(static_cast<std::size_t>(nb) * kForceWords));
+      return;
+    }
+    auto mine = std::span<const double>(parts).subspan(
+        static_cast<std::size_t>(j) * nb * kParticleWords,
+        static_cast<std::size_t>(nb) * kParticleWords);
+    std::vector<double> f(static_cast<std::size_t>(nb) * kForceWords, 0.0);
+    nbody_replicated(comm, grid, n, mine, f);
+    force_blocks[static_cast<std::size_t>(j)] = std::move(f);
   });
   double err = 0.0;
   if (verify) {
@@ -219,32 +274,41 @@ RunResult run_lu(int n, int nb, int q, int c, const core::MachineParams& mp,
                  bool verify, std::uint64_t seed) {
   BlockCyclic bc{n, nb, q};
   bc.validate();
+  sim::MachineConfig cfg = observed_config(mp);
+  const bool ghost = ghost_mode(cfg, verify);
   Rng rng(seed);
-  const auto A = diagonally_dominant_matrix(n, rng);
-  // Scatter block-cyclically over the q×q (layer-0) grid.
-  std::vector<std::vector<double>> local(
-      static_cast<std::size_t>(q) * q,
-      std::vector<double>(bc.local_words(), 0.0));
-  for (int I = 0; I < bc.nt(); ++I) {
-    for (int J = 0; J < bc.nt(); ++J) {
-      auto& dst = local[static_cast<std::size_t>(I % q) * q + (J % q)];
-      for (int r = 0; r < nb; ++r) {
-        std::copy_n(
-            A.data() + static_cast<std::size_t>(I * nb + r) * n + J * nb, nb,
-            dst.data() + bc.local_offset(I, J) +
-                static_cast<std::size_t>(r) * nb);
+  std::vector<double> A;
+  std::vector<std::vector<double>> local;
+  if (!ghost) {
+    A = diagonally_dominant_matrix(n, rng);
+    // Scatter block-cyclically over the q×q (layer-0) grid.
+    local.assign(static_cast<std::size_t>(q) * q,
+                 std::vector<double>(bc.local_words(), 0.0));
+    for (int I = 0; I < bc.nt(); ++I) {
+      for (int J = 0; J < bc.nt(); ++J) {
+        auto& dst = local[static_cast<std::size_t>(I % q) * q + (J % q)];
+        for (int r = 0; r < nb; ++r) {
+          std::copy_n(
+              A.data() + static_cast<std::size_t>(I * nb + r) * n + J * nb,
+              nb,
+              dst.data() + bc.local_offset(I, J) +
+                  static_cast<std::size_t>(r) * nb);
+        }
       }
     }
   }
 
-  sim::MachineConfig cfg = observed_config(mp);
   double err = 0.0;
   if (c <= 1) {
     topo::Grid2D grid(q);
     cfg.p = grid.p();
     sim::Machine m(cfg);
     m.run([&](sim::Comm& comm) {
-      lu_2d(comm, grid, bc, local[static_cast<std::size_t>(comm.rank())]);
+      if (ghost) {
+        lu_2d(comm, grid, bc, sim::Payload::ghost(bc.local_words()));
+      } else {
+        lu_2d(comm, grid, bc, local[static_cast<std::size_t>(comm.rank())]);
+      }
     });
     if (verify) {
       auto serial = A;
@@ -272,12 +336,14 @@ RunResult run_lu(int n, int nb, int q, int c, const core::MachineParams& mp,
   cfg.p = grid.p();
   sim::Machine m(cfg);
   m.run([&](sim::Comm& comm) {
-    if (grid.layer_of(comm.rank()) == 0) {
+    if (grid.layer_of(comm.rank()) != 0) {
+      lu_25d(comm, grid, bc, {});
+    } else if (ghost) {
+      lu_25d(comm, grid, bc, sim::Payload::ghost(bc.local_words()));
+    } else {
       const int r = grid.row_of(comm.rank());
       const int cc = grid.col_of(comm.rank());
       lu_25d(comm, grid, bc, local[static_cast<std::size_t>(r) * q + cc]);
-    } else {
-      lu_25d(comm, grid, bc, {});
     }
   });
   if (verify) {
@@ -308,15 +374,28 @@ RunResult run_fft(int r_dim, int c_dim, int p, AllToAllKind kind,
   const int n = r_dim * c_dim;
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
+  const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
-  std::vector<double> x(2 * static_cast<std::size_t>(n));
-  rng.fill_uniform(x, -1.0, 1.0);
+  std::vector<double> x;
+  if (!ghost) {
+    x.resize(2 * static_cast<std::size_t>(n));
+    rng.fill_uniform(x, -1.0, 1.0);
+  }
   const int cl = c_dim / p;
   const int rl = r_dim / p;
   std::vector<std::vector<double>> rows(static_cast<std::size_t>(p));
   m.run([&](sim::Comm& comm) {
     const int h = comm.rank();
+    if (ghost) {
+      fft_parallel(comm, n, r_dim, c_dim,
+                   sim::ConstPayload::ghost(
+                       2 * static_cast<std::size_t>(r_dim) * cl),
+                   sim::Payload::ghost(
+                       2 * static_cast<std::size_t>(c_dim) * rl),
+                   kind);
+      return;
+    }
     std::vector<double> cols(2 * static_cast<std::size_t>(r_dim) * cl);
     for (int jl = 0; jl < cl; ++jl) {
       const int j2 = h * cl + jl;
@@ -356,12 +435,20 @@ RunResult run_tsqr(int rows_local, int b, int p,
                "tsqr needs rows_local >= b >= 1 and p >= 1");
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
+  const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
-  const auto A = random_matrix(rows_local * p, b, rng);
+  std::vector<double> A;
   const std::size_t lw = static_cast<std::size_t>(rows_local) * b;
+  if (!ghost) A = random_matrix(rows_local * p, b, rng);
   std::vector<double> r(static_cast<std::size_t>(b) * b, 0.0);
   m.run([&](sim::Comm& comm) {
+    if (ghost) {
+      const std::size_t b2 = static_cast<std::size_t>(b) * b;
+      tsqr(comm, b, sim::ConstPayload::ghost(lw),
+           comm.rank() == 0 ? sim::Payload::ghost(b2) : sim::Payload{});
+      return;
+    }
     auto mine = std::span<const double>(A).subspan(
         lw * static_cast<std::size_t>(comm.rank()), lw);
     std::span<double> out =

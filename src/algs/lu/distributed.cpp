@@ -33,13 +33,14 @@ void BlockCyclic::validate() const {
 }
 
 void lu_2d(sim::Comm& comm, const topo::Grid2D& grid, const BlockCyclic& bc,
-           std::span<double> local_blocks) {
+           sim::Payload local_blocks) {
   bc.validate();
   const int q = grid.q();
   ALGE_REQUIRE(bc.q == q, "BlockCyclic.q=%d must match the grid q=%d", bc.q,
                q);
   ALGE_REQUIRE(local_blocks.size() == bc.local_words(),
                "local buffer must be %zu words", bc.local_words());
+  const bool gm = comm.ghost();
   const int nt = bc.nt();
   const int nb = bc.nb;
   const std::size_t nbw = bc.block_words();
@@ -48,7 +49,7 @@ void lu_2d(sim::Comm& comm, const topo::Grid2D& grid, const BlockCyclic& bc,
   const sim::Group row_g = grid.row_group(myrow);
   const sim::Group col_g = grid.col_group(mycol);
   auto block = [&](int I, int J) {
-    return local_blocks.subspan(bc.local_offset(I, J), nbw);
+    return local_blocks.sub(bc.local_offset(I, J), nbw);
   };
 
   sim::Buffer akk = comm.alloc(nbw);
@@ -58,10 +59,10 @@ void lu_2d(sim::Comm& comm, const topo::Grid2D& grid, const BlockCyclic& bc,
   sim::Buffer u_panel = comm.alloc(static_cast<std::size_t>(bc.local_dim()) *
                                    nbw);
   auto l_slot = [&](int I) {
-    return l_panel.span().subspan(static_cast<std::size_t>(I / q) * nbw, nbw);
+    return l_panel.view().sub(static_cast<std::size_t>(I / q) * nbw, nbw);
   };
   auto u_slot = [&](int J) {
-    return u_panel.span().subspan(static_cast<std::size_t>(J / q) * nbw, nbw);
+    return u_panel.view().sub(static_cast<std::size_t>(J / q) * nbw, nbw);
   };
 
   for (int k = 0; k < nt; ++k) {
@@ -69,26 +70,26 @@ void lu_2d(sim::Comm& comm, const topo::Grid2D& grid, const BlockCyclic& bc,
     const int kc = k % q;
     // Factor A(k,k) on its owner, then send it where the panels need it.
     if (myrow == kr && mycol == kc) {
-      lu_factor_inplace(block(k, k), nb);
+      if (!gm) lu_factor_inplace(block(k, k).span(), nb);
       comm.compute(lu_factor_flops(nb));
-      std::copy_n(block(k, k).data(), nbw, akk.data());
+      if (!gm) std::copy_n(block(k, k).data(), nbw, akk.data());
     }
-    if (mycol == kc) comm.bcast(akk.span(), kr, col_g);
-    if (myrow == kr) comm.bcast(akk.span(), kc, row_g);
+    if (mycol == kc) comm.bcast(akk.view(), kr, col_g);
+    if (myrow == kr) comm.bcast(akk.view(), kc, row_g);
 
     // Panels: L(i,k) = A(i,k)·U(k,k)⁻¹ on column kc; U(k,j) = L(k,k)⁻¹·A(k,j)
     // on row kr.
     if (mycol == kc) {
       for (int i = k + 1; i < nt; ++i) {
         if (i % q != myrow) continue;
-        trsm_upper_right(akk.span(), block(i, k), nb);
+        if (!gm) trsm_upper_right(akk.span(), block(i, k).span(), nb);
         comm.compute(trsm_flops(nb));
       }
     }
     if (myrow == kr) {
       for (int j = k + 1; j < nt; ++j) {
         if (j % q != mycol) continue;
-        trsm_lower_left(akk.span(), block(k, j), nb);
+        if (!gm) trsm_lower_left(akk.span(), block(k, j).span(), nb);
         comm.compute(trsm_flops(nb));
       }
     }
@@ -96,12 +97,16 @@ void lu_2d(sim::Comm& comm, const topo::Grid2D& grid, const BlockCyclic& bc,
     // Broadcast the panels into the trailing submatrix.
     for (int i = k + 1; i < nt; ++i) {
       if (i % q != myrow) continue;
-      if (mycol == kc) std::copy_n(block(i, k).data(), nbw, l_slot(i).data());
+      if (mycol == kc && !gm) {
+        std::copy_n(block(i, k).data(), nbw, l_slot(i).data());
+      }
       comm.bcast(l_slot(i), kc, row_g);
     }
     for (int j = k + 1; j < nt; ++j) {
       if (j % q != mycol) continue;
-      if (myrow == kr) std::copy_n(block(k, j).data(), nbw, u_slot(j).data());
+      if (myrow == kr && !gm) {
+        std::copy_n(block(k, j).data(), nbw, u_slot(j).data());
+      }
       comm.bcast(u_slot(j), kr, col_g);
     }
 
@@ -110,8 +115,10 @@ void lu_2d(sim::Comm& comm, const topo::Grid2D& grid, const BlockCyclic& bc,
       if (i % q != myrow) continue;
       for (int j = k + 1; j < nt; ++j) {
         if (j % q != mycol) continue;
-        gemm_minus(l_slot(i).data(), u_slot(j).data(), block(i, j).data(),
-                   nb);
+        if (!gm) {
+          gemm_minus(l_slot(i).data(), u_slot(j).data(), block(i, j).data(),
+                     nb);
+        }
         comm.compute(gemm_update_flops(nb));
       }
     }
@@ -119,12 +126,13 @@ void lu_2d(sim::Comm& comm, const topo::Grid2D& grid, const BlockCyclic& bc,
 }
 
 void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
-            std::span<double> local_blocks) {
+            sim::Payload local_blocks) {
   bc.validate();
   const int q = grid.q();
   const int c = grid.c();
   ALGE_REQUIRE(bc.q == q, "BlockCyclic.q=%d must match the grid q=%d", bc.q,
                q);
+  const bool gm = comm.ghost();
   const int myrow = grid.row_of(comm.rank());
   const int mycol = grid.col_of(comm.rank());
   const int l = grid.layer_of(comm.rank());
@@ -132,7 +140,7 @@ void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
     ALGE_REQUIRE(local_blocks.size() == bc.local_words(),
                  "layer-0 local buffer must be %zu words", bc.local_words());
   } else {
-    ALGE_REQUIRE(local_blocks.empty(), "non-root layers pass empty spans");
+    ALGE_REQUIRE(local_blocks.empty(), "non-root layers pass empty payloads");
   }
   const int nt = bc.nt();
   const int nb = bc.nb;
@@ -144,10 +152,12 @@ void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
 
   // Replicate the matrix across the layers.
   sim::Buffer mine = comm.alloc(bc.local_words());
-  if (l == 0) std::copy_n(local_blocks.data(), bc.local_words(), mine.data());
-  comm.bcast(mine.span(), 0, depth_g);
+  if (l == 0 && !gm) {
+    std::copy_n(local_blocks.data(), bc.local_words(), mine.data());
+  }
+  comm.bcast(mine.view(), 0, depth_g);
   auto block = [&](int I, int J) {
-    return mine.span().subspan(bc.local_offset(I, J), nbw);
+    return mine.view().sub(bc.local_offset(I, J), nbw);
   };
 
   sim::Buffer akk = comm.alloc(nbw);
@@ -156,10 +166,10 @@ void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
   sim::Buffer u_panel = comm.alloc(static_cast<std::size_t>(bc.local_dim()) *
                                    nbw);
   auto l_slot = [&](int I) {
-    return l_panel.span().subspan(static_cast<std::size_t>(I / q) * nbw, nbw);
+    return l_panel.view().sub(static_cast<std::size_t>(I / q) * nbw, nbw);
   };
   auto u_slot = [&](int J) {
-    return u_panel.span().subspan(static_cast<std::size_t>(J / q) * nbw, nbw);
+    return u_panel.view().sub(static_cast<std::size_t>(J / q) * nbw, nbw);
   };
 
   for (int k = 0; k < nt; ++k) {
@@ -170,23 +180,23 @@ void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
     // 1. Layer lk factors the diagonal block and forms the L panel.
     if (l == lk) {
       if (myrow == kr && mycol == kc) {
-        lu_factor_inplace(block(k, k), nb);
+        if (!gm) lu_factor_inplace(block(k, k).span(), nb);
         comm.compute(lu_factor_flops(nb));
-        std::copy_n(block(k, k).data(), nbw, akk.data());
+        if (!gm) std::copy_n(block(k, k).data(), nbw, akk.data());
       }
       if (mycol == kc) {
-        comm.bcast(akk.span(), kr, col_g);
+        comm.bcast(akk.view(), kr, col_g);
         for (int i = k + 1; i < nt; ++i) {
           if (i % q != myrow) continue;
-          trsm_upper_right(akk.span(), block(i, k), nb);
+          if (!gm) trsm_upper_right(akk.span(), block(i, k).span(), nb);
           comm.compute(trsm_flops(nb));
-          std::copy_n(block(i, k).data(), nbw, l_slot(i).data());
+          if (!gm) std::copy_n(block(i, k).data(), nbw, l_slot(i).data());
         }
       }
     }
 
     // 2. Depth broadcasts: A(k,k) and the L panel leave layer lk.
-    if (myrow == kr && mycol == kc) comm.bcast(akk.span(), lk, depth_g);
+    if (myrow == kr && mycol == kc) comm.bcast(akk.view(), lk, depth_g);
     if (mycol == kc) {
       for (int i = k + 1; i < nt; ++i) {
         if (i % q != myrow) continue;
@@ -195,19 +205,19 @@ void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
         // home slice only on layer lk, but the factored panel is part of
         // the final answer gathered from layer lk; copies keep the
         // replicated matrix consistent).
-        std::copy_n(l_slot(i).data(), nbw, block(i, k).data());
+        if (!gm) std::copy_n(l_slot(i).data(), nbw, block(i, k).data());
       }
     }
-    if (myrow == kr && mycol == kc) {
+    if (myrow == kr && mycol == kc && !gm) {
       std::copy_n(akk.data(), nbw, block(k, k).data());
     }
 
     // 3. Within each layer: U panel for this layer's slice columns.
-    if (myrow == kr) comm.bcast(akk.span(), kc, row_g);
+    if (myrow == kr) comm.bcast(akk.view(), kc, row_g);
     if (myrow == kr) {
       for (int j = k + 1; j < nt; ++j) {
         if (j % q != mycol || slice_of(j) != l) continue;
-        trsm_lower_left(akk.span(), block(k, j), nb);
+        if (!gm) trsm_lower_left(akk.span(), block(k, j).span(), nb);
         comm.compute(trsm_flops(nb));
       }
     }
@@ -220,7 +230,9 @@ void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
     }
     for (int j = k + 1; j < nt; ++j) {
       if (j % q != mycol || slice_of(j) != l) continue;
-      if (myrow == kr) std::copy_n(block(k, j).data(), nbw, u_slot(j).data());
+      if (myrow == kr && !gm) {
+        std::copy_n(block(k, j).data(), nbw, u_slot(j).data());
+      }
       comm.bcast(u_slot(j), kr, col_g);
     }
 
@@ -229,8 +241,10 @@ void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
       if (i % q != myrow) continue;
       for (int j = k + 1; j < nt; ++j) {
         if (j % q != mycol || slice_of(j) != l) continue;
-        gemm_minus(l_slot(i).data(), u_slot(j).data(), block(i, j).data(),
-                   nb);
+        if (!gm) {
+          gemm_minus(l_slot(i).data(), u_slot(j).data(), block(i, j).data(),
+                     nb);
+        }
         comm.compute(gemm_update_flops(nb));
       }
     }
@@ -243,7 +257,7 @@ void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
       if (J % q != mycol) continue;
       const int home = slice_of(J);
       if (home == 0) {
-        if (l == 0) {
+        if (l == 0 && !gm) {
           std::copy_n(block(I, J).data(), nbw,
                       local_blocks.data() + bc.local_offset(I, J));
         }
@@ -253,8 +267,7 @@ void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
         comm.send(grid.rank_of(myrow, mycol, 0), block(I, J), kTagGather);
       } else if (l == 0) {
         comm.recv(grid.rank_of(myrow, mycol, home),
-                  local_blocks.subspan(bc.local_offset(I, J), nbw),
-                  kTagGather);
+                  local_blocks.sub(bc.local_offset(I, J), nbw), kTagGather);
       }
     }
   }

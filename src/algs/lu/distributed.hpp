@@ -16,8 +16,6 @@
 // (I mod q, J mod q), stored locally in lexicographic (I/q, J/q) order.
 #pragma once
 
-#include <span>
-
 #include "sim/comm.hpp"
 #include "topo/grid.hpp"
 
@@ -51,14 +49,15 @@ struct BlockCyclic {
 };
 
 /// Factor the block-cyclically distributed matrix in place. Each rank
-/// passes its local blocks (layout per BlockCyclic). Requires nb | n and
-/// q | n/nb.
+/// passes its local blocks (layout per BlockCyclic) as a payload view —
+/// spans convert implicitly in full-data mode, ghost views replay the
+/// identical cost schedule without data. Requires nb | n and q | n/nb.
 void lu_2d(sim::Comm& comm, const topo::Grid2D& grid, const BlockCyclic& bc,
-           std::span<double> local_blocks);
+           sim::Payload local_blocks);
 
 /// 2.5D variant; input/output block-cyclic over layer 0 of the q×q×c grid
-/// (other layers pass empty spans).
+/// (other layers pass empty payloads).
 void lu_25d(sim::Comm& comm, const topo::Grid3D& grid, const BlockCyclic& bc,
-            std::span<double> local_blocks);
+            sim::Payload local_blocks);
 
 }  // namespace alge::algs

@@ -22,20 +22,28 @@ int mod(int a, int q) { return ((a % q) + q) % q; }
 ///   a_cur = A(i, i+j+s0),  b_cur = B(i+j+s0, j).
 template <typename RankOf>
 void cannon_steps(sim::Comm& comm, int q, int i, int j, int nb, int steps,
-                  std::span<double> a_cur, std::span<double> b_cur,
-                  std::span<double> c, std::span<double> scratch,
-                  const RankOf& rank_of) {
+                  sim::Payload a_cur, sim::Payload b_cur, sim::Payload c,
+                  sim::Payload scratch, const RankOf& rank_of) {
+  const bool gm = comm.ghost();
   for (int s = 0; s < steps; ++s) {
-    matmul_add_blocked(a_cur.data(), b_cur.data(), c.data(), nb, nb, nb);
+    if (!gm) {
+      matmul_add_blocked(a_cur.data(), b_cur.data(), c.data(), nb, nb, nb);
+    }
     comm.compute(matmul_flops(nb, nb, nb));
     if (s + 1 < steps) {
       // A moves one step left, B one step up.
       comm.sendrecv(rank_of(i, mod(j - 1, q)), a_cur,
                     rank_of(i, mod(j + 1, q)), scratch, kTagShiftA);
-      std::copy(scratch.begin(), scratch.end(), a_cur.begin());
+      if (!gm) {
+        std::copy(scratch.span().begin(), scratch.span().end(),
+                  a_cur.span().begin());
+      }
       comm.sendrecv(rank_of(mod(i - 1, q), j), b_cur,
                     rank_of(mod(i + 1, q), j), scratch, kTagShiftB);
-      std::copy(scratch.begin(), scratch.end(), b_cur.begin());
+      if (!gm) {
+        std::copy(scratch.span().begin(), scratch.span().end(),
+                  b_cur.span().begin());
+      }
     }
   }
 }
@@ -45,9 +53,9 @@ void cannon_steps(sim::Comm& comm, int q, int i, int j, int nb, int steps,
 /// them.
 template <typename RankOf>
 void cannon_align(sim::Comm& comm, int q, int i, int j, int s0,
-                  std::span<const double> a_mine,
-                  std::span<const double> b_mine, std::span<double> a_cur,
-                  std::span<double> b_cur, const RankOf& rank_of) {
+                  sim::ConstPayload a_mine, sim::ConstPayload b_mine,
+                  sim::Payload a_cur, sim::Payload b_cur,
+                  const RankOf& rank_of) {
   // My A block A(i,j) plays the role of A(i, i+j'+s0) for the rank (i,j')
   // with j' = j - i - s0; symmetrically for B.
   const int a_dst = rank_of(i, mod(j - i - s0, q));
@@ -58,8 +66,8 @@ void cannon_align(sim::Comm& comm, int q, int i, int j, int s0,
   comm.sendrecv(b_dst, b_mine, b_src, b_cur, kTagSkewB);
 }
 
-void check_blocks(int n, int q, std::span<const double> a,
-                  std::span<const double> b, std::span<const double> c) {
+void check_blocks(int n, int q, sim::ConstPayload a, sim::ConstPayload b,
+                  sim::ConstPayload c) {
   ALGE_REQUIRE(n > 0 && n % q == 0, "grid size q=%d must divide n=%d", q, n);
   const std::size_t nb2 = static_cast<std::size_t>(n / q) *
                           static_cast<std::size_t>(n / q);
@@ -70,8 +78,8 @@ void check_blocks(int n, int q, std::span<const double> a,
 }  // namespace
 
 void cannon_2d(sim::Comm& comm, const topo::Grid2D& grid, int n,
-               std::span<const double> a_block,
-               std::span<const double> b_block, std::span<double> c_block) {
+               sim::ConstPayload a_block, sim::ConstPayload b_block,
+               sim::Payload c_block) {
   const int q = grid.q();
   ALGE_REQUIRE(grid.p() <= comm.size(), "grid larger than the machine");
   check_blocks(n, q, a_block, b_block, c_block);
@@ -84,18 +92,19 @@ void cannon_2d(sim::Comm& comm, const topo::Grid2D& grid, int n,
   sim::Buffer a_cur = comm.alloc(nb2);
   sim::Buffer b_cur = comm.alloc(nb2);
   sim::Buffer scratch = comm.alloc(nb2);
-  cannon_align(comm, q, i, j, /*s0=*/0, a_block, b_block, a_cur.span(),
-               b_cur.span(), rank_of);
-  cannon_steps(comm, q, i, j, nb, /*steps=*/q, a_cur.span(), b_cur.span(),
-               c_block, scratch.span(), rank_of);
+  cannon_align(comm, q, i, j, /*s0=*/0, a_block, b_block, a_cur.view(),
+               b_cur.view(), rank_of);
+  cannon_steps(comm, q, i, j, nb, /*steps=*/q, a_cur.view(), b_cur.view(),
+               c_block, scratch.view(), rank_of);
 }
 
 void summa_2d(sim::Comm& comm, const topo::Grid2D& grid, int n,
-              std::span<const double> a_block,
-              std::span<const double> b_block, std::span<double> c_block) {
+              sim::ConstPayload a_block, sim::ConstPayload b_block,
+              sim::Payload c_block) {
   const int q = grid.q();
   ALGE_REQUIRE(grid.p() <= comm.size(), "grid larger than the machine");
   check_blocks(n, q, a_block, b_block, c_block);
+  const bool gm = comm.ghost();
   const int nb = n / q;
   const std::size_t nb2 = static_cast<std::size_t>(nb) * nb;
   const int i = grid.row_of(comm.rank());
@@ -108,24 +117,33 @@ void summa_2d(sim::Comm& comm, const topo::Grid2D& grid, int n,
   for (int k = 0; k < q; ++k) {
     // Row broadcast of A(:,k) from the column-k owner, column broadcast of
     // B(k,:) from the row-k owner.
-    if (j == k) std::copy(a_block.begin(), a_block.end(), a_panel.data());
-    comm.bcast(a_panel.span(), /*root=*/k, row);
-    if (i == k) std::copy(b_block.begin(), b_block.end(), b_panel.data());
-    comm.bcast(b_panel.span(), /*root=*/k, col);
-    matmul_add_blocked(a_panel.data(), b_panel.data(), c_block.data(), nb,
-                       nb, nb);
+    if (j == k && !gm) {
+      std::copy(a_block.span().begin(), a_block.span().end(),
+                a_panel.data());
+    }
+    comm.bcast(a_panel.view(), /*root=*/k, row);
+    if (i == k && !gm) {
+      std::copy(b_block.span().begin(), b_block.span().end(),
+                b_panel.data());
+    }
+    comm.bcast(b_panel.view(), /*root=*/k, col);
+    if (!gm) {
+      matmul_add_blocked(a_panel.data(), b_panel.data(),
+                         c_block.data(), nb, nb, nb);
+    }
     comm.compute(matmul_flops(nb, nb, nb));
   }
 }
 
 void mm_25d(sim::Comm& comm, const topo::Grid3D& grid, int n,
-            std::span<const double> a_block, std::span<const double> b_block,
-            std::span<double> c_block, const Mm25dOptions& opts) {
+            sim::ConstPayload a_block, sim::ConstPayload b_block,
+            sim::Payload c_block, const Mm25dOptions& opts) {
   const int q = grid.q();
   const int c = grid.c();
   ALGE_REQUIRE(grid.p() <= comm.size(), "grid larger than the machine");
   ALGE_REQUIRE(q % c == 0, "replication factor c=%d must divide q=%d", c, q);
   ALGE_REQUIRE(n > 0 && n % q == 0, "grid size q=%d must divide n=%d", q, n);
+  const bool gm = comm.ghost();
   const int nb = n / q;
   const std::size_t nb2 = static_cast<std::size_t>(nb) * nb;
   const int i = grid.row_of(comm.rank());
@@ -137,7 +155,7 @@ void mm_25d(sim::Comm& comm, const topo::Grid3D& grid, int n,
                  "layer-0 blocks must be (n/q)² = %zu words", nb2);
   } else {
     ALGE_REQUIRE(a_block.empty() && b_block.empty() && c_block.empty(),
-                 "non-root layers pass empty spans");
+                 "non-root layers pass empty payloads");
   }
   auto layer_rank_of = [&](int r, int cc) { return grid.rank_of(r, cc, l); };
   const sim::Group depth = grid.depth_group(i, j);
@@ -145,16 +163,16 @@ void mm_25d(sim::Comm& comm, const topo::Grid3D& grid, int n,
   // Replicate A(i,j), B(i,j) to every layer.
   sim::Buffer a_mine = comm.alloc(nb2);
   sim::Buffer b_mine = comm.alloc(nb2);
-  if (l == 0) {
-    std::copy(a_block.begin(), a_block.end(), a_mine.data());
-    std::copy(b_block.begin(), b_block.end(), b_mine.data());
+  if (l == 0 && !gm) {
+    std::copy(a_block.span().begin(), a_block.span().end(), a_mine.data());
+    std::copy(b_block.span().begin(), b_block.span().end(), b_mine.data());
   }
   if (opts.ring_replication) {
-    comm.bcast_ring(a_mine.span(), /*root=*/0, depth);
-    comm.bcast_ring(b_mine.span(), /*root=*/0, depth);
+    comm.bcast_ring(a_mine.view(), /*root=*/0, depth);
+    comm.bcast_ring(b_mine.view(), /*root=*/0, depth);
   } else {
-    comm.bcast(a_mine.span(), /*root=*/0, depth);
-    comm.bcast(b_mine.span(), /*root=*/0, depth);
+    comm.bcast(a_mine.view(), /*root=*/0, depth);
+    comm.bcast(b_mine.view(), /*root=*/0, depth);
   }
 
   // Each layer runs q/c Cannon steps, layer l starting at offset l·q/c.
@@ -164,14 +182,14 @@ void mm_25d(sim::Comm& comm, const topo::Grid3D& grid, int n,
   sim::Buffer b_cur = comm.alloc(nb2);
   sim::Buffer scratch = comm.alloc(nb2);
   sim::Buffer c_partial = comm.alloc(nb2);
-  cannon_align(comm, q, i, j, s0, a_mine.span(), b_mine.span(), a_cur.span(),
-               b_cur.span(), layer_rank_of);
-  cannon_steps(comm, q, i, j, nb, steps, a_cur.span(), b_cur.span(),
-               c_partial.span(), scratch.span(), layer_rank_of);
+  cannon_align(comm, q, i, j, s0, a_mine.view(), b_mine.view(), a_cur.view(),
+               b_cur.view(), layer_rank_of);
+  cannon_steps(comm, q, i, j, nb, steps, a_cur.view(), b_cur.view(),
+               c_partial.view(), scratch.view(), layer_rank_of);
 
   // Sum the layer contributions back onto layer 0.
-  comm.reduce_sum(c_partial.span(),
-                  l == 0 ? c_block : std::span<double>{}, /*root=*/0, depth);
+  comm.reduce_sum(c_partial.view(), l == 0 ? c_block : sim::Payload{},
+                  /*root=*/0, depth);
 }
 
 }  // namespace alge::algs

@@ -11,10 +11,11 @@
 //
 // All take each rank's local block(s) and leave each rank's result block in
 // place, so correctness is verified by comparing gathered blocks against a
-// sequential reference.
+// sequential reference. Blocks are passed as payload views
+// (sim/payload.hpp): spans/vectors convert implicitly in full-data mode,
+// and ghost views run the identical communication and flop schedule with
+// no data movement.
 #pragma once
-
-#include <span>
 
 #include "sim/comm.hpp"
 #include "topo/grid.hpp"
@@ -25,13 +26,13 @@ namespace alge::algs {
 /// A and B (block (i,j) on grid rank (i,j)); C(i,j) is accumulated into
 /// c_block. Requires q | n.
 void cannon_2d(sim::Comm& comm, const topo::Grid2D& grid, int n,
-               std::span<const double> a_block,
-               std::span<const double> b_block, std::span<double> c_block);
+               sim::ConstPayload a_block, sim::ConstPayload b_block,
+               sim::Payload c_block);
 
 /// SUMMA with panel width n/q (one block per step).
 void summa_2d(sim::Comm& comm, const topo::Grid2D& grid, int n,
-              std::span<const double> a_block,
-              std::span<const double> b_block, std::span<double> c_block);
+              sim::ConstPayload a_block, sim::ConstPayload b_block,
+              sim::Payload c_block);
 
 struct Mm25dOptions {
   /// Replicate A and B down the depth fiber with the pipelined ring
@@ -44,12 +45,12 @@ struct Mm25dOptions {
 
 /// 2.5D matrix multiplication. Input blocks A(i,j), B(i,j) of size
 /// (n/q)² live on layer 0 (ranks with grid.layer_of(rank)==0); other layers
-/// pass empty spans for a/b and receive replicas internally. The result
+/// pass empty payloads for a/b and receive replicas internally. The result
 /// C(i,j) is reduced back onto layer 0's c_block (other layers pass an
-/// empty span). Requires q | n and c | q (each layer executes q/c Cannon
+/// empty payload). Requires q | n and c | q (each layer executes q/c Cannon
 /// steps starting at offset layer·q/c).
 void mm_25d(sim::Comm& comm, const topo::Grid3D& grid, int n,
-            std::span<const double> a_block, std::span<const double> b_block,
-            std::span<double> c_block, const Mm25dOptions& opts = {});
+            sim::ConstPayload a_block, sim::ConstPayload b_block,
+            sim::Payload c_block, const Mm25dOptions& opts = {});
 
 }  // namespace alge::algs

@@ -74,12 +74,13 @@ std::vector<double> direct_forces(std::span<const double> particles) {
 }
 
 void nbody_replicated(sim::Comm& comm, const topo::TeamGrid& grid, int n,
-                      std::span<const double> my_particles,
-                      std::span<double> my_forces) {
+                      sim::ConstPayload my_particles,
+                      sim::Payload my_forces) {
   const int P = grid.cols();  // number of particle blocks
   const int c = grid.rows();  // replication factor
   ALGE_REQUIRE(grid.p() <= comm.size(), "grid larger than the machine");
   ALGE_REQUIRE(n > 0 && n % P == 0, "block count %d must divide n=%d", P, n);
+  const bool gm = comm.ghost();
   const int nb = n / P;  // particles per block
   const std::size_t part_words = static_cast<std::size_t>(nb) * kParticleWords;
   const std::size_t force_words = static_cast<std::size_t>(nb) * kForceWords;
@@ -92,17 +93,18 @@ void nbody_replicated(sim::Comm& comm, const topo::TeamGrid& grid, int n,
                  part_words, force_words);
   } else {
     ALGE_REQUIRE(my_particles.empty() && my_forces.empty(),
-                 "non-root team members pass empty spans");
+                 "non-root team members pass empty payloads");
   }
   const sim::Group team = grid.team_group(j);
   constexpr int kTagShift = 301;
 
   // Replicate block j down the team column.
   sim::Buffer resident = comm.alloc(part_words);
-  if (i == 0) {
-    std::copy(my_particles.begin(), my_particles.end(), resident.data());
+  if (i == 0 && !gm) {
+    std::copy(my_particles.span().begin(), my_particles.span().end(),
+              resident.data());
   }
-  comm.bcast(resident.span(), /*root=*/0, team);
+  comm.bcast(resident.view(), /*root=*/0, team);
 
   // Member i handles source-block ring offsets o ≡ i (mod c), o < P.
   sim::Buffer traveling = comm.alloc(part_words);
@@ -115,26 +117,33 @@ void nbody_replicated(sim::Comm& comm, const topo::TeamGrid& grid, int n,
   for (int o = i; o < P; o += c) ++steps;
   if (steps > 0) {
     // Fetch block (j + i): my replica travels to the rank i columns left.
-    comm.sendrecv(row_rank(j - i), resident.span(), row_rank(j + i),
-                  traveling.span(), kTagShift);
+    comm.sendrecv(row_rank(j - i), resident.view(), row_rank(j + i),
+                  traveling.view(), kTagShift);
     for (int t = 0; t < steps; ++t) {
       const int o = i + t * c;
-      const double pairs = accumulate_forces(resident.span(),
-                                             traveling.span(),
-                                             partial.span(),
-                                             /*same_block=*/o == 0);
+      // The interaction count is data-independent: every target-source
+      // pair except the diagonal of the o == 0 block. Full mode evaluates
+      // the kernel; both modes charge the same analytic pair count.
+      const double pairs =
+          static_cast<double>(nb) * nb - (o == 0 ? nb : 0);
+      if (!gm) {
+        accumulate_forces(resident.span(), traveling.span(), partial.span(),
+                          /*same_block=*/o == 0);
+      }
       comm.compute(kInteractionFlops * pairs);
       if (t + 1 < steps) {
-        comm.sendrecv(row_rank(j - c), traveling.span(), row_rank(j + c),
-                      scratch.span(), kTagShift);
-        std::copy(scratch.data(), scratch.data() + part_words,
-                  traveling.data());
+        comm.sendrecv(row_rank(j - c), traveling.view(), row_rank(j + c),
+                      scratch.view(), kTagShift);
+        if (!gm) {
+          std::copy(scratch.data(), scratch.data() + part_words,
+                    traveling.data());
+        }
       }
     }
   }
 
   // Sum the team's partial forces back to the block owner.
-  comm.reduce_sum(partial.span(), i == 0 ? my_forces : std::span<double>{},
+  comm.reduce_sum(partial.view(), i == 0 ? my_forces : sim::Payload{},
                   /*root=*/0, team);
 }
 

@@ -43,9 +43,12 @@ std::vector<double> direct_forces(std::span<const double> particles);
 ///    so each rank moves Θ(n/c) words instead of Θ(n);
 ///  - partial forces are summed back to rank (0, j).
 /// c = 1 (a 1×p grid) is exactly the classical force-ring baseline.
-/// Ranks with row > 0 pass empty spans. Requires (p/c) | n.
+/// Ranks with row > 0 pass empty payloads. Requires (p/c) | n. Buffers are
+/// payload views — spans convert implicitly in full-data mode; ghost views
+/// replay the identical cost schedule without data (the interaction count
+/// is analytic: nt·ns − nt on the diagonal block).
 void nbody_replicated(sim::Comm& comm, const topo::TeamGrid& grid, int n,
-                      std::span<const double> my_particles,
-                      std::span<double> my_forces);
+                      sim::ConstPayload my_particles,
+                      sim::Payload my_forces);
 
 }  // namespace alge::algs

@@ -64,14 +64,15 @@ constexpr int kTagTsqr = 501;
 constexpr int kTagGatherQr = 502;
 }  // namespace
 
-void tsqr(sim::Comm& comm, int b, std::span<const double> a_local,
-          std::span<double> r_out) {
+void tsqr(sim::Comm& comm, int b, sim::ConstPayload a_local,
+          sim::Payload r_out) {
   ALGE_REQUIRE(b >= 1, "column count must be positive");
   ALGE_REQUIRE(a_local.size() % static_cast<std::size_t>(b) == 0,
                "local block must be a whole number of rows");
   const int rows = static_cast<int>(a_local.size()) / b;
   ALGE_REQUIRE(rows >= b, "each rank needs at least b=%d rows (has %d)", b,
                rows);
+  const bool gm = comm.ghost();
   const std::size_t b2 = static_cast<std::size_t>(b) * b;
   const int me = comm.rank();
   const int p = comm.size();
@@ -83,8 +84,11 @@ void tsqr(sim::Comm& comm, int b, std::span<const double> a_local,
 
   // Local factorization.
   sim::Buffer work = comm.alloc(a_local.size());
-  std::copy(a_local.begin(), a_local.end(), work.data());
-  std::vector<double> r = householder_qr_r(work.span(), rows, b);
+  std::vector<double> r;
+  if (!gm) {
+    std::copy(a_local.span().begin(), a_local.span().end(), work.data());
+    r = householder_qr_r(work.span(), rows, b);
+  }
   comm.compute(qr_flops(rows, b));
 
   // Binomial fan-in: at round `mask`, odd multiples send their R to the
@@ -92,23 +96,24 @@ void tsqr(sim::Comm& comm, int b, std::span<const double> a_local,
   sim::Buffer stacked = comm.alloc(2 * b2);
   for (int mask = 1; mask < p; mask <<= 1) {
     if (me & mask) {
-      comm.send(me - mask, r, kTagTsqr);
+      comm.send(me - mask, gm ? sim::ConstPayload::ghost(b2)
+                              : sim::ConstPayload(r), kTagTsqr);
       return;  // this rank is done
     }
     if (me + mask < p) {
-      std::copy(r.begin(), r.end(), stacked.data());
-      comm.recv(me + mask,
-                std::span<double>(stacked.data() + b2, b2), kTagTsqr);
-      r = householder_qr_r(stacked.span(), 2 * b, b);
+      if (!gm) std::copy(r.begin(), r.end(), stacked.data());
+      comm.recv(me + mask, stacked.view().sub(b2, b2), kTagTsqr);
+      if (!gm) r = householder_qr_r(stacked.span(), 2 * b, b);
       comm.compute(qr_flops(2 * b, b));
     }
   }
-  std::copy(r.begin(), r.end(), r_out.begin());
+  if (!gm) std::copy(r.begin(), r.end(), r_out.span().begin());
 }
 
-void gather_qr(sim::Comm& comm, int b, std::span<const double> a_local,
-               std::span<double> r_out) {
+void gather_qr(sim::Comm& comm, int b, sim::ConstPayload a_local,
+               sim::Payload r_out) {
   ALGE_REQUIRE(b >= 1, "column count must be positive");
+  const bool gm = comm.ghost();
   const int me = comm.rank();
   const int p = comm.size();
   const std::size_t b2 = static_cast<std::size_t>(b) * b;
@@ -120,17 +125,21 @@ void gather_qr(sim::Comm& comm, int b, std::span<const double> a_local,
   ALGE_REQUIRE(r_out.size() == b2, "rank 0 output must be b*b words");
   // Assume equal block sizes (the harness arranges this).
   sim::Buffer all = comm.alloc(a_local.size() * static_cast<std::size_t>(p));
-  std::copy(a_local.begin(), a_local.end(), all.data());
+  if (!gm) {
+    std::copy(a_local.span().begin(), a_local.span().end(), all.data());
+  }
   for (int src = 1; src < p; ++src) {
     comm.recv(src,
-              all.span().subspan(a_local.size() * static_cast<std::size_t>(src),
-                                 a_local.size()),
+              all.view().sub(a_local.size() * static_cast<std::size_t>(src),
+                             a_local.size()),
               kTagGatherQr);
   }
   const int rows = static_cast<int>(all.size()) / b;
-  const auto r = householder_qr_r(all.span(), rows, b);
+  if (!gm) {
+    const auto r = householder_qr_r(all.span(), rows, b);
+    std::copy(r.begin(), r.end(), r_out.span().begin());
+  }
   comm.compute(qr_flops(rows, b));
-  std::copy(r.begin(), r.end(), r_out.begin());
 }
 
 }  // namespace alge::algs

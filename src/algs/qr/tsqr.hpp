@@ -30,14 +30,16 @@ double qr_flops(int m, int b);
 
 /// Distributed TSQR over all p ranks. Each rank passes its local rows
 /// (rows_local × b, row-major); rank 0 receives the global R (b×b,
-/// row-major) in r_out — other ranks pass an empty span. Requires
-/// rows_local >= b on every rank.
-void tsqr(sim::Comm& comm, int b, std::span<const double> a_local,
-          std::span<double> r_out);
+/// row-major) in r_out — other ranks pass an empty payload. Requires
+/// rows_local >= b on every rank. Buffers are payload views — spans convert
+/// implicitly in full-data mode; ghost views replay the identical cost
+/// schedule without data.
+void tsqr(sim::Comm& comm, int b, sim::ConstPayload a_local,
+          sim::Payload r_out);
 
 /// Baseline for the ablation: gather all rows to rank 0 and factor there.
 /// Same result, W = Θ(n·b) at the root.
-void gather_qr(sim::Comm& comm, int b, std::span<const double> a_local,
-               std::span<double> r_out);
+void gather_qr(sim::Comm& comm, int b, sim::ConstPayload a_local,
+               sim::Payload r_out);
 
 }  // namespace alge::algs

@@ -18,6 +18,7 @@ constexpr int kTagUp = 202;
 struct Ctx {
   sim::Comm* comm = nullptr;
   const CapsOptions* opts = nullptr;
+  bool ghost = false;
 };
 
 /// out = x + sign·y over `len` doubles, charged as real flops.
@@ -25,6 +26,19 @@ void combine(Ctx& ctx, const double* x, const double* y, double sign,
              double* out, std::size_t len) {
   for (std::size_t i = 0; i < len; ++i) out[i] = x[i] + sign * y[i];
   ctx.comm->compute(static_cast<double>(len));
+}
+
+// Ghost-mode twins of form_operands / form_result: charge the same
+// compute() calls — one per combine, at the same granularity, in the same
+// count (10 down-sweep, 8 up-sweep) — so trace streams and clocks match the
+// full-data path bit-for-bit. The quadrant copies charge nothing there and
+// so have no twin here.
+void form_operands_cost(Ctx& ctx, std::size_t len) {
+  for (int i = 0; i < 10; ++i) ctx.comm->compute(static_cast<double>(len));
+}
+
+void form_result_cost(Ctx& ctx, std::size_t len) {
+  for (int i = 0; i < 8; ++i) ctx.comm->compute(static_cast<double>(len));
 }
 
 /// Form the share-level Strassen operands from the quadrant runs of the A
@@ -80,10 +94,10 @@ void form_result(Ctx& ctx, const double* prods, std::span<double> c,
 /// Recursive CAPS step. The calling rank belongs to the group of world
 /// ranks [base, base+g); its shares of the current s×s operands have length
 /// s²/g. `sched` is the remaining schedule.
-void caps_rec(Ctx& ctx, int base, int g, int s, std::span<const double> a,
-              std::span<const double> b, std::span<double> c,
-              std::string_view sched) {
+void caps_rec(Ctx& ctx, int base, int g, int s, sim::ConstPayload a,
+              sim::ConstPayload b, sim::Payload c, std::string_view sched) {
   sim::Comm& comm = *ctx.comm;
+  const bool gm = ctx.ghost;
   const std::size_t share = a.size();
   ALGE_CHECK(share == static_cast<std::size_t>(s) * s /
                           static_cast<std::size_t>(g),
@@ -96,20 +110,24 @@ void caps_rec(Ctx& ctx, int base, int g, int s, std::span<const double> a,
     const int cutoff = ctx.opts->local_cutoff;
     sim::Buffer prod = comm.alloc(share);
     if (cutoff > 0) {
-      strassen_multiply(a, b, prod.span(), s, cutoff);
+      if (!gm) strassen_multiply(a.span(), b.span(), prod.span(), s, cutoff);
       comm.compute(strassen_flops(s, cutoff));
     } else {
-      matmul_add_blocked(a.data(), b.data(), prod.data(), s, s, s);
+      if (!gm) matmul_add_blocked(a.data(), b.data(), prod.data(), s, s, s);
       comm.compute(matmul_flops(s, s, s));
     }
-    std::copy(prod.data(), prod.data() + share, c.begin());
+    if (!gm) std::copy(prod.data(), prod.data() + share, c.span().begin());
     return;
   }
 
   const std::size_t len = share / 4;  // share of one quadrant / product
   sim::Buffer s_ops = comm.alloc(7 * len);
   sim::Buffer t_ops = comm.alloc(7 * len);
-  form_operands(ctx, a, b, len, s_ops.data(), t_ops.data());
+  if (gm) {
+    form_operands_cost(ctx, len);
+  } else {
+    form_operands(ctx, a.span(), b.span(), len, s_ops.data(), t_ops.data());
+  }
 
   const char step = sched.front();
   const std::string_view rest = sched.substr(1);
@@ -119,12 +137,14 @@ void caps_rec(Ctx& ctx, int base, int g, int s, std::span<const double> a,
     sim::Buffer prods = comm.alloc(7 * len);
     for (int i = 0; i < 7; ++i) {
       const std::size_t off = static_cast<std::size_t>(i) * len;
-      caps_rec(ctx, base, g, s / 2,
-               std::span<const double>(s_ops.data() + off, len),
-               std::span<const double>(t_ops.data() + off, len),
-               std::span<double>(prods.data() + off, len), rest);
+      caps_rec(ctx, base, g, s / 2, s_ops.view().sub(off, len),
+               t_ops.view().sub(off, len), prods.view().sub(off, len), rest);
     }
-    form_result(ctx, prods.data(), c, len);
+    if (gm) {
+      form_result_cost(ctx, len);
+    } else {
+      form_result(ctx, prods.data(), c.span(), len);
+    }
     return;
   }
 
@@ -140,9 +160,11 @@ void caps_rec(Ctx& ctx, int base, int g, int s, std::span<const double> a,
     sim::Buffer send_buf = comm.alloc(2 * len);
     for (int i = 0; i < 7; ++i) {
       const std::size_t off = static_cast<std::size_t>(i) * len;
-      std::copy_n(s_ops.data() + off, len, send_buf.data());
-      std::copy_n(t_ops.data() + off, len, send_buf.data() + len);
-      comm.send(base + i * gc + j, send_buf.span(), kTagDown);
+      if (!gm) {
+        std::copy_n(s_ops.data() + off, len, send_buf.data());
+        std::copy_n(t_ops.data() + off, len, send_buf.data() + len);
+      }
+      comm.send(base + i * gc + j, send_buf.view(), kTagDown);
     }
   }
   // Receive the 7 parent slices of my subproblem's operands and interleave
@@ -154,38 +176,44 @@ void caps_rec(Ctx& ctx, int base, int g, int s, std::span<const double> a,
   {
     sim::Buffer recv_buf = comm.alloc(2 * len);
     for (int d = 0; d < 7; ++d) {
-      comm.recv(base + j + d * gc, recv_buf.span(), kTagDown);
-      for (std::size_t t = 0; t < len; ++t) {
-        a_child[t * 7 + static_cast<std::size_t>(d)] = recv_buf[t];
-        b_child[t * 7 + static_cast<std::size_t>(d)] = recv_buf[len + t];
+      comm.recv(base + j + d * gc, recv_buf.view(), kTagDown);
+      if (!gm) {
+        for (std::size_t t = 0; t < len; ++t) {
+          a_child[t * 7 + static_cast<std::size_t>(d)] = recv_buf[t];
+          b_child[t * 7 + static_cast<std::size_t>(d)] = recv_buf[len + t];
+        }
       }
     }
   }
 
   sim::Buffer p_child = comm.alloc(child_len);
-  caps_rec(ctx, base + my_sub * gc, gc, s / 2, a_child.span(),
-           b_child.span(), p_child.span(), rest);
+  caps_rec(ctx, base + my_sub * gc, gc, s / 2, a_child.view(),
+           b_child.view(), p_child.view(), rest);
 
   // Up-sweep: slice d of my product share goes back to parent rank j+d·gc.
   {
     sim::Buffer send_buf = comm.alloc(len);
     for (int d = 0; d < 7; ++d) {
-      for (std::size_t t = 0; t < len; ++t) {
-        send_buf[t] = p_child[t * 7 + static_cast<std::size_t>(d)];
+      if (!gm) {
+        for (std::size_t t = 0; t < len; ++t) {
+          send_buf[t] = p_child[t * 7 + static_cast<std::size_t>(d)];
+        }
       }
-      comm.send(base + j + d * gc, send_buf.span(), kTagUp);
+      comm.send(base + j + d * gc, send_buf.view(), kTagUp);
     }
   }
   // Collect my slice of every subproblem's product and combine into C.
   sim::Buffer prods = comm.alloc(7 * len);
   for (int i = 0; i < 7; ++i) {
     comm.recv(base + i * gc + j,
-              std::span<double>(prods.data() + static_cast<std::size_t>(i) *
-                                                   len,
-                                len),
+              prods.view().sub(static_cast<std::size_t>(i) * len, len),
               kTagUp);
   }
-  form_result(ctx, prods.data(), c, len);
+  if (gm) {
+    form_result_cost(ctx, len);
+  } else {
+    form_result(ctx, prods.data(), c.span(), len);
+  }
 }
 }  // namespace
 
@@ -222,10 +250,9 @@ bool caps_schedule_valid(int n, int k, const std::string& schedule) {
   return true;
 }
 
-void caps_multiply(sim::Comm& comm, int n, int k,
-                   std::span<const double> a_share,
-                   std::span<const double> b_share,
-                   std::span<double> c_share, const CapsOptions& opts) {
+void caps_multiply(sim::Comm& comm, int n, int k, sim::ConstPayload a_share,
+                   sim::ConstPayload b_share, sim::Payload c_share,
+                   const CapsOptions& opts) {
   const int p = caps_ranks(k);
   ALGE_REQUIRE(comm.size() == p, "CAPS with k=%d needs exactly %d ranks", k,
                p);
@@ -241,7 +268,7 @@ void caps_multiply(sim::Comm& comm, int n, int k,
   ALGE_REQUIRE(a_share.size() == share && b_share.size() == share &&
                    c_share.size() == share,
                "shares must be n²/p = %zu words", share);
-  Ctx ctx{&comm, &opts};
+  Ctx ctx{&comm, &opts, comm.ghost()};
   caps_rec(ctx, /*base=*/0, p, n, a_share, b_share, c_share, sched);
 }
 

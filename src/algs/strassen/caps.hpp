@@ -22,7 +22,6 @@
 // cutoff, or the classical kernel).
 #pragma once
 
-#include <span>
 #include <string>
 
 #include "sim/comm.hpp"
@@ -39,11 +38,12 @@ struct CapsOptions {
 
 /// Multiply two n×n matrices distributed over p = 7^k ranks (the whole
 /// machine). Each rank passes its layout shares of A and B (length n²/p,
-/// Z-levels = schedule length) and receives its share of C.
-void caps_multiply(sim::Comm& comm, int n, int k,
-                   std::span<const double> a_share,
-                   std::span<const double> b_share,
-                   std::span<double> c_share, const CapsOptions& opts = {});
+/// Z-levels = schedule length) and receives its share of C. Shares are
+/// payload views (sim/payload.hpp): spans convert implicitly in full-data
+/// mode; ghost views replay the identical cost schedule without data.
+void caps_multiply(sim::Comm& comm, int n, int k, sim::ConstPayload a_share,
+                   sim::ConstPayload b_share, sim::Payload c_share,
+                   const CapsOptions& opts = {});
 
 /// 7^k.
 int caps_ranks(int k);

@@ -57,7 +57,7 @@ int isqrt(int p) {
   return q;
 }
 
-RunResult dispatch(const CaseSpec& spec) {
+RunResult dispatch(const CaseSpec& spec, bool verify) {
   namespace h = algs::harness;
   const int p = spec.p;
   const auto seed = spec.problem_seed;
@@ -65,29 +65,29 @@ RunResult dispatch(const CaseSpec& spec) {
   switch (spec.alg) {
     case Alg::kMm25d: {
       const auto [q, c] = mm25d_shape(p);
-      return h::run_mm25d(8 * q, q, c, mp, /*verify=*/true, seed);
+      return h::run_mm25d(8 * q, q, c, mp, verify, seed);
     }
     case Alg::kSumma: {
       const int q = isqrt(p);
-      return h::run_summa(8 * q, q, mp, /*verify=*/true, seed);
+      return h::run_summa(8 * q, q, mp, verify, seed);
     }
     case Alg::kCaps:
       // CAPS runs on 7^k ranks; k = 1 is the smallest nontrivial tree,
       // and n = 14 is the smallest even size with 7 | n² (share layout).
-      return h::run_caps(14, 1, mp, {}, /*verify=*/true, seed);
+      return h::run_caps(14, 1, mp, {}, verify, seed);
     case Alg::kNbody: {
       const int c = p % 2 == 0 ? 2 : 1;
-      return h::run_nbody(4 * (p / c), p, c, mp, /*verify=*/true, seed);
+      return h::run_nbody(4 * (p / c), p, c, mp, verify, seed);
     }
     case Alg::kLu: {
       const auto [q, c] = mm25d_shape(p);
-      return h::run_lu(8 * q, 4, q, c, mp, /*verify=*/true, seed);
+      return h::run_lu(8 * q, 4, q, c, mp, verify, seed);
     }
     case Alg::kTsqr:
-      return h::run_tsqr(8, 4, p, mp, /*verify=*/true, seed);
+      return h::run_tsqr(8, 4, p, mp, verify, seed);
     case Alg::kFft:
       return h::run_fft(2 * p, 2 * p, p, algs::AllToAllKind::kDirect, mp,
-                        /*verify=*/true, seed);
+                        verify, seed);
   }
   throw invalid_argument_error("unknown algorithm");
 }
@@ -150,10 +150,16 @@ bool RunSignature::identical_to(const RunSignature& o) const {
          energy == o.energy && max_abs_error == o.max_abs_error;
 }
 
+bool RunSignature::cost_identical_to(const RunSignature& o) const {
+  return ranks == o.ranks && totals == o.totals && makespan == o.makespan &&
+         energy == o.energy && faults == o.faults;
+}
+
 RunSignature run_case(const CaseSpec& spec, const ChaosConfig& chaos) {
   algs::harness::RunObserver obs;
   std::shared_ptr<PlanInjector> injector;
   obs.configure = [&chaos, &injector](sim::MachineConfig& cfg) {
+    cfg.data_mode = chaos.data_mode;
     if (chaos.schedule_seed != 0) {
       cfg.wake_policy =
           std::make_shared<SchedulePermuter>(chaos.schedule_seed);
@@ -171,7 +177,10 @@ RunSignature run_case(const CaseSpec& spec, const ChaosConfig& chaos) {
     for (int r = 0; r < m.p(); ++r) sig.ranks.push_back(m.rank_counters(r));
   };
   algs::harness::ScopedRunObserver scope(std::move(obs));
-  const RunResult res = dispatch(spec);
+  // Ghost runs have no output, so verification only makes sense in full
+  // mode (the harness rejects the combination outright).
+  const RunResult res =
+      dispatch(spec, /*verify=*/chaos.data_mode == sim::DataMode::kFull);
   sig.totals = res.totals;
   sig.makespan = res.makespan;
   sig.energy = res.energy.breakdown;
@@ -365,6 +374,115 @@ DiffReport explore(const DiffOptions& opts) {
       "failures -> %s",
       rep.cases, rep.schedule_runs, rep.fault_runs, rep.mismatches,
       rep.failures, rep.ok() ? "OK" : "FAIL");
+  if (out != nullptr) *out << rep.summary << "\n";
+  return rep;
+}
+
+namespace {
+
+/// Name the first *cost* field that differs (ghost diagnostics; ignores
+/// max_abs_error, which ghost runs cannot reproduce by design).
+std::string first_cost_difference(const RunSignature& a,
+                                  const RunSignature& b) {
+  if (a.ranks.size() != b.ranks.size()) return "rank count";
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    const sim::RankCounters& x = a.ranks[r];
+    const sim::RankCounters& y = b.ranks[r];
+    if (x == y) continue;
+    if (x.flops != y.flops) return strfmt("rank %zu flops", r);
+    if (x.words_sent != y.words_sent) return strfmt("rank %zu words", r);
+    if (x.msgs_sent != y.msgs_sent) return strfmt("rank %zu msgs", r);
+    if (x.clock != y.clock) return strfmt("rank %zu clock", r);
+    if (x.idle_time != y.idle_time) return strfmt("rank %zu idle", r);
+    if (x.mem_highwater != y.mem_highwater) {
+      return strfmt("rank %zu memory high-water", r);
+    }
+    return strfmt("rank %zu counters", r);
+  }
+  if (!(a.totals == b.totals)) return "totals";
+  if (a.makespan != b.makespan) return "makespan";
+  if (!(a.energy == b.energy)) return "energy";
+  if (!(a.faults == b.faults)) return "injected faults";
+  return "(none)";
+}
+
+}  // namespace
+
+GhostDiffReport ghost_explore(const GhostDiffOptions& opts) {
+  ALGE_REQUIRE(opts.seeds >= 1, "need at least one seed");
+  GhostDiffReport rep;
+  std::ostream* out = opts.out;
+  for (Alg alg : opts.algs) {
+    for (int p : opts.ps) {
+      ++rep.cases;
+      CaseSpec spec;
+      spec.alg = alg;
+      spec.p = p;
+      spec.problem_seed = opts.problem_seed;
+      spec.params = tuned_params();
+
+      // One fault-free pairing, then every plan × seed. Each entry is a
+      // (label, config) template; the pair loop runs it in both modes.
+      struct Pairing {
+        std::string label;
+        ChaosConfig cc;
+      };
+      std::vector<Pairing> pairings;
+      pairings.push_back({"fault-free", ChaosConfig{}});
+      for (const std::string& plan_name : opts.plans) {
+        if (plan_name == "none") continue;
+        const FaultPlan plan = FaultPlan::bundled(plan_name);
+        for (int s = 1; s <= opts.seeds; ++s) {
+          ChaosConfig cc;
+          cc.plan = plan;
+          cc.fault_seed = static_cast<std::uint64_t>(s);
+          pairings.push_back(
+              {strfmt("plan=%s seed=%d", plan_name.c_str(), s), cc});
+        }
+      }
+
+      int case_bad = 0;
+      for (const Pairing& pairing : pairings) {
+        ++rep.pairs;
+        try {
+          ChaosConfig full_cc = pairing.cc;
+          full_cc.data_mode = sim::DataMode::kFull;
+          const RunSignature full = run_case(spec, full_cc);
+          ChaosConfig ghost_cc = pairing.cc;
+          ghost_cc.data_mode = sim::DataMode::kGhost;
+          const RunSignature ghost = run_case(spec, ghost_cc);
+          if (!ghost.cost_identical_to(full)) {
+            ++rep.mismatches;
+            ++case_bad;
+            if (out != nullptr) {
+              *out << strfmt(
+                  "FAIL %s p=%d %s: ghost cost signature differs at %s\n",
+                  alg_name(alg), p, pairing.label.c_str(),
+                  first_cost_difference(full, ghost).c_str());
+            }
+          }
+        } catch (const std::exception& e) {
+          ++rep.failures;
+          ++case_bad;
+          if (out != nullptr) {
+            *out << strfmt("FAIL %s p=%d %s: threw: %s\n", alg_name(alg), p,
+                           pairing.label.c_str(), e.what());
+          }
+        }
+      }
+      if (out != nullptr && opts.verbose) {
+        *out << strfmt("%-6s p=%d (runs on %d ranks): %zu/%zu full/ghost "
+                       "pairs bit-identical\n",
+                       alg_name(alg), p, effective_p(alg, p),
+                       pairings.size() - static_cast<std::size_t>(case_bad),
+                       pairings.size());
+      }
+    }
+  }
+  rep.summary = strfmt(
+      "%d cases: %d full/ghost pairs; %d mismatches, %d failures -> %s",
+      rep.cases, rep.pairs, rep.mismatches, rep.failures,
+      rep.ok() ? "OK" : "FAIL");
   if (out != nullptr) *out << rep.summary << "\n";
   return rep;
 }

@@ -55,6 +55,10 @@ struct ChaosConfig {
   /// Non-inert: install plan.make_injector(fault_seed, αt).
   FaultPlan plan;
   std::uint64_t fault_seed = 1;
+  /// kGhost: run storage-free payloads (sim/payload.hpp). Verification is
+  /// off for ghost runs (there is no output); the cost signature must
+  /// still be bit-identical to the full-data run.
+  sim::DataMode data_mode = sim::DataMode::kFull;
 };
 
 /// Everything observable about a finished run. Compared field-for-field
@@ -68,6 +72,10 @@ struct RunSignature {
   FaultStats faults;           ///< what the injector actually injected
 
   bool identical_to(const RunSignature& o) const;
+  /// Bit-identity on everything the cost model observes — per-rank
+  /// counters, totals, makespan, energy, injected faults — but not
+  /// max_abs_error: ghost runs have no numerical output to compare.
+  bool cost_identical_to(const RunSignature& o) const;
 };
 
 /// Run one case under the given chaos knobs (verification always on).
@@ -105,5 +113,36 @@ struct DiffReport {
 /// round-robin baseline, then assert bit-identity under `seeds` schedule
 /// permutations and bounded, convergent degradation under every plan.
 DiffReport explore(const DiffOptions& opts);
+
+/// Ghost-payload differential sweep options. Smaller seed count than
+/// DiffOptions by default: every comparison is a *pair* of runs.
+struct GhostDiffOptions {
+  std::vector<Alg> algs = all_algs();
+  std::vector<int> ps = {4, 8};
+  int seeds = 4;  ///< fault seeds per (case, plan)
+  /// Bundled plan names to pair up; "none" is skipped (the fault-free
+  /// pairing always runs).
+  std::vector<std::string> plans = FaultPlan::bundled_names();
+  std::uint64_t problem_seed = 1;
+  bool verbose = false;
+  std::ostream* out = nullptr;  ///< progress/failure stream (null = silent)
+};
+
+struct GhostDiffReport {
+  int cases = 0;
+  int pairs = 0;       ///< full/ghost run pairs compared
+  int mismatches = 0;  ///< cost signatures that differed
+  int failures = 0;    ///< unexpected exceptions in either mode
+  std::string summary;
+
+  bool ok() const { return mismatches == 0 && failures == 0; }
+};
+
+/// The ghost differential gate: for every (alg, p), run full-data and
+/// ghost mode back to back — fault-free and under every plan × seed — and
+/// assert the cost signatures (clocks, F/W/S, energy, injected faults) are
+/// bit-identical. Any difference means ghost mode's cost schedule has
+/// drifted from the real one.
+GhostDiffReport ghost_explore(const GhostDiffOptions& opts);
 
 }  // namespace alge::chaos

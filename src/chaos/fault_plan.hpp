@@ -52,6 +52,9 @@ struct FaultStats {
   std::uint64_t total() const {
     return delays + drops + duplicates + reorders + pauses;
   }
+  /// Injection decisions are pure in (seed, flow, seq), and flows carry
+  /// message sizes — so ghost and full runs must inject identical faults.
+  bool operator==(const FaultStats& o) const = default;
 };
 
 /// sim::FaultInjector realizing a FaultPlanConfig under one seed. One

@@ -100,10 +100,11 @@ json::Value ExperimentSpec::to_json() const {
       // Decimal string: a double could not hold every 64-bit seed exactly.
       .set("seed", strfmt("%" PRIu64, seed))
       .set("params", params_to_json(params));
-  // Chaos axes only when active: the canonical encoding of every
+  // Chaos/data-mode axes only when active: the canonical encoding of every
   // pre-existing spec — and therefore its cache key — is unchanged.
   if (chaos_seed != 0) o.set("chaos_seed", strfmt("%" PRIu64, chaos_seed));
   if (!fault_plan.empty()) o.set("fault_plan", fault_plan);
+  if (data_mode == sim::DataMode::kGhost) o.set("data_mode", "ghost");
   return o;
 }
 
@@ -131,6 +132,14 @@ ExperimentSpec ExperimentSpec::from_json(const json::Value& v) {
   }
   if (const json::Value* fp = v.find("fault_plan"); fp != nullptr) {
     s.fault_plan = fp->as_string();
+  }
+  if (const json::Value* dm = v.find("data_mode"); dm != nullptr) {
+    const std::string& mode = dm->as_string();
+    if (mode == "ghost") {
+      s.data_mode = sim::DataMode::kGhost;
+    } else {
+      ALGE_REQUIRE(mode == "full", "unknown data_mode \"%s\"", mode.c_str());
+    }
   }
   return s;
 }

@@ -71,6 +71,11 @@ struct ExperimentSpec {
   std::uint64_t chaos_seed = 0;  ///< nonzero: permute the fiber wake order
   std::string fault_plan;        ///< bundled chaos::FaultPlan name ("" = off)
 
+  // Data mode (sim/payload.hpp): kGhost runs the identical cost schedule
+  // without data movement or local kernels. Default-inert and serialized
+  // only when set, like the chaos axes, so kFull cache keys are unchanged.
+  sim::DataMode data_mode = sim::DataMode::kFull;
+
   json::Value to_json() const;
   static ExperimentSpec from_json(const json::Value& v);
 

@@ -45,40 +45,57 @@ ExperimentResult run_collective(const ExperimentSpec& spec) {
   // injection, wake policies) apply to collectives too.
   sim::MachineConfig cfg = algs::harness::observed_config(spec.params);
   cfg.p = spec.p;
+  const bool ghost = cfg.data_mode == sim::DataMode::kGhost;
   sim::Machine m(cfg);
   const std::size_t k = static_cast<std::size_t>(spec.payload_words);
   const int p = spec.p;
   m.run([&](sim::Comm& c) {
+    const sim::Group world = sim::Group::world(p);
+    const std::size_t kp = k * static_cast<std::size_t>(p);
+    // Ghost runs pass storage-free views of the same sizes; the cost
+    // schedule is identical either way.
+    std::vector<double> d, out;
     switch (spec.alg) {
-      case Alg::kCollBcast: {
-        std::vector<double> d(k, 1.0);
-        c.bcast(d, 0, sim::Group::world(p));
+      case Alg::kCollBcast:
+        if (!ghost) d.assign(k, 1.0);
+        c.bcast(ghost ? sim::Payload::ghost(k) : sim::Payload(d), 0, world);
         break;
-      }
-      case Alg::kCollReduce: {
-        std::vector<double> d(k, 1.0);
-        std::vector<double> out(k);
-        c.reduce_sum(d, out, 0, sim::Group::world(p));
+      case Alg::kCollReduce:
+        if (!ghost) {
+          d.assign(k, 1.0);
+          out.resize(k);
+        }
+        c.reduce_sum(
+            ghost ? sim::ConstPayload::ghost(k) : sim::ConstPayload(d),
+            ghost ? sim::Payload::ghost(k) : sim::Payload(out), 0, world);
         break;
-      }
-      case Alg::kCollAllgather: {
-        std::vector<double> d(k, 1.0);
-        std::vector<double> out(k * static_cast<std::size_t>(p));
-        c.allgather(d, out, sim::Group::world(p));
+      case Alg::kCollAllgather:
+        if (!ghost) {
+          d.assign(k, 1.0);
+          out.resize(kp);
+        }
+        c.allgather(
+            ghost ? sim::ConstPayload::ghost(k) : sim::ConstPayload(d),
+            ghost ? sim::Payload::ghost(kp) : sim::Payload(out), world);
         break;
-      }
-      case Alg::kCollA2aDirect: {
-        std::vector<double> d(k * static_cast<std::size_t>(p), 1.0);
-        std::vector<double> out(d.size());
-        c.alltoall(d, out, sim::Group::world(p));
+      case Alg::kCollA2aDirect:
+        if (!ghost) {
+          d.assign(kp, 1.0);
+          out.resize(kp);
+        }
+        c.alltoall(
+            ghost ? sim::ConstPayload::ghost(kp) : sim::ConstPayload(d),
+            ghost ? sim::Payload::ghost(kp) : sim::Payload(out), world);
         break;
-      }
-      case Alg::kCollA2aBruck: {
-        std::vector<double> d(k * static_cast<std::size_t>(p), 1.0);
-        std::vector<double> out(d.size());
-        c.alltoall_bruck(d, out, sim::Group::world(p));
+      case Alg::kCollA2aBruck:
+        if (!ghost) {
+          d.assign(kp, 1.0);
+          out.resize(kp);
+        }
+        c.alltoall_bruck(
+            ghost ? sim::ConstPayload::ghost(kp) : sim::ConstPayload(d),
+            ghost ? sim::Payload::ghost(kp) : sim::Payload(out), world);
         break;
-      }
       default:
         ALGE_CHECK(false, "not a collective alg");
     }
@@ -96,6 +113,21 @@ ExperimentResult run_collective(const ExperimentSpec& spec) {
 
 ExperimentResult execute(const ExperimentSpec& spec) {
   using namespace algs;
+  if (spec.data_mode == sim::DataMode::kGhost) {
+    // Data-mode axis: like the chaos axes below, chain a configure hook
+    // onto the caller's observer, strip the field, and dispatch the plain
+    // spec — the harness reads cfg.data_mode via observed_config().
+    harness::RunObserver obs = harness::run_observer();
+    auto prev = obs.configure;
+    obs.configure = [prev](sim::MachineConfig& cfg) {
+      if (prev) prev(cfg);
+      cfg.data_mode = sim::DataMode::kGhost;
+    };
+    harness::ScopedRunObserver scoped(std::move(obs));
+    ExperimentSpec inner = spec;
+    inner.data_mode = sim::DataMode::kFull;
+    return execute(inner);
+  }
   if (spec.chaos_seed != 0 || !spec.fault_plan.empty()) {
     // Chaos axes: chain a configure hook onto the caller's observer (so
     // tracing/ledger/after_run still work), strip the chaos fields, and

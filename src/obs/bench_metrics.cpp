@@ -100,6 +100,26 @@ void normalize_baseline_table(const json::Value& doc,
   }
 }
 
+/// BENCH_ghost.json: {"bench": "ghost", "results": [{"name": …,
+/// "full_seconds": …, "ghost_seconds": …, "speedup": …, …}]}. Raw
+/// wall-clock seconds vary with the machine running the bench and are
+/// skipped; the speedup ratio (the file's contract) and the deterministic
+/// simulation fields (makespan, energy, p) are emitted as
+/// "ghost.<name>.<field>".
+void normalize_ghost_speedup(const json::Value& doc,
+                             std::vector<Metric>& out) {
+  for (const json::Value& entry : doc.at("results").as_array()) {
+    const json::Value* name = entry.find("name");
+    if (name == nullptr || !name->is_string() || !entry.is_object()) continue;
+    for (const auto& [key, field] : entry.as_object()) {
+      if (!field.is_number() || is_timestamp_key(key)) continue;
+      if (key == "full_seconds" || key == "ghost_seconds") continue;
+      out.push_back(
+          {"ghost." + name->as_string() + "." + key, field.as_double()});
+    }
+  }
+}
+
 /// BENCH_engine.json: an append-only array of run records; compare the
 /// latest record of each bench.
 void normalize_engine_history(const json::Value& doc,
@@ -142,8 +162,14 @@ std::vector<Metric> normalize_bench_json(const json::Value& doc) {
   if (doc.is_array()) {
     normalize_engine_history(doc, out);
   } else if (doc.is_object()) {
+    const json::Value* bench = doc.find("bench");
+    const json::Value* results = doc.find("results");
     const json::Value* benchmarks = doc.find("benchmarks");
-    if (benchmarks != nullptr && benchmarks->is_array()) {
+    if (bench != nullptr && bench->is_string() &&
+        bench->as_string() == "ghost" && results != nullptr &&
+        results->is_array()) {
+      normalize_ghost_speedup(doc, out);
+    } else if (benchmarks != nullptr && benchmarks->is_array()) {
       normalize_google_benchmark(doc, out);
     } else if (benchmarks != nullptr && benchmarks->is_object()) {
       normalize_baseline_table(doc, out);

@@ -1,7 +1,7 @@
 // Normalization and comparison of the repo's benchmark JSON files, shared
 // by tools/bench_diff and the CI bench-regression gate.
 //
-// Three on-disk formats are understood, detected by shape:
+// Four on-disk formats are understood, detected by shape:
 //
 //   BENCH_sim.json          object with a "benchmarks" OBJECT of named
 //                           {baseline, optimized, speedup} entries — the
@@ -13,6 +13,12 @@
 //   google-benchmark output object with a "benchmarks" ARRAY — each entry
 //                           keyed by its "name" field, times normalized to
 //                           ns via "time_unit"
+//   BENCH_ghost.json        object with "bench": "ghost" and a "results"
+//                           array of named full-vs-ghost records — the
+//                           speedup ratio and the deterministic simulation
+//                           fields are emitted as "ghost.<name>.<field>";
+//                           raw wall-clock seconds are machine-dependent
+//                           and skipped
 //   BENCH_engine.json       top-level array of run records — the LAST
 //                           record per "bench" name wins (it is an
 //                           append-only history), keyed "engine.<bench>.*"

@@ -12,6 +12,12 @@
 //
 // Reduction arithmetic is charged as real flops through compute(), so a
 // simulated reduce also contributes to F.
+//
+// Ghost mode (sim/payload.hpp): every send/recv/compute call below runs
+// with identical sizes and granularity in both modes — only the scratch
+// allocations, copies and reduction arithmetic are skipped. Transfer sizes
+// that full mode reads off a packed scratch vector (e.g. Bruck's send
+// buffer) are computed from the same index lists ghost mode still builds.
 #include <algorithm>
 #include <cmath>
 #include <vector>
@@ -48,7 +54,7 @@ void Comm::barrier(const Group& g) {
   const int tag = kCollTag + kBarrier;
   const double ct0 = coll_begin();
   // Binomial fan-in to index 0, then binomial fan-out; empty payloads.
-  std::span<double> none;
+  Payload none;
   for (int mask = 1; mask < n; mask <<= 1) {
     if (idx & mask) {
       send(g.world_rank(idx - mask), none, tag);
@@ -74,7 +80,7 @@ void Comm::barrier(const Group& g) {
   coll_end("barrier", ct0);
 }
 
-void Comm::bcast(std::span<double> data, int root, const Group& g) {
+void Comm::bcast(Payload data, int root, const Group& g) {
   const int idx = g.index_of(rank_);
   ALGE_REQUIRE(idx >= 0, "rank %d not in bcast group", rank_);
   ALGE_REQUIRE(root >= 0 && root < g.size(), "bcast root %d out of range",
@@ -103,8 +109,7 @@ void Comm::bcast(std::span<double> data, int root, const Group& g) {
   coll_end("bcast", ct0);
 }
 
-void Comm::bcast_ring(std::span<double> data, int root, const Group& g,
-                      int segments) {
+void Comm::bcast_ring(Payload data, int root, const Group& g, int segments) {
   const int idx = g.index_of(rank_);
   ALGE_REQUIRE(idx >= 0, "rank %d not in bcast group", rank_);
   ALGE_REQUIRE(root >= 0 && root < g.size(), "bcast root %d out of range",
@@ -132,7 +137,7 @@ void Comm::bcast_ring(std::span<double> data, int root, const Group& g,
   std::size_t off = 0;
   for (int s = 0; s < segments; ++s) {
     const std::size_t len = base + (static_cast<std::size_t>(s) < rem ? 1 : 0);
-    auto chunk = data.subspan(off, len);
+    const Payload chunk = data.sub(off, len);
     off += len;
     if (vr != 0) recv(prev, chunk, tag);
     // Everyone forwards except the last rank before the root on the ring.
@@ -141,64 +146,83 @@ void Comm::bcast_ring(std::span<double> data, int root, const Group& g,
   coll_end("bcast_ring", ct0);
 }
 
-void Comm::reduce_sum(std::span<const double> in, std::span<double> out,
-                      int root, const Group& g) {
+void Comm::reduce_sum(ConstPayload in, Payload out, int root, const Group& g) {
   const int idx = g.index_of(rank_);
   ALGE_REQUIRE(idx >= 0, "rank %d not in reduce group", rank_);
   ALGE_REQUIRE(root >= 0 && root < g.size(), "reduce root %d out of range",
                root);
   const int n = g.size();
   const int tag = kCollTag + kReduce;
+  const bool gm = ghost();
+  const std::size_t k = in.size();
   const double ct0 = coll_begin();
   const int vr = (idx - root + n) % n;
   auto world_of = [&](int rel) { return g.world_rank((rel + root) % n); };
 
-  std::vector<double> acc(in.begin(), in.end());
-  std::vector<double> tmp(in.size());
+  std::vector<double> acc;
+  std::vector<double> tmp;
+  if (!gm) {
+    acc.assign(in.span().begin(), in.span().end());
+    tmp.resize(k);
+  }
   for (int mask = 1; mask < n; mask <<= 1) {
     if (vr & mask) {
-      send(world_of(vr - mask), acc, tag);
+      send(world_of(vr - mask),
+           gm ? ConstPayload::ghost(k) : ConstPayload(acc), tag);
       break;
     }
     if (vr + mask < n) {
-      recv(world_of(vr + mask), tmp, tag);
-      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += tmp[i];
-      compute(static_cast<double>(acc.size()));
+      recv(world_of(vr + mask), gm ? Payload::ghost(k) : Payload(tmp), tag);
+      if (!gm) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += tmp[i];
+      }
+      compute(static_cast<double>(k));
     }
   }
   if (vr == 0) {
     ALGE_REQUIRE(out.size() == in.size(),
                  "reduce output size %zu != input size %zu", out.size(),
                  in.size());
-    std::copy(acc.begin(), acc.end(), out.begin());
+    if (!gm) std::copy(acc.begin(), acc.end(), out.span().begin());
   }
   coll_end("reduce_sum", ct0);
 }
 
-void Comm::allreduce_sum(std::span<double> inout, const Group& g) {
+void Comm::allreduce_sum(Payload inout, const Group& g) {
   const double ct0 = coll_begin();
-  std::vector<double> result(inout.size());
-  reduce_sum(inout, result, 0, g);
-  if (g.index_of(rank_) == 0) std::copy(result.begin(), result.end(),
-                                        inout.begin());
+  const bool gm = ghost();
+  std::vector<double> result;
+  if (!gm) result.resize(inout.size());
+  reduce_sum(inout, gm ? Payload::ghost(inout.size()) : Payload(result), 0,
+             g);
+  if (!gm && g.index_of(rank_) == 0) {
+    std::copy(result.begin(), result.end(), inout.span().begin());
+  }
   bcast(inout, 0, g);
   coll_end("allreduce_sum", ct0);
 }
 
-void Comm::allreduce_doubling(std::span<double> inout, const Group& g) {
+void Comm::allreduce_doubling(Payload inout, const Group& g) {
   const int idx = g.index_of(rank_);
   ALGE_REQUIRE(idx >= 0, "rank %d not in allreduce group", rank_);
   const int n = g.size();
   const int tag = kCollTag + kAllreduceDoubling;
+  const bool gm = ghost();
+  const std::size_t k = inout.size();
   const double ct0 = coll_begin();
   // Largest power of two <= n; the remainder folds into [0, r) first.
   int r = 1;
   while (r * 2 <= n) r *= 2;
   const int rem = n - r;
-  std::vector<double> tmp(inout.size());
+  std::vector<double> tmp;
+  if (!gm) tmp.resize(k);
+  const Payload tmp_view = gm ? Payload::ghost(k) : Payload(tmp);
   auto absorb = [&] {
-    for (std::size_t i = 0; i < tmp.size(); ++i) inout[i] += tmp[i];
-    compute(static_cast<double>(inout.size()));
+    if (!gm) {
+      const std::span<double> io = inout.span();
+      for (std::size_t i = 0; i < tmp.size(); ++i) io[i] += tmp[i];
+    }
+    compute(static_cast<double>(k));
   };
 
   if (idx >= r) {
@@ -209,20 +233,20 @@ void Comm::allreduce_doubling(std::span<double> inout, const Group& g) {
     return;
   }
   if (idx < rem) {
-    recv(g.world_rank(idx + r), tmp, tag);
+    recv(g.world_rank(idx + r), tmp_view, tag);
     absorb();
   }
   for (int mask = 1; mask < r; mask <<= 1) {
     const int partner = idx ^ mask;
-    sendrecv(g.world_rank(partner), inout, g.world_rank(partner), tmp, tag);
+    sendrecv(g.world_rank(partner), inout, g.world_rank(partner), tmp_view,
+             tag);
     absorb();
   }
   if (idx < rem) send(g.world_rank(idx + r), inout, tag);
   coll_end("allreduce_doubling", ct0);
 }
 
-void Comm::allgather(std::span<const double> in, std::span<double> out,
-                     const Group& g) {
+void Comm::allgather(ConstPayload in, Payload out, const Group& g) {
   const int idx = g.index_of(rank_);
   ALGE_REQUIRE(idx >= 0, "rank %d not in allgather group", rank_);
   const int n = g.size();
@@ -230,12 +254,16 @@ void Comm::allgather(std::span<const double> in, std::span<double> out,
   ALGE_REQUIRE(out.size() == k * static_cast<std::size_t>(n),
                "allgather output size %zu != %d * %zu", out.size(), n, k);
   const int tag = kCollTag + kAllgather;
+  const bool gm = ghost();
   const double ct0 = coll_begin();
 
   auto block = [&](int j) {
-    return out.subspan(static_cast<std::size_t>(j) * k, k);
+    return out.sub(static_cast<std::size_t>(j) * k, k);
   };
-  std::copy(in.begin(), in.end(), block(idx).begin());
+  if (!gm) {
+    const std::span<const double> self = in.span();
+    std::copy(self.begin(), self.end(), block(idx).span().begin());
+  }
   // Ring: step s passes block (idx - s) to the right neighbor.
   const int right = g.world_rank((idx + 1) % n);
   const int left = g.world_rank((idx - 1 + n) % n);
@@ -247,8 +275,7 @@ void Comm::allgather(std::span<const double> in, std::span<double> out,
   coll_end("allgather", ct0);
 }
 
-void Comm::alltoall(std::span<const double> in, std::span<double> out,
-                    const Group& g) {
+void Comm::alltoall(ConstPayload in, Payload out, const Group& g) {
   const int idx = g.index_of(rank_);
   ALGE_REQUIRE(idx >= 0, "rank %d not in alltoall group", rank_);
   const int n = g.size();
@@ -256,16 +283,19 @@ void Comm::alltoall(std::span<const double> in, std::span<double> out,
                "alltoall buffers must hold g equal blocks");
   const std::size_t k = in.size() / static_cast<std::size_t>(n);
   const int tag = kCollTag + kAlltoall;
+  const bool gm = ghost();
   const double ct0 = coll_begin();
 
   auto in_block = [&](int j) {
-    return in.subspan(static_cast<std::size_t>(j) * k, k);
+    return in.sub(static_cast<std::size_t>(j) * k, k);
   };
   auto out_block = [&](int j) {
-    return out.subspan(static_cast<std::size_t>(j) * k, k);
+    return out.sub(static_cast<std::size_t>(j) * k, k);
   };
-  std::copy(in_block(idx).begin(), in_block(idx).end(),
-            out_block(idx).begin());
+  if (!gm) {
+    const std::span<const double> self = in_block(idx).span();
+    std::copy(self.begin(), self.end(), out_block(idx).span().begin());
+  }
   for (int s = 1; s < n; ++s) {
     const int dst = (idx + s) % n;
     const int src = (idx - s + n) % n;
@@ -275,8 +305,7 @@ void Comm::alltoall(std::span<const double> in, std::span<double> out,
   coll_end("alltoall", ct0);
 }
 
-void Comm::alltoall_bruck(std::span<const double> in, std::span<double> out,
-                          const Group& g) {
+void Comm::alltoall_bruck(ConstPayload in, Payload out, const Group& g) {
   const int idx = g.index_of(rank_);
   ALGE_REQUIRE(idx >= 0, "rank %d not in alltoall group", rank_);
   const int n = g.size();
@@ -284,20 +313,25 @@ void Comm::alltoall_bruck(std::span<const double> in, std::span<double> out,
                "alltoall buffers must hold g equal blocks");
   const std::size_t k = in.size() / static_cast<std::size_t>(n);
   const int tag = kCollTag + kBruck;
+  const bool gm = ghost();
   const double ct0 = coll_begin();
 
   // Phase 1: local rotation so block 0 is my own.
-  std::vector<double> tmp(in.size());
-  for (int i = 0; i < n; ++i) {
-    const int src_block = (idx + i) % n;
-    std::copy_n(in.begin() + static_cast<std::ptrdiff_t>(src_block) *
-                                 static_cast<std::ptrdiff_t>(k),
-                k,
-                tmp.begin() + static_cast<std::ptrdiff_t>(i) *
-                                  static_cast<std::ptrdiff_t>(k));
+  std::vector<double> tmp;
+  if (!gm) {
+    tmp.resize(in.size());
+    for (int i = 0; i < n; ++i) {
+      const int src_block = (idx + i) % n;
+      std::copy_n(in.span().begin() + static_cast<std::ptrdiff_t>(src_block) *
+                                          static_cast<std::ptrdiff_t>(k),
+                  k,
+                  tmp.begin() + static_cast<std::ptrdiff_t>(i) *
+                                    static_cast<std::ptrdiff_t>(k));
+    }
   }
   // Phase 2: log2 rounds; round `pof2` ships every block whose index has
-  // that bit set.
+  // that bit set. Ghost mode keeps the `moved` index list — it is what
+  // determines the transfer size full mode reads off the packed buffer.
   std::vector<double> sbuf;
   std::vector<double> rbuf;
   for (int pof2 = 1; pof2 < n; pof2 <<= 1) {
@@ -306,52 +340,63 @@ void Comm::alltoall_bruck(std::span<const double> in, std::span<double> out,
     for (int i = 0; i < n; ++i) {
       if (i & pof2) {
         moved.push_back(i);
-        sbuf.insert(sbuf.end(),
-                    tmp.begin() + static_cast<std::ptrdiff_t>(i) *
-                                      static_cast<std::ptrdiff_t>(k),
-                    tmp.begin() + static_cast<std::ptrdiff_t>(i + 1) *
+        if (!gm) {
+          sbuf.insert(sbuf.end(),
+                      tmp.begin() + static_cast<std::ptrdiff_t>(i) *
+                                        static_cast<std::ptrdiff_t>(k),
+                      tmp.begin() + static_cast<std::ptrdiff_t>(i + 1) *
+                                        static_cast<std::ptrdiff_t>(k));
+        }
+      }
+    }
+    const std::size_t xfer = moved.size() * k;
+    if (!gm) rbuf.resize(xfer);
+    const int dst = g.world_rank((idx + pof2) % n);
+    const int src = g.world_rank((idx - pof2 + n) % n);
+    sendrecv(dst, gm ? ConstPayload::ghost(xfer) : ConstPayload(sbuf), src,
+             gm ? Payload::ghost(xfer) : Payload(rbuf), tag);
+    if (!gm) {
+      for (std::size_t b = 0; b < moved.size(); ++b) {
+        std::copy_n(rbuf.begin() + static_cast<std::ptrdiff_t>(b) *
+                                       static_cast<std::ptrdiff_t>(k),
+                    k,
+                    tmp.begin() + static_cast<std::ptrdiff_t>(moved[b]) *
                                       static_cast<std::ptrdiff_t>(k));
       }
     }
-    rbuf.resize(sbuf.size());
-    const int dst = g.world_rank((idx + pof2) % n);
-    const int src = g.world_rank((idx - pof2 + n) % n);
-    sendrecv(dst, sbuf, src, rbuf, tag);
-    for (std::size_t b = 0; b < moved.size(); ++b) {
-      std::copy_n(rbuf.begin() + static_cast<std::ptrdiff_t>(b) *
-                                     static_cast<std::ptrdiff_t>(k),
-                  k,
-                  tmp.begin() + static_cast<std::ptrdiff_t>(moved[b]) *
-                                    static_cast<std::ptrdiff_t>(k));
-    }
   }
   // Phase 3: inverse rotation into the output.
-  for (int i = 0; i < n; ++i) {
-    const int dst_block = (idx - i + n) % n;
-    std::copy_n(tmp.begin() + static_cast<std::ptrdiff_t>(i) *
-                                  static_cast<std::ptrdiff_t>(k),
-                k,
-                out.begin() + static_cast<std::ptrdiff_t>(dst_block) *
-                                  static_cast<std::ptrdiff_t>(k));
+  if (!gm) {
+    for (int i = 0; i < n; ++i) {
+      const int dst_block = (idx - i + n) % n;
+      std::copy_n(tmp.begin() + static_cast<std::ptrdiff_t>(i) *
+                                    static_cast<std::ptrdiff_t>(k),
+                  k,
+                  out.span().begin() + static_cast<std::ptrdiff_t>(dst_block) *
+                                           static_cast<std::ptrdiff_t>(k));
+    }
   }
   coll_end("alltoall_bruck", ct0);
 }
 
-void Comm::gather(std::span<const double> in, std::span<double> out, int root,
-                  const Group& g) {
+void Comm::gather(ConstPayload in, Payload out, int root, const Group& g) {
   const int idx = g.index_of(rank_);
   ALGE_REQUIRE(idx >= 0, "rank %d not in gather group", rank_);
   const int n = g.size();
   const std::size_t k = in.size();
   const int tag = kCollTag + kGather;
+  const bool gm = ghost();
   const double ct0 = coll_begin();
   if (idx == root) {
     ALGE_REQUIRE(out.size() == k * static_cast<std::size_t>(n),
                  "gather output size %zu != %d * %zu", out.size(), n, k);
     for (int j = 0; j < n; ++j) {
-      auto dst = out.subspan(static_cast<std::size_t>(j) * k, k);
+      const Payload dst = out.sub(static_cast<std::size_t>(j) * k, k);
       if (j == idx) {
-        std::copy(in.begin(), in.end(), dst.begin());
+        if (!gm) {
+          const std::span<const double> self = in.span();
+          std::copy(self.begin(), self.end(), dst.span().begin());
+        }
       } else {
         recv(g.world_rank(j), dst, tag);
       }
@@ -362,21 +407,24 @@ void Comm::gather(std::span<const double> in, std::span<double> out, int root,
   coll_end("gather", ct0);
 }
 
-void Comm::scatter(std::span<const double> in, std::span<double> out, int root,
-                   const Group& g) {
+void Comm::scatter(ConstPayload in, Payload out, int root, const Group& g) {
   const int idx = g.index_of(rank_);
   ALGE_REQUIRE(idx >= 0, "rank %d not in scatter group", rank_);
   const int n = g.size();
   const std::size_t k = out.size();
   const int tag = kCollTag + kScatter;
+  const bool gm = ghost();
   const double ct0 = coll_begin();
   if (idx == root) {
     ALGE_REQUIRE(in.size() == k * static_cast<std::size_t>(n),
                  "scatter input size %zu != %d * %zu", in.size(), n, k);
     for (int j = 0; j < n; ++j) {
-      auto src = in.subspan(static_cast<std::size_t>(j) * k, k);
+      const ConstPayload src = in.sub(static_cast<std::size_t>(j) * k, k);
       if (j == idx) {
-        std::copy(src.begin(), src.end(), out.begin());
+        if (!gm) {
+          std::copy(src.span().begin(), src.span().end(),
+                    out.span().begin());
+        }
       } else {
         send(g.world_rank(j), src, tag);
       }

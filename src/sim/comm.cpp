@@ -9,17 +9,23 @@ namespace alge::sim {
 
 // --- Buffer ---
 
-Buffer::Buffer(Comm& comm, std::size_t words) : comm_(&comm) {
+Buffer::Buffer(Comm& comm, std::size_t words)
+    : comm_(&comm), words_(words), ghost_(comm.ghost()) {
+  // Register before (not) allocating: high-water marks, the M cap and kMem
+  // trace events are identical in both modes.
   comm_->register_memory(words);
-  data_.assign(words, 0.0);
+  if (!ghost_) data_.assign(words, 0.0);
 }
 
 Buffer::~Buffer() {
-  if (comm_ != nullptr) comm_->unregister_memory(data_.size());
+  if (comm_ != nullptr) comm_->unregister_memory(words_);
 }
 
-Buffer::Buffer(Buffer&& o) noexcept : comm_(o.comm_), data_(std::move(o.data_)) {
+Buffer::Buffer(Buffer&& o) noexcept
+    : comm_(o.comm_), words_(o.words_), ghost_(o.ghost_),
+      data_(std::move(o.data_)) {
   o.comm_ = nullptr;
+  o.words_ = 0;
   o.data_.clear();
 }
 
@@ -28,10 +34,13 @@ Buffer& Buffer::operator=(Buffer&& o) noexcept {
   // Release this buffer's accounting before adopting the other's: the
   // words move with the storage, and each side's registration follows its
   // own Comm (self-assignment and moved-from destruction stay no-ops).
-  if (comm_ != nullptr) comm_->unregister_memory(data_.size());
+  if (comm_ != nullptr) comm_->unregister_memory(words_);
   comm_ = o.comm_;
+  words_ = o.words_;
+  ghost_ = o.ghost_;
   data_ = std::move(o.data_);
   o.comm_ = nullptr;
+  o.words_ = 0;
   o.data_.clear();
   return *this;
 }
@@ -45,6 +54,8 @@ int Comm::size() const { return machine_.cfg_.p; }
 const core::MachineParams& Comm::params() const { return machine_.cfg_.params; }
 
 double Comm::clock() const { return counters().clock; }
+
+DataMode Comm::data_mode() const { return machine_.cfg_.data_mode; }
 
 const RankCounters& Comm::counters() const {
   return machine_.ranks_[static_cast<std::size_t>(rank_)].counters;
@@ -101,9 +112,15 @@ void Comm::fault_pause() {
   }
 }
 
-void Comm::send(int dst, std::span<const double> data, int tag) {
+void Comm::send(int dst, ConstPayload data, int tag) {
   ALGE_REQUIRE(dst >= 0 && dst < size(), "send to invalid rank %d", dst);
   ALGE_REQUIRE(tag >= 0 && tag < kCollTag * 2, "tag %d out of range", tag);
+  const bool gm = ghost();
+  // A ghost payload has no bytes to materialize, so a full-data machine
+  // cannot deliver it; a ghost machine accepts either kind and moves none.
+  ALGE_REQUIRE(gm || !data.is_ghost(),
+               "ghost payload sent on a full-data machine (rank %d -> %d)",
+               rank_, dst);
   fault_pause();
 
   RankCounters& c = mutable_counters();
@@ -183,13 +200,17 @@ void Comm::send(int dst, std::span<const double> data, int tag) {
   if (target.waiting && target.wait_src == rank_ && target.wait_tag == tag) {
     if (target.wait_out.size() == data.size()) {
       // Rendezvous: the receiver is already blocked on exactly this
-      // message, so deliver straight into its output span — one copy, no
-      // queue traffic, no pool buffer. The receiver applies clocks,
-      // counters, and trace from the metadata exactly as the queued path
-      // would, so results are bit-identical either way. An overtake fault
-      // has no queued predecessor here and degrades to its reorder window
-      // of extra delay.
-      std::copy(data.begin(), data.end(), target.wait_out.begin());
+      // message, so deliver straight into its output payload — one copy, no
+      // queue traffic, no pool buffer (and no copy at all in ghost mode).
+      // The receiver applies clocks, counters, and trace from the metadata
+      // exactly as the queued path would, so results are bit-identical
+      // either way. An overtake fault has no queued predecessor here and
+      // degrades to its reorder window of extra delay.
+      if (!gm) {
+        const std::span<const double> src_bytes = data.span();
+        std::copy(src_bytes.begin(), src_bytes.end(),
+                  target.wait_out.span().begin());
+      }
       target.direct = true;
       target.direct_arrival =
           c.clock + fd.delay + (fd.overtake ? fd.reorder_window : 0.0);
@@ -211,7 +232,8 @@ void Comm::send(int dst, std::span<const double> data, int tag) {
   msg.arrival = c.clock + fd.delay;
   msg.msg_count = nmsg;
   msg.seq = target.next_seq++;
-  msg.payload = machine_.acquire_payload(data);
+  msg.words = data.size();
+  if (!gm) msg.payload = machine_.acquire_payload(data.span());
   MessageQueue& q =
       target.mailbox.queue(target.mailbox.queue_index(rank_, tag));
   if (fd.overtake) {
@@ -243,9 +265,14 @@ std::string describe_recv_wait(const void* arg) {
 }
 }  // namespace
 
-void Comm::recv(int src, std::span<double> out, int tag) {
+void Comm::recv(int src, Payload out, int tag) {
   ALGE_REQUIRE(src >= 0 && src < size(), "recv from invalid rank %d", src);
   ALGE_REQUIRE(tag >= 0 && tag < kCollTag * 2, "tag %d out of range", tag);
+  const bool gm = ghost();
+  ALGE_REQUIRE(gm || !out.is_ghost(),
+               "ghost payload received on a full-data machine (rank %d <- "
+               "%d)",
+               rank_, src);
   fault_pause();
   Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(rank_)];
 
@@ -296,11 +323,11 @@ void Comm::recv(int src, std::span<double> out, int tag) {
   // buffer goes back to the pool and the queue slot is retired.
   Message& msg = me.mailbox.queue(qi).front();
 
-  if (msg.payload.size() != out.size()) {
+  if (msg.words != out.size()) {
     throw SimError(strfmt(
         "rank %d recv from %d tag %d: expected %zu words, message has "
         "%zu",
-        rank_, src, tag, out.size(), msg.payload.size()));
+        rank_, src, tag, out.size(), msg.words));
   }
   RankCounters& c = mutable_counters();
   if (msg.arrival > c.clock) {
@@ -318,18 +345,19 @@ void Comm::recv(int src, std::span<double> out, int tag) {
   }
   if (machine_.cfg_.enable_trace) {
     machine_.trace_.record({TraceEvent::Kind::kRecv, rank_, c.clock, c.clock,
-                            src, static_cast<double>(msg.payload.size()),
-                            tag});
+                            src, static_cast<double>(msg.words), tag});
   }
-  c.words_recv += static_cast<double>(msg.payload.size());
+  c.words_recv += static_cast<double>(msg.words);
   c.msgs_recv += msg.msg_count;
-  std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
-  machine_.release_payload(std::move(msg.payload));
+  if (!gm) {
+    std::copy(msg.payload.begin(), msg.payload.end(), out.span().begin());
+    machine_.release_payload(std::move(msg.payload));
+  }
   me.mailbox.consume(qi);
 }
 
-void Comm::sendrecv(int dst, std::span<const double> send_data, int src,
-                    std::span<double> recv_data, int tag) {
+void Comm::sendrecv(int dst, ConstPayload send_data, int src,
+                    Payload recv_data, int tag) {
   send(dst, send_data, tag);
   recv(src, recv_data, tag);
 }

@@ -15,6 +15,13 @@ namespace alge::sim {
 /// when one is set — exceeding it throws SimError). Movable: the words move
 /// with the storage, and move assignment releases the destination's old
 /// registration first, so accounting is exact across reassignment.
+///
+/// On a ghost-mode machine (sim/payload.hpp) the words are registered —
+/// memory high-water, the M cap and kMem trace events are identical to a
+/// full run — but no storage is allocated. Dereferencing the absent data
+/// (span()/data()/operator[]) is then an internal error in every build,
+/// exactly like reading a poison-filled pool buffer; pass view() to the
+/// Comm API instead, which works in both modes.
 class Buffer {
  public:
   Buffer(Comm& comm, std::size_t words);
@@ -24,16 +31,56 @@ class Buffer {
   Buffer(const Buffer&) = delete;
   Buffer& operator=(const Buffer&) = delete;
 
-  std::span<double> span() { return data_; }
-  std::span<const double> span() const { return data_; }
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
-  std::size_t size() const { return data_.size(); }
-  double& operator[](std::size_t i) { return data_[i]; }
-  double operator[](std::size_t i) const { return data_[i]; }
+  std::span<double> span() {
+    require_data();
+    return data_;
+  }
+  std::span<const double> span() const {
+    require_data();
+    return data_;
+  }
+  double* data() {
+    require_data();
+    return data_.data();
+  }
+  const double* data() const {
+    require_data();
+    return data_.data();
+  }
+  std::size_t size() const { return words_; }
+  bool is_ghost() const { return ghost_; }
+  double& operator[](std::size_t i) {
+    require_data();
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    require_data();
+    return data_[i];
+  }
+
+  /// Mode-appropriate payload view of the whole buffer: a real span in full
+  /// mode, a sizes-only ghost view in ghost mode. Use .sub(off, len) for
+  /// subranges.
+  Payload view() {
+    if (ghost_) return Payload::ghost(words_);
+    return Payload(std::span<double>(data_));
+  }
+  ConstPayload view() const {
+    if (ghost_) return ConstPayload::ghost(words_);
+    return ConstPayload(std::span<const double>(data_));
+  }
 
  private:
+  /// Ghost poison guard (always on, release builds included): the bytes
+  /// behind a ghost buffer do not exist, so any dereference is a bug.
+  void require_data() const {
+    ALGE_CHECK(!ghost_, "ghost Buffer dereferenced (%zu words have no "
+               "storage; use view() for the Comm API)", words_);
+  }
+
   Comm* comm_;
+  std::size_t words_ = 0;
+  bool ghost_ = false;
   std::vector<double> data_;
 };
 
@@ -47,22 +94,28 @@ class Comm {
   double clock() const;
   const RankCounters& counters() const;
 
+  /// The machine's data mode (see sim/payload.hpp). Algorithms branch on
+  /// ghost() around data movement and local arithmetic only — every
+  /// compute/send/recv/alloc call must run identically in both modes.
+  DataMode data_mode() const;
+  bool ghost() const { return data_mode() == DataMode::kGhost; }
+
   /// Advance the local clock by γt·flops and count F += flops.
   void compute(double flops);
 
   /// Eager (buffered) send; never blocks. Sends of more than m words are
   /// split into ceil(k/m) messages for both time and counter purposes.
   /// A send to self is a free local copy (no time, no counters).
-  void send(int dst, std::span<const double> data, int tag = 0);
+  void send(int dst, ConstPayload data, int tag = 0);
 
   /// Blocking receive from a specific source and tag; `out.size()` must
   /// equal the payload size of the matching message. Matching is O(1):
   /// per-(src, tag) FIFO queues, not a mailbox scan.
-  void recv(int src, std::span<double> out, int tag = 0);
+  void recv(int src, Payload out, int tag = 0);
 
   /// send + recv, safe in exchange patterns because sends are eager.
-  void sendrecv(int dst, std::span<const double> send_data, int src,
-                std::span<double> recv_data, int tag = 0);
+  void sendrecv(int dst, ConstPayload send_data, int src, Payload recv_data,
+                int tag = 0);
 
   // --- Collectives (binomial/ring/Bruck trees over point-to-point) ---
   // `root` is an index *within the group*. Every member must call with the
@@ -70,35 +123,28 @@ class Comm {
 
   void barrier();                 ///< all ranks of the machine
   void barrier(const Group& g);
-  void bcast(std::span<double> data, int root, const Group& g);
+  void bcast(Payload data, int root, const Group& g);
   /// Pipelined ring broadcast: every rank (root included) sends the payload
   /// at most once (W ≤ k per rank vs the binomial root's k·log g), at the
   /// price of Θ(g + segments) latency. `segments` splits the payload for
   /// pipelining; 0 picks ~√ of the ring length.
-  void bcast_ring(std::span<double> data, int root, const Group& g,
-                  int segments = 0);
-  void reduce_sum(std::span<const double> in, std::span<double> out, int root,
-                  const Group& g);
-  void allreduce_sum(std::span<double> inout, const Group& g);
+  void bcast_ring(Payload data, int root, const Group& g, int segments = 0);
+  void reduce_sum(ConstPayload in, Payload out, int root, const Group& g);
+  void allreduce_sum(Payload inout, const Group& g);
   /// Recursive-doubling allreduce: S = log2 g rounds of full-payload
   /// exchanges (W = k·log2 g per rank) vs allreduce_sum's reduce+bcast
   /// (up to 2·k·log2 g at the tree roots, 2·log2 g latency).
-  void allreduce_doubling(std::span<double> inout, const Group& g);
+  void allreduce_doubling(Payload inout, const Group& g);
   /// in: my block (k words) -> out: g.size()*k words in group index order.
-  void allgather(std::span<const double> in, std::span<double> out,
-                 const Group& g);
+  void allgather(ConstPayload in, Payload out, const Group& g);
   /// in/out: g.size() blocks of k words; block j of `in` goes to index j.
   /// Direct pairwise exchange: S = g-1 per rank, W = (g-1)·k.
-  void alltoall(std::span<const double> in, std::span<double> out,
-                const Group& g);
+  void alltoall(ConstPayload in, Payload out, const Group& g);
   /// Bruck all-to-all: S = ceil(log2 g), W ≈ (k·g/2)·log2 g.
-  void alltoall_bruck(std::span<const double> in, std::span<double> out,
-                      const Group& g);
+  void alltoall_bruck(ConstPayload in, Payload out, const Group& g);
   /// Each member's k-word block collected at root (direct fan-in).
-  void gather(std::span<const double> in, std::span<double> out, int root,
-              const Group& g);
-  void scatter(std::span<const double> in, std::span<double> out, int root,
-               const Group& g);
+  void gather(ConstPayload in, Payload out, int root, const Group& g);
+  void scatter(ConstPayload in, Payload out, int root, const Group& g);
 
   /// Allocate a tracked buffer (see Buffer).
   Buffer alloc(std::size_t words);

@@ -116,7 +116,7 @@ void Machine::run(const std::function<void(Comm&)>& program) {
       throw SimError(strfmt(
           "rank %d finished with %zu unconsumed message(s); first is from "
           "rank %d tag %d (%zu words)",
-          r, mb.pending(), first->src, first->tag, first->payload.size()));
+          r, mb.pending(), first->src, first->tag, first->words));
     }
   }
 }

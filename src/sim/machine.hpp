@@ -56,6 +56,7 @@
 #include "sim/fault.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/network.hpp"
+#include "sim/payload.hpp"
 #include "sim/payload_pool.hpp"
 #include "sim/trace.hpp"
 
@@ -100,6 +101,10 @@ struct MachineConfig {
   /// Wake-order policy for schedule exploration (src/chaos); null keeps
   /// the default deterministic round-robin scan.
   std::shared_ptr<fiber::WakePolicy> wake_policy;
+  /// kGhost: payloads carry sizes only and kernels are analytic — identical
+  /// counters, clocks, energy, trace and ledger, no data movement (see
+  /// sim/payload.hpp). Programs must not verify output in ghost mode.
+  DataMode data_mode = DataMode::kFull;
 };
 
 /// Aggregates over ranks, plus the per-processor maxima used when comparing
@@ -235,9 +240,10 @@ class Machine {
     int wait_src = -1;
     int wait_tag = -1;
     /// Rendezvous delivery: while blocked, the receiver exposes its output
-    /// span; a matching same-size send copies straight into it (no queue,
-    /// no pool buffer) and reports the metadata below with `direct` set.
-    std::span<double> wait_out;
+    /// payload; a matching same-size send copies straight into it (no queue,
+    /// no pool buffer — and no copy at all in ghost mode) and reports the
+    /// metadata below with `direct` set.
+    Payload wait_out;
     bool direct = false;
     double direct_arrival = 0.0;
     double direct_msg_count = 0.0;

@@ -13,13 +13,16 @@
 namespace alge::sim {
 
 /// One in-flight point-to-point message. The payload vector is leased from
-/// the owning Machine's payload pool and returned to it on delivery.
+/// the owning Machine's payload pool and returned to it on delivery. In
+/// ghost mode (sim/payload.hpp) the vector stays empty and `words` alone
+/// carries the size; `words` is authoritative in both modes.
 struct Message {
   int src = 0;
   int tag = 0;
   double arrival = 0.0;
   double msg_count = 0.0;   ///< messages after splitting at cap m
   std::uint64_t seq = 0;    ///< per-destination arrival order (diagnostics)
+  std::size_t words = 0;    ///< payload size in words (ghost: storage-free)
   std::vector<double> payload;
 };
 

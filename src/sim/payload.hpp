@@ -1,0 +1,137 @@
+// Data modes and payload views for the simulator.
+//
+// Every quantity the paper's bounds talk about — F, W, S, M, the virtual
+// clocks, the Eq. (2) energy — depends only on *sizes*: how many words a
+// message carries, how many flops a kernel executes, how many words a
+// buffer registers. The numeric contents of the doubles never enter. A
+// ghost run (DataMode::kGhost) exploits that: payloads carry a word count
+// but no storage, local kernels advance the clock analytically, and the
+// simulator charges the identical αt/βt/αe/βe, retry/backoff and
+// message-cap-splitting costs while moving zero bytes. The differential
+// gate in src/chaos asserts the two modes agree bit-for-bit.
+//
+// Payload / ConstPayload are the view types the Comm API takes in place of
+// raw spans: a (pointer, words, ghost) triple. In full mode they convert
+// implicitly from std::span / std::vector so existing call sites compile
+// unchanged; in ghost mode they are built with the ghost(words) factory and
+// dereferencing them (span()/data()) is an internal error — sizes flow,
+// bytes do not.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+/// How a Machine treats payload bytes. Costs, counters, traces and ledger
+/// entries are bit-identical across modes (enforced by the ghost
+/// differential gate); only data movement and local arithmetic differ.
+enum class DataMode {
+  kFull,   ///< real doubles move and kernels compute (verifiable output)
+  kGhost,  ///< sizes-only traffic and analytic kernels (cost-exact, no data)
+};
+
+/// Read-only payload view: (pointer, words) in full mode, (words) in ghost
+/// mode. Implicitly constructible from the span/vector types algorithm code
+/// already passes to Comm::send and the collectives.
+class ConstPayload {
+ public:
+  ConstPayload() = default;
+  ConstPayload(std::span<const double> s)  // NOLINT(google-explicit-constructor)
+      : ptr_(s.data()), words_(s.size()) {}
+  ConstPayload(std::span<double> s)  // NOLINT(google-explicit-constructor)
+      : ptr_(s.data()), words_(s.size()) {}
+  ConstPayload(const std::vector<double>& v)  // NOLINT(google-explicit-constructor)
+      : ptr_(v.data()), words_(v.size()) {}
+
+  /// A payload of `words` words with no backing storage.
+  static ConstPayload ghost(std::size_t words) {
+    ConstPayload p;
+    p.words_ = words;
+    p.ghost_ = true;
+    return p;
+  }
+
+  std::size_t size() const { return words_; }
+  bool empty() const { return words_ == 0; }
+  bool is_ghost() const { return ghost_; }
+
+  /// Subview [off, off+len): pure size arithmetic, valid in both modes.
+  ConstPayload sub(std::size_t off, std::size_t len) const {
+    ALGE_CHECK(off + len <= words_, "payload subview [%zu, %zu) out of %zu",
+               off, off + len, words_);
+    ConstPayload p;
+    p.words_ = len;
+    p.ghost_ = ghost_;
+    if (!ghost_) p.ptr_ = ptr_ + off;
+    return p;
+  }
+
+  /// The backing storage. Dereferencing a ghost payload is the data-access
+  /// analogue of reading a poisoned pool buffer: always an internal error,
+  /// in release builds too — ghost bytes do not exist.
+  std::span<const double> span() const {
+    ALGE_CHECK(!ghost_, "ghost payload dereferenced (%zu words have no "
+               "storage; ghost runs measure cost, not output)", words_);
+    return {ptr_, words_};
+  }
+  const double* data() const { return span().data(); }
+
+ private:
+  const double* ptr_ = nullptr;
+  std::size_t words_ = 0;
+  bool ghost_ = false;
+};
+
+/// Mutable payload view; converts implicitly to ConstPayload.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(std::span<double> s)  // NOLINT(google-explicit-constructor)
+      : ptr_(s.data()), words_(s.size()) {}
+  Payload(std::vector<double>& v)  // NOLINT(google-explicit-constructor)
+      : ptr_(v.data()), words_(v.size()) {}
+
+  static Payload ghost(std::size_t words) {
+    Payload p;
+    p.words_ = words;
+    p.ghost_ = true;
+    return p;
+  }
+
+  std::size_t size() const { return words_; }
+  bool empty() const { return words_ == 0; }
+  bool is_ghost() const { return ghost_; }
+
+  Payload sub(std::size_t off, std::size_t len) const {
+    ALGE_CHECK(off + len <= words_, "payload subview [%zu, %zu) out of %zu",
+               off, off + len, words_);
+    Payload p;
+    p.words_ = len;
+    p.ghost_ = ghost_;
+    if (!ghost_) p.ptr_ = ptr_ + off;
+    return p;
+  }
+
+  std::span<double> span() const {
+    ALGE_CHECK(!ghost_, "ghost payload dereferenced (%zu words have no "
+               "storage; ghost runs measure cost, not output)", words_);
+    return {ptr_, words_};
+  }
+  double* data() const { return span().data(); }
+
+  operator ConstPayload() const {  // NOLINT(google-explicit-constructor)
+    if (ghost_) return ConstPayload::ghost(words_);
+    return ConstPayload(std::span<const double>{ptr_, words_});
+  }
+
+ private:
+  double* ptr_ = nullptr;
+  std::size_t words_ = 0;
+  bool ghost_ = false;
+};
+
+}  // namespace alge::sim

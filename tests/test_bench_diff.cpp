@@ -194,6 +194,31 @@ TEST(MetricDirection, NeutralNamesNeverGate) {
   EXPECT_EQ(metric_direction("words_sent"), 0);
 }
 
+TEST(GhostNormalizer, EmitsSpeedupAndSimFieldsSkipsWallClock) {
+  const alge::json::Value doc = alge::json::parse(R"({
+    "bench": "ghost",
+    "results": [
+      {"name": "mm n=4096", "p": 64, "full_seconds": 24.1,
+       "ghost_seconds": 0.0002, "speedup": 120000.0,
+       "cost_identical": true, "makespan": 2156527616.0},
+      {"name": "frontier", "p": 4096, "ghost_seconds": 0.35,
+       "makespan": 2164262144.0}
+    ]})");
+  const std::vector<alge::obs::Metric> m =
+      alge::obs::normalize_bench_json(doc);
+  std::vector<std::string> names;
+  for (const auto& metric : m) names.push_back(metric.name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"ghost.frontier.makespan",
+                                      "ghost.frontier.p",
+                                      "ghost.mm n=4096.makespan",
+                                      "ghost.mm n=4096.p",
+                                      "ghost.mm n=4096.speedup"}));
+  // Speedup gates as more-is-better; the raw wall-clock fields (machine
+  // noise) never become metrics.
+  EXPECT_EQ(alge::obs::metric_direction("ghost.mm n=4096.speedup"), 1);
+}
+
 // Zero baselines can't form a relative change; the diff treats any growth
 // from zero as an infinite regression for time-like metrics.
 TEST(MetricDirection, ZeroBaseGrowthIsAnInfiniteRegression) {

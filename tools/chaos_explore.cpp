@@ -1,7 +1,7 @@
 // chaos_explore: the differential determinism harness as a CI gate.
 //
 //   chaos_explore [--algs=all|mm25d,caps,...] [--p=4,8] [--seeds=32]
-//                 [--plans=all|delay,drop,...] [--verbose]
+//                 [--plans=all|delay,drop,...] [--verbose] [--ghost]
 //
 // For every (algorithm, machine size) case it establishes the fault-free
 // round-robin baseline, then (a) re-runs under --seeds permuted fiber wake
@@ -10,6 +10,11 @@
 // bit-identical, and (b) re-runs under every bundled fault plan asserting
 // convergence (bounded retries, no deadlock) and graceful, monotone
 // degradation (see src/chaos/differential.hpp for the exact contract).
+//
+// --ghost runs the ghost-payload differential instead: every case runs
+// full-data and DataMode::kGhost back to back — fault-free and under every
+// plan × seed — and the cost signatures (per-rank counters, clocks,
+// energy, injected faults) must be bit-identical.
 //
 // Exit codes: 0 all invariants hold, 1 mismatch or divergence, 2 usage
 // error.
@@ -51,6 +56,10 @@ int main(int argc, char** argv) {
                "fault plans: all or a comma list of "
                "delay,drop,duplicate,reorder,pause,mixed");
   cli.add_flag("verbose", "false", "per-case summary lines");
+  cli.add_flag("ghost", "false",
+               "run the ghost-payload differential (full vs "
+               "--data-mode=ghost cost-signature bit-identity) instead of "
+               "the schedule/fault sweep");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -94,6 +103,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (cli.get_bool("ghost")) {
+    chaos::GhostDiffOptions gopts;
+    gopts.algs = opts.algs;
+    gopts.ps = opts.ps;
+    gopts.seeds = opts.seeds;
+    gopts.plans = opts.plans;
+    gopts.verbose = opts.verbose;
+    gopts.out = opts.out;
+    const chaos::GhostDiffReport rep = chaos::ghost_explore(gopts);
+    return rep.ok() ? 0 : 1;
+  }
   const chaos::DiffReport rep = chaos::explore(opts);
   return rep.ok() ? 0 : 1;
 }
