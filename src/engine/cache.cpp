@@ -1,5 +1,8 @@
 #include "engine/cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -49,7 +52,9 @@ std::optional<ResultCache::Entry> ResultCache::load_disk(
     }
     e.result = ExperimentResult::from_json(doc.at("result"));
     return e;
-  } catch (const json::json_error&) {
+  } catch (const std::exception&) {
+    // Malformed JSON (torn/partial write by a crashed peer), a missing
+    // member, or a field that fails decoding — all degrade to a miss.
     ++stats_.corrupt;
     return std::nullopt;
   }
@@ -88,7 +93,15 @@ void ResultCache::store(const ExperimentSpec& spec,
   json::Value doc = json::Value::object();
   doc.set("spec", spec.to_json()).set("result", result.to_json());
   const std::string path = path_of(key);
-  const std::string tmp = path + ".tmp";
+  // The temp name is unique per (process, store call): concurrent writers —
+  // several server workers plus a CLI sharing one cache directory — each
+  // stage into their own file and the atomic rename publishes whichever
+  // finishes last. A fixed ".tmp" suffix would let two writers truncate
+  // each other mid-write and rename a torn entry into place.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::string tmp =
+      path + strfmt(".%d.%" PRIu64 ".tmp", static_cast<int>(::getpid()),
+                    tmp_seq.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return;  // disk store is best-effort; memory entry stands

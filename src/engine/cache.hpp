@@ -5,9 +5,12 @@
 // different address. Lookups check an in-memory map first and then the
 // optional on-disk store (one JSON file per key, holding both the spec and
 // the result). The stored spec is compared byte-for-byte against the probe
-// before a disk entry is accepted: hash collisions and stale/corrupt files
-// degrade to cache misses, never to wrong results. store() writes via a
-// temp file + rename so a crash cannot leave a half-written entry behind.
+// before a disk entry is accepted: hash collisions and stale/corrupt/torn
+// files degrade to cache misses, never to wrong results. store() writes via
+// a uniquely named temp file + atomic rename, so a crash cannot leave a
+// half-written entry behind and concurrent writers — multiple server
+// workers and CLI processes sharing one cache directory — never observe
+// each other's partial writes (last completed rename wins).
 //
 // All public methods are thread-safe; the runner calls them from pool
 // workers concurrently.

@@ -31,7 +31,9 @@ int get_int(const json::Value& v, std::string_view key) {
   return static_cast<int>(v.at(key).as_double());
 }
 
-json::Value params_to_json(const core::MachineParams& mp) {
+}  // namespace
+
+json::Value machine_params_to_json(const core::MachineParams& mp) {
   json::Value o = json::Value::object();
   o.set("gamma_t", mp.gamma_t)
       .set("beta_t", mp.beta_t)
@@ -46,7 +48,7 @@ json::Value params_to_json(const core::MachineParams& mp) {
   return o;
 }
 
-core::MachineParams params_from_json(const json::Value& v) {
+core::MachineParams machine_params_from_json(const json::Value& v) {
   core::MachineParams mp;
   mp.gamma_t = v.at("gamma_t").as_double();
   mp.beta_t = v.at("beta_t").as_double();
@@ -60,8 +62,6 @@ core::MachineParams params_from_json(const json::Value& v) {
   mp.max_msg_words = v.at("max_msg_words").as_double();
   return mp;
 }
-
-}  // namespace
 
 std::string_view to_string(Alg alg) {
   for (const auto& e : kAlgNames) {
@@ -99,7 +99,7 @@ json::Value ExperimentSpec::to_json() const {
       .set("verify", verify)
       // Decimal string: a double could not hold every 64-bit seed exactly.
       .set("seed", strfmt("%" PRIu64, seed))
-      .set("params", params_to_json(params));
+      .set("params", machine_params_to_json(params));
   // Chaos/data-mode axes only when active: the canonical encoding of every
   // pre-existing spec — and therefore its cache key — is unchanged.
   if (chaos_seed != 0) o.set("chaos_seed", strfmt("%" PRIu64, chaos_seed));
@@ -126,7 +126,7 @@ ExperimentSpec ExperimentSpec::from_json(const json::Value& v) {
   s.fft_bruck = v.at("fft_bruck").as_bool();
   s.verify = v.at("verify").as_bool();
   s.seed = std::strtoull(v.at("seed").as_string().c_str(), nullptr, 10);
-  s.params = params_from_json(v.at("params"));
+  s.params = machine_params_from_json(v.at("params"));
   if (const json::Value* cs = v.find("chaos_seed"); cs != nullptr) {
     s.chaos_seed = std::strtoull(cs->as_string().c_str(), nullptr, 10);
   }

@@ -43,6 +43,12 @@ enum class Alg {
 std::string_view to_string(Alg alg);
 Alg alg_from_string(std::string_view name);
 
+/// MachineParams <-> JSON in the spec's canonical field order. Shared with
+/// src/serve, whose requests carry explicit machine parameters in exactly
+/// the encoding the cache keys already use.
+json::Value machine_params_to_json(const core::MachineParams& mp);
+core::MachineParams machine_params_from_json(const json::Value& v);
+
 struct ExperimentSpec {
   Alg alg = Alg::kMm25d;
   core::MachineParams params;

@@ -120,6 +120,26 @@ void normalize_ghost_speedup(const json::Value& doc,
   }
 }
 
+/// BENCH_serve.json: {"bench": "serve", "results": [{"name": …,
+/// "queries_per_sec": …, "p50_us": …, "p99_us": …, "max_us": …, …}]}.
+/// Raw query counts and elapsed seconds scale with the loadtest's
+/// --duration flag, not with service performance, and are skipped; the
+/// rates and latency quantiles are emitted as "serve.<phase>.<field>".
+void normalize_serve_loadtest(const json::Value& doc,
+                              std::vector<Metric>& out) {
+  for (const json::Value& entry : doc.at("results").as_array()) {
+    if (!entry.is_object()) continue;
+    const json::Value* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    for (const auto& [key, field] : entry.as_object()) {
+      if (!field.is_number() || is_timestamp_key(key)) continue;
+      if (key == "queries" || key == "seconds") continue;
+      out.push_back(
+          {"serve." + name->as_string() + "." + key, field.as_double()});
+    }
+  }
+}
+
 /// BENCH_engine.json: an append-only array of run records; compare the
 /// latest record of each bench.
 void normalize_engine_history(const json::Value& doc,
@@ -150,8 +170,13 @@ int metric_direction(const std::string& name) {
       contains(n, "hits")) {
     return 1;
   }
+  // Latency-like: less is better. "_us"/"_ms" cover the serve loadtest's
+  // quantile fields (p50_us, p99_us, max_us) the way "_ns" covers
+  // google-benchmark times.
   if (contains(n, "time") || contains(n, "seconds") || contains(n, "_ns") ||
-      contains(n, "wall") || contains(n, "wait") || contains(n, "miss")) {
+      contains(n, "_us") || contains(n, "_ms") || contains(n, "latency") ||
+      contains(n, "p50") || contains(n, "p99") || contains(n, "wall") ||
+      contains(n, "wait") || contains(n, "miss")) {
     return -1;
   }
   return 0;
@@ -169,6 +194,10 @@ std::vector<Metric> normalize_bench_json(const json::Value& doc) {
         bench->as_string() == "ghost" && results != nullptr &&
         results->is_array()) {
       normalize_ghost_speedup(doc, out);
+    } else if (bench != nullptr && bench->is_string() &&
+               bench->as_string() == "serve" && results != nullptr &&
+               results->is_array()) {
+      normalize_serve_loadtest(doc, out);
     } else if (benchmarks != nullptr && benchmarks->is_array()) {
       normalize_google_benchmark(doc, out);
     } else if (benchmarks != nullptr && benchmarks->is_object()) {

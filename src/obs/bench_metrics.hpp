@@ -1,7 +1,7 @@
 // Normalization and comparison of the repo's benchmark JSON files, shared
 // by tools/bench_diff and the CI bench-regression gate.
 //
-// Four on-disk formats are understood, detected by shape:
+// Five on-disk formats are understood, detected by shape:
 //
 //   BENCH_sim.json          object with a "benchmarks" OBJECT of named
 //                           {baseline, optimized, speedup} entries — the
@@ -22,6 +22,12 @@
 //   BENCH_engine.json       top-level array of run records — the LAST
 //                           record per "bench" name wins (it is an
 //                           append-only history), keyed "engine.<bench>.*"
+//   BENCH_serve.json        object with "bench": "serve" and a "results"
+//                           array of per-phase loadtest records — emitted
+//                           as "serve.<phase>.<field>" (queries_per_sec
+//                           higher-better, p50_us/p99_us/max_us
+//                           lower-better); raw query counts and elapsed
+//                           seconds scale with --duration and are skipped
 //
 // Everything else falls back to the generic numeric-leaf flatten, so the
 // tool keeps working when a new format appears. Wall-clock keys

@@ -1,0 +1,66 @@
+#include "obs/span_log.hpp"
+
+#include <fstream>
+
+#include "support/common.hpp"
+#include "support/json.hpp"
+
+namespace alge::obs {
+
+SpanLog::SpanLog(std::size_t capacity)
+    : origin_(Clock::now()), capacity_(capacity) {}
+
+void SpanLog::record(std::string name, int lane, Clock::time_point start,
+                     Clock::time_point end, bool cached) {
+  const double ts_us =
+      std::chrono::duration<double, std::micro>(start - origin_).count();
+  const double dur_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  std::lock_guard lock(mu_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(Span{std::move(name), lane, ts_us, dur_us, cached});
+}
+
+std::size_t SpanLog::size() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+std::size_t SpanLog::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+void SpanLog::write_chrome(std::ostream& out) const {
+  std::lock_guard lock(mu_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans_) {
+    json::Value ev = json::Value::object();
+    ev.set("name", s.name)
+        .set("cat", "serve")
+        .set("ph", "X")
+        .set("pid", 0)
+        .set("tid", s.lane)
+        .set("ts", s.ts_us)
+        .set("dur", s.dur_us);
+    json::Value args = json::Value::object();
+    args.set("cached", s.cached);
+    ev.set("args", std::move(args));
+    if (!first) out << ',';
+    first = false;
+    out << '\n' << ev.dump();
+  }
+  out << "\n]}\n";
+}
+
+void SpanLog::write_chrome_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  ALGE_REQUIRE(out.good(), "cannot open \"%s\" for writing", path.c_str());
+  write_chrome(out);
+}
+
+}  // namespace alge::obs

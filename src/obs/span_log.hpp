@@ -1,0 +1,64 @@
+// Wall-clock span recorder for long-running processes (the optimizer query
+// service), exported in the same Chrome trace_event JSON dialect as
+// chrome_trace.hpp — but on host time, not the simulator's virtual clocks:
+// chrome_trace answers "where did the simulated run's time go", SpanLog
+// answers "where did the server's wall time go".
+//
+// Each record is one complete ("ph":"X") event: a name (the query class), a
+// small integer lane (the worker thread), microsecond timestamps relative to
+// the log's construction, and an args payload ({"cached": ...}). Recording
+// is thread-safe and O(1); the store is bounded (drops-and-counts beyond the
+// cap) so an unattended server cannot grow without limit.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alge::obs {
+
+class SpanLog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `capacity` bounds the stored span count; further records are dropped
+  /// (and counted) rather than allocated.
+  explicit SpanLog(std::size_t capacity = 1 << 20);
+
+  /// The log's time origin; callers time spans against this clock.
+  Clock::time_point origin() const { return origin_; }
+
+  /// Record one span. `lane` becomes the Chrome tid (use a small worker
+  /// index); `cached` lands in the event's args.
+  void record(std::string name, int lane, Clock::time_point start,
+              Clock::time_point end, bool cached);
+
+  std::size_t size() const;
+  std::size_t dropped() const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}), loadable in
+  /// chrome://tracing and ui.perfetto.dev alongside chrome_trace exports.
+  void write_chrome(std::ostream& out) const;
+  /// Same, to a file; throws invalid_argument_error when it cannot open.
+  void write_chrome_file(const std::string& path) const;
+
+ private:
+  struct Span {
+    std::string name;
+    int lane = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    bool cached = false;
+  };
+
+  Clock::time_point origin_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace alge::obs

@@ -1,0 +1,84 @@
+// Multi-threaded TCP front end for QueryService: an acceptor thread feeds
+// connections to an engine::ThreadPool of workers; each worker owns one
+// connection at a time and runs its read-frame → handle → write-frame loop
+// until the peer disconnects. Responses are batched: while more complete
+// request frames are already buffered (pipelined clients), their responses
+// accumulate and flush as one write(), so syscall count scales with bursts,
+// not with queries.
+//
+// Malformed traffic never takes the server down: a zero-length frame or
+// unparsable JSON gets a structured {"ok": false} response and the stream
+// continues; an oversized frame gets the error response and the connection
+// is closed (the stream can no longer be framed); a disconnect mid-frame
+// just closes the connection.
+//
+// stop() is graceful with connection draining: stop accepting, half-close
+// (SHUT_RD) every open connection so in-flight requests finish and their
+// responses flush, then drain the worker pool. The destructor stops.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "engine/pool.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace alge::serve {
+
+struct ServerOptions {
+  int port = 0;     ///< 0 = kernel-assigned ephemeral port (see port())
+  int threads = 2;  ///< worker pool size == max concurrent connections
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  int backlog = 64;
+};
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(QueryService& service, ServerOptions opts = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind 127.0.0.1 and start accepting; throws invalid_argument_error if
+  /// the port is taken.
+  void start();
+
+  /// The bound port (valid after start()).
+  int port() const { return port_; }
+
+  /// Graceful shutdown; idempotent, called by the destructor.
+  void stop();
+
+  struct Stats {
+    std::size_t connections_accepted = 0;
+    std::size_t connections_open = 0;
+    std::size_t requests = 0;
+    std::size_t protocol_errors = 0;  ///< empty/oversized/truncated frames
+  };
+  Stats stats() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd, int lane);
+
+  QueryService& service_;
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread acceptor_;
+  std::unique_ptr<engine::ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::set<int> open_fds_;
+  Stats stats_;
+};
+
+}  // namespace alge::serve

@@ -1,6 +1,6 @@
 // Golden-input coverage for the bench_diff CLI (tools/bench_diff_main.hpp)
 // and the obs::metric_direction heuristics it gates on. Exercises all three
-// exit codes — 0 clean, 1 regression, 2 usage/IO error — across the three
+// exit codes — 0 clean, 1 regression, 2 usage/IO error — across the
 // bench JSON formats the repo produces.
 #include <gtest/gtest.h>
 
@@ -217,6 +217,52 @@ TEST(GhostNormalizer, EmitsSpeedupAndSimFieldsSkipsWallClock) {
   // Speedup gates as more-is-better; the raw wall-clock fields (machine
   // noise) never become metrics.
   EXPECT_EQ(alge::obs::metric_direction("ghost.mm n=4096.speedup"), 1);
+}
+
+TEST(ServeNormalizer, EmitsRatesAndQuantilesSkipsRunScaledCounts) {
+  const alge::json::Value doc = alge::json::parse(R"({
+    "bench": "serve",
+    "results": [
+      {"name": "closed_form_pipelined", "queries": 1392640,
+       "seconds": 2.0004, "queries_per_sec": 696201.0,
+       "p50_us": 126.1, "p99_us": 228.0, "max_us": 3879.1},
+      {"name": "ghost_miss", "queries": 32, "seconds": 0.0029,
+       "queries_per_sec": 11018.7, "p50_us": 58.7, "p99_us": 146.6,
+       "max_us": 261.0}
+    ]})");
+  const std::vector<alge::obs::Metric> m =
+      alge::obs::normalize_bench_json(doc);
+  std::vector<std::string> names;
+  for (const auto& metric : m) names.push_back(metric.name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{
+                "serve.closed_form_pipelined.max_us",
+                "serve.closed_form_pipelined.p50_us",
+                "serve.closed_form_pipelined.p99_us",
+                "serve.closed_form_pipelined.queries_per_sec",
+                "serve.ghost_miss.max_us", "serve.ghost_miss.p50_us",
+                "serve.ghost_miss.p99_us",
+                "serve.ghost_miss.queries_per_sec"}));
+}
+
+TEST(ServeNormalizer, DirectionsGateThroughputUpLatencyDown) {
+  // Throughput regresses when it drops; latency quantiles regress when
+  // they grow. "per_sec" wins over the "_us"/"p50" latency rules.
+  EXPECT_EQ(alge::obs::metric_direction(
+                "serve.closed_form_pipelined.queries_per_sec"),
+            1);
+  EXPECT_EQ(alge::obs::metric_direction("serve.ghost_miss.p50_us"), -1);
+  EXPECT_EQ(alge::obs::metric_direction("serve.ghost_miss.p99_us"), -1);
+  EXPECT_EQ(alge::obs::metric_direction("serve.ghost_miss.max_us"), -1);
+
+  const alge::json::Value base = alge::json::parse(
+      R"({"bench":"serve","results":[{"name":"hot","queries_per_sec":
+          600000.0,"p99_us":100.0}]})");
+  const alge::json::Value cur = alge::json::parse(
+      R"({"bench":"serve","results":[{"name":"hot","queries_per_sec":
+          100000.0,"p99_us":700.0}]})");
+  const alge::obs::BenchDiff d = alge::obs::diff_bench_json(base, cur, 0.5);
+  EXPECT_EQ(d.regressions, 2);
 }
 
 // Zero baselines can't form a relative change; the diff treats any growth

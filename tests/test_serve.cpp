@@ -1,0 +1,502 @@
+// Tests for src/serve: wire-protocol framing edge cases (partial reads,
+// zero-length / oversized frames, disconnect mid-frame), bit-identity of
+// served answers against direct core::Optimizer / engine::execute
+// evaluation on both the answer-store miss and hit paths, in-flight
+// coalescing, the concurrent-writer hardening of the engine's on-disk
+// result cache, the per-request SpanLog, and graceful server shutdown.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/opt.hpp"
+#include "engine/cache.hpp"
+#include "engine/runner.hpp"
+#include "machines/db.hpp"
+#include "obs/span_log.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "support/json.hpp"
+
+namespace alge {
+namespace {
+
+using serve::FrameReader;
+using Status = serve::FrameReader::Status;
+
+// --- protocol framing ----------------------------------------------------
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(Protocol, PipelinedFramesInOneWrite) {
+  SocketPair sp;
+  std::string out;
+  serve::append_frame(out, "first");
+  serve::append_frame(out, "second");
+  serve::append_frame(out, "third");
+  ASSERT_TRUE(serve::write_all(sp.a, out));
+  FrameReader reader(sp.b);
+  std::string_view payload;
+  ASSERT_EQ(reader.next(&payload), Status::kFrame);
+  EXPECT_EQ(payload, "first");
+  EXPECT_TRUE(reader.frame_buffered());
+  ASSERT_EQ(reader.next(&payload), Status::kFrame);
+  EXPECT_EQ(payload, "second");
+  ASSERT_EQ(reader.next(&payload), Status::kFrame);
+  EXPECT_EQ(payload, "third");
+  EXPECT_FALSE(reader.frame_buffered());
+  ::close(sp.a);
+  sp.a = -1;
+  EXPECT_EQ(reader.next(&payload), Status::kClosed);
+}
+
+TEST(Protocol, PartialDeliveryReassembles) {
+  SocketPair sp;
+  std::string frame;
+  serve::append_frame(frame, std::string(1000, 'x'));
+  // Drip the frame through the socket a few bytes at a time from another
+  // thread; the reader must block and reassemble.
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < frame.size(); i += 7) {
+      const std::size_t len = std::min<std::size_t>(7, frame.size() - i);
+      ASSERT_TRUE(serve::write_all(sp.a, {frame.data() + i, len}));
+      std::this_thread::yield();
+    }
+  });
+  FrameReader reader(sp.b);
+  std::string_view payload;
+  ASSERT_EQ(reader.next(&payload), Status::kFrame);
+  EXPECT_EQ(payload.size(), 1000u);
+  writer.join();
+}
+
+TEST(Protocol, ZeroLengthFrameIsErrorButStreamContinues) {
+  SocketPair sp;
+  std::string out;
+  serve::append_frame(out, "");
+  serve::append_frame(out, "after");
+  ASSERT_TRUE(serve::write_all(sp.a, out));
+  FrameReader reader(sp.b);
+  std::string_view payload;
+  EXPECT_EQ(reader.next(&payload), Status::kEmpty);
+  ASSERT_EQ(reader.next(&payload), Status::kFrame);
+  EXPECT_EQ(payload, "after");
+}
+
+TEST(Protocol, OversizedFrameIsUnrecoverable) {
+  SocketPair sp;
+  std::string out;
+  serve::append_frame(out, "this payload exceeds the tiny cap");
+  ASSERT_TRUE(serve::write_all(sp.a, out));
+  FrameReader reader(sp.b, /*max_frame_bytes=*/8);
+  std::string_view payload;
+  EXPECT_EQ(reader.next(&payload), Status::kTooLarge);
+}
+
+TEST(Protocol, DisconnectMidFrameIsTruncated) {
+  SocketPair sp;
+  std::string frame;
+  serve::append_frame(frame, "never fully arrives");
+  ASSERT_TRUE(serve::write_all(sp.a, {frame.data(), frame.size() - 5}));
+  ::close(sp.a);
+  sp.a = -1;
+  FrameReader reader(sp.b);
+  std::string_view payload;
+  EXPECT_EQ(reader.next(&payload), Status::kTruncated);
+}
+
+// --- service: bit-identity and error handling ----------------------------
+
+std::string handle(serve::QueryService& svc, const std::string& req) {
+  return *svc.handle(req);
+}
+
+/// Parse a response, require ok, return the answer's dump.
+std::string answer_of(const std::string& response) {
+  const json::Value v = json::parse(response);
+  EXPECT_TRUE(v.at("ok").as_bool()) << response;
+  return v.at("answer").dump();
+}
+
+/// The service's documented answer encoding for a RunPoint, built here
+/// independently so the test checks serve against core, not serve against
+/// serve.
+std::string run_point_dump(const core::RunPoint& pt) {
+  json::Value o = json::Value::object();
+  o.set("feasible", pt.feasible)
+      .set("p", pt.p)
+      .set("M", pt.M)
+      .set("T", pt.T)
+      .set("E", pt.E)
+      .set("total_power", pt.total_power())
+      .set("proc_power", pt.proc_power());
+  return o.dump();
+}
+
+core::MachineParams case_study_no_mem() {
+  core::MachineParams mp = machines::CaseStudyMachine{}.params();
+  mp.mem_words = 0.0;
+  return mp;
+}
+
+TEST(QueryService, MalformedJsonGetsStructuredError) {
+  serve::QueryService svc;
+  const json::Value v = json::parse(handle(svc, "{nonsense"));
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_FALSE(v.at("error").as_string().empty());
+  // The service survives; a well-formed request still works.
+  EXPECT_EQ(answer_of(handle(svc, R"({"kind":"ping"})")), "\"pong\"");
+}
+
+TEST(QueryService, UnknownKindGetsStructuredError) {
+  serve::QueryService svc;
+  const json::Value v =
+      json::parse(handle(svc, R"({"kind":"divine_intervention"})"));
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_NE(v.at("error").as_string().find("divine_intervention"),
+            std::string::npos);
+}
+
+TEST(QueryService, ClosedFormsBitIdenticalToOptimizerHitAndMiss) {
+  serve::QueryService svc;
+  const double n = 1e7;
+  const core::NBodyModel model(20.0);
+  const core::Optimizer solver(model, n, case_study_no_mem());
+  const core::OptLimits lim;
+
+  const std::vector<std::pair<std::string, core::RunPoint>> cases = {
+      {R"({"kind":"min_energy","model":"nbody","f":20,"n":1e7})",
+       solver.minimize_energy(lim)},
+      {R"({"kind":"min_time","model":"nbody","f":20,"n":1e7})",
+       solver.minimize_time(lim)},
+      {R"({"kind":"min_energy_given_time","model":"nbody","f":20,"n":1e7,)"
+       R"("t_max":100})",
+       solver.min_energy_given_time(100.0, lim)},
+      {R"({"kind":"min_time_given_energy","model":"nbody","f":20,"n":1e7,)"
+       R"("e_max":1e6})",
+       solver.min_time_given_energy(1e6, lim)},
+      {R"({"kind":"min_time_given_total_power","model":"nbody","f":20,)"
+       R"("n":1e7,"power_max":1e5})",
+       solver.min_time_given_total_power(1e5, lim)},
+      {R"({"kind":"min_energy_given_total_power","model":"nbody","f":20,)"
+       R"("n":1e7,"power_max":1e5})",
+       solver.min_energy_given_total_power(1e5, lim)},
+      {R"({"kind":"min_time_given_proc_power","model":"nbody","f":20,)"
+       R"("n":1e7,"proc_power_max":100})",
+       solver.min_time_given_proc_power(100.0, lim)},
+      {R"({"kind":"min_energy_given_proc_power","model":"nbody","f":20,)"
+       R"("n":1e7,"proc_power_max":100})",
+       solver.min_energy_given_proc_power(100.0, lim)},
+      {R"({"kind":"evaluate","model":"nbody","f":20,"n":1e7,"p":64,)"
+       R"("M":65536})",
+       solver.evaluate(64.0, 65536.0)},
+  };
+  for (const auto& [req, expected] : cases) {
+    const std::string miss = handle(svc, req);
+    EXPECT_EQ(answer_of(miss), run_point_dump(expected)) << req;
+    // Second serve is an answer-store hit and must be the same bytes.
+    EXPECT_EQ(handle(svc, req), miss) << req;
+  }
+}
+
+TEST(QueryService, IdEchoedOnHitAndMiss) {
+  serve::QueryService svc;
+  const std::string req =
+      R"({"id":"req-42","kind":"min_energy","model":"nbody","f":20,"n":1e6})";
+  const std::string miss = handle(svc, req);
+  EXPECT_EQ(json::parse(miss).at("id").as_string(), "req-42");
+  EXPECT_EQ(handle(svc, req), miss);
+}
+
+engine::ExperimentSpec ghost_mm_spec(int n = 16) {
+  engine::ExperimentSpec s;
+  s.alg = engine::Alg::kMm25d;
+  s.params = core::MachineParams::unit();
+  s.n = n;
+  s.q = 2;
+  s.c = 1;
+  s.data_mode = sim::DataMode::kGhost;
+  return s;
+}
+
+TEST(QueryService, ExperimentMatchesEngineExecuteHitAndMiss) {
+  serve::QueryService svc;
+  const engine::ExperimentSpec spec = ghost_mm_spec();
+  const std::string req =
+      R"({"kind":"experiment","spec":)" + spec.canonical_json() + "}";
+  const std::string want = engine::execute(spec).to_json().dump();
+  const std::string miss = handle(svc, req);
+  EXPECT_EQ(answer_of(miss), want);
+  EXPECT_EQ(handle(svc, req), miss);  // answer-store hit, same bytes
+  EXPECT_EQ(svc.result_cache().stats().misses, 1u);
+}
+
+TEST(QueryService, PartialSpecTakesDefaultsAndGhostMode) {
+  serve::QueryService svc;
+  // Only the fields that differ from ExperimentSpec defaults; the service
+  // fills the rest and defaults data_mode to ghost.
+  const std::string req =
+      R"({"kind":"experiment","spec":{"alg":"mm25d","n":16,"q":2,"c":1}})";
+  EXPECT_EQ(answer_of(handle(svc, req)),
+            engine::execute(ghost_mm_spec()).to_json().dump());
+}
+
+TEST(QueryService, ConcurrentIdenticalExperimentsSimulateOnce) {
+  serve::QueryService svc;
+  // Distinct ids → distinct request bytes → the byte-level coalescer does
+  // not apply; the spec-level one (plus the result cache) must still keep
+  // this to a single simulation.
+  constexpr int kThreads = 8;
+  std::vector<std::string> responses(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      const std::string req = R"({"id":"t)" + std::to_string(i) +
+                              R"(","kind":"experiment","spec":)" +
+                              ghost_mm_spec().canonical_json() + "}";
+      responses[static_cast<std::size_t>(i)] = handle(svc, req);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(svc.result_cache().stats().misses, 1u);
+  const std::string want = answer_of(responses[0]);
+  for (const std::string& r : responses) EXPECT_EQ(answer_of(r), want);
+}
+
+TEST(QueryService, StatsReportsServedClasses) {
+  serve::QueryService svc;
+  (void)handle(svc, R"({"kind":"min_energy","model":"nbody","f":20,"n":1e6})");
+  (void)handle(svc, R"({"kind":"min_energy","model":"nbody","f":20,"n":1e6})");
+  const json::Value stats =
+      json::parse(answer_of(handle(svc, R"({"kind":"stats"})")));
+  const json::Value& cls = stats.at("classes").at("min_energy");
+  EXPECT_EQ(cls.at("count").as_double(), 2.0);
+  EXPECT_EQ(cls.at("answer_hits").as_double(), 1.0);
+  EXPECT_GT(stats.at("answer_store_entries").as_double(), 0.0);
+}
+
+// --- engine cache: concurrent writers, torn entries (satellite a) --------
+
+TEST(ResultCacheHardening, ConcurrentWritersSharingOneDir) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "alge_cache_conc_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    // Two cache instances (two "processes") race distinct and identical
+    // stores into one directory.
+    engine::ResultCache a(dir);
+    engine::ResultCache b(dir);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 8; ++i) {
+          const engine::ExperimentSpec spec = ghost_mm_spec(16 * (1 + i));
+          (t % 2 == 0 ? a : b).store(spec, engine::execute(spec));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  // A fresh cache must read every entry back from disk, and no *.tmp
+  // litter may remain.
+  engine::ResultCache fresh(dir);
+  for (int i = 0; i < 8; ++i) {
+    const engine::ExperimentSpec spec = ghost_mm_spec(16 * (1 + i));
+    const auto hit = fresh.lookup(spec);
+    ASSERT_TRUE(hit.has_value()) << "n=" << spec.n;
+    EXPECT_EQ(hit->to_json().dump(), engine::execute(spec).to_json().dump());
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".json") << entry.path();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheHardening, TornEntryDegradesToMissThenHeals) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "alge_cache_torn_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  const engine::ExperimentSpec spec = ghost_mm_spec();
+  {
+    engine::ResultCache cache(dir);
+    cache.store(spec, engine::execute(spec));
+  }
+  // Tear the entry: truncate the stored file mid-JSON, as an interrupted
+  // writer without atomic rename would have.
+  std::filesystem::path stored;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    stored = entry.path();
+  }
+  ASSERT_FALSE(stored.empty());
+  std::filesystem::resize_file(stored, 10);
+
+  engine::ResultCache cache(dir);
+  EXPECT_FALSE(cache.lookup(spec).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  // The miss is repairable: store again, and a fresh instance hits.
+  cache.store(spec, engine::execute(spec));
+  engine::ResultCache healed(dir);
+  EXPECT_TRUE(healed.lookup(spec).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+// --- SpanLog -------------------------------------------------------------
+
+TEST(SpanLog, RecordsChromeTraceSpans) {
+  obs::SpanLog log(/*capacity=*/2);
+  const auto t0 = obs::SpanLog::Clock::now();
+  const auto t1 = t0 + std::chrono::microseconds(5);
+  log.record("min_energy", /*lane=*/1, t0, t1, /*cached=*/false);
+  log.record("ping", /*lane=*/0, t0, t1, /*cached=*/true);
+  log.record("dropped", /*lane=*/0, t0, t1, /*cached=*/false);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  std::ostringstream out;
+  log.write_chrome(out);
+  const json::Value doc = json::parse(out.str());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").as_string(), "min_energy");
+  EXPECT_EQ(events[0].at("ph").as_string(), "X");
+  EXPECT_EQ(events[0].at("tid").as_double(), 1.0);
+  EXPECT_EQ(events[1].at("args").at("cached").as_bool(), true);
+}
+
+// --- server over TCP -----------------------------------------------------
+
+struct TestServer {
+  serve::QueryService service;
+  serve::Server server;
+  TestServer() : server(service, {}) { server.start(); }
+  int connect() { return serve::connect_tcp("127.0.0.1", server.port()); }
+};
+
+TEST(Server, PipelinedRequestsAnswerInOrder) {
+  TestServer ts;
+  const int fd = ts.connect();
+  std::string out;
+  serve::append_frame(out, R"({"id":"1","kind":"ping"})");
+  serve::append_frame(
+      out, R"({"id":"2","kind":"min_energy","model":"nbody","f":20,"n":1e6})");
+  serve::append_frame(out, R"({"id":"3","kind":"ping"})");
+  ASSERT_TRUE(serve::write_all(fd, out));
+  FrameReader reader(fd);
+  std::string_view payload;
+  for (const char* want : {"1", "2", "3"}) {
+    ASSERT_EQ(reader.next(&payload), Status::kFrame);
+    const json::Value v = json::parse(std::string(payload));
+    EXPECT_EQ(v.at("id").as_string(), want);
+    EXPECT_TRUE(v.at("ok").as_bool());
+  }
+  ::close(fd);
+  ts.server.stop();
+  EXPECT_EQ(ts.server.stats().requests, 3u);
+}
+
+TEST(Server, MalformedTrafficGetsErrorsNotCrashes) {
+  TestServer ts;
+  // Zero-length frame: structured error, connection stays usable.
+  {
+    const int fd = ts.connect();
+    std::string out;
+    serve::append_frame(out, "");
+    serve::append_frame(out, R"({"kind":"ping"})");
+    ASSERT_TRUE(serve::write_all(fd, out));
+    FrameReader reader(fd);
+    std::string_view payload;
+    ASSERT_EQ(reader.next(&payload), Status::kFrame);
+    EXPECT_FALSE(json::parse(std::string(payload)).at("ok").as_bool());
+    ASSERT_EQ(reader.next(&payload), Status::kFrame);
+    EXPECT_TRUE(json::parse(std::string(payload)).at("ok").as_bool());
+    ::close(fd);
+  }
+  // Malformed JSON: structured error, connection stays usable.
+  {
+    const int fd = ts.connect();
+    ASSERT_TRUE(serve::write_frame(fd, "{not json"));
+    FrameReader reader(fd);
+    std::string_view payload;
+    ASSERT_EQ(reader.next(&payload), Status::kFrame);
+    EXPECT_FALSE(json::parse(std::string(payload)).at("ok").as_bool());
+    ::close(fd);
+  }
+  // Disconnect mid-frame: the server must just drop the connection.
+  {
+    const int fd = ts.connect();
+    std::string frame;
+    serve::append_frame(frame, R"({"kind":"ping"})");
+    ASSERT_TRUE(serve::write_all(fd, {frame.data(), frame.size() - 3}));
+    ::close(fd);
+  }
+  // …and keep serving new connections afterwards.
+  {
+    const int fd = ts.connect();
+    ASSERT_TRUE(serve::write_frame(fd, R"({"kind":"ping"})"));
+    FrameReader reader(fd);
+    std::string_view payload;
+    ASSERT_EQ(reader.next(&payload), Status::kFrame);
+    EXPECT_TRUE(json::parse(std::string(payload)).at("ok").as_bool());
+    ::close(fd);
+  }
+  ts.server.stop();
+}
+
+TEST(Server, OversizedFrameErrorsAndCloses) {
+  serve::QueryService service;
+  serve::ServerOptions opts;
+  opts.max_frame_bytes = 64;
+  serve::Server server(service, opts);
+  server.start();
+  const int fd = serve::connect_tcp("127.0.0.1", server.port());
+  ASSERT_TRUE(serve::write_frame(fd, std::string(1000, 'x')));
+  FrameReader reader(fd);
+  std::string_view payload;
+  ASSERT_EQ(reader.next(&payload), Status::kFrame);
+  EXPECT_FALSE(json::parse(std::string(payload)).at("ok").as_bool());
+  // After the error response the server closes its end.
+  EXPECT_EQ(reader.next(&payload), Status::kClosed);
+  ::close(fd);
+  server.stop();
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+}
+
+TEST(Server, GracefulStopDrainsAndIsIdempotent) {
+  TestServer ts;
+  const int fd = ts.connect();
+  ASSERT_TRUE(serve::write_frame(fd, R"({"kind":"ping"})"));
+  FrameReader reader(fd);
+  std::string_view payload;
+  ASSERT_EQ(reader.next(&payload), Status::kFrame);
+  ts.server.stop();
+  ts.server.stop();  // idempotent
+  // The server half-closed this connection during drain; reads now see EOF.
+  EXPECT_EQ(reader.next(&payload), Status::kClosed);
+  ::close(fd);
+  EXPECT_EQ(ts.server.stats().connections_open, 0u);
+}
+
+}  // namespace
+}  // namespace alge

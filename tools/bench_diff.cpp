@@ -2,10 +2,13 @@
 //
 //   bench_diff BASELINE.json CURRENT.json [--threshold=0.10] [--verbose]
 //
-// Understands all four bench formats the repo produces (see
+// Understands all five bench formats the repo produces (see
 // obs/bench_metrics.hpp): the committed BENCH_sim.json object,
 // google-benchmark --benchmark_out files, BENCH_engine.json run
-// histories, and BENCH_ghost.json full-vs-ghost speedup records. A metric "regresses" when it moves against its direction
+// histories, BENCH_ghost.json full-vs-ghost speedup records, and
+// BENCH_serve.json query-service loadtest phases (throughput
+// higher-better, latency quantiles lower-better).
+// A metric "regresses" when it moves against its direction
 // (time-like up, throughput-like down) by more than the relative
 // threshold; neutral metrics (counts, configuration) are reported but
 // never fail the diff.

@@ -1,0 +1,118 @@
+// serve: the optimizer query service as a long-running process.
+//
+//   serve [--port=0] [--threads=2] [--cache-dir=PATH] [--host-watts=150]
+//         [--max-frame=1048576] [--port-file=PATH] [--stats-json=PATH]
+//         [--trace-out=PATH] [--duration=0]
+//
+// Binds 127.0.0.1:<port> (0 = ephemeral) and serves the length-prefixed
+// JSON protocol of src/serve until SIGINT/SIGTERM (or for --duration
+// seconds when nonzero — handy for CI smoke jobs). On shutdown it drains
+// connections, then dumps the per-query-class serving ledger (counts,
+// answer-cache hits, p50/p99 latency, energy-of-serving) to --stats-json
+// and the per-request span timeline to --trace-out as Chrome trace JSON.
+//
+// The line "serve: listening on 127.0.0.1:<port>" goes to stdout and the
+// bound port (alone) to --port-file, so scripts can wait for readiness and
+// discover an ephemeral port.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace alge;
+  CliArgs cli;
+  cli.add_flag("port", "0", "TCP port on 127.0.0.1 (0 = ephemeral)");
+  cli.add_flag("threads", "2", "worker pool size");
+  cli.add_flag("cache-dir", "", "shared on-disk result cache directory");
+  cli.add_flag("host-watts", "150",
+               "host power draw for the energy-of-serving ledger (W)");
+  cli.add_flag("max-frame", "1048576", "max request frame bytes");
+  cli.add_flag("port-file", "", "write the bound port to this file");
+  cli.add_flag("stats-json", "", "dump the serving ledger here on shutdown");
+  cli.add_flag("trace-out", "",
+               "dump per-request spans here (Chrome trace JSON) on shutdown");
+  cli.add_flag("duration", "0",
+               "serve for this many seconds, then exit (0 = until signal)");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "serve: " << e.what() << "\n" << cli.usage("serve");
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage("serve");
+    return 0;
+  }
+
+  obs::SpanLog spans;
+  const bool tracing = !cli.get("trace-out").empty();
+  serve::ServiceOptions sopts;
+  sopts.cache_dir = cli.get("cache-dir");
+  sopts.host_watts = cli.get_double("host-watts");
+  sopts.spans = tracing ? &spans : nullptr;
+  serve::QueryService service(sopts);
+
+  serve::ServerOptions opts;
+  opts.port = static_cast<int>(cli.get_int("port"));
+  opts.threads = static_cast<int>(cli.get_int("threads"));
+  opts.max_frame_bytes =
+      static_cast<std::size_t>(cli.get_int("max-frame"));
+  serve::Server server(service, opts);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "serve: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "serve: listening on 127.0.0.1:" << server.port()
+            << std::endl;
+  if (const std::string port_file = cli.get("port-file");
+      !port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  const double duration = cli.get_double("duration");
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (duration > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count() >= duration) {
+      break;
+    }
+  }
+
+  std::cout << "serve: draining...\n";
+  server.stop();
+  const serve::Server::Stats st = server.stats();
+  std::cout << "serve: handled " << st.requests << " request(s) on "
+            << st.connections_accepted << " connection(s), "
+            << st.protocol_errors << " protocol error(s)\n";
+
+  if (const std::string stats_path = cli.get("stats-json");
+      !stats_path.empty()) {
+    std::ofstream out(stats_path, std::ios::trunc);
+    out << service.stats_json().dump() << "\n";
+  }
+  if (tracing) {
+    spans.write_chrome_file(cli.get("trace-out"));
+  }
+  return 0;
+}

@@ -1,0 +1,161 @@
+// serve_client: one-shot CLI client for the optimizer query service.
+//
+//   serve_client --port=PORT [--host=127.0.0.1] --kind=min_energy
+//                [--model=nbody --f=20 --n=1e7] [--machine=case-study]
+//                [--t-max=…|--e-max=…|--power-max=…|--proc-power-max=…]
+//                [--p=… --M=…] [--target-gflops-per-watt=… --scale=all]
+//                [--p-available=…] [--M-cap=…] [--spec-json='{…}']
+//                [--json='{…}'] [--id=…] [--crosscheck=false]
+//
+// Builds the request from flags (or sends --json verbatim), prints the
+// response JSON on stdout, and exits 0 on {"ok": true}. With
+// --crosscheck=true it also evaluates the same request in-process through
+// its own QueryService — the exact core::Optimizer / ghost-engine path —
+// and fails unless the served "answer" is bit-identical to the local one;
+// the CI smoke job runs one cross-checked query per query class.
+#include <iostream>
+#include <string>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using alge::json::Value;
+
+/// Set `key` from a flag when the flag is non-empty; numbers parse as JSON.
+void set_number_flag(Value& req, const alge::CliArgs& cli,
+                     const std::string& flag, const std::string& key) {
+  const std::string v = cli.get(flag);
+  if (!v.empty()) req.set(key, alge::json::parse(v));
+}
+
+std::string build_request(const alge::CliArgs& cli) {
+  const std::string raw = cli.get("json");
+  if (!raw.empty()) return raw;
+
+  Value req = Value::object();
+  const std::string id = cli.get("id");
+  if (!id.empty()) req.set("id", id);
+  req.set("kind", cli.get("kind"));
+  const std::string spec = cli.get("spec-json");
+  if (!spec.empty()) {
+    req.set("spec", alge::json::parse(spec));
+  } else if (cli.get("kind") != "ping" && cli.get("kind") != "stats") {
+    req.set("model", cli.get("model"));
+    set_number_flag(req, cli, "f", "f");
+    set_number_flag(req, cli, "omega0", "omega0");
+    set_number_flag(req, cli, "n", "n");
+    req.set("machine", cli.get("machine"));
+    set_number_flag(req, cli, "t-max", "t_max");
+    set_number_flag(req, cli, "e-max", "e_max");
+    set_number_flag(req, cli, "power-max", "power_max");
+    set_number_flag(req, cli, "proc-power-max", "proc_power_max");
+    set_number_flag(req, cli, "p", "p");
+    set_number_flag(req, cli, "M", "M");
+    set_number_flag(req, cli, "target-gflops-per-watt",
+                    "target_gflops_per_watt");
+    if (!cli.get("target-gflops-per-watt").empty()) {
+      req.set("scale", cli.get("scale"));
+    }
+    Value limits = Value::object();
+    set_number_flag(limits, cli, "p-available", "p_available");
+    set_number_flag(limits, cli, "M-cap", "M_cap");
+    if (!limits.as_object().empty()) req.set("limits", std::move(limits));
+  }
+  return req.dump();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace alge;
+  CliArgs cli;
+  cli.add_flag("host", "127.0.0.1", "server address");
+  cli.add_flag("port", "0", "server port (required)");
+  cli.add_flag("json", "", "send this JSON request verbatim");
+  cli.add_flag("kind", "ping", "query kind (see src/serve/service.hpp)");
+  cli.add_flag("model", "nbody", "algorithm model");
+  cli.add_flag("f", "", "n-body flops per interaction");
+  cli.add_flag("omega0", "", "Strassen exponent override");
+  cli.add_flag("n", "", "problem size");
+  cli.add_flag("machine", "case-study", "machine name");
+  cli.add_flag("t-max", "", "V-B deadline (s)");
+  cli.add_flag("e-max", "", "V-C energy budget (J)");
+  cli.add_flag("power-max", "", "V-D total power cap (W)");
+  cli.add_flag("proc-power-max", "", "V-E per-processor power cap (W)");
+  cli.add_flag("p", "", "evaluate: processor count");
+  cli.add_flag("M", "", "evaluate: memory per processor (words)");
+  cli.add_flag("target-gflops-per-watt", "", "codesign target");
+  cli.add_flag("scale", "all",
+               "codesign: which energy params improve per generation");
+  cli.add_flag("p-available", "", "limits: largest machine");
+  cli.add_flag("M-cap", "", "limits: physical memory per processor");
+  cli.add_flag("spec-json", "",
+               "experiment: partial ExperimentSpec JSON (absent fields take "
+               "defaults; data_mode defaults to ghost)");
+  cli.add_flag("id", "", "request id echoed in the response");
+  cli.add_flag("crosscheck", "false",
+               "also evaluate locally and require a bit-identical answer");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "serve_client: " << e.what() << "\n"
+              << cli.usage("serve_client");
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage("serve_client");
+    return 0;
+  }
+
+  try {
+    const std::string request = build_request(cli);
+    const int fd =
+        serve::connect_tcp(cli.get("host"),
+                           static_cast<int>(cli.get_int("port")));
+    std::string response;
+    {
+      serve::FrameReader reader(fd);
+      std::string_view payload;
+      if (!serve::write_frame(fd, request) ||
+          reader.next(&payload) != serve::FrameReader::Status::kFrame) {
+        std::cerr << "serve_client: server closed the connection\n";
+        ::close(fd);
+        return 1;
+      }
+      response = std::string(payload);
+    }
+    ::close(fd);
+    std::cout << response << "\n";
+
+    const json::Value resp = json::parse(response);
+    const json::Value* ok = resp.find("ok");
+    const bool served_ok =
+        ok != nullptr && ok->is_bool() && ok->as_bool();
+
+    if (cli.get_bool("crosscheck")) {
+      serve::QueryService local;  // in-memory, no shared cache
+      const json::Value local_resp = json::parse(*local.handle(request));
+      const json::Value* served = resp.find("answer");
+      const json::Value* expected = local_resp.find("answer");
+      const std::string served_s =
+          served == nullptr ? "<absent>" : served->dump();
+      const std::string expected_s =
+          expected == nullptr ? "<absent>" : expected->dump();
+      if (served_s != expected_s) {
+        std::cerr << "serve_client: CROSSCHECK MISMATCH\n  served:   "
+                  << served_s << "\n  expected: " << expected_s << "\n";
+        return 1;
+      }
+      std::cerr << "serve_client: crosscheck ok (bit-identical answer)\n";
+    }
+    return served_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "serve_client: " << e.what() << "\n";
+    return 1;
+  }
+}
