@@ -91,6 +91,32 @@ inline void apply_data_mode_flag(const CliArgs& cli,
                    : "");
 }
 
+/// Declare the --exec-mode flag (sim/fold.hpp ExecMode). Inert by
+/// default; see EXPERIMENTS.md "Folded execution".
+inline void add_exec_mode_flag(CliArgs& cli) {
+  cli.add_flag("exec-mode", "",
+               "folded: collapse fold-congruent ranks onto class "
+               "representatives and replay per-class cost deltas -- "
+               "bit-identical makespan/energy/counters, one fiber per "
+               "class (requires --data-mode=ghost; empty = fibers)");
+}
+
+/// Stamp --exec-mode=folded onto every spec. With the flag unset the
+/// specs are untouched, so cache keys and printed tables stay
+/// byte-identical with pre-fold runs. Folding requires ghost payloads
+/// (class replay moves costs, not data), which the engine enforces.
+inline void apply_exec_mode_flag(const CliArgs& cli,
+                                 std::vector<engine::ExperimentSpec>& specs) {
+  const std::string mode = cli.get("exec-mode");
+  if (mode.empty() || mode == "fibers") return;
+  ALGE_REQUIRE(mode == "folded",
+               "--exec-mode must be folded or fibers (got %s)", mode.c_str());
+  for (engine::ExperimentSpec& spec : specs) {
+    spec.exec_mode = sim::ExecMode::kFolded;
+  }
+  std::fprintf(stderr, "[fold] exec-mode=folded\n");
+}
+
 /// When --trace-out is set, re-execute `spec` with tracing enabled (outside
 /// the sweep: the result cache and the printed tables are untouched) and
 /// export its timeline as Chrome trace JSON. Notice goes to stderr so

@@ -80,6 +80,19 @@ int main(int argc, char** argv) {
   Table t({"sweep", "p", "full s", "ghost s", "speedup", "identical"});
   bool all_identical = true;
 
+  // Every record — compare pairs and ghost-only frontier points alike —
+  // carries the same simulated-cost fields, so bench_diff can track each
+  // sweep's p, makespan, energy and per-rank critical-path costs uniformly
+  // instead of only the wall-clock columns that happen to exist per shape.
+  auto set_costs = [](json::Value& e, const engine::ExperimentResult& r) {
+    e.set("p", r.p);
+    e.set("makespan", r.makespan);
+    e.set("energy", r.energy_total());
+    e.set("flops_per_rank", r.totals.flops_max);
+    e.set("words_per_rank", r.totals.words_sent_max);
+    e.set("msgs_per_rank", r.totals.msgs_sent_max);
+  };
+
   auto compare = [&](const std::string& name, engine::ExperimentSpec spec) {
     spec.verify = false;  // ghost runs have no output to verify against
     spec.data_mode = sim::DataMode::kFull;
@@ -98,13 +111,11 @@ int main(int argc, char** argv) {
         .cell(identical ? "yes" : "NO");
     json::Value e = json::Value::object();
     e.set("name", name);
-    e.set("p", rf.p);
+    set_costs(e, rf);
     e.set("full_seconds", sf);
     e.set("ghost_seconds", sg);
     e.set("speedup", speedup);
     e.set("cost_identical", identical);
-    e.set("makespan", rf.makespan);
-    e.set("energy", rf.energy_total());
     results.push_back(std::move(e));
   };
 
@@ -122,10 +133,8 @@ int main(int argc, char** argv) {
         .cell("--");
     json::Value e = json::Value::object();
     e.set("name", name);
-    e.set("p", rg.p);
+    set_costs(e, rg);
     e.set("ghost_seconds", sg);
-    e.set("makespan", rg.makespan);
-    e.set("energy", rg.energy_total());
     results.push_back(std::move(e));
   };
 

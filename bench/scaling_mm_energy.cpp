@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   bench::add_trace_flags(cli);
   bench::add_chaos_flags(cli);
   bench::add_data_mode_flag(cli);
+  bench::add_exec_mode_flag(cli);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("scaling_mm_energy");
@@ -82,6 +83,7 @@ int main(int argc, char** argv) {
   }
   bench::apply_chaos_flags(cli, specs);
   bench::apply_data_mode_flag(cli, specs);
+  bench::apply_exec_mode_flag(cli, specs);
   engine::SweepRunner runner(engine::sweep_options_from_cli(cli));
   const auto results = runner.run(specs);
 

@@ -1,0 +1,147 @@
+#include "algs/foldmaps.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace alge::algs {
+
+namespace {
+
+/// Single-class map: every rank fold-congruent, one fiber total.
+std::shared_ptr<const sim::FoldMap> single_class(int p) {
+  if (p < 2) return nullptr;
+  std::vector<sim::FoldClass> classes{{/*rep=*/0, /*size=*/p,
+                                       /*scatter=*/true}};
+  return std::make_shared<const sim::FoldMap>(p, std::move(classes),
+                                              [](int) { return 0; });
+}
+
+}  // namespace
+
+std::shared_ptr<const sim::FoldMap> foldmap_mm25d(int q, int c) {
+  // c > 1: the depth broadcast/reduce couples layers whose four-way class
+  // structure differs per (i, j); class replay cannot align those channels
+  // exactly, so the machine runs per-fiber. c == 1 is pure Cannon.
+  if (c != 1 || q < 2) return nullptr;
+  // cannon_align with s0 = 0 makes row 0 keep its A block (self-send,
+  // free) and column 0 keep its B block; everyone else pays a real send.
+  // That splits the layer into exactly four cost classes; within each,
+  // all traffic is translation-congruent.
+  std::vector<sim::FoldClass> classes{
+      {/*rep=*/0, /*size=*/1, /*scatter=*/true},          // (0,0)
+      {/*rep=*/1, /*size=*/q - 1, /*scatter=*/true},      // row 0, j > 0
+      {/*rep=*/q, /*size=*/q - 1, /*scatter=*/true},      // col 0, i > 0
+      {/*rep=*/q + 1, /*size=*/(q - 1) * (q - 1),
+       /*scatter=*/true},                                 // interior
+  };
+  return std::make_shared<const sim::FoldMap>(
+      q * q, std::move(classes), [q](int r) {
+        const int i = r / q;
+        const int j = r % q;
+        return i == 0 ? (j == 0 ? 0 : 1) : (j == 0 ? 2 : 3);
+      });
+}
+
+std::shared_ptr<const sim::FoldMap> foldmap_caps(int p) {
+  // Every CAPS rank runs the identical BFS/DFS schedule with peers given
+  // by its own base/sub-index coordinates; costs are rank-independent
+  // (each BFS exchange includes exactly one free self-send, at a
+  // per-rank position that only permutes the order of identical charges).
+  return single_class(p);
+}
+
+std::shared_ptr<const sim::FoldMap> foldmap_fft(int p) {
+  // Transpose all-to-all, direct or Bruck: fully translation-symmetric;
+  // the "self block" is a local copy outside the Comm layer.
+  return single_class(p);
+}
+
+std::shared_ptr<const sim::FoldMap> foldmap_nbody(int p, int c) {
+  if (c < 1 || p % c != 0) return nullptr;
+  const int cols = p / c;
+  if (cols < 1) return nullptr;
+  // Team broadcast/reduce roles, ring-shift distances and the step count
+  // all depend only on the team row; every peer of a row-i rank sits in a
+  // row determined by the schedule position alone, so channels keep
+  // destination filtering (scatter=false) and the leftover-entry check.
+  std::vector<sim::FoldClass> classes;
+  classes.reserve(static_cast<std::size_t>(c));
+  for (int i = 0; i < c; ++i) {
+    classes.push_back({/*rep=*/i * cols, /*size=*/cols, /*scatter=*/false});
+  }
+  return std::make_shared<const sim::FoldMap>(
+      p, std::move(classes), [cols](int r) { return r / cols; });
+}
+
+std::shared_ptr<const sim::FoldMap> foldmap_tsqr(int p) {
+  if (p < 2 || p > (1 << 20)) return nullptr;
+  // Partition refinement over the analytic fan-in skeleton
+  // (algs/qr/tsqr.cpp): at round `mask`, rank me either sends to me-mask
+  // and stops (me & mask) or receives from me+mask (me+mask < p). Two
+  // ranks fold together only when they have the same (kind, level)
+  // skeleton AND, at every receive, sources in the same class — iterated
+  // to fixpoint, so merged ranks provably share per-event cost schedules.
+  // Send destinations are deliberately NOT part of the signature: their
+  // classes vary per member (me - mask), which is exactly what
+  // FoldClass::scatter's positional channel matching handles.
+  auto cls = std::make_shared<std::vector<int>>(static_cast<std::size_t>(p),
+                                                0);
+  std::vector<int> next(static_cast<std::size_t>(p), 0);
+  int num = 1;
+  for (int round = 0; round < 2 * 20 + 2; ++round) {
+    std::unordered_map<std::uint64_t, int> ids;
+    ids.reserve(static_cast<std::size_t>(num) * 2);
+    int n_next = 0;
+    for (int me = 0; me < p; ++me) {
+      std::uint64_t h = 1469598103934665603ull;
+      const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+      };
+      mix(static_cast<std::uint64_t>(
+          (*cls)[static_cast<std::size_t>(me)]));  // keeps splits monotone
+      int level = 0;
+      for (int mask = 1; mask < p; mask <<= 1, ++level) {
+        if (me & mask) {
+          mix(0x5eu);
+          mix(static_cast<std::uint64_t>(level));
+          break;
+        }
+        if (me + mask < p) {
+          mix(0x2cu);
+          mix(static_cast<std::uint64_t>(level));
+          mix(static_cast<std::uint64_t>(
+              (*cls)[static_cast<std::size_t>(me + mask)]));
+        }
+      }
+      const auto [it, inserted] = ids.try_emplace(h, n_next);
+      if (inserted) ++n_next;
+      next[static_cast<std::size_t>(me)] = it->second;
+    }
+    const bool stable = n_next == num && next == *cls;
+    cls->swap(next);
+    num = n_next;
+    if (stable) break;
+  }
+  std::vector<sim::FoldClass> classes(static_cast<std::size_t>(num));
+  std::vector<bool> seen(static_cast<std::size_t>(num), false);
+  for (int r = 0; r < p; ++r) {
+    const int c = (*cls)[static_cast<std::size_t>(r)];
+    auto& fc = classes[static_cast<std::size_t>(c)];
+    if (!seen[static_cast<std::size_t>(c)]) {
+      seen[static_cast<std::size_t>(c)] = true;
+      fc.rep = r;  // ids assigned in ascending-rank first appearance
+    }
+    ++fc.size;
+    fc.scatter = true;
+  }
+  return std::make_shared<const sim::FoldMap>(
+      p, std::move(classes),
+      [cls](int r) { return (*cls)[static_cast<std::size_t>(r)]; });
+}
+
+}  // namespace alge::algs

@@ -1,0 +1,57 @@
+// Fold-map builders: the (p, rank) -> equivalence-class geometry of each
+// algorithm's communication schedule, consumed by ExecMode::kFolded
+// (sim/fold.hpp). A builder returns nullptr when the algorithm (or that
+// parameter point) has no exact fold — the machine then transparently runs
+// per-fiber, so attaching a map is always safe.
+//
+// What folds, and why:
+//
+//  - Cannon / 2.5D at c=1 (foldmap_mm25d): the alignment step makes row 0
+//    and column 0 self-send their A/B blocks (free) while everyone else
+//    pays a real send, so the q×q layer splits into exactly four cost
+//    classes: {(0,0)}, row 0, column 0, interior. 4 fibers at any p = q².
+//    For c>1 the depth broadcast/reduce crosses layers whose class
+//    structure differs per (i,j), which class-level replay cannot align
+//    exactly — no map, per-fiber fallback.
+//  - CAPS / Strassen (foldmap_caps): every rank runs the same BFS
+//    schedule with peers determined by its own coordinates; one class of
+//    all 7^k ranks. 1 fiber at p = 40 million.
+//  - FFT (foldmap_fft): transpose all-to-all (direct or Bruck) is fully
+//    translation-symmetric with a local self-block copy; one class.
+//  - N-body (foldmap_nbody): team broadcast/reduce roles and ring-shift
+//    distances depend only on the team row; c row classes, and every
+//    peer's class is position-uniform, so channels keep destination
+//    filtering (scatter=false) and the stricter leftover-entry check.
+//  - TSQR (foldmap_tsqr): the binomial fan-in skeleton is analytic in
+//    (p, rank); classes come from partition refinement on each rank's
+//    (kind, level, source-class) receive schedule, so two ranks only fold
+//    if every message they receive comes from the same class at the same
+//    position. O(log p)-ish classes for p = 2^k.
+//  - SUMMA and LU do not fold: their broadcast roots rotate through every
+//    grid position with the step index, making each rank's role unique
+//    over the run.
+#pragma once
+
+#include <memory>
+
+#include "sim/fold.hpp"
+
+namespace alge::algs {
+
+/// 2.5D matmul on a q×q×c grid (p = q²c). Non-null only for c == 1.
+std::shared_ptr<const sim::FoldMap> foldmap_mm25d(int q, int c);
+
+/// CAPS Strassen with p = 7^k ranks: one class.
+std::shared_ptr<const sim::FoldMap> foldmap_caps(int p);
+
+/// Parallel FFT over p ranks: one class.
+std::shared_ptr<const sim::FoldMap> foldmap_fft(int p);
+
+/// Replicating n-body on a c×(p/c) team grid: one class per team row.
+std::shared_ptr<const sim::FoldMap> foldmap_nbody(int p, int c);
+
+/// TSQR binomial fan-in over p ranks; refinement is O(p·log²p), capped at
+/// p ≤ 2^20 (nullptr above — per-fiber would be cheaper than the build).
+std::shared_ptr<const sim::FoldMap> foldmap_tsqr(int p);
+
+}  // namespace alge::algs

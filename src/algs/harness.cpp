@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "algs/fft/fft.hpp"
+#include "algs/foldmaps.hpp"
 #include "algs/lu/distributed.hpp"
 #include "algs/lu/local.hpp"
 #include "algs/matmul/distributed.hpp"
@@ -64,6 +65,17 @@ bool ghost_mode(const sim::MachineConfig& cfg, bool verify) {
   return ghost;
 }
 
+/// Attach the algorithm's fold map when the observer asked for folded
+/// execution and nothing supplied one. Builders may return nullptr (no
+/// exact fold at this parameter point) — the machine then transparently
+/// stays on the per-fiber path, so attaching is always safe.
+template <typename Builder>
+void attach_fold(sim::MachineConfig& cfg, Builder&& build) {
+  if (cfg.exec_mode == sim::ExecMode::kFolded && cfg.fold == nullptr) {
+    cfg.fold = build();
+  }
+}
+
 RunResult finish(sim::Machine& m, bool verified, double err) {
   RunResult res;
   res.p = m.p();
@@ -83,6 +95,7 @@ RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
   topo::Grid3D grid(q, c);
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = grid.p();
+  attach_fold(cfg, [&] { return foldmap_mm25d(q, c); });
   const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
@@ -93,7 +106,8 @@ RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
   }
   const std::size_t nb2 = static_cast<std::size_t>(n / q) *
                           static_cast<std::size_t>(n / q);
-  std::vector<std::vector<double>> c_blocks(static_cast<std::size_t>(q) * q);
+  std::vector<std::vector<double>> c_blocks(
+      ghost ? 0 : static_cast<std::size_t>(q) * q);
   m.run([&](sim::Comm& comm) {
     const int i = grid.row_of(comm.rank());
     const int j = grid.col_of(comm.rank());
@@ -143,7 +157,8 @@ RunResult run_summa(int n, int q, const core::MachineParams& mp, bool verify,
   }
   const std::size_t nb2 = static_cast<std::size_t>(n / q) *
                           static_cast<std::size_t>(n / q);
-  std::vector<std::vector<double>> c_blocks(static_cast<std::size_t>(q) * q);
+  std::vector<std::vector<double>> c_blocks(
+      ghost ? 0 : static_cast<std::size_t>(q) * q);
   m.run([&](sim::Comm& comm) {
     const int i = grid.row_of(comm.rank());
     const int j = grid.col_of(comm.rank());
@@ -182,6 +197,7 @@ RunResult run_caps(int n, int k, const core::MachineParams& mp,
   const int levels = static_cast<int>(sched.size());
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
+  attach_fold(cfg, [&] { return foldmap_caps(p); });
   const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
@@ -195,7 +211,8 @@ RunResult run_caps(int n, int k, const core::MachineParams& mp,
   const std::size_t share = static_cast<std::size_t>(n) *
                             static_cast<std::size_t>(n) /
                             static_cast<std::size_t>(p);
-  std::vector<std::vector<double>> c_shares(static_cast<std::size_t>(p));
+  std::vector<std::vector<double>> c_shares(
+      ghost ? 0 : static_cast<std::size_t>(p));
   m.run([&](sim::Comm& comm) {
     if (ghost) {
       caps_multiply(comm, n, k, sim::ConstPayload::ghost(share),
@@ -228,6 +245,7 @@ RunResult run_nbody(int n, int p, int c, const core::MachineParams& mp,
   topo::TeamGrid grid(p, c);
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
+  attach_fold(cfg, [&] { return foldmap_nbody(p, c); });
   const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
@@ -235,7 +253,8 @@ RunResult run_nbody(int n, int p, int c, const core::MachineParams& mp,
   if (!ghost) parts = random_particles(n, rng);
   const int P = grid.cols();
   const int nb = n / P;
-  std::vector<std::vector<double>> force_blocks(static_cast<std::size_t>(P));
+  std::vector<std::vector<double>> force_blocks(
+      ghost ? 0 : static_cast<std::size_t>(P));
   m.run([&](sim::Comm& comm) {
     const int i = grid.row_of(comm.rank());
     const int j = grid.col_of(comm.rank());
@@ -374,6 +393,7 @@ RunResult run_fft(int r_dim, int c_dim, int p, AllToAllKind kind,
   const int n = r_dim * c_dim;
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
+  attach_fold(cfg, [&] { return foldmap_fft(p); });
   const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
@@ -384,7 +404,8 @@ RunResult run_fft(int r_dim, int c_dim, int p, AllToAllKind kind,
   }
   const int cl = c_dim / p;
   const int rl = r_dim / p;
-  std::vector<std::vector<double>> rows(static_cast<std::size_t>(p));
+  std::vector<std::vector<double>> rows(
+      ghost ? 0 : static_cast<std::size_t>(p));
   m.run([&](sim::Comm& comm) {
     const int h = comm.rank();
     if (ghost) {
@@ -435,6 +456,7 @@ RunResult run_tsqr(int rows_local, int b, int p,
                "tsqr needs rows_local >= b >= 1 and p >= 1");
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = p;
+  attach_fold(cfg, [&] { return foldmap_tsqr(p); });
   const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);

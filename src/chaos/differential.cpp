@@ -44,17 +44,30 @@ struct Mm25dShape {
   int q;
   int c;
 };
-Mm25dShape mm25d_shape(int p) {
-  // q = 2 keeps problems tiny; c absorbs the rest when p is a multiple
-  // of q² (p = 8 -> the 2×2×2 grid), else the 2D c = 1 grid.
-  return {2, p % 4 == 0 ? p / 4 : 1};
-}
-
 int isqrt(int p) {
   int q = static_cast<int>(std::sqrt(static_cast<double>(p)));
   while ((q + 1) * (q + 1) <= p) ++q;
   while (q > 1 && q * q > p) --q;
   return q;
+}
+
+Mm25dShape mm25d_shape(int p) {
+  // q = 2 keeps problems tiny; c absorbs the rest when p is a multiple of
+  // q² — but only while c divides q (p = 8 -> the 2×2×2 grid). Perfect
+  // squares of q >= 3 run the q×q 2D grid instead — the size classes
+  // fold-mode sweeps use, since Cannon only folds nontrivially for q >= 3.
+  if (p % 4 == 0 && (p / 4 == 1 || p / 4 == 2)) return {2, p / 4};
+  const int q = isqrt(p);
+  if (q >= 3 && q * q == p) return {q, 1};
+  return {2, 1};
+}
+
+/// FFT needs a power-of-two rank count (R and C are powers of two and p
+/// divides both); size classes round down.
+int fft_p(int p) {
+  int v = 1;
+  while (2 * v <= p) v *= 2;
+  return v;
 }
 
 RunResult dispatch(const CaseSpec& spec, bool verify) {
@@ -85,9 +98,11 @@ RunResult dispatch(const CaseSpec& spec, bool verify) {
     }
     case Alg::kTsqr:
       return h::run_tsqr(8, 4, p, mp, verify, seed);
-    case Alg::kFft:
-      return h::run_fft(2 * p, 2 * p, p, algs::AllToAllKind::kDirect, mp,
+    case Alg::kFft: {
+      const int fp = fft_p(p);
+      return h::run_fft(2 * fp, 2 * fp, fp, algs::AllToAllKind::kDirect, mp,
                         verify, seed);
+    }
   }
   throw invalid_argument_error("unknown algorithm");
 }
@@ -139,8 +154,9 @@ int effective_p(Alg alg, int p) {
       return 7;
     case Alg::kNbody:
     case Alg::kTsqr:
-    case Alg::kFft:
       return p;
+    case Alg::kFft:
+      return fft_p(p);
   }
   return p;
 }
@@ -160,6 +176,7 @@ RunSignature run_case(const CaseSpec& spec, const ChaosConfig& chaos) {
   std::shared_ptr<PlanInjector> injector;
   obs.configure = [&chaos, &injector](sim::MachineConfig& cfg) {
     cfg.data_mode = chaos.data_mode;
+    cfg.exec_mode = chaos.exec_mode;
     if (chaos.schedule_seed != 0) {
       cfg.wake_policy =
           std::make_shared<SchedulePermuter>(chaos.schedule_seed);
@@ -172,6 +189,7 @@ RunSignature run_case(const CaseSpec& spec, const ChaosConfig& chaos) {
   };
   RunSignature sig;
   obs.after_run = [&sig](const sim::Machine& m) {
+    sig.fold_active = m.fold_active();
     sig.ranks.clear();
     sig.ranks.reserve(static_cast<std::size_t>(m.p()));
     for (int r = 0; r < m.p(); ++r) sig.ranks.push_back(m.rank_counters(r));
@@ -482,6 +500,97 @@ GhostDiffReport ghost_explore(const GhostDiffOptions& opts) {
   rep.summary = strfmt(
       "%d cases: %d full/ghost pairs; %d mismatches, %d failures -> %s",
       rep.cases, rep.pairs, rep.mismatches, rep.failures,
+      rep.ok() ? "OK" : "FAIL");
+  if (out != nullptr) *out << rep.summary << "\n";
+  return rep;
+}
+
+FoldDiffReport fold_explore(const FoldDiffOptions& opts) {
+  ALGE_REQUIRE(opts.seeds >= 1, "need at least one seed");
+  FoldDiffReport rep;
+  std::ostream* out = opts.out;
+  for (Alg alg : opts.algs) {
+    for (int p : opts.ps) {
+      ++rep.cases;
+      CaseSpec spec;
+      spec.alg = alg;
+      spec.p = p;
+      spec.problem_seed = opts.problem_seed;
+      spec.params = tuned_params();
+
+      // One fault-free pairing (the case that actually folds), then every
+      // plan × seed (faults force the per-fiber fallback on the "folded"
+      // side, which must still match bit for bit).
+      struct Pairing {
+        std::string label;
+        ChaosConfig cc;
+      };
+      std::vector<Pairing> pairings;
+      pairings.push_back({"fault-free", ChaosConfig{}});
+      for (const std::string& plan_name : opts.plans) {
+        if (plan_name == "none") continue;
+        const FaultPlan plan = FaultPlan::bundled(plan_name);
+        for (int s = 1; s <= opts.seeds; ++s) {
+          ChaosConfig cc;
+          cc.plan = plan;
+          cc.fault_seed = static_cast<std::uint64_t>(s);
+          pairings.push_back(
+              {strfmt("plan=%s seed=%d", plan_name.c_str(), s), cc});
+        }
+      }
+
+      int case_bad = 0;
+      int case_folded = 0;
+      for (const Pairing& pairing : pairings) {
+        ++rep.pairs;
+        try {
+          ChaosConfig fiber_cc = pairing.cc;
+          fiber_cc.data_mode = sim::DataMode::kGhost;
+          fiber_cc.exec_mode = sim::ExecMode::kFibers;
+          const RunSignature fiber = run_case(spec, fiber_cc);
+          ChaosConfig folded_cc = pairing.cc;
+          folded_cc.data_mode = sim::DataMode::kGhost;
+          folded_cc.exec_mode = sim::ExecMode::kFolded;
+          const RunSignature folded = run_case(spec, folded_cc);
+          if (folded.fold_active) {
+            ++rep.folded_pairs;
+            ++case_folded;
+          }
+          if (!folded.cost_identical_to(fiber)) {
+            ++rep.mismatches;
+            ++case_bad;
+            if (out != nullptr) {
+              *out << strfmt(
+                  "FAIL %s p=%d %s: folded cost signature differs at %s "
+                  "(fold %s)\n",
+                  alg_name(alg), p, pairing.label.c_str(),
+                  first_cost_difference(fiber, folded).c_str(),
+                  folded.fold_active ? "active" : "fell back");
+            }
+          }
+        } catch (const std::exception& e) {
+          ++rep.failures;
+          ++case_bad;
+          if (out != nullptr) {
+            *out << strfmt("FAIL %s p=%d %s: threw: %s\n", alg_name(alg), p,
+                           pairing.label.c_str(), e.what());
+          }
+        }
+      }
+      if (out != nullptr && opts.verbose) {
+        *out << strfmt(
+            "%-6s p=%d (runs on %d ranks): %zu/%zu fiber/folded pairs "
+            "bit-identical, %d folded\n",
+            alg_name(alg), p, effective_p(alg, p),
+            pairings.size() - static_cast<std::size_t>(case_bad),
+            pairings.size(), case_folded);
+      }
+    }
+  }
+  rep.summary = strfmt(
+      "%d cases: %d fiber/folded pairs (%d actually folded); %d "
+      "mismatches, %d failures -> %s",
+      rep.cases, rep.pairs, rep.folded_pairs, rep.mismatches, rep.failures,
       rep.ok() ? "OK" : "FAIL");
   if (out != nullptr) *out << rep.summary << "\n";
   return rep;

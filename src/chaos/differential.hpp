@@ -59,6 +59,11 @@ struct ChaosConfig {
   /// off for ghost runs (there is no output); the cost signature must
   /// still be bit-identical to the full-data run.
   sim::DataMode data_mode = sim::DataMode::kFull;
+  /// kFolded: collapse fold-congruent ranks onto class representatives
+  /// (sim/fold.hpp; ghost mode only). The machine falls back to per-fiber
+  /// execution when the algorithm has no fold map or faults are installed,
+  /// so any ChaosConfig combination stays runnable.
+  sim::ExecMode exec_mode = sim::ExecMode::kFibers;
 };
 
 /// Everything observable about a finished run. Compared field-for-field
@@ -70,6 +75,10 @@ struct RunSignature {
   core::EnergyBreakdown energy;
   double max_abs_error = 0.0;  ///< vs the sequential reference
   FaultStats faults;           ///< what the injector actually injected
+
+  /// Whether the machine actually ran folded (informational; never part of
+  /// a signature comparison — a fallback run must still match bit for bit).
+  bool fold_active = false;
 
   bool identical_to(const RunSignature& o) const;
   /// Bit-identity on everything the cost model observes — per-rank
@@ -144,5 +153,38 @@ struct GhostDiffReport {
 /// bit-identical. Any difference means ghost mode's cost schedule has
 /// drifted from the real one.
 GhostDiffReport ghost_explore(const GhostDiffOptions& opts);
+
+/// Folded-execution differential sweep options. The default size classes
+/// include an odd perfect square so Cannon (q >= 3) genuinely folds.
+struct FoldDiffOptions {
+  std::vector<Alg> algs = all_algs();
+  std::vector<int> ps = {4, 9};
+  int seeds = 2;  ///< fault seeds per (case, plan)
+  /// Bundled plan names to pair up; faulted machines fall back to fibers,
+  /// so these pairs prove the fallback never perturbs the signature.
+  std::vector<std::string> plans = FaultPlan::bundled_names();
+  std::uint64_t problem_seed = 1;
+  bool verbose = false;
+  std::ostream* out = nullptr;  ///< progress/failure stream (null = silent)
+};
+
+struct FoldDiffReport {
+  int cases = 0;
+  int pairs = 0;         ///< fiber/folded run pairs compared
+  int folded_pairs = 0;  ///< pairs whose folded side actually folded
+  int mismatches = 0;    ///< cost signatures that differed
+  int failures = 0;      ///< unexpected exceptions in either mode
+  std::string summary;
+
+  bool ok() const { return mismatches == 0 && failures == 0; }
+};
+
+/// The fold differential gate: for every (alg, p), run ghost mode per-fiber
+/// and folded back to back — fault-free and under every plan × seed — and
+/// assert the cost signatures (clocks, F/W/S, energy, injected faults) are
+/// bit-identical. Any difference means class replay has drifted from the
+/// per-fiber schedule; faulted pairs additionally prove the transparent
+/// fiber fallback is exact.
+FoldDiffReport fold_explore(const FoldDiffOptions& opts);
 
 }  // namespace alge::chaos

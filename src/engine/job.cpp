@@ -105,6 +105,7 @@ json::Value ExperimentSpec::to_json() const {
   if (chaos_seed != 0) o.set("chaos_seed", strfmt("%" PRIu64, chaos_seed));
   if (!fault_plan.empty()) o.set("fault_plan", fault_plan);
   if (data_mode == sim::DataMode::kGhost) o.set("data_mode", "ghost");
+  if (exec_mode == sim::ExecMode::kFolded) o.set("exec_mode", "folded");
   return o;
 }
 
@@ -139,6 +140,15 @@ ExperimentSpec ExperimentSpec::from_json(const json::Value& v) {
       s.data_mode = sim::DataMode::kGhost;
     } else {
       ALGE_REQUIRE(mode == "full", "unknown data_mode \"%s\"", mode.c_str());
+    }
+  }
+  if (const json::Value* em = v.find("exec_mode"); em != nullptr) {
+    const std::string& mode = em->as_string();
+    if (mode == "folded") {
+      s.exec_mode = sim::ExecMode::kFolded;
+    } else {
+      ALGE_REQUIRE(mode == "fibers", "unknown exec_mode \"%s\"",
+                   mode.c_str());
     }
   }
   return s;

@@ -82,6 +82,13 @@ struct ExperimentSpec {
   // only when set, like the chaos axes, so kFull cache keys are unchanged.
   sim::DataMode data_mode = sim::DataMode::kFull;
 
+  // Execution mode (sim/fold.hpp): kFolded collapses fold-congruent ranks
+  // onto class representatives and replays per-class cost deltas (requires
+  // kGhost; the machine transparently falls back to fibers when the
+  // algorithm has no fold map or chaos axes are active). Default-inert and
+  // serialized only when set, so existing cache keys are unchanged.
+  sim::ExecMode exec_mode = sim::ExecMode::kFibers;
+
   json::Value to_json() const;
   static ExperimentSpec from_json(const json::Value& v);
 

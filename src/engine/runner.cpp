@@ -113,6 +113,25 @@ ExperimentResult run_collective(const ExperimentSpec& spec) {
 
 ExperimentResult execute(const ExperimentSpec& spec) {
   using namespace algs;
+  if (spec.exec_mode == sim::ExecMode::kFolded) {
+    // Execution-mode axis, resolved before the data-mode axis below so the
+    // two configure hooks stack. Folded replay carries costs, not data, so
+    // a full-data folded run has nothing to produce — reject it up front
+    // rather than deep inside the Machine constructor.
+    ALGE_REQUIRE(spec.data_mode == sim::DataMode::kGhost,
+                 "exec_mode=folded requires data_mode=ghost (class replay "
+                 "moves costs, not data)");
+    harness::RunObserver obs = harness::run_observer();
+    auto prev = obs.configure;
+    obs.configure = [prev](sim::MachineConfig& cfg) {
+      if (prev) prev(cfg);
+      cfg.exec_mode = sim::ExecMode::kFolded;
+    };
+    harness::ScopedRunObserver scoped(std::move(obs));
+    ExperimentSpec inner = spec;
+    inner.exec_mode = sim::ExecMode::kFibers;
+    return execute(inner);
+  }
   if (spec.data_mode == sim::DataMode::kGhost) {
     // Data-mode axis: like the chaos axes below, chain a configure hook
     // onto the caller's observer, strip the field, and dispatch the plain

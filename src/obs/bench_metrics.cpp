@@ -140,6 +140,26 @@ void normalize_serve_loadtest(const json::Value& doc,
   }
 }
 
+/// BENCH_frontier.json: {"bench": "frontier", "results": [{"name": …,
+/// "p": …, "slots": …, "seconds": …, "makespan": …, "energy": …,
+/// "words_per_proc": …, "msgs_per_proc": …}]} from bench/frontier_folded.
+/// Wall-clock "seconds" is machine-dependent and skipped; the simulated
+/// frontier points themselves are deterministic and emitted as
+/// "frontier.<name>.<field>".
+void normalize_frontier(const json::Value& doc, std::vector<Metric>& out) {
+  for (const json::Value& entry : doc.at("results").as_array()) {
+    if (!entry.is_object()) continue;
+    const json::Value* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    for (const auto& [key, field] : entry.as_object()) {
+      if (!field.is_number() || is_timestamp_key(key)) continue;
+      if (key == "seconds") continue;
+      out.push_back(
+          {"frontier." + name->as_string() + "." + key, field.as_double()});
+    }
+  }
+}
+
 /// BENCH_engine.json: an append-only array of run records; compare the
 /// latest record of each bench.
 void normalize_engine_history(const json::Value& doc,
@@ -179,6 +199,13 @@ int metric_direction(const std::string& name) {
       contains(n, "wait") || contains(n, "miss")) {
     return -1;
   }
+  // Simulated cost-model outputs: less makespan, energy, or per-rank
+  // traffic is better. These never vary with the benching machine, so any
+  // move is a real cost-schedule change.
+  if (contains(n, "makespan") || contains(n, "energy") ||
+      contains(n, "per_proc") || contains(n, "per_rank")) {
+    return -1;
+  }
   return 0;
 }
 
@@ -198,6 +225,10 @@ std::vector<Metric> normalize_bench_json(const json::Value& doc) {
                bench->as_string() == "serve" && results != nullptr &&
                results->is_array()) {
       normalize_serve_loadtest(doc, out);
+    } else if (bench != nullptr && bench->is_string() &&
+               bench->as_string() == "frontier" && results != nullptr &&
+               results->is_array()) {
+      normalize_frontier(doc, out);
     } else if (benchmarks != nullptr && benchmarks->is_array()) {
       normalize_google_benchmark(doc, out);
     } else if (benchmarks != nullptr && benchmarks->is_object()) {

@@ -233,6 +233,8 @@ std::shared_ptr<const std::string> QueryService::handle(
     std::shared_lock lock(answer_mu_);
     if (const auto it = answers_.find(key);
         it != answers_.end() && it->second.request == request) {
+      // Second chance: mark the entry hot so the eviction hand skips it.
+      it->second.referenced->store(true, std::memory_order_relaxed);
       return finish(it->second.kind, it->second.response, /*cached=*/true,
                     /*ok=*/true);
     }
@@ -270,18 +272,30 @@ std::shared_ptr<const std::string> QueryService::handle(
   bool ok = false;
   auto resp = compute(request, &kind_label, &cacheable, &ok);
 
-  bool overflow = false;
-  if (ok && cacheable) {
+  bool evicted = false;
+  if (ok && cacheable && opts_.answer_cache_cap > 0) {
     std::unique_lock lock(answer_mu_);
-    if (answers_.size() < opts_.answer_cache_cap) {
-      answers_[key] = Answer{std::string(request), kind_label, resp};
+    const auto it = answers_.find(key);
+    if (it != answers_.end()) {
+      // Hash hit with different bytes (collision) or a racing refresh:
+      // overwrite in place; the key keeps its ring slot.
+      it->second.request = std::string(request);
+      it->second.kind = kind_label;
+      it->second.response = resp;
     } else {
-      overflow = true;
+      if (answers_.size() >= opts_.answer_cache_cap) {
+        evict_one_locked();
+        evicted = true;
+      }
+      answers_.emplace(
+          key, Answer{std::string(request), kind_label, resp,
+                      std::make_unique<std::atomic<bool>>(false)});
+      clock_keys_.push_back(key);
     }
   }
-  if (overflow) {
+  if (evicted) {
     std::lock_guard lock(ledger_mu_);
-    ++answer_overflow_;
+    ++answer_evictions_;
   }
 
   {
@@ -457,6 +471,35 @@ json::Value QueryService::run_experiment(const json::Value& req) {
   }
 }
 
+void QueryService::evict_one_locked() {
+  // Second-chance sweep: a set referenced bit buys one more lap. The
+  // caller holds answer_mu_ exclusively, so no hit can re-mark an entry
+  // mid-sweep — after one full clearing lap the next candidate must be
+  // cold, bounding the scan at two laps.
+  for (std::size_t step = 0; step <= 2 * clock_keys_.size(); ++step) {
+    if (clock_hand_ >= clock_keys_.size()) clock_hand_ = 0;
+    const std::uint64_t k = clock_keys_[clock_hand_];
+    const auto it = answers_.find(k);
+    if (it == answers_.end()) {
+      // Stale ring slot (defensive; structural changes keep the ring in
+      // sync): compact it and retry the same position.
+      clock_keys_[clock_hand_] = clock_keys_.back();
+      clock_keys_.pop_back();
+      continue;
+    }
+    if (it->second.referenced->exchange(false, std::memory_order_relaxed)) {
+      ++clock_hand_;
+      continue;
+    }
+    answers_.erase(it);
+    clock_keys_[clock_hand_] = clock_keys_.back();
+    clock_keys_.pop_back();
+    return;
+  }
+  ALGE_CHECK(false, "second-chance sweep failed to evict (%zu entries)",
+             answers_.size());
+}
+
 void QueryService::note(const std::string& kind, double seconds, bool hit,
                         bool ok) {
   std::lock_guard lock(ledger_mu_);
@@ -476,7 +519,7 @@ json::Value QueryService::stats_json() const {
   json::Value classes = json::Value::object();
   std::uint64_t coalesced = 0;
   std::uint64_t spec_coalesced = 0;
-  std::uint64_t answer_overflow = 0;
+  std::uint64_t answer_evictions = 0;
   {
     std::lock_guard lock(ledger_mu_);
     for (const auto& [kind, cs] : ledger_) {
@@ -493,7 +536,7 @@ json::Value QueryService::stats_json() const {
     }
     coalesced = coalesced_;
     spec_coalesced = spec_coalesced_;
-    answer_overflow = answer_overflow_;
+    answer_evictions = answer_evictions_;
   }
   std::size_t answer_entries = 0;
   {
@@ -511,7 +554,7 @@ json::Value QueryService::stats_json() const {
       .set("coalesced", coalesced)
       .set("spec_coalesced", spec_coalesced)
       .set("answer_store_entries", answer_entries)
-      .set("answer_overflow", answer_overflow)
+      .set("answer_evictions", answer_evictions)
       .set("host_watts", opts_.host_watts)
       .set("result_cache", std::move(cache));
   return o;

@@ -52,6 +52,7 @@
 // Eq. (2)'s εe·T term applied to the server.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -60,6 +61,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/cache.hpp"
 #include "obs/span_log.hpp"
@@ -72,8 +74,10 @@ struct ServiceOptions {
   /// with other servers and CLIs: the store is atomic-rename, torn entries
   /// read as misses.
   std::string cache_dir;
-  /// Answer-store entry cap; beyond it new answers are served but not
-  /// retained (bounded memory beats an eviction policy here).
+  /// Answer-store entry cap. At capacity a second-chance (clock) sweep
+  /// evicts the first entry not hit since the hand last passed it, so hot
+  /// answers — e.g. the closed-form §V queries a dashboard polls — survive
+  /// floods of one-shot experiment queries. 0 disables retention entirely.
   std::size_t answer_cache_cap = 1 << 16;
   /// Watts drawn by the host while a worker computes, for the
   /// energy-of-serving ledger. Default: the case-study chip's TDP.
@@ -137,9 +141,21 @@ class QueryService {
     std::string request;  ///< collision guard: full request bytes
     std::string kind;     ///< query class, for the hit-path ledger
     std::shared_ptr<const std::string> response;
+    /// Second-chance bit: set on every hit (readers hold only the shared
+    /// lock, hence atomic; boxed so the entry stays movable), cleared as
+    /// the eviction hand sweeps past.
+    std::unique_ptr<std::atomic<bool>> referenced;
   };
   mutable std::shared_mutex answer_mu_;
   std::unordered_map<std::uint64_t, Answer> answers_;
+  /// Clock ring over the resident keys + sweep hand (guarded by a unique
+  /// answer_mu_ lock, like all structural changes to the store).
+  std::vector<std::uint64_t> clock_keys_;
+  std::size_t clock_hand_ = 0;
+
+  /// Evict one entry via the second-chance sweep. Caller holds answer_mu_
+  /// exclusively and guarantees the store is non-empty.
+  void evict_one_locked();
 
   /// Byte-level in-flight coalescing: concurrent identical requests wait
   /// for the first one's response instead of recomputing.
@@ -156,7 +172,7 @@ class QueryService {
   std::map<std::string, ClassStats> ledger_;
   std::uint64_t coalesced_ = 0;       ///< requests served by a peer's compute
   std::uint64_t spec_coalesced_ = 0;  ///< experiments merged at spec level
-  std::uint64_t answer_overflow_ = 0; ///< answers not retained (store full)
+  std::uint64_t answer_evictions_ = 0;  ///< entries displaced at capacity
 };
 
 }  // namespace alge::serve

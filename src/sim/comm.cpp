@@ -47,7 +47,9 @@ Buffer& Buffer::operator=(Buffer&& o) noexcept {
 
 // --- Comm ---
 
-Comm::Comm(Machine& machine, int rank) : machine_(machine), rank_(rank) {}
+Comm::Comm(Machine& machine, int rank)
+    : machine_(machine), rank_(rank), slot_(machine.slot_of(rank)),
+      hooks_(machine, rank, slot_) {}
 
 int Comm::size() const { return machine_.cfg_.p; }
 
@@ -58,58 +60,22 @@ double Comm::clock() const { return counters().clock; }
 DataMode Comm::data_mode() const { return machine_.cfg_.data_mode; }
 
 const RankCounters& Comm::counters() const {
-  return machine_.ranks_[static_cast<std::size_t>(rank_)].counters;
+  return machine_.ranks_[static_cast<std::size_t>(slot_)].counters;
 }
 
 RankCounters& Comm::mutable_counters() {
-  return machine_.ranks_[static_cast<std::size_t>(rank_)].counters;
+  return machine_.ranks_[static_cast<std::size_t>(slot_)].counters;
 }
 
-void Comm::compute(double flops) {
-  ALGE_REQUIRE(flops >= 0.0, "negative flop count");
-  RankCounters& c = mutable_counters();
-  const double t0 = c.clock;
-  const double speed =
-      machine_.cfg_.speed.empty()
-          ? 1.0
-          : machine_.cfg_.speed[static_cast<std::size_t>(rank_)];
-  c.flops += flops;
-  c.clock += machine_.cfg_.params.gamma_t * flops / speed;
-  if (machine_.cfg_.enable_ledger) {
-    PhaseCounters& pc = ledger();
-    pc.flops += flops;
-    pc.time += c.clock - t0;
-  }
-  if (machine_.cfg_.enable_trace) {
-    machine_.trace_.record({TraceEvent::Kind::kCompute, rank_, t0, c.clock,
-                            -1, 0.0, 0, flops});
-  }
-}
+void Comm::compute(double flops) { hooks_.compute(flops); }
 
 void Comm::fault_pause() {
   FaultInjector* fi = machine_.cfg_.faults.get();
   if (fi == nullptr) return;
-  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(rank_)];
+  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(slot_)];
   const double stall = fi->pause_before_event(rank_, me.comm_events++);
   if (stall <= 0.0) return;
-  RankCounters& c = mutable_counters();
-  const double t0 = c.clock;
-  c.clock += stall;
-  c.idle_time += stall;
-  if (machine_.cfg_.enable_ledger) {
-    PhaseCounters& pc = ledger();
-    pc.idle += stall;
-    pc.time += stall;
-  }
-  if (machine_.cfg_.enable_trace) {
-    TraceEvent ev;
-    ev.kind = TraceEvent::Kind::kFault;
-    ev.rank = rank_;
-    ev.t0 = t0;
-    ev.t1 = c.clock;
-    ev.label = "pause";
-    machine_.trace_.record(ev);
-  }
+  hooks_.pause(stall);
 }
 
 void Comm::send(int dst, ConstPayload data, int tag) {
@@ -122,10 +88,13 @@ void Comm::send(int dst, ConstPayload data, int tag) {
                "ghost payload sent on a full-data machine (rank %d -> %d)",
                rank_, dst);
   fault_pause();
+  if (machine_.fold_active_) {
+    fold_send(dst, data.size(), tag);
+    return;
+  }
 
   RankCounters& c = mutable_counters();
   const double k = static_cast<double>(data.size());
-  const double t0 = c.clock;
   double nmsg = 0.0;
   FaultDecision fd;  // all-zero without an injector: the fault-free path
   if (dst != rank_) {
@@ -138,62 +107,7 @@ void Comm::send(int dst, ConstPayload data, int tag) {
             rank_, dst, tag, fd.drops, machine_.cfg_.retry.max_retries));
       }
     }
-    const double m = machine_.cfg_.params.max_msg_words;
-    const int hops = machine_.cfg_.network
-                         ? machine_.cfg_.network->hops(rank_, dst, size())
-                         : 1;
-    nmsg = std::max(1.0, std::ceil(k / m));
-    // Every transmission — the delivered one, each dropped attempt, each
-    // spurious duplicate — moves k words over the links and is paid in
-    // full, so injected faults surface in Eq. (1)/(2) through the ordinary
-    // counters with no special cases.
-    const double tx = 1.0 + fd.drops + fd.duplicates;
-    c.words_sent += k * tx;
-    c.msgs_sent += nmsg * tx;
-    c.words_hops += k * hops * tx;
-    c.msgs_hops += nmsg * hops * tx;
-    // Wormhole routing: latency accumulates per hop, bandwidth is paid
-    // once (the message pipelines through intermediate links).
-    c.clock += (nmsg * hops * machine_.cfg_.params.alpha_t +
-                k * machine_.cfg_.params.beta_t) *
-               tx;
-    // A drop is only detected by the retransmission timeout: the sender
-    // idles timeout·backoff^i before attempt i+1.
-    double wait = 0.0;
-    if (fd.drops > 0) {
-      double to = machine_.cfg_.retry.resolve_timeout(
-          machine_.cfg_.params.alpha_t);
-      for (int i = 0; i < fd.drops; ++i) {
-        wait += to;
-        to *= machine_.cfg_.retry.backoff;
-      }
-      c.clock += wait;
-      c.idle_time += wait;
-    }
-    if (machine_.cfg_.enable_ledger) {
-      PhaseCounters& pc = ledger();
-      pc.words_sent += k * tx;
-      pc.msgs_sent += nmsg * tx;
-      pc.words_hops += k * hops * tx;
-      pc.msgs_hops += nmsg * hops * tx;
-      pc.time += c.clock - t0;
-      pc.idle += wait;
-    }
-    if (machine_.cfg_.enable_trace) {
-      machine_.trace_.record({TraceEvent::Kind::kSend, rank_, t0, c.clock,
-                              dst, k * tx, tag, 0.0, nmsg * tx});
-      if (fd.any()) {
-        const char* label = fd.drops > 0        ? "drop"
-                            : fd.duplicates > 0 ? "dup"
-                            : fd.overtake       ? "reorder"
-                                                : "delay";
-        machine_.trace_.record({TraceEvent::Kind::kFault, rank_,
-                                c.clock - wait, c.clock, dst, k, tag, 0.0,
-                                static_cast<double>(fd.drops +
-                                                    fd.duplicates),
-                                label});
-      }
-    }
+    nmsg = hooks_.send(k, dst, tag, fd);
   }
 
   Machine::Rank& target = machine_.ranks_[static_cast<std::size_t>(dst)];
@@ -263,7 +177,62 @@ std::string describe_recv_wait(const void* arg) {
   return strfmt("rank %d waiting for recv from rank %d tag %d", w->rank,
                 w->src, w->tag);
 }
+
+std::string describe_fold_wait(const void* arg) {
+  const auto* w = static_cast<const RecvWait*>(arg);
+  return strfmt("rank %d (folded) waiting for recv from rank %d tag %d",
+                w->rank, w->src, w->tag);
+}
 }  // namespace
+
+void Comm::fold_send(int dst, std::size_t words, int tag) {
+  // Charge the sender exactly as the fiber path would (self-sends stay
+  // free), then log the event for the destination class. The entry's
+  // arrival is the post-send clock — eager-send semantics.
+  double nmsg = 0.0;
+  if (dst != rank_) {
+    nmsg = hooks_.send(static_cast<double>(words), dst, tag,
+                       FaultDecision{});
+  }
+  machine_.fold_append(slot_, dst, tag, words, nmsg, counters().clock);
+}
+
+void Comm::fold_recv(int src, Payload out, int tag) {
+  const FoldMap& fm = *machine_.cfg_.fold;
+  const int src_class = fm.class_of(src);
+  // Uniform sender classes address one destination class per schedule
+  // position: readers skip entries bound for other classes. Scatter
+  // classes address per-member destinations, so readers match entries
+  // positionally (any entry is cost-congruent with the one "their"
+  // sender produced).
+  const bool scatter = fm.cls(src_class).scatter;
+  Machine::FoldChannel& ch = machine_.fold_channel(src_class, tag);
+  std::size_t& cur = ch.cursors[static_cast<std::size_t>(slot_)];
+  const RecvWait wait{rank_, src, tag};
+  for (;;) {
+    if (!scatter) {
+      while (cur < ch.entries.size() &&
+             ch.entries[cur].dst_class != slot_) {
+        ++cur;
+      }
+    }
+    if (cur < ch.entries.size()) break;
+    ALGE_CHECK(machine_.sched_ != nullptr, "recv outside a run");
+    ch.waiters.push_back(
+        machine_.ranks_[static_cast<std::size_t>(slot_)].fid);
+    machine_.sched_->block(&describe_fold_wait, &wait);
+  }
+  const Machine::FoldEntry e = ch.entries[cur];
+  ++cur;
+  if (e.words != out.size()) {
+    throw SimError(strfmt(
+        "rank %d recv from %d tag %d: expected %zu words, message has "
+        "%zu",
+        rank_, src, tag, out.size(), e.words));
+  }
+  hooks_.recv_sync(e.arrival, src, tag);
+  hooks_.recv_message(static_cast<double>(e.words), e.msg_count, src, tag);
+}
 
 void Comm::recv(int src, Payload out, int tag) {
   ALGE_REQUIRE(src >= 0 && src < size(), "recv from invalid rank %d", src);
@@ -274,7 +243,11 @@ void Comm::recv(int src, Payload out, int tag) {
                "%d)",
                rank_, src);
   fault_pause();
-  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(rank_)];
+  if (machine_.fold_active_) {
+    fold_recv(src, out, tag);
+    return;
+  }
+  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(slot_)];
 
   // O(1) matching: the (src, tag) queue holds exactly the candidates, in
   // arrival order. The index stays valid across blocking waits.
@@ -295,27 +268,9 @@ void Comm::recv(int src, Payload out, int tag) {
       // Rendezvous delivery: the payload is already in `out`; account for
       // it exactly as the queued path below does.
       me.direct = false;
-      RankCounters& c = mutable_counters();
-      if (me.direct_arrival > c.clock) {
-        if (machine_.cfg_.enable_trace) {
-          machine_.trace_.record({TraceEvent::Kind::kIdle, rank_, c.clock,
-                                  me.direct_arrival, src, 0.0, tag});
-        }
-        if (machine_.cfg_.enable_ledger) {
-          PhaseCounters& pc = ledger();
-          pc.idle += me.direct_arrival - c.clock;
-          pc.time += me.direct_arrival - c.clock;
-        }
-        c.idle_time += me.direct_arrival - c.clock;
-        c.clock = me.direct_arrival;
-      }
-      if (machine_.cfg_.enable_trace) {
-        machine_.trace_.record({TraceEvent::Kind::kRecv, rank_, c.clock,
-                                c.clock, src,
-                                static_cast<double>(out.size()), tag});
-      }
-      c.words_recv += static_cast<double>(out.size());
-      c.msgs_recv += me.direct_msg_count;
+      hooks_.recv_sync(me.direct_arrival, src, tag);
+      hooks_.recv_message(static_cast<double>(out.size()),
+                          me.direct_msg_count, src, tag);
       return;
     }
   }
@@ -329,26 +284,9 @@ void Comm::recv(int src, Payload out, int tag) {
         "%zu",
         rank_, src, tag, out.size(), msg.words));
   }
-  RankCounters& c = mutable_counters();
-  if (msg.arrival > c.clock) {
-    if (machine_.cfg_.enable_trace) {
-      machine_.trace_.record({TraceEvent::Kind::kIdle, rank_, c.clock,
-                              msg.arrival, src, 0.0, tag});
-    }
-    if (machine_.cfg_.enable_ledger) {
-      PhaseCounters& pc = ledger();
-      pc.idle += msg.arrival - c.clock;
-      pc.time += msg.arrival - c.clock;
-    }
-    c.idle_time += msg.arrival - c.clock;
-    c.clock = msg.arrival;
-  }
-  if (machine_.cfg_.enable_trace) {
-    machine_.trace_.record({TraceEvent::Kind::kRecv, rank_, c.clock, c.clock,
-                            src, static_cast<double>(msg.words), tag});
-  }
-  c.words_recv += static_cast<double>(msg.words);
-  c.msgs_recv += msg.msg_count;
+  hooks_.recv_sync(msg.arrival, src, tag);
+  hooks_.recv_message(static_cast<double>(msg.words), msg.msg_count, src,
+                      tag);
   if (!gm) {
     std::copy(msg.payload.begin(), msg.payload.end(), out.span().begin());
     machine_.release_payload(std::move(msg.payload));
@@ -365,38 +303,23 @@ void Comm::sendrecv(int dst, ConstPayload send_data, int src,
 Buffer Comm::alloc(std::size_t words) { return Buffer(*this, words); }
 
 void Comm::register_memory(std::size_t words) {
-  RankCounters& c = mutable_counters();
-  c.mem_words += words;
-  c.mem_highwater = std::max(c.mem_highwater, c.mem_words);
-  const double cap = machine_.cfg_.params.mem_words;
-  if (cap > 0.0 && static_cast<double>(c.mem_words) > cap) {
-    throw SimError(strfmt(
-        "rank %d out of memory: %zu words live, per-rank capacity M=%.0f",
-        rank_, c.mem_words, cap));
-  }
-  if (machine_.cfg_.enable_trace) {
-    machine_.trace_.record({TraceEvent::Kind::kMem, rank_, c.clock, c.clock,
-                            -1, static_cast<double>(c.mem_words)});
-  }
+  hooks_.mem_register(words);
 }
 
 void Comm::unregister_memory(std::size_t words) {
-  RankCounters& c = mutable_counters();
-  ALGE_CHECK(c.mem_words >= words, "memory underflow on rank %d", rank_);
-  c.mem_words -= words;
-  if (machine_.cfg_.enable_trace) {
-    machine_.trace_.record({TraceEvent::Kind::kMem, rank_, c.clock, c.clock,
-                            -1, static_cast<double>(c.mem_words)});
-  }
+  hooks_.mem_unregister(words);
 }
 
 Machine::PhaseScope Comm::phase(const std::string& name) {
   const int id = machine_.phase_id(name);
-  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(rank_)];
+  // The scope indexes counter storage, so it carries the slot; with
+  // folding active traces are off, so the slot never leaks into a trace
+  // event's rank field.
+  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(slot_)];
   std::vector<int> prev{me.phase};
   me.phase = id;
   return Machine::PhaseScope(
-      &machine_, rank_, counters().clock, std::move(prev),
+      &machine_, slot_, counters().clock, std::move(prev),
       machine_.phase_names_[static_cast<std::size_t>(id)].c_str());
 }
 

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/cost_hooks.hpp"
 #include "sim/group.hpp"
 #include "sim/machine.hpp"
 
@@ -164,12 +165,16 @@ class Comm {
   friend class Buffer;
 
   RankCounters& mutable_counters();
-  /// The calling rank's ledger slice for its current phase (enable_ledger).
-  PhaseCounters& ledger() { return machine_.ledger_cell(rank_); }
   /// Fault hook at the top of send/recv: counts the rank's comm event and
   /// applies any injected pause as a virtual-time stall (clock + idle).
   /// No-op without MachineConfig::faults.
   void fault_pause();
+  /// Folded-execution message paths (Machine::fold_active()): sends append
+  /// to the (sender-class, tag) event log after charging the usual cost
+  /// through hooks_; recvs consume entries through the class cursor,
+  /// blocking until a matching one exists.
+  void fold_send(int dst, std::size_t words, int tag);
+  void fold_recv(int src, Payload out, int tag);
   /// Collective-span helpers used by collectives.cpp: remember the clock at
   /// entry, record a kColl trace span [t0, now] labelled `name` on exit.
   double coll_begin() const { return counters().clock; }
@@ -178,7 +183,12 @@ class Comm {
   static constexpr int kCollTag = 1 << 24;
 
   Machine& machine_;
-  int rank_;
+  int rank_;  ///< world rank the program sees
+  int slot_;  ///< counter/mailbox index: == rank_ unless folding
+  /// All time/energy/ledger/trace accounting goes through this seam, so
+  /// the fiber and folded paths charge bit-identical costs (and a future
+  /// real-transport backend can reuse the same meter).
+  CostHooks hooks_;
 };
 
 }  // namespace alge::sim

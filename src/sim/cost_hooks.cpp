@@ -1,0 +1,174 @@
+#include "sim/cost_hooks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+const RankCounters& CostHooks::counters() const {
+  return m_.ranks_[static_cast<std::size_t>(slot_)].counters;
+}
+
+RankCounters& CostHooks::c() {
+  return m_.ranks_[static_cast<std::size_t>(slot_)].counters;
+}
+
+PhaseCounters& CostHooks::phase_ledger() { return m_.ledger_cell(slot_); }
+
+void CostHooks::compute(double flops) {
+  ALGE_REQUIRE(flops >= 0.0, "negative flop count");
+  RankCounters& cc = c();
+  const double t0 = cc.clock;
+  const double speed =
+      m_.cfg_.speed.empty()
+          ? 1.0
+          : m_.cfg_.speed[static_cast<std::size_t>(rank_)];
+  cc.flops += flops;
+  cc.clock += m_.cfg_.params.gamma_t * flops / speed;
+  if (m_.cfg_.enable_ledger) {
+    PhaseCounters& pc = phase_ledger();
+    pc.flops += flops;
+    pc.time += cc.clock - t0;
+  }
+  if (m_.cfg_.enable_trace) {
+    m_.trace_.record({TraceEvent::Kind::kCompute, rank_, t0, cc.clock, -1,
+                      0.0, 0, flops});
+  }
+}
+
+void CostHooks::pause(double stall) {
+  RankCounters& cc = c();
+  const double t0 = cc.clock;
+  cc.clock += stall;
+  cc.idle_time += stall;
+  if (m_.cfg_.enable_ledger) {
+    PhaseCounters& pc = phase_ledger();
+    pc.idle += stall;
+    pc.time += stall;
+  }
+  if (m_.cfg_.enable_trace) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kFault;
+    ev.rank = rank_;
+    ev.t0 = t0;
+    ev.t1 = cc.clock;
+    ev.label = "pause";
+    m_.trace_.record(ev);
+  }
+}
+
+double CostHooks::send(double k, int dst, int tag, const FaultDecision& fd) {
+  RankCounters& cc = c();
+  const double t0 = cc.clock;
+  const double m = m_.cfg_.params.max_msg_words;
+  const int hops =
+      m_.cfg_.network ? m_.cfg_.network->hops(rank_, dst, m_.cfg_.p) : 1;
+  const double nmsg = std::max(1.0, std::ceil(k / m));
+  // Every transmission — the delivered one, each dropped attempt, each
+  // spurious duplicate — moves k words over the links and is paid in
+  // full, so injected faults surface in Eq. (1)/(2) through the ordinary
+  // counters with no special cases.
+  const double tx = 1.0 + fd.drops + fd.duplicates;
+  cc.words_sent += k * tx;
+  cc.msgs_sent += nmsg * tx;
+  cc.words_hops += k * hops * tx;
+  cc.msgs_hops += nmsg * hops * tx;
+  // Wormhole routing: latency accumulates per hop, bandwidth is paid
+  // once (the message pipelines through intermediate links).
+  cc.clock += (nmsg * hops * m_.cfg_.params.alpha_t +
+               k * m_.cfg_.params.beta_t) *
+              tx;
+  // A drop is only detected by the retransmission timeout: the sender
+  // idles timeout·backoff^i before attempt i+1.
+  double wait = 0.0;
+  if (fd.drops > 0) {
+    double to = m_.cfg_.retry.resolve_timeout(m_.cfg_.params.alpha_t);
+    for (int i = 0; i < fd.drops; ++i) {
+      wait += to;
+      to *= m_.cfg_.retry.backoff;
+    }
+    cc.clock += wait;
+    cc.idle_time += wait;
+  }
+  if (m_.cfg_.enable_ledger) {
+    PhaseCounters& pc = phase_ledger();
+    pc.words_sent += k * tx;
+    pc.msgs_sent += nmsg * tx;
+    pc.words_hops += k * hops * tx;
+    pc.msgs_hops += nmsg * hops * tx;
+    pc.time += cc.clock - t0;
+    pc.idle += wait;
+  }
+  if (m_.cfg_.enable_trace) {
+    m_.trace_.record({TraceEvent::Kind::kSend, rank_, t0, cc.clock, dst,
+                      k * tx, tag, 0.0, nmsg * tx});
+    if (fd.any()) {
+      const char* label = fd.drops > 0        ? "drop"
+                          : fd.duplicates > 0 ? "dup"
+                          : fd.overtake       ? "reorder"
+                                              : "delay";
+      m_.trace_.record({TraceEvent::Kind::kFault, rank_, cc.clock - wait,
+                        cc.clock, dst, k, tag, 0.0,
+                        static_cast<double>(fd.drops + fd.duplicates),
+                        label});
+    }
+  }
+  return nmsg;
+}
+
+void CostHooks::recv_sync(double arrival, int src, int tag) {
+  RankCounters& cc = c();
+  if (arrival <= cc.clock) return;
+  if (m_.cfg_.enable_trace) {
+    m_.trace_.record(
+        {TraceEvent::Kind::kIdle, rank_, cc.clock, arrival, src, 0.0, tag});
+  }
+  if (m_.cfg_.enable_ledger) {
+    PhaseCounters& pc = phase_ledger();
+    pc.idle += arrival - cc.clock;
+    pc.time += arrival - cc.clock;
+  }
+  cc.idle_time += arrival - cc.clock;
+  cc.clock = arrival;
+}
+
+void CostHooks::recv_message(double words, double msg_count, int src,
+                             int tag) {
+  RankCounters& cc = c();
+  if (m_.cfg_.enable_trace) {
+    m_.trace_.record({TraceEvent::Kind::kRecv, rank_, cc.clock, cc.clock,
+                      src, words, tag});
+  }
+  cc.words_recv += words;
+  cc.msgs_recv += msg_count;
+}
+
+void CostHooks::mem_register(std::size_t words) {
+  RankCounters& cc = c();
+  cc.mem_words += words;
+  cc.mem_highwater = std::max(cc.mem_highwater, cc.mem_words);
+  const double cap = m_.cfg_.params.mem_words;
+  if (cap > 0.0 && static_cast<double>(cc.mem_words) > cap) {
+    throw SimError(strfmt(
+        "rank %d out of memory: %zu words live, per-rank capacity M=%.0f",
+        rank_, cc.mem_words, cap));
+  }
+  if (m_.cfg_.enable_trace) {
+    m_.trace_.record({TraceEvent::Kind::kMem, rank_, cc.clock, cc.clock, -1,
+                      static_cast<double>(cc.mem_words)});
+  }
+}
+
+void CostHooks::mem_unregister(std::size_t words) {
+  RankCounters& cc = c();
+  ALGE_CHECK(cc.mem_words >= words, "memory underflow on rank %d", rank_);
+  cc.mem_words -= words;
+  if (m_.cfg_.enable_trace) {
+    m_.trace_.record({TraceEvent::Kind::kMem, rank_, cc.clock, cc.clock, -1,
+                      static_cast<double>(cc.mem_words)});
+  }
+}
+
+}  // namespace alge::sim

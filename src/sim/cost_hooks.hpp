@@ -1,0 +1,67 @@
+// The accounting seam between *what a simulated program costs* and *how it
+// executes*. Every execution path — per-rank fibers moving real data, ghost
+// fibers moving none, folded class replay (sim/fold.hpp), and any future
+// real transport backend — charges time, energy counters, the per-phase
+// ledger and trace events through these hooks, so cost signatures are
+// bit-identical across execution modes by construction: there is exactly
+// one place that knows how a send or a recv turns into clock and counter
+// deltas.
+//
+// A CostHooks instance is bound to one (machine, world rank, slot) triple:
+// `rank` is the world-visible id used in trace events and diagnostics,
+// `slot` indexes the Machine's counter storage (equal to `rank` under
+// per-fiber execution; the fold class id under ExecMode::kFolded).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+
+namespace alge::sim {
+
+class CostHooks {
+ public:
+  CostHooks(Machine& machine, int rank, int slot)
+      : m_(machine), rank_(rank), slot_(slot) {}
+
+  /// compute(F): clock += γt·F/speed, F counted, ledger + trace updated.
+  void compute(double flops);
+
+  /// Injected virtual-time stall (fault pause): clock and idle advance,
+  /// ledger idle/time accumulate, a kFault("pause") span is traced.
+  void pause(double stall);
+
+  /// Charge one outbound transmission of `words` to another rank: counters
+  /// (words/msgs, hop-weighted), link time, drop-timeout backoff idle,
+  /// ledger and kSend/kFault trace. Returns the message count nmsg (after
+  /// splitting at the m-word cap) — the sender's cost is
+  /// (nmsg·hops·αt + k·βt)·tx with tx = 1 + drops + duplicates.
+  /// Self-sends are free and must not be charged here.
+  double send(double words, int dst, int tag, const FaultDecision& fd);
+
+  /// Receiver-side arrival synchronization: clock = max(clock, arrival),
+  /// the gap recorded as idle (counters, ledger, kIdle trace).
+  void recv_sync(double arrival, int src, int tag);
+
+  /// Account one delivered message: words/msgs received plus the kRecv
+  /// trace event. msg_count is the sender-computed nmsg (0 for self-sends).
+  void recv_message(double words, double msg_count, int src, int tag);
+
+  /// Registered-memory accounting: live words, high-water mark, the
+  /// configured per-rank M cap (SimError on overflow) and kMem trace.
+  void mem_register(std::size_t words);
+  void mem_unregister(std::size_t words);
+
+  const RankCounters& counters() const;
+
+ private:
+  RankCounters& c();
+  PhaseCounters& phase_ledger();
+
+  Machine& m_;
+  int rank_;  ///< world rank: trace events, error messages, speed lookup
+  int slot_;  ///< counter-storage index (== rank_ unless folded)
+};
+
+}  // namespace alge::sim

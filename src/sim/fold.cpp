@@ -1,0 +1,43 @@
+#include "sim/fold.hpp"
+
+#include <limits>
+
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+FoldMap::FoldMap(int p, std::vector<FoldClass> classes,
+                 std::function<int(int)> class_of)
+    : p_(p), classes_(std::move(classes)), class_of_(std::move(class_of)) {
+  ALGE_REQUIRE(p_ >= 1, "fold map needs at least one rank");
+  ALGE_REQUIRE(!classes_.empty(), "fold map needs at least one class");
+  ALGE_REQUIRE(class_of_ != nullptr, "fold map needs a class_of function");
+}
+
+void FoldMap::validate() const {
+  std::vector<int> seen_size(classes_.size(), 0);
+  std::vector<int> seen_min(classes_.size(), std::numeric_limits<int>::max());
+  for (int r = 0; r < p_; ++r) {
+    const int c = class_of_(r);
+    ALGE_REQUIRE(c >= 0 && c < num_classes(),
+                 "rank %d maps to class %d outside [0, %d)", r, c,
+                 num_classes());
+    ++seen_size[static_cast<std::size_t>(c)];
+    seen_min[static_cast<std::size_t>(c)] =
+        std::min(seen_min[static_cast<std::size_t>(c)], r);
+  }
+  for (int c = 0; c < num_classes(); ++c) {
+    const FoldClass& fc = cls(c);
+    ALGE_REQUIRE(seen_size[static_cast<std::size_t>(c)] == fc.size,
+                 "class %d has %d members, declared %d", c,
+                 seen_size[static_cast<std::size_t>(c)], fc.size);
+    ALGE_REQUIRE(seen_min[static_cast<std::size_t>(c)] == fc.rep,
+                 "class %d minimum member %d != declared rep %d", c,
+                 seen_min[static_cast<std::size_t>(c)], fc.rep);
+    ALGE_REQUIRE(class_of_(fc.rep) == c,
+                 "class %d rep %d maps back to class %d", c, fc.rep,
+                 class_of_(fc.rep));
+  }
+}
+
+}  // namespace alge::sim

@@ -1,0 +1,83 @@
+// Symmetry folding: collapse SPMD ranks with congruent communication
+// schedules into equivalence classes so a ghost run executes one fiber per
+// *class* instead of one per rank.
+//
+// A FoldMap partitions the p world ranks into classes whose members are
+// *fold-congruent*: they execute the same sequence of compute / alloc /
+// send / recv events, with identical flop counts, payload sizes and tags,
+// and with every peer's *class* (not its rank) determined by the event's
+// position in the schedule. Under that condition every member of a class
+// carries bit-identical RankCounters through the whole run, so it suffices
+// to execute the class representative and replay its per-event cost deltas
+// for the others — which is what Machine does in ExecMode::kFolded (see
+// machine.hpp for the message-channel mechanics and the fallback rules).
+//
+// The map is pure geometry: algorithms provide (p, rank) -> class functions
+// derived from their schedule structure (src/algs/foldmaps.hpp), and a
+// differential harness (chaos::fold_explore) plus a trace-based property
+// test (tests/test_fold.cpp) verify the congruence claim against per-fiber
+// execution rather than trusting it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace alge::sim {
+
+/// How a Machine executes its p rank programs (MachineConfig::exec_mode).
+enum class ExecMode {
+  /// One fiber per rank — the default, and the only mode that can move
+  /// data. Every other execution mode is measured against this one.
+  kFibers,
+  /// One fiber per fold-equivalence class (requires DataMode::kGhost and a
+  /// MachineConfig::fold map). Cost signatures are bit-identical to kFibers
+  /// at every p where both execute; configurations folding cannot represent
+  /// exactly (faults, per-rank speeds, tracing, a routed network, or a
+  /// trivial map) transparently fall back to per-fiber execution.
+  kFolded,
+};
+
+struct FoldClass {
+  int rep = 0;   ///< lowest world rank of the class — the member executed
+  int size = 0;  ///< number of world ranks in the class
+  /// Destination semantics of this class's sends, used by channel readers
+  /// (see Machine): false (uniform) = at each schedule position every
+  /// member addresses the same destination *class*, so a reader skips
+  /// entries not addressed to its own class; true (scatter) = members
+  /// address per-member-varying classes (e.g. TSQR's binomial fan-in,
+  /// where rank me sends to me - 2^nu), so readers match positionally
+  /// without destination filtering.
+  bool scatter = false;
+};
+
+/// Immutable partition of [0, p) into fold classes. class_of must be O(1)-ish
+/// and allocation-free: Machine::totals() calls it once per world rank to
+/// reproduce the per-fiber rank-order floating-point summation exactly.
+class FoldMap {
+ public:
+  FoldMap(int p, std::vector<FoldClass> classes,
+          std::function<int(int)> class_of);
+
+  int p() const { return p_; }
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+  int class_of(int rank) const { return class_of_(rank); }
+  const FoldClass& cls(int c) const {
+    return classes_[static_cast<std::size_t>(c)];
+  }
+  /// Folding cannot help: every class is a singleton (the fold machine
+  /// would spawn p fibers anyway, so Machine falls back to kFibers).
+  bool trivial() const { return num_classes() >= p_; }
+
+  /// O(p) structural check used by tests and the fold builders at small p:
+  /// class ids in range, reps self-consistent (class_of(rep) == id, rep is
+  /// the minimum member), sizes exact. Throws on violation.
+  void validate() const;
+
+ private:
+  int p_;
+  std::vector<FoldClass> classes_;
+  std::function<int(int)> class_of_;
+};
+
+}  // namespace alge::sim

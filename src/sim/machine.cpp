@@ -17,7 +17,28 @@ Machine::Machine(MachineConfig cfg) : cfg_(std::move(cfg)) {
       ALGE_REQUIRE(s > 0.0, "speed multipliers must be positive");
     }
   }
-  ranks_.resize(static_cast<std::size_t>(cfg_.p));
+  ALGE_REQUIRE(
+      cfg_.exec_mode != ExecMode::kFolded ||
+          cfg_.data_mode == DataMode::kGhost,
+      "ExecMode::kFolded requires DataMode::kGhost: folded execution "
+      "replays cost deltas and cannot move data");
+  if (cfg_.fold != nullptr) {
+    ALGE_REQUIRE(cfg_.fold->p() == cfg_.p,
+                 "fold map built for p=%d attached to a p=%d machine",
+                 cfg_.fold->p(), cfg_.p);
+  }
+  // Folding only engages for configurations it can reproduce exactly.
+  // Faults make individual ranks diverge (the divergent-rank fallback the
+  // differential gate exercises); per-rank speeds break class congruence;
+  // a routed network makes hop counts rank-pair-specific; traces record
+  // per-rank events folding does not materialize. Each of these silently
+  // degrades to per-fiber execution with identical results.
+  fold_active_ = cfg_.exec_mode == ExecMode::kFolded &&
+                 cfg_.fold != nullptr && !cfg_.fold->trivial() &&
+                 cfg_.faults == nullptr && cfg_.speed.empty() &&
+                 !cfg_.enable_trace && cfg_.network == nullptr;
+  ranks_.resize(static_cast<std::size_t>(
+      fold_active_ ? cfg_.fold->num_classes() : cfg_.p));
 }
 
 Machine::~Machine() = default;
@@ -27,6 +48,7 @@ void Machine::reset() {
     ALGE_CHECK(!r.waiting, "reset() during a run");
     r = Rank{};
   }
+  fold_channels_.clear();
   phase_names_ = {"(main)"};
   trace_.clear();
 }
@@ -76,7 +98,7 @@ Machine::PhaseScope::~PhaseScope() {
 
 const std::vector<PhaseCounters>& Machine::phase_counters(int rank) const {
   ALGE_REQUIRE(rank >= 0 && rank < cfg_.p, "rank %d out of range", rank);
-  return ranks_[static_cast<std::size_t>(rank)].ledger;
+  return ranks_[static_cast<std::size_t>(slot_of(rank))].ledger;
 }
 
 void Machine::run(const std::function<void(Comm&)>& program) {
@@ -86,8 +108,11 @@ void Machine::run(const std::function<void(Comm&)>& program) {
   fiber::Scheduler sched;
   sched.set_wake_policy(cfg_.wake_policy.get());
   sched_ = &sched;
-  for (int r = 0; r < cfg_.p; ++r) {
-    ranks_[static_cast<std::size_t>(r)].fid = sched.spawn(
+  // One fiber per slot: per rank normally, per fold class when folding
+  // (the class representative's program stands in for every member).
+  for (int s = 0; s < num_slots(); ++s) {
+    const int r = fold_active_ ? cfg_.fold->cls(s).rep : s;
+    ranks_[static_cast<std::size_t>(s)].fid = sched.spawn(
         [this, r, &program] {
           Comm comm(*this, r);
           program(comm);
@@ -109,15 +134,62 @@ void Machine::run(const std::function<void(Comm&)>& program) {
 
   // A clean finish must not leave unconsumed traffic: that is a program bug
   // (mismatched send/recv counts) that would silently skew counters.
-  for (int r = 0; r < cfg_.p; ++r) {
-    const auto& mb = ranks_[static_cast<std::size_t>(r)].mailbox;
+  for (int s = 0; s < num_slots(); ++s) {
+    const auto& mb = ranks_[static_cast<std::size_t>(s)].mailbox;
     if (!mb.empty()) {
       const Message* first = mb.oldest();
       throw SimError(strfmt(
           "rank %d finished with %zu unconsumed message(s); first is from "
           "rank %d tag %d (%zu words)",
-          r, mb.pending(), first->src, first->tag, first->words));
+          s, mb.pending(), first->src, first->tag, first->words));
     }
+  }
+  if (fold_active_) {
+    // Same invariant for fold channels: on a uniform channel every entry
+    // addressed to a class must have been consumed by that class's cursor.
+    // (Scatter channels match positionally, so per-class leftovers cannot
+    // be attributed and are covered by the class-size send/recv balance.)
+    for (const auto& [key, ch] : fold_channels_) {
+      const int sender = static_cast<int>(key >> 32);
+      const int tag = static_cast<int>(key & 0xffffffffu);
+      if (cfg_.fold->cls(sender).scatter) continue;
+      for (int s = 0; s < num_slots(); ++s) {
+        for (std::size_t i = ch.cursors[static_cast<std::size_t>(s)];
+             i < ch.entries.size(); ++i) {
+          if (ch.entries[i].dst_class != s) continue;
+          throw SimError(strfmt(
+              "fold class %d finished with unconsumed message(s) from "
+              "class %d tag %d (%zu words)",
+              s, sender, tag, ch.entries[i].words));
+        }
+      }
+    }
+  }
+}
+
+Machine::FoldChannel& Machine::fold_channel(int sender_slot, int tag) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sender_slot))
+       << 32) |
+      static_cast<std::uint32_t>(tag);
+  auto [it, inserted] = fold_channels_.try_emplace(key);
+  if (inserted) it->second.cursors.assign(ranks_.size(), 0);
+  return it->second;
+}
+
+void Machine::fold_append(int sender_slot, int dst_rank, int tag,
+                          std::size_t words, double msg_count,
+                          double arrival) {
+  FoldChannel& ch = fold_channel(sender_slot, tag);
+  ch.entries.push_back(
+      {cfg_.fold->class_of(dst_rank), arrival, words, msg_count});
+  if (!ch.waiters.empty()) {
+    ALGE_CHECK(sched_ != nullptr, "send outside a run");
+    // Wake everyone parked on this channel; non-matching readers filter
+    // the new entry and re-block. Appends only happen from running fibers
+    // on the single scheduler thread, so push-then-block cannot race.
+    for (fiber::Scheduler::FiberId fid : ch.waiters) sched_->unblock(fid);
+    ch.waiters.clear();
   }
 }
 
@@ -129,13 +201,12 @@ double Machine::makespan() const {
 
 const RankCounters& Machine::rank_counters(int rank) const {
   ALGE_REQUIRE(rank >= 0 && rank < cfg_.p, "rank %d out of range", rank);
-  return ranks_[static_cast<std::size_t>(rank)].counters;
+  return ranks_[static_cast<std::size_t>(slot_of(rank))].counters;
 }
 
 SimTotals Machine::totals() const {
   SimTotals t;
-  for (const auto& r : ranks_) {
-    const RankCounters& c = r.counters;
+  const auto add = [&t](const RankCounters& c) {
     t.flops_total += c.flops;
     t.words_total += c.words_sent;
     t.msgs_total += c.msgs_sent;
@@ -146,6 +217,18 @@ SimTotals Machine::totals() const {
     t.msgs_sent_max = std::max(t.msgs_sent_max, c.msgs_sent);
     t.mem_highwater_max = std::max(t.mem_highwater_max, c.mem_highwater);
     t.mem_highwater_total += c.mem_highwater;
+  };
+  if (fold_active_) {
+    // Accumulate in world-rank order through the fold map: every class
+    // member contributes its (shared) class counters at its own position,
+    // reproducing the per-fiber floating-point summation order exactly —
+    // this is what makes folded totals and energy bit-identical, not just
+    // close.
+    for (int r = 0; r < cfg_.p; ++r) {
+      add(ranks_[static_cast<std::size_t>(cfg_.fold->class_of(r))].counters);
+    }
+  } else {
+    for (const auto& r : ranks_) add(r.counters);
   }
   return t;
 }

@@ -49,11 +49,15 @@
 #include <string>
 #include <vector>
 
+#include <cstdint>
+#include <unordered_map>
+
 #include "core/costs.hpp"
 #include "core/params.hpp"
 #include "fiber/fiber.hpp"
 #include "sim/counters.hpp"
 #include "sim/fault.hpp"
+#include "sim/fold.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/network.hpp"
 #include "sim/payload.hpp"
@@ -105,6 +109,18 @@ struct MachineConfig {
   /// counters, clocks, energy, trace and ledger, no data movement (see
   /// sim/payload.hpp). Programs must not verify output in ghost mode.
   DataMode data_mode = DataMode::kFull;
+  /// Execution strategy (sim/fold.hpp). kFolded requires kGhost data mode
+  /// and a `fold` map; it executes one fiber per fold-equivalence class
+  /// and replays per-class message-cost deltas over event-log channels,
+  /// with cost signatures bit-identical to per-fiber execution. Any
+  /// configuration folding cannot represent exactly — faults, per-rank
+  /// speeds, tracing, a routed network, a missing or trivial map — makes
+  /// the machine fall back to per-fiber execution transparently (see
+  /// fold_active()).
+  ExecMode exec_mode = ExecMode::kFibers;
+  /// Rank-congruence partition consumed by kFolded (ignored under
+  /// kFibers). Must satisfy fold->p() == p when set.
+  std::shared_ptr<const FoldMap> fold;
 };
 
 /// Aggregates over ranks, plus the per-processor maxima used when comparing
@@ -148,6 +164,15 @@ class Machine {
 
   int p() const { return cfg_.p; }
   const core::MachineParams& params() const { return cfg_.params; }
+
+  /// True when this machine actually folds: ExecMode::kFolded with a
+  /// usable non-trivial map and none of the fall-back conditions (see
+  /// MachineConfig::exec_mode). When false a kFolded machine behaves
+  /// exactly like a kFibers one.
+  bool fold_active() const { return fold_active_; }
+  /// Fibers spawned per run(): the number of fold classes when folding,
+  /// p otherwise. This is what makes p = 10^6–10^8 frontier sweeps cheap.
+  int num_slots() const { return static_cast<int>(ranks_.size()); }
 
   /// Virtual makespan: max over ranks of the final clock.
   double makespan() const;
@@ -227,6 +252,7 @@ class Machine {
 
  private:
   friend class Comm;
+  friend class CostHooks;
 
   struct Rank {
     RankCounters counters;
@@ -268,18 +294,65 @@ class Machine {
   /// Find-or-add `name` in the phase registry; returns its id.
   int phase_id(const std::string& name);
 
-  /// The (rank, current-phase) ledger slice, growing the rank's vector on
-  /// demand. Only called when cfg_.enable_ledger is set.
-  PhaseCounters& ledger_cell(int rank) {
-    Rank& r = ranks_[static_cast<std::size_t>(rank)];
+  /// The (slot, current-phase) ledger slice, growing the slot's vector on
+  /// demand. Only called when cfg_.enable_ledger is set. `slot` is a
+  /// ranks_ index: the rank itself under per-fiber execution, the fold
+  /// class id when folding.
+  PhaseCounters& ledger_cell(int slot) {
+    Rank& r = ranks_[static_cast<std::size_t>(slot)];
     if (r.ledger.size() <= static_cast<std::size_t>(r.phase)) {
       r.ledger.resize(static_cast<std::size_t>(r.phase) + 1);
     }
     return r.ledger[static_cast<std::size_t>(r.phase)];
   }
 
+  // --- Folded execution (ExecMode::kFolded; see sim/fold.hpp) ---
+  //
+  // When folding, ranks_ holds one slot per fold class and run() spawns
+  // each class representative's program on one fiber. Messages flow
+  // through per-(sender-class, tag) append-only event logs instead of
+  // per-rank mailboxes: a send appends one entry carrying exactly the
+  // metadata a fiber-mode receiver would account (destination class,
+  // sender's post-send clock as the arrival time, words, message count),
+  // and each reader class consumes entries through its own cursor —
+  // positionally for scatter sender classes, filtered by destination
+  // class for uniform ones (FoldClass::scatter). Entries are immutable
+  // once appended and cursors only move forward, so references stay valid
+  // across fiber blocks.
+
+  /// One logged send by a class representative.
+  struct FoldEntry {
+    int dst_class;     ///< fold class of the destination rank
+    double arrival;    ///< sender's post-send clock (eager-send semantics)
+    std::size_t words;
+    double msg_count;  ///< ceil(k/m) charged by the sender; 0 for self-sends
+  };
+  struct FoldChannel {
+    std::vector<FoldEntry> entries;
+    /// Per reader class: index of the next entry to examine.
+    std::vector<std::size_t> cursors;
+    /// Fibers blocked waiting for a matching entry; woken on every append.
+    std::vector<fiber::Scheduler::FiberId> waiters;
+  };
+
+  /// ranks_ index for a world rank: its fold class when folding, itself
+  /// otherwise.
+  int slot_of(int rank) const {
+    return fold_active_ ? cfg_.fold->class_of(rank) : rank;
+  }
+  /// The (sender class, tag) event log, created on first use with one
+  /// cursor per reader class. Reference stays valid for the machine's
+  /// lifetime (node-based map).
+  FoldChannel& fold_channel(int sender_slot, int tag);
+  /// Log one send from `sender_slot`'s representative and wake blocked
+  /// readers of that channel.
+  void fold_append(int sender_slot, int dst_rank, int tag, std::size_t words,
+                   double msg_count, double arrival);
+
   MachineConfig cfg_;
+  bool fold_active_ = false;
   std::vector<Rank> ranks_;
+  std::unordered_map<std::uint64_t, FoldChannel> fold_channels_;
   PayloadPool payload_pool_;
   std::deque<std::string> phase_names_{"(main)"};
   Trace trace_;

@@ -343,6 +343,21 @@ TEST(Differential, FaultedRunsConvergeWithIdenticalResults) {
   EXPECT_GE(run.makespan, base.makespan * (1.0 - 1e-12));
 }
 
+TEST(Differential, FoldedExecutionMatchesFibersAcrossPlans) {
+  // Fiber-ghost vs folded-ghost across every algorithm, fault-free and
+  // under a fault plan (which forces the transparent fallback to fibers):
+  // cost signatures must be bit-identical either way. The fast subset of
+  // the tools/chaos_explore --fold=true CI gate; tests/test_fold.cpp runs
+  // the wider sweep.
+  chaos::FoldDiffOptions opts;
+  opts.ps = {4, 9};
+  opts.seeds = 1;
+  opts.plans = {"drop"};
+  const chaos::FoldDiffReport rep = chaos::fold_explore(opts);
+  EXPECT_TRUE(rep.ok()) << rep.summary;
+  EXPECT_GT(rep.folded_pairs, 0) << "nothing actually folded";
+}
+
 // ------------------------------------------------------ engine wiring
 
 TEST(EngineChaos, SpecRoundTripsAndDefaultsKeepCacheKeys) {

@@ -1,0 +1,362 @@
+// Symmetry-folded execution (sim/fold.hpp, ExecMode::kFolded): one fiber
+// per fold-equivalence class, per-class cost replay on the virtual clock,
+// bit-identical cost signatures to per-fiber execution. These tests pin
+//
+//   - the FoldMap structural contract (validate(), trivial maps),
+//   - the per-algorithm builders in algs/foldmaps.hpp,
+//   - fold <-> fiber cost parity across all algorithms, sizes, and fault
+//     plans (faults force the transparent fallback, which must still
+//     match) via chaos::fold_explore — the same gate CI runs through
+//     tools/chaos_explore --fold=true,
+//   - the *congruence property* behind every fold map: members of a class
+//     never differ in their (kind, tag, size) event schedules, checked
+//     against per-fiber execution traces rather than trusted,
+//   - the engine spec axis: exec_mode=folded serializes canonically,
+//     defaults stay unserialized (cache keys unchanged), folded results
+//     equal fiber results bit for bit, and folded + full data is rejected.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algs/foldmaps.hpp"
+#include "algs/harness.hpp"
+#include "chaos/differential.hpp"
+#include "chaos/fault_plan.hpp"
+#include "engine/job.hpp"
+#include "engine/runner.hpp"
+#include "sim/fold.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "support/common.hpp"
+#include "support/json.hpp"
+
+namespace alge {
+namespace {
+
+// ------------------------------------------------------ FoldMap contract
+
+TEST(FoldMap, ValidateAcceptsAConsistentPartition) {
+  // Even/odd ranks of p=6: reps 0 and 1, sizes 3 and 3.
+  sim::FoldMap map(6, {{0, 3, false}, {1, 3, false}},
+                   [](int r) { return r % 2; });
+  EXPECT_EQ(map.num_classes(), 2);
+  EXPECT_FALSE(map.trivial());
+  EXPECT_NO_THROW(map.validate());
+}
+
+TEST(FoldMap, ValidateRejectsOutOfRangeClassIds) {
+  sim::FoldMap map(4, {{0, 4, false}}, [](int r) { return r == 3 ? 1 : 0; });
+  EXPECT_THROW(map.validate(), invalid_argument_error);
+}
+
+TEST(FoldMap, ValidateRejectsWrongSizes) {
+  sim::FoldMap map(4, {{0, 3, false}, {3, 1, false}},
+                   [](int r) { return r % 2; });
+  EXPECT_THROW(map.validate(), invalid_argument_error);
+}
+
+TEST(FoldMap, ValidateRejectsNonMinimalReps) {
+  // Declared rep 2 is not the minimum member of its class {0, 2}.
+  sim::FoldMap map(4, {{2, 2, false}, {1, 2, false}},
+                   [](int r) { return r % 2; });
+  EXPECT_THROW(map.validate(), invalid_argument_error);
+}
+
+TEST(FoldMap, AllSingletonsIsTrivial) {
+  sim::FoldMap map(3, {{0, 1, false}, {1, 1, false}, {2, 1, false}},
+                   [](int r) { return r; });
+  EXPECT_TRUE(map.trivial());
+  EXPECT_NO_THROW(map.validate());
+}
+
+// ------------------------------------------------------ builder shapes
+
+TEST(FoldBuilders, Mm25dFoldsCannonIntoFourClasses) {
+  const auto map = algs::foldmap_mm25d(3, 1);
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->p(), 9);
+  ASSERT_EQ(map->num_classes(), 4);
+  EXPECT_NO_THROW(map->validate());
+  // Origin; rest of row 0; rest of column 0; interior.
+  EXPECT_EQ(map->cls(0).size, 1);
+  EXPECT_EQ(map->cls(1).size, 2);
+  EXPECT_EQ(map->cls(2).size, 2);
+  EXPECT_EQ(map->cls(3).size, 4);
+  for (int c = 0; c < 4; ++c) EXPECT_TRUE(map->cls(c).scatter) << c;
+}
+
+TEST(FoldBuilders, Mm25dRefusesReplicatedLayers) {
+  // c > 1 depth-broadcasts across misaligned layers; no exact fold exists.
+  EXPECT_EQ(algs::foldmap_mm25d(4, 2), nullptr);
+  EXPECT_EQ(algs::foldmap_mm25d(1, 1), nullptr);  // single rank: trivial
+}
+
+TEST(FoldBuilders, CapsAndFftAreSingleClass) {
+  for (const auto& map : {algs::foldmap_caps(49), algs::foldmap_fft(16)}) {
+    ASSERT_NE(map, nullptr);
+    EXPECT_EQ(map->num_classes(), 1);
+    EXPECT_EQ(map->cls(0).size, map->p());
+    EXPECT_NO_THROW(map->validate());
+  }
+}
+
+TEST(FoldBuilders, NbodyFoldsByReplicaRow) {
+  const auto map = algs::foldmap_nbody(8, 2);
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->num_classes(), 2);
+  EXPECT_NO_THROW(map->validate());
+  // Team roles and ring distances depend only on the row, and at every
+  // schedule position all row members address the same destination row:
+  // uniform, not scatter.
+  EXPECT_FALSE(map->cls(0).scatter);
+  EXPECT_FALSE(map->cls(1).scatter);
+  EXPECT_EQ(algs::foldmap_nbody(8, 3), nullptr);  // c must divide p
+}
+
+TEST(FoldBuilders, TsqrRefinesTheBinomialSkeleton) {
+  // p=8 fan-in: {0} (receives at every level), {1,3,5,7} (send at level
+  // 0), {2,6} (recv then send), {4} (recv twice then send).
+  const auto map = algs::foldmap_tsqr(8);
+  ASSERT_NE(map, nullptr);
+  EXPECT_NO_THROW(map->validate());
+  ASSERT_EQ(map->num_classes(), 4);
+  EXPECT_EQ(map->class_of(1), map->class_of(7));
+  EXPECT_EQ(map->class_of(2), map->class_of(6));
+  EXPECT_NE(map->class_of(2), map->class_of(4));
+}
+
+// ------------------------------------------- fold <-> fiber differential
+
+// The same differential gate CI runs (tools/chaos_explore --fold=true):
+// every algorithm x size class, fault-free and under every bundled plan,
+// fiber-ghost vs folded-ghost, bit-identical cost signatures. Faulted
+// machines transparently fall back to fibers — those pairs prove the
+// fallback never perturbs the signature.
+TEST(FoldDifferential, AllAlgorithmsMatchFibersBitForBit) {
+  chaos::FoldDiffOptions opts;
+  opts.ps = {4, 9, 16};
+  opts.seeds = 2;
+  const chaos::FoldDiffReport rep = chaos::fold_explore(opts);
+  EXPECT_TRUE(rep.ok()) << rep.summary;
+  EXPECT_GT(rep.folded_pairs, 0) << "nothing actually folded";
+}
+
+TEST(FoldDifferential, FaultedRunFallsBackAndStillMatches) {
+  chaos::CaseSpec spec;
+  spec.alg = chaos::Alg::kMm25d;
+  spec.p = 9;
+  chaos::ChaosConfig fiber_cc;
+  fiber_cc.data_mode = sim::DataMode::kGhost;
+  chaos::ChaosConfig folded_cc = fiber_cc;
+  folded_cc.exec_mode = sim::ExecMode::kFolded;
+
+  // Fault-free: the fold actually engages and matches.
+  const chaos::RunSignature fiber = chaos::run_case(spec, fiber_cc);
+  const chaos::RunSignature folded = chaos::run_case(spec, folded_cc);
+  EXPECT_TRUE(folded.fold_active);
+  EXPECT_TRUE(folded.cost_identical_to(fiber));
+
+  // Faulted: folding cannot represent per-rank fault streams, so the
+  // machine must fall back to per-fiber execution — and still match.
+  fiber_cc.plan = chaos::FaultPlan::bundled("drop");
+  folded_cc.plan = fiber_cc.plan;
+  const chaos::RunSignature fiber_f = chaos::run_case(spec, fiber_cc);
+  const chaos::RunSignature folded_f = chaos::run_case(spec, folded_cc);
+  EXPECT_FALSE(folded_f.fold_active);
+  EXPECT_GT(folded_f.faults.total(), 0u);
+  EXPECT_TRUE(folded_f.cost_identical_to(fiber_f));
+}
+
+TEST(FoldMachine, FallsBackWhenFaultsAreInstalled) {
+  sim::MachineConfig cfg;
+  cfg.p = 7;
+  cfg.params = core::MachineParams::unit();
+  cfg.data_mode = sim::DataMode::kGhost;
+  cfg.exec_mode = sim::ExecMode::kFolded;
+  cfg.fold = algs::foldmap_caps(7);
+  EXPECT_TRUE(sim::Machine(cfg).fold_active());
+  cfg.faults = chaos::FaultPlan::bundled("drop").make_injector(
+      1, cfg.params.alpha_t);
+  EXPECT_FALSE(sim::Machine(cfg).fold_active());
+}
+
+// --------------------------------------------- congruence property test
+
+/// Normalized per-rank event schedule from a per-fiber ghost trace: the
+/// (kind, tag, words/flops, peer-class) sequence a fold claims is shared
+/// by every member of a class. For scatter classes the peer *class* is
+/// per-member (TSQR's fan-in), so peers are excluded there; everything
+/// else — order, tags, sizes — must still agree exactly.
+std::vector<std::string> schedule_of(const sim::Trace& trace, int rank,
+                                     const sim::FoldMap& map,
+                                     bool include_peers) {
+  std::vector<std::string> out;
+  for (const sim::TraceEvent& ev : trace.rank_events(rank)) {
+    switch (ev.kind) {
+      case sim::TraceEvent::Kind::kCompute:
+        out.push_back(strfmt("compute f=%.17g", ev.flops));
+        break;
+      case sim::TraceEvent::Kind::kSend:
+        out.push_back(strfmt(
+            "send tag=%d w=%.17g m=%.17g peer_cls=%d", ev.tag, ev.words,
+            ev.msgs, include_peers ? map.class_of(ev.peer) : -1));
+        break;
+      case sim::TraceEvent::Kind::kRecv:
+        out.push_back(
+            strfmt("recv tag=%d w=%.17g peer_cls=%d", ev.tag, ev.words,
+                   include_peers ? map.class_of(ev.peer) : -1));
+        break;
+      default:
+        break;  // idle/mem/coll spans are timing, not schedule structure
+    }
+  }
+  return out;
+}
+
+/// Run `body` per-fiber in ghost mode with tracing and assert every fold
+/// class's members produce identical normalized schedules — i.e. the
+/// builder never merges ranks whose (src, tag) schedules differ.
+void expect_congruent_classes(
+    const std::shared_ptr<const sim::FoldMap>& map,
+    const std::function<algs::harness::RunResult()>& body) {
+  ASSERT_NE(map, nullptr);
+  ASSERT_NO_THROW(map->validate());
+  sim::Trace trace;
+  algs::harness::RunObserver obs;
+  obs.enable_trace = true;
+  obs.configure = [](sim::MachineConfig& cfg) {
+    cfg.data_mode = sim::DataMode::kGhost;
+  };
+  obs.after_run = [&trace](const sim::Machine& m) { trace = m.trace(); };
+  algs::harness::ScopedRunObserver scoped(std::move(obs));
+  (void)body();
+  for (int c = 0; c < map->num_classes(); ++c) {
+    const sim::FoldClass& fc = map->cls(c);
+    const bool include_peers = !fc.scatter;
+    const std::vector<std::string> rep_sched =
+        schedule_of(trace, fc.rep, *map, include_peers);
+    for (int r = fc.rep + 1; r < map->p(); ++r) {
+      if (map->class_of(r) != c) continue;
+      EXPECT_EQ(schedule_of(trace, r, *map, include_peers), rep_sched)
+          << "rank " << r << " diverges from class " << c << " rep "
+          << fc.rep;
+    }
+  }
+}
+
+TEST(FoldProperty, Mm25dClassesAreCongruent) {
+  const core::MachineParams mp = core::MachineParams::unit();
+  expect_congruent_classes(algs::foldmap_mm25d(3, 1), [&] {
+    return algs::harness::run_mm25d(18, 3, 1, mp);
+  });
+}
+
+TEST(FoldProperty, CapsClassIsCongruent) {
+  const core::MachineParams mp = core::MachineParams::unit();
+  expect_congruent_classes(
+      algs::foldmap_caps(7), [&] { return algs::harness::run_caps(14, 1, mp); });
+}
+
+TEST(FoldProperty, FftClassIsCongruent) {
+  const core::MachineParams mp = core::MachineParams::unit();
+  expect_congruent_classes(algs::foldmap_fft(4), [&] {
+    return algs::harness::run_fft(8, 8, 4, algs::AllToAllKind::kDirect, mp);
+  });
+}
+
+TEST(FoldProperty, NbodyRowClassesAreCongruent) {
+  const core::MachineParams mp = core::MachineParams::unit();
+  expect_congruent_classes(algs::foldmap_nbody(8, 2), [&] {
+    return algs::harness::run_nbody(8, 8, 2, mp);
+  });
+}
+
+TEST(FoldProperty, TsqrSkeletonClassesAreCongruent) {
+  const core::MachineParams mp = core::MachineParams::unit();
+  expect_congruent_classes(algs::foldmap_tsqr(8), [&] {
+    return algs::harness::run_tsqr(8, 2, 8, mp);
+  });
+}
+
+// A deliberately wrong merge must be caught by the same property check:
+// in Cannon, interior ranks and column-0 ranks have different (src, tag)
+// schedules (column 0's A-alignment self-sends are free), so a map that
+// merges them fails congruence. Guards the guard.
+TEST(FoldProperty, DetectsAWrongMerge) {
+  const core::MachineParams mp = core::MachineParams::unit();
+  // One class for rank 0, one for everything else: merges row/column/
+  // interior ranks whose schedules differ.
+  auto bad = std::make_shared<sim::FoldMap>(
+      9, std::vector<sim::FoldClass>{{0, 1, true}, {1, 8, true}},
+      [](int r) { return r == 0 ? 0 : 1; });
+  sim::Trace trace;
+  algs::harness::RunObserver obs;
+  obs.enable_trace = true;
+  obs.configure = [](sim::MachineConfig& cfg) {
+    cfg.data_mode = sim::DataMode::kGhost;
+  };
+  obs.after_run = [&trace](const sim::Machine& m) { trace = m.trace(); };
+  {
+    algs::harness::ScopedRunObserver scoped(std::move(obs));
+    (void)algs::harness::run_mm25d(18, 3, 1, mp);
+  }
+  bool all_equal = true;
+  const auto rep_sched = schedule_of(trace, 1, *bad, false);
+  for (int r = 2; r < 9; ++r) {
+    all_equal = all_equal && schedule_of(trace, r, *bad, false) == rep_sched;
+  }
+  EXPECT_FALSE(all_equal)
+      << "congruence check failed to distinguish known-divergent ranks";
+}
+
+// ------------------------------------------------------ engine spec axis
+
+engine::ExperimentSpec foldable_mm_spec() {
+  engine::ExperimentSpec s;
+  s.alg = engine::Alg::kMm25d;
+  s.params = core::MachineParams::unit();
+  s.n = 18;
+  s.q = 3;
+  s.c = 1;
+  s.data_mode = sim::DataMode::kGhost;
+  return s;
+}
+
+TEST(FoldEngine, CacheKeysUnchangedForFiberMode) {
+  const engine::ExperimentSpec fiber = foldable_mm_spec();
+  EXPECT_EQ(fiber.canonical_json().find("exec_mode"), std::string::npos)
+      << "default kFibers must stay unserialized or every cached result "
+         "dies";
+
+  engine::ExperimentSpec folded = foldable_mm_spec();
+  folded.exec_mode = sim::ExecMode::kFolded;
+  EXPECT_NE(folded.canonical_json().find("\"exec_mode\":\"folded\""),
+            std::string::npos);
+  EXPECT_NE(fiber.canonical_json(), folded.canonical_json());
+
+  const engine::ExperimentSpec back =
+      engine::ExperimentSpec::from_json(json::parse(folded.canonical_json()));
+  EXPECT_EQ(back.canonical_json(), folded.canonical_json());
+  EXPECT_EQ(back.exec_mode, sim::ExecMode::kFolded);
+}
+
+TEST(FoldEngine, ExecuteMatchesFibersBitForBit) {
+  engine::ExperimentSpec folded = foldable_mm_spec();
+  folded.exec_mode = sim::ExecMode::kFolded;
+  const engine::ExperimentResult rf = engine::execute(foldable_mm_spec());
+  const engine::ExperimentResult rd = engine::execute(folded);
+  EXPECT_EQ(rf, rd);
+}
+
+TEST(FoldEngine, FoldedRequiresGhostData) {
+  engine::ExperimentSpec bad = foldable_mm_spec();
+  bad.data_mode = sim::DataMode::kFull;
+  bad.exec_mode = sim::ExecMode::kFolded;
+  EXPECT_THROW(engine::execute(bad), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace alge

@@ -24,6 +24,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "support/common.hpp"
 #include "support/json.hpp"
 
 namespace alge {
@@ -282,6 +283,40 @@ TEST(QueryService, ConcurrentIdenticalExperimentsSimulateOnce) {
   EXPECT_EQ(svc.result_cache().stats().misses, 1u);
   const std::string want = answer_of(responses[0]);
   for (const std::string& r : responses) EXPECT_EQ(answer_of(r), want);
+}
+
+TEST(QueryService, HotAnswersSurviveOneShotFloods) {
+  // Second-chance eviction (ServiceOptions::answer_cache_cap): a hot
+  // closed-form answer a dashboard polls must outlive a flood of one-shot
+  // experiment queries that each displace an entry. The hot entry's
+  // referenced bit is re-set by its hits, so the clock hand passes over it
+  // and evicts the never-rehit one-shots instead.
+  serve::ServiceOptions opts;
+  opts.answer_cache_cap = 4;
+  serve::QueryService svc(opts);
+  const std::string hot =
+      R"({"kind":"min_energy","model":"nbody","f":20,"n":1e6})";
+  const std::string want = handle(svc, hot);  // seed the store (a miss)
+  int hot_hits = 0;
+  for (int i = 1; i <= 24; ++i) {
+    const std::string req = strfmt(
+        R"({"kind":"experiment","spec":{"alg":"mm25d","n":%d,"q":2,"c":1}})",
+        4 * i);
+    EXPECT_TRUE(json::parse(handle(svc, req)).at("ok").as_bool());
+    if (i % 2 == 0) {
+      // Poll the hot query at least once per clock lap (cap − 1 inserts):
+      // every poll after the first must be an answer-store hit.
+      EXPECT_EQ(handle(svc, hot), want);
+      ++hot_hits;
+    }
+  }
+  const json::Value stats =
+      json::parse(answer_of(handle(svc, R"({"kind":"stats"})")));
+  EXPECT_EQ(stats.at("classes").at("min_energy").at("answer_hits").as_double(),
+            static_cast<double>(hot_hits))
+      << "a hot-query poll missed: the flood evicted the hot answer";
+  EXPECT_GT(stats.at("answer_evictions").as_double(), 0.0);
+  EXPECT_LE(stats.at("answer_store_entries").as_double(), 4.0);
 }
 
 TEST(QueryService, StatsReportsServedClasses) {

@@ -2,12 +2,14 @@
 //
 //   bench_diff BASELINE.json CURRENT.json [--threshold=0.10] [--verbose]
 //
-// Understands all five bench formats the repo produces (see
+// Understands all six bench formats the repo produces (see
 // obs/bench_metrics.hpp): the committed BENCH_sim.json object,
 // google-benchmark --benchmark_out files, BENCH_engine.json run
-// histories, BENCH_ghost.json full-vs-ghost speedup records, and
+// histories, BENCH_ghost.json full-vs-ghost speedup records,
 // BENCH_serve.json query-service loadtest phases (throughput
-// higher-better, latency quantiles lower-better).
+// higher-better, latency quantiles lower-better), and
+// BENCH_frontier.json folded-execution frontier points (simulated
+// makespan/energy/per-rank costs lower-better, wall seconds skipped).
 // A metric "regresses" when it moves against its direction
 // (time-like up, throughput-like down) by more than the relative
 // threshold; neutral metrics (counts, configuration) are reported but

@@ -16,6 +16,12 @@
 // plan × seed — and the cost signatures (per-rank counters, clocks,
 // energy, injected faults) must be bit-identical.
 //
+// --fold runs the folded-execution differential: every case runs
+// fiber-ghost and ExecMode::kFolded ghost back to back — fault-free and
+// under every plan × seed (faulted runs exercise the transparent fallback
+// to fibers, which must still match) — and the cost signatures must be
+// bit-identical. This is the CI gate behind bench/frontier_folded.
+//
 // Exit codes: 0 all invariants hold, 1 mismatch or divergence, 2 usage
 // error.
 #include <cstdio>
@@ -60,6 +66,10 @@ int main(int argc, char** argv) {
                "run the ghost-payload differential (full vs "
                "--data-mode=ghost cost-signature bit-identity) instead of "
                "the schedule/fault sweep");
+  cli.add_flag("fold", "false",
+               "run the folded-execution differential (fiber-ghost vs "
+               "--exec-mode=folded cost-signature bit-identity) instead of "
+               "the schedule/fault sweep");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -103,6 +113,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (cli.get_bool("fold")) {
+    chaos::FoldDiffOptions fopts;
+    fopts.algs = opts.algs;
+    fopts.ps = opts.ps;
+    fopts.seeds = opts.seeds;
+    fopts.plans = opts.plans;
+    fopts.verbose = opts.verbose;
+    fopts.out = opts.out;
+    const chaos::FoldDiffReport rep = chaos::fold_explore(fopts);
+    return rep.ok() ? 0 : 1;
+  }
   if (cli.get_bool("ghost")) {
     chaos::GhostDiffOptions gopts;
     gopts.algs = opts.algs;
