@@ -110,7 +110,8 @@ std::shared_ptr<PlanInjector> FaultPlan::make_injector(
 
 const std::vector<std::string>& FaultPlan::bundled_names() {
   static const std::vector<std::string> names = {
-      "none", "delay", "drop", "duplicate", "reorder", "pause", "mixed"};
+      "none",  "delay", "drop",   "duplicate", "reorder",
+      "pause", "mixed", "delay1", "drop1",     "reorder1"};
   return names;
 }
 
@@ -135,10 +136,19 @@ FaultPlan FaultPlan::bundled(std::string_view name) {
     c.p_duplicate = 0.1;
     c.p_reorder = 0.15;
     c.p_pause = 0.02;
+  } else if (name == "delay1") {
+    // The 1%-rate trio: light-touch plans for re-scoring otherwise-optimal
+    // configurations (src/navigator), where the bundled 15-30% rates would
+    // drown the frontier rather than perturb it.
+    c.p_delay = 0.01;
+  } else if (name == "drop1") {
+    c.p_drop = 0.01;
+  } else if (name == "reorder1") {
+    c.p_reorder = 0.01;
   } else {
     throw invalid_argument_error(
         strfmt("unknown fault plan '%.*s' (bundled: none, delay, drop, "
-               "duplicate, reorder, pause, mixed)",
+               "duplicate, reorder, pause, mixed, delay1, drop1, reorder1)",
                static_cast<int>(name.size()), name.data()));
   }
   return FaultPlan(std::move(c));

@@ -221,4 +221,24 @@ double FftModel::p_max(double n, double M) const {
   return n / M;  // empty range: no perfect strong scaling regime
 }
 
+// --- factory ---
+
+std::unique_ptr<AlgModel> make_model(const std::string& name, double f,
+                                     double omega0) {
+  if (name == "nbody") return std::make_unique<NBodyModel>(f);
+  if (name == "classical-mm") return std::make_unique<ClassicalMatmulModel>();
+  if (name == "strassen") return std::make_unique<StrassenModel>(omega0);
+  if (name == "lu-2.5d") return std::make_unique<LuModel>();
+  if (name == "fft-naive") {
+    return std::make_unique<FftModel>(FftModel::AllToAll::kNaive);
+  }
+  if (name == "fft-tree") {
+    return std::make_unique<FftModel>(FftModel::AllToAll::kTree);
+  }
+  throw invalid_argument_error(strfmt(
+      "unknown model \"%s\" (use \"nbody\", \"classical-mm\", \"strassen\", "
+      "\"lu-2.5d\", \"fft-naive\", or \"fft-tree\")",
+      name.c_str()));
+}
+
 }  // namespace alge::core

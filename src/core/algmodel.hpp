@@ -144,4 +144,12 @@ class FftModel final : public AlgModel {
   AllToAll variant_;
 };
 
+/// Model factory over the request-level names ("nbody", "classical-mm",
+/// "strassen", "lu-2.5d", "fft-naive", "fft-tree") shared by src/serve and
+/// src/navigator; `f` feeds NBodyModel, `omega0` feeds StrassenModel.
+/// Throws invalid_argument_error on an unknown name, listing the options.
+std::unique_ptr<AlgModel> make_model(
+    const std::string& name, double f = 1.0,
+    double omega0 = StrassenModel::kStrassenOmega);
+
 }  // namespace alge::core

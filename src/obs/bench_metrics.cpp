@@ -160,6 +160,30 @@ void normalize_frontier(const json::Value& doc, std::vector<Metric>& out) {
   }
 }
 
+/// BENCH_navigator.json: {"bench": "navigator", "results": [{"name": …,
+/// "frontier_area": …, "crossover_generations": …, "robust_fraction": …,
+/// "fault_energy_inflation": …, …}]} from bench/navigator_sweep. The
+/// frontier metrics are deterministic navigator outputs and are emitted as
+/// "navigator.<name>.<field>"; navigate_seconds is wall clock and skipped.
+/// Crossover generation counts of -1 mean "target unreachable" — a
+/// sentinel, not a small count — so negative values are skipped too (the
+/// metric then shows up as removed/added instead of as a fake
+/// improvement).
+void normalize_navigator(const json::Value& doc, std::vector<Metric>& out) {
+  for (const json::Value& entry : doc.at("results").as_array()) {
+    if (!entry.is_object()) continue;
+    const json::Value* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    for (const auto& [key, field] : entry.as_object()) {
+      if (!field.is_number() || is_timestamp_key(key)) continue;
+      if (key == "navigate_seconds") continue;
+      if (contains(key, "crossover") && field.as_double() < 0.0) continue;
+      out.push_back(
+          {"navigator." + name->as_string() + "." + key, field.as_double()});
+    }
+  }
+}
+
 /// BENCH_engine.json: an append-only array of run records; compare the
 /// latest record of each bench.
 void normalize_engine_history(const json::Value& doc,
@@ -187,7 +211,8 @@ int metric_direction(const std::string& name) {
   // is not caught by the time-like rules below.
   if (contains(n, "per_second") || contains(n, "per_sec") ||
       contains(n, "speedup") || contains(n, "occupancy") ||
-      contains(n, "hits")) {
+      contains(n, "hits") || contains(n, "per_watt") ||
+      contains(n, "robust")) {
     return 1;
   }
   // Latency-like: less is better. "_us"/"_ms" cover the serve loadtest's
@@ -204,6 +229,15 @@ int metric_direction(const std::string& name) {
   // move is a real cost-schedule change.
   if (contains(n, "makespan") || contains(n, "energy") ||
       contains(n, "per_proc") || contains(n, "per_rank")) {
+    return -1;
+  }
+  // Navigator frontier metrics: a smaller frontier_area hugs the ideal
+  // corner tighter, fewer crossover generations reach the efficiency
+  // target sooner, and a smaller fault-energy inflation means faults cost
+  // less at the optimum. ("fault_energy_inflation" is already caught by
+  // the "energy" rule above; listed here for the name's sake.)
+  if (contains(n, "area") || contains(n, "crossover") ||
+      contains(n, "inflation")) {
     return -1;
   }
   return 0;
@@ -229,6 +263,10 @@ std::vector<Metric> normalize_bench_json(const json::Value& doc) {
                bench->as_string() == "frontier" && results != nullptr &&
                results->is_array()) {
       normalize_frontier(doc, out);
+    } else if (bench != nullptr && bench->is_string() &&
+               bench->as_string() == "navigator" && results != nullptr &&
+               results->is_array()) {
+      normalize_navigator(doc, out);
     } else if (benchmarks != nullptr && benchmarks->is_array()) {
       normalize_google_benchmark(doc, out);
     } else if (benchmarks != nullptr && benchmarks->is_object()) {
@@ -243,8 +281,27 @@ std::vector<Metric> normalize_bench_json(const json::Value& doc) {
 }
 
 BenchDiff diff_bench_json(const json::Value& base, const json::Value& current,
-                          double threshold) {
+                          double threshold,
+                          const std::vector<ThresholdOverride>& overrides) {
   ALGE_REQUIRE(threshold >= 0.0, "threshold must be non-negative");
+  for (const ThresholdOverride& o : overrides) {
+    ALGE_REQUIRE(!o.substring.empty() && o.threshold >= 0.0,
+                 "bad threshold override");
+  }
+  // Longest matching substring wins; ties break toward later entries
+  // (<=), so callers can append more-specific rules last.
+  auto effective_threshold = [&](const std::string& name) {
+    double best = threshold;
+    std::size_t best_len = 0;
+    for (const ThresholdOverride& o : overrides) {
+      if (o.substring.size() >= best_len &&
+          name.find(o.substring) != std::string::npos) {
+        best = o.threshold;
+        best_len = o.substring.size();
+      }
+    }
+    return best;
+  };
   const std::vector<Metric> b = normalize_bench_json(base);
   const std::vector<Metric> c = normalize_bench_json(current);
   BenchDiff diff;
@@ -271,8 +328,9 @@ BenchDiff diff_bench_json(const json::Value& base, const json::Value& current,
                          : -std::numeric_limits<double>::infinity();
     }
     m.direction = metric_direction(m.name);
-    m.regression = (m.direction < 0 && m.rel_change > threshold) ||
-                   (m.direction > 0 && m.rel_change < -threshold);
+    m.threshold = effective_threshold(m.name);
+    m.regression = (m.direction < 0 && m.rel_change > m.threshold) ||
+                   (m.direction > 0 && m.rel_change < -m.threshold);
     if (m.regression) ++diff.regressions;
     diff.metrics.push_back(std::move(m));
     ++i;
@@ -286,9 +344,10 @@ std::string render_diff(const BenchDiff& diff, double threshold,
   std::string out;
   int improvements = 0;
   for (const MetricDiff& m : diff.metrics) {
+    // Classified at the metric's own (possibly overridden) threshold.
     const bool improved =
-        (m.direction < 0 && m.rel_change < -threshold) ||
-        (m.direction > 0 && m.rel_change > threshold);
+        (m.direction < 0 && m.rel_change < -m.threshold) ||
+        (m.direction > 0 && m.rel_change > m.threshold);
     if (improved) ++improvements;
     if (m.regression) {
       out += strfmt("REGRESSION  %-60s %14.6g -> %14.6g  (%+.1f%%)\n",

@@ -1,7 +1,7 @@
 // Normalization and comparison of the repo's benchmark JSON files, shared
 // by tools/bench_diff and the CI bench-regression gate.
 //
-// Five on-disk formats are understood, detected by shape:
+// These on-disk formats are understood, detected by shape:
 //
 //   BENCH_sim.json          object with a "benchmarks" OBJECT of named
 //                           {baseline, optimized, speedup} entries — the
@@ -22,6 +22,15 @@
 //   BENCH_engine.json       top-level array of run records — the LAST
 //                           record per "bench" name wins (it is an
 //                           append-only history), keyed "engine.<bench>.*"
+//   BENCH_navigator.json    object with "bench": "navigator" and a
+//                           "results" array of per-(model, generation)
+//                           frontier records — emitted as
+//                           "navigator.<name>.<field>" (frontier_area /
+//                           crossover / inflation lower-better,
+//                           robust_fraction and gflops_per_watt
+//                           higher-better); navigate_seconds is wall
+//                           clock and skipped, negative crossover
+//                           sentinels ("unreachable") are skipped
 //   BENCH_serve.json        object with "bench": "serve" and a "results"
 //                           array of per-phase loadtest records — emitted
 //                           as "serve.<phase>.<field>" (queries_per_sec
@@ -63,6 +72,7 @@ struct MetricDiff {
   /// and current is not.
   double rel_change = 0.0;
   int direction = 0;       ///< see metric_direction
+  double threshold = 0.0;  ///< the threshold this metric was gated at
   bool regression = false; ///< worsened beyond the threshold
 };
 
@@ -73,10 +83,23 @@ struct BenchDiff {
   int regressions = 0;
 };
 
+/// Per-metric threshold override: metrics whose name contains `substring`
+/// are gated at `threshold` instead of the default. When several
+/// substrings match one metric, the longest match wins (most specific);
+/// ties break toward the later entry.
+struct ThresholdOverride {
+  std::string substring;
+  double threshold = 0.0;
+};
+
 /// Compare two bench documents. A metric regresses when it moves against
-/// its direction by more than `threshold` (relative, e.g. 0.1 = 10%).
+/// its direction by more than its threshold (relative, e.g. 0.1 = 10%):
+/// the default for most metrics, or the best-matching override. CI uses
+/// overrides to gate deterministic simulated metrics tightly (~1e-4)
+/// while leaving machine-dependent wall-clock ratios loose.
 BenchDiff diff_bench_json(const json::Value& base, const json::Value& current,
-                          double threshold);
+                          double threshold,
+                          const std::vector<ThresholdOverride>& overrides = {});
 
 /// Human-readable report: regressions first, then improvements and notable
 /// changes; `verbose` lists every common metric.

@@ -12,6 +12,7 @@
 #include "engine/job.hpp"
 #include "engine/runner.hpp"
 #include "machines/db.hpp"
+#include "navigator/navigator.hpp"
 #include "support/common.hpp"
 
 namespace alge::serve {
@@ -176,6 +177,67 @@ json::Value run_codesign(const json::Value& req, const core::AlgModel& model,
            core::generations_to_target(model, n, best.p, best.M, mp, which,
                                        target, max_gen, factor));
   return o;
+}
+
+/// "navigate" query → navigator::NavRequest. Reuses the closed-form
+/// queries' model/machine/limits conventions; budgets and the sim-stage
+/// knobs come from optional fields of the same names tools/navigator uses.
+/// The engine result cache is the service's own (cache_dir), so navigate
+/// queries and "experiment" queries share simulations; threads is pinned
+/// to 1 because the server already parallelizes across worker threads.
+json::Value run_navigate(const json::Value& req,
+                         const std::string& cache_dir) {
+  navigator::NavRequest nr;
+  nr.model = req.at("model").as_string();
+  nr.n = require_positive(req, "n");
+  nr.f = optional_double(req, "f", nr.f);
+  nr.omega0 = optional_double(req, "omega0", nr.omega0);
+  nr.params = resolve_machine(req);
+  nr.limits = resolve_limits(req);
+  if (const json::Value* b = req.find("budgets"); b != nullptr) {
+    ALGE_REQUIRE(b->is_object(), "\"budgets\" must be a JSON object");
+    if (const json::Value* v = b->find("t_max")) {
+      nr.budgets.t_max = v->as_double();
+    }
+    if (const json::Value* v = b->find("e_max")) {
+      nr.budgets.e_max = v->as_double();
+    }
+    if (const json::Value* v = b->find("total_power_max")) {
+      nr.budgets.total_power_max = v->as_double();
+    }
+    if (const json::Value* v = b->find("proc_power_max")) {
+      nr.budgets.proc_power_max = v->as_double();
+    }
+  }
+  nr.p_samples = static_cast<int>(
+      optional_double(req, "p_samples", nr.p_samples));
+  nr.m_samples = static_cast<int>(
+      optional_double(req, "m_samples", nr.m_samples));
+  if (const json::Value* caps = req.find("msg_caps"); caps != nullptr) {
+    for (const json::Value& c : caps->as_array()) {
+      nr.msg_caps.push_back(c.as_double());
+    }
+  }
+  if (const json::Value* s = req.find("simulate"); s != nullptr) {
+    nr.simulate = s->as_bool();
+  }
+  nr.sim_n = static_cast<int>(optional_double(req, "sim_n", nr.sim_n));
+  nr.sim_points =
+      static_cast<int>(optional_double(req, "sim_points", nr.sim_points));
+  if (const json::Value* plans = req.find("fault_plans"); plans != nullptr) {
+    nr.fault_plans.clear();
+    for (const json::Value& p : plans->as_array()) {
+      nr.fault_plans.push_back(p.as_string());
+    }
+  }
+  nr.chaos_seed = static_cast<std::uint64_t>(
+      optional_double(req, "chaos_seed", static_cast<double>(nr.chaos_seed)));
+  nr.crossover_target_gflops_per_watt =
+      optional_double(req, "target_gflops_per_watt",
+                      nr.crossover_target_gflops_per_watt);
+  nr.cache_dir = cache_dir;
+  nr.threads = 1;
+  return navigator::navigate(nr).to_json();
 }
 
 }  // namespace
@@ -351,6 +413,15 @@ json::Value QueryService::dispatch(const json::Value& req,
     return stats_json();
   }
   if (kind == "experiment") return run_experiment(req);
+  if (kind == "navigate") return run_navigate(req, opts_.cache_dir);
+  if (kind == "batch") {
+    // The batch frame itself is never cached: each element re-enters
+    // handle(), so the answer store, both coalescers and the ledger see
+    // every element individually — a repeated spec hits per-spec whether
+    // it arrives alone or inside a batch.
+    *cacheable = false;
+    return run_batch(req);
+  }
 
   // Reject unknown kinds before demanding closed-form fields, so the
   // error names the actual problem.
@@ -401,6 +472,29 @@ json::Value QueryService::dispatch(const json::Value& req,
                          require_positive(req, "M"));
   }
   return run_point_json(pt);
+}
+
+json::Value QueryService::run_batch(const json::Value& req) {
+  const json::Value* queries = req.find("queries");
+  ALGE_REQUIRE(queries != nullptr && queries->is_array(),
+               "batch query needs a \"queries\" array");
+  const json::Value::Array& arr = queries->as_array();
+  ALGE_REQUIRE(!arr.empty(), "batch \"queries\" must be non-empty");
+  for (const json::Value& q : arr) {
+    ALGE_REQUIRE(q.is_object(), "batch elements must be JSON objects");
+    const json::Value* kind = q.find("kind");
+    ALGE_REQUIRE(kind == nullptr || !kind->is_string() ||
+                     kind->as_string() != "batch",
+                 "batch queries cannot nest");
+  }
+  // One response element per query, in order. Element failures stay
+  // element-local ({"ok": false} in place), matching the one-frame case.
+  json::Value out = json::Value::array();
+  for (const json::Value& q : arr) {
+    const std::shared_ptr<const std::string> resp = handle(q.dump());
+    out.push_back(json::parse(*resp));
+  }
+  return out;
 }
 
 json::Value QueryService::run_experiment(const json::Value& req) {

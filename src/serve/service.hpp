@@ -23,6 +23,20 @@
 //                                                       defaults and
 //                                                       data_mode defaults
 //                                                       to GHOST
+//     "navigate"   (p_samples, m_samples, budgets, simulate, fault_plans,
+//                  …)                                 full Pareto-frontier
+//                                                     report from
+//                                                     src/navigator, with
+//                                                     optional engine
+//                                                     scoring + chaos
+//                                                     re-score; shares the
+//                                                     service's engine
+//                                                     result cache
+//   framing: "batch" {"queries": [...]} — every element is re-dispatched
+//            through handle() (answer store, coalescers and ledger all hit
+//            per-spec), responses return as one array in order; element
+//            failures stay element-local; batches cannot nest and the
+//            batch frame itself is never cached
 //   admin (never cached): "ping", "stats"
 //
 // plus "model" ("nbody" [f] | "classical-mm" | "strassen" [omega0] |
@@ -128,6 +142,10 @@ class QueryService {
   json::Value dispatch(const json::Value& req, const std::string& kind,
                        bool* cacheable);
   json::Value run_experiment(const json::Value& req);
+  /// "batch": re-dispatch every element of "queries" through handle() (so
+  /// per-spec caching/coalescing still applies) and return the array of
+  /// their responses. The batch frame itself is never cached.
+  json::Value run_batch(const json::Value& req);
   void note(const std::string& kind, double seconds, bool hit, bool ok);
 
   ServiceOptions opts_;

@@ -265,6 +265,110 @@ TEST(ServeNormalizer, DirectionsGateThroughputUpLatencyDown) {
   EXPECT_EQ(d.regressions, 2);
 }
 
+// ------------------------------------------------- navigator normalizer
+
+TEST(NavigatorNormalizer, EmitsFrontierMetricsSkipsWallClockAndSentinels) {
+  std::ifstream in(golden("navigator_base.json"));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const alge::json::Value doc = alge::json::parse(buf.str());
+  const std::vector<alge::obs::Metric> m =
+      alge::obs::normalize_bench_json(doc);
+  auto has = [&](const char* name) {
+    for (const alge::obs::Metric& x : m) {
+      if (x.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("navigator.nbody gen=0.frontier_area"));
+  EXPECT_TRUE(has("navigator.nbody gen=0.robust_fraction"));
+  EXPECT_TRUE(has("navigator.nbody gen=0.fault_energy_inflation"));
+  EXPECT_TRUE(has("navigator.nbody gen=2.crossover_generations"));
+  // Wall clock never compares.
+  EXPECT_FALSE(has("navigator.nbody gen=0.navigate_seconds"));
+}
+
+TEST(NavigatorNormalizer, DirectionsGateFrontierDownRobustnessUp) {
+  using alge::obs::metric_direction;
+  EXPECT_EQ(metric_direction("navigator.nbody gen=0.frontier_area"), -1);
+  EXPECT_EQ(metric_direction("navigator.nbody gen=0.crossover_generations"),
+            -1);
+  EXPECT_EQ(
+      metric_direction("navigator.nbody gen=0.fault_energy_inflation"), -1);
+  EXPECT_EQ(metric_direction("navigator.nbody gen=0.min_energy_joules"), -1);
+  EXPECT_EQ(metric_direction("navigator.nbody gen=0.robust_fraction"), 1);
+  EXPECT_EQ(
+      metric_direction("navigator.nbody gen=0.gflops_per_watt_at_opt"), 1);
+  // Counts and configuration stay neutral.
+  EXPECT_EQ(metric_direction("navigator.nbody gen=0.frontier_points"), 0);
+  EXPECT_EQ(metric_direction("navigator.nbody gen=0.generation"), 0);
+}
+
+TEST(BenchDiffCli, NavigatorFrontierRegressionsExitOne) {
+  const CliResult r = run(
+      {golden("navigator_base.json"), golden("navigator_regressed.json")});
+  EXPECT_EQ(r.rc, 1);
+  // frontier_area +50% (lower-better) and robust_fraction -50%
+  // (higher-better) both regress.
+  EXPECT_NE(r.out.find("REGRESSION  navigator.nbody gen=0.frontier_area"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("REGRESSION  navigator.nbody gen=0.robust_fraction"),
+            std::string::npos)
+      << r.out;
+  // The faulted crossover went to the -1 "unreachable" sentinel: it must
+  // surface as a removed metric, not as a -120% "improvement".
+  EXPECT_NE(
+      r.out.find("removed     navigator.nbody gen=0.crossover_generations_"
+                 "faulted"),
+      std::string::npos)
+      << r.out;
+}
+
+// ------------------------------------------------- per-metric thresholds
+
+TEST(ThresholdOverrides, LongestMatchingSubstringWins) {
+  const alge::json::Value base =
+      alge::json::parse(R"({"x":{"real_time_ns":100.0}})");
+  const alge::json::Value cur =
+      alge::json::parse(R"({"x":{"real_time_ns":103.0}})");
+  // +3%: clean at the 10% default.
+  EXPECT_EQ(alge::obs::diff_bench_json(base, cur, 0.10).regressions, 0);
+  // A 1% override on "time" catches it...
+  EXPECT_EQ(alge::obs::diff_bench_json(base, cur, 0.10, {{"time", 0.01}})
+                .regressions,
+            1);
+  // ...unless the longer "real_time" match loosens it back to 5%.
+  EXPECT_EQ(alge::obs::diff_bench_json(base, cur, 0.10,
+                                       {{"time", 0.01}, {"real_time", 0.05}})
+                .regressions,
+            0);
+}
+
+TEST(BenchDiffCli, ThresholdOverridesFlagGatesPerMetric) {
+  // The sim_regressed pair trips two regressions at the default 10%;
+  // loosening exactly those two metric families silences both.
+  const CliResult loose =
+      run({golden("sim_base.json"), golden("sim_regressed.json"),
+           "--thresholds=real_time_ns=0.60,items_per_second=0.60"});
+  EXPECT_EQ(loose.rc, 0) << loose.out;
+  // Tightening one family while the default stays loose still blocks.
+  const CliResult tight =
+      run({golden("sim_base.json"), golden("sim_clean.json"),
+           "--threshold=0.60", "--thresholds=real_time_ns=0.0000001"});
+  EXPECT_EQ(tight.rc, 1) << tight.out;
+}
+
+TEST(BenchDiffCli, BadThresholdOverrideIsAUsageError) {
+  for (const char* bad :
+       {"--thresholds=", "--thresholds=noequal", "--thresholds==0.5",
+        "--thresholds=time=notanumber", "--thresholds=time=-1"}) {
+    const CliResult r =
+        run({golden("sim_base.json"), golden("sim_clean.json"), bad});
+    EXPECT_EQ(r.rc, 2) << bad;
+  }
+}
+
 // Zero baselines can't form a relative change; the diff treats any growth
 // from zero as an infinite regression for time-like metrics.
 TEST(MetricDirection, ZeroBaseGrowthIsAnInfiniteRegression) {

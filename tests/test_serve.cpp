@@ -18,6 +18,7 @@
 
 #include "core/opt.hpp"
 #include "engine/cache.hpp"
+#include "navigator/navigator.hpp"
 #include "engine/runner.hpp"
 #include "machines/db.hpp"
 #include "obs/span_log.hpp"
@@ -329,6 +330,109 @@ TEST(QueryService, StatsReportsServedClasses) {
   EXPECT_EQ(cls.at("count").as_double(), 2.0);
   EXPECT_EQ(cls.at("answer_hits").as_double(), 1.0);
   EXPECT_GT(stats.at("answer_store_entries").as_double(), 0.0);
+}
+
+// --- batch framing: per-spec caching through one frame -------------------
+
+TEST(QueryService, BatchAnswersMatchSinglesInOrder) {
+  serve::QueryService svc;
+  const std::string q1 =
+      R"({"kind":"min_energy","model":"nbody","f":20,"n":1e6})";
+  const std::string q2 = R"({"kind":"ping"})";
+  const std::string q3 =
+      R"({"kind":"evaluate","model":"nbody","f":20,"n":1e6,"p":64,"M":65536})";
+  // Batch elements are re-dispatched in re-serialized (canonical) form, so
+  // prime the store with that form: the batch's element 0 must then be a
+  // per-spec answer-store hit.
+  const std::string single1 = handle(svc, json::parse(q1).dump());
+
+  const std::string batch =
+      R"({"kind":"batch","queries":[)" + q1 + "," + q2 + "," + q3 + "]}";
+  const json::Value v = json::parse(handle(svc, batch));
+  ASSERT_TRUE(v.at("ok").as_bool());
+  const json::Value::Array& answers = v.at("answer").as_array();
+  ASSERT_EQ(answers.size(), 3u);
+  // Element 0 repeats q1: it must be the answer-store hit — the exact
+  // bytes the single-frame serve produced.
+  EXPECT_EQ(answers[0].dump(), single1);
+  EXPECT_EQ(answers[1].at("answer").as_string(), "pong");
+  EXPECT_TRUE(answers[2].at("ok").as_bool());
+
+  // The ledger saw the elements individually, and q1 hit the store.
+  const json::Value stats =
+      json::parse(answer_of(handle(svc, R"({"kind":"stats"})")));
+  EXPECT_EQ(stats.at("classes").at("min_energy").at("answer_hits")
+                .as_double(),
+            1.0);
+  EXPECT_EQ(stats.at("classes").at("batch").at("count").as_double(), 1.0);
+}
+
+TEST(QueryService, BatchFrameNotCachedButElementsAre) {
+  serve::QueryService svc;
+  const std::string batch =
+      R"({"kind":"batch","queries":[)"
+      R"({"kind":"min_energy","model":"nbody","f":20,"n":1e6},)"
+      R"({"kind":"min_time","model":"nbody","f":20,"n":1e6}]})";
+  const std::string first = handle(svc, batch);
+  EXPECT_EQ(handle(svc, batch), first);  // same answers, recomputed frame
+  const json::Value stats =
+      json::parse(answer_of(handle(svc, R"({"kind":"stats"})")));
+  // Only the two element answers are resident; the batch frames are not.
+  EXPECT_EQ(stats.at("answer_store_entries").as_double(), 2.0);
+  // Second batch served both elements from the store.
+  EXPECT_EQ(stats.at("classes").at("min_energy").at("answer_hits")
+                .as_double(),
+            1.0);
+  EXPECT_EQ(stats.at("classes").at("min_time").at("answer_hits").as_double(),
+            1.0);
+}
+
+TEST(QueryService, BatchElementFailuresStayLocal) {
+  serve::QueryService svc;
+  const std::string batch =
+      R"({"kind":"batch","queries":[{"kind":"no_such_kind"},)"
+      R"({"kind":"ping"}]})";
+  const json::Value v = json::parse(handle(svc, batch));
+  ASSERT_TRUE(v.at("ok").as_bool());
+  const json::Value::Array& answers = v.at("answer").as_array();
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_FALSE(answers[0].at("ok").as_bool());
+  EXPECT_NE(answers[0].at("error").as_string().find("no_such_kind"),
+            std::string::npos);
+  EXPECT_TRUE(answers[1].at("ok").as_bool());
+}
+
+TEST(QueryService, NestedBatchRejected) {
+  serve::QueryService svc;
+  const std::string batch =
+      R"({"kind":"batch","queries":[{"kind":"batch","queries":)"
+      R"([{"kind":"ping"}]}]})";
+  const json::Value v = json::parse(handle(svc, batch));
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_NE(v.at("error").as_string().find("nest"), std::string::npos);
+}
+
+// --- navigate queries ----------------------------------------------------
+
+TEST(QueryService, NavigateMatchesDirectNavigatorHitAndMiss) {
+  serve::QueryService svc;
+  const std::string req =
+      R"({"kind":"navigate","model":"nbody","f":20,"n":1e6,)"
+      R"("limits":{"p_available":256},"p_samples":8,"m_samples":4})";
+
+  navigator::NavRequest nr;
+  nr.model = "nbody";
+  nr.f = 20.0;
+  nr.n = 1e6;
+  nr.params = case_study_no_mem();
+  nr.limits.p_available = 256.0;
+  nr.p_samples = 8;
+  nr.m_samples = 4;
+  const std::string want = navigator::navigate(nr).to_json().dump();
+
+  const std::string miss = handle(svc, req);
+  EXPECT_EQ(answer_of(miss), want);
+  EXPECT_EQ(handle(svc, req), miss);  // answer-store hit, same bytes
 }
 
 // --- engine cache: concurrent writers, torn entries (satellite a) --------

@@ -19,9 +19,14 @@ namespace alge::tools {
 inline const char* bench_diff_usage_text() {
   return
       "usage: bench_diff BASELINE.json CURRENT.json [--threshold=REL]"
-      " [--verbose]\n"
+      " [--thresholds=SUBSTR=REL,...] [--verbose]\n"
       "  --threshold=REL  relative change that counts as a regression\n"
       "                   (default 0.10 = 10%)\n"
+      "  --thresholds=SUBSTR=REL,...\n"
+      "                   per-metric overrides: metrics whose name contains\n"
+      "                   SUBSTR gate at REL instead; the longest matching\n"
+      "                   SUBSTR wins (CI gates deterministic simulated\n"
+      "                   metrics at ~1e-4 and wall-clock ratios loosely)\n"
       "  --verbose        list every compared metric, not just changes\n";
 }
 
@@ -42,6 +47,7 @@ inline int run_bench_diff(const std::vector<std::string>& args,
   std::string paths[2];
   int npaths = 0;
   double threshold = 0.10;
+  std::vector<obs::ThresholdOverride> overrides;
   bool verbose = false;
   for (const std::string& arg : args) {
     if (arg.rfind("--threshold=", 0) == 0) {
@@ -54,6 +60,33 @@ inline int run_bench_diff(const std::vector<std::string>& args,
       if (threshold < 0.0) {
         say(err, "bench_diff: threshold must be >= 0\n");
         return usage();
+      }
+    } else if (arg.rfind("--thresholds=", 0) == 0) {
+      // SUBSTR=REL, comma-separated. SUBSTR may not contain '=' or ','.
+      std::string rest = arg.substr(13);
+      if (rest.empty()) {
+        say(err, "bench_diff: empty --thresholds\n");
+        return usage();
+      }
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string item = rest.substr(0, comma);
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        const std::size_t eq = item.find('=');
+        obs::ThresholdOverride o;
+        if (eq != std::string::npos && eq > 0) {
+          o.substring = item.substr(0, eq);
+          try {
+            o.threshold = std::stod(item.substr(eq + 1));
+          } catch (...) {
+            o.threshold = -1.0;
+          }
+        }
+        if (o.substring.empty() || o.threshold < 0.0) {
+          say(err, "bench_diff: bad threshold override '" + item + "'\n");
+          return usage();
+        }
+        overrides.push_back(std::move(o));
       }
     } else if (arg == "--verbose") {
       verbose = true;
@@ -88,7 +121,7 @@ inline int run_bench_diff(const std::vector<std::string>& args,
   }
 
   const obs::BenchDiff diff =
-      obs::diff_bench_json(docs[0], docs[1], threshold);
+      obs::diff_bench_json(docs[0], docs[1], threshold, overrides);
   say(out, obs::render_diff(diff, threshold, verbose));
   return diff.regressions > 0 ? 1 : 0;
 }
