@@ -1,0 +1,45 @@
+#include "engine/backend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace alge::engine {
+
+namespace {
+
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Node-based map: values never move, so find_backend_executor can hand out
+/// stable pointers while later registrations replace contents in place.
+std::map<std::string, BackendExecutor>& registry() {
+  static std::map<std::string, BackendExecutor> m;
+  return m;
+}
+
+}  // namespace
+
+void register_backend_executor(const std::string& name, BackendExecutor fn) {
+  std::lock_guard lock(registry_mu());
+  registry()[name] = std::move(fn);
+}
+
+const BackendExecutor* find_backend_executor(const std::string& name) {
+  std::lock_guard lock(registry_mu());
+  const auto it = registry().find(name);
+  return it == registry().end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> backend_executor_names() {
+  std::lock_guard lock(registry_mu());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, fn] : registry()) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace alge::engine

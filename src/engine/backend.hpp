@@ -1,0 +1,33 @@
+// Runtime registry of transport-backend executors.
+//
+// ExperimentSpec::transport selects where a spec runs ("" / "sim" = the
+// virtual-clock simulator; "shm" / "tcp" = a real backend). The real
+// executors live in alge_transport, which links alge_engine — so the engine
+// cannot call them directly without a dependency cycle. Instead the engine
+// consults this name → executor registry at dispatch time, and
+// transport::register_engine_backends() populates it from the other side of
+// the seam. A binary that never links alge_transport simply has an empty
+// registry and gets a clear error for real-backend specs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+
+namespace alge::engine {
+
+using BackendExecutor = std::function<ExperimentResult(const ExperimentSpec&)>;
+
+/// Register (or replace) the executor for transport `name`. Thread-safe.
+void register_backend_executor(const std::string& name, BackendExecutor fn);
+
+/// The executor for `name`, or nullptr when none is registered. The pointer
+/// stays valid for the process lifetime (registrations replace in place).
+const BackendExecutor* find_backend_executor(const std::string& name);
+
+/// Registered names, sorted — for diagnostics.
+std::vector<std::string> backend_executor_names();
+
+}  // namespace alge::engine

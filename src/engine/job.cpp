@@ -106,6 +106,7 @@ json::Value ExperimentSpec::to_json() const {
   if (!fault_plan.empty()) o.set("fault_plan", fault_plan);
   if (data_mode == sim::DataMode::kGhost) o.set("data_mode", "ghost");
   if (exec_mode == sim::ExecMode::kFolded) o.set("exec_mode", "folded");
+  if (!transport.empty()) o.set("transport", transport);
   return o;
 }
 
@@ -150,6 +151,9 @@ ExperimentSpec ExperimentSpec::from_json(const json::Value& v) {
       ALGE_REQUIRE(mode == "fibers", "unknown exec_mode \"%s\"",
                    mode.c_str());
     }
+  }
+  if (const json::Value* tr = v.find("transport"); tr != nullptr) {
+    s.transport = tr->as_string();
   }
   return s;
 }

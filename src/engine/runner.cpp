@@ -11,6 +11,7 @@
 #include "algs/harness.hpp"
 #include "chaos/fault_plan.hpp"
 #include "chaos/schedule.hpp"
+#include "engine/backend.hpp"
 #include "engine/pool.hpp"
 #include "sim/comm.hpp"
 #include "sim/machine.hpp"
@@ -113,6 +114,25 @@ ExperimentResult run_collective(const ExperimentSpec& spec) {
 
 ExperimentResult execute(const ExperimentSpec& spec) {
   using namespace algs;
+  if (!spec.transport.empty()) {
+    // Transport axis, resolved before every other axis: a real backend
+    // executes the whole spec itself (and rejects incompatible axes), so
+    // nothing below should see the field. "sim" is the explicit name of
+    // the default path — strip it and run normally (distinct cache key,
+    // identical result).
+    if (spec.transport == "sim") {
+      ExperimentSpec inner = spec;
+      inner.transport.clear();
+      return execute(inner);
+    }
+    const BackendExecutor* exec = find_backend_executor(spec.transport);
+    ALGE_REQUIRE(exec != nullptr,
+                 "no executor registered for transport \"%s\" — link "
+                 "alge_transport and call "
+                 "transport::register_engine_backends() first",
+                 spec.transport.c_str());
+    return (*exec)(spec);
+  }
   if (spec.exec_mode == sim::ExecMode::kFolded) {
     // Execution-mode axis, resolved before the data-mode axis below so the
     // two configure hooks stack. Folded replay carries costs, not data, so

@@ -184,6 +184,27 @@ void normalize_navigator(const json::Value& doc, std::vector<Metric>& out) {
   }
 }
 
+/// BENCH_transport.json: {"bench": "transport", "results": [{"name":
+/// "<alg>.<backend>", "p": …, "makespan": …, "wire_msgs_total": …,
+/// "wire_words_total": …, "wall_seconds": …}]} from bench/transport_micro.
+/// Everything but wall_seconds is a deterministic model quantity (the real
+/// backends carry the simulator's ledger bit-identically), so any move is
+/// a real cost-schedule change; wall_seconds is the benching machine's
+/// clock and is skipped.
+void normalize_transport(const json::Value& doc, std::vector<Metric>& out) {
+  for (const json::Value& entry : doc.at("results").as_array()) {
+    if (!entry.is_object()) continue;
+    const json::Value* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    for (const auto& [key, field] : entry.as_object()) {
+      if (!field.is_number() || is_timestamp_key(key)) continue;
+      if (key == "wall_seconds") continue;
+      out.push_back(
+          {"transport." + name->as_string() + "." + key, field.as_double()});
+    }
+  }
+}
+
 /// BENCH_engine.json: an append-only array of run records; compare the
 /// latest record of each bench.
 void normalize_engine_history(const json::Value& doc,
@@ -267,6 +288,10 @@ std::vector<Metric> normalize_bench_json(const json::Value& doc) {
                bench->as_string() == "navigator" && results != nullptr &&
                results->is_array()) {
       normalize_navigator(doc, out);
+    } else if (bench != nullptr && bench->is_string() &&
+               bench->as_string() == "transport" && results != nullptr &&
+               results->is_array()) {
+      normalize_transport(doc, out);
     } else if (benchmarks != nullptr && benchmarks->is_array()) {
       normalize_google_benchmark(doc, out);
     } else if (benchmarks != nullptr && benchmarks->is_object()) {

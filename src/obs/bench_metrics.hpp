@@ -37,6 +37,13 @@
 //                           higher-better, p50_us/p99_us/max_us
 //                           lower-better); raw query counts and elapsed
 //                           seconds scale with --duration and are skipped
+//   BENCH_transport.json    object with "bench": "transport" and a
+//                           "results" array of per-(alg, backend) records
+//                           from bench/transport_micro — the deterministic
+//                           model fields (makespan, wire message/word
+//                           totals, p) are emitted as
+//                           "transport.<name>.<field>"; wall_seconds is
+//                           real machine-dependent clock and skipped
 //
 // Everything else falls back to the generic numeric-leaf flatten, so the
 // tool keeps working when a new format appears. Wall-clock keys

@@ -48,8 +48,13 @@ Buffer& Buffer::operator=(Buffer&& o) noexcept {
 // --- Comm ---
 
 Comm::Comm(Machine& machine, int rank)
+    : Comm(machine, rank, nullptr) {}
+
+Comm::Comm(Machine& machine, int rank, transport::Transport* transport)
     : machine_(machine), rank_(rank), slot_(machine.slot_of(rank)),
-      hooks_(machine, rank, slot_) {}
+      hooks_(machine, rank, slot_),
+      sim_transport_(machine, rank, slot_),
+      transport_(transport != nullptr ? transport : &sim_transport_) {}
 
 int Comm::size() const { return machine_.cfg_.p; }
 
@@ -93,7 +98,6 @@ void Comm::send(int dst, ConstPayload data, int tag) {
     return;
   }
 
-  RankCounters& c = mutable_counters();
   const double k = static_cast<double>(data.size());
   double nmsg = 0.0;
   FaultDecision fd;  // all-zero without an injector: the fault-free path
@@ -109,60 +113,12 @@ void Comm::send(int dst, ConstPayload data, int tag) {
     }
     nmsg = hooks_.send(k, dst, tag, fd);
   }
-
-  Machine::Rank& target = machine_.ranks_[static_cast<std::size_t>(dst)];
-  if (target.waiting && target.wait_src == rank_ && target.wait_tag == tag) {
-    if (target.wait_out.size() == data.size()) {
-      // Rendezvous: the receiver is already blocked on exactly this
-      // message, so deliver straight into its output payload — one copy, no
-      // queue traffic, no pool buffer (and no copy at all in ghost mode).
-      // The receiver applies clocks, counters, and trace from the metadata
-      // exactly as the queued path would, so results are bit-identical
-      // either way. An overtake fault has no queued predecessor here and
-      // degrades to its reorder window of extra delay.
-      if (!gm) {
-        const std::span<const double> src_bytes = data.span();
-        std::copy(src_bytes.begin(), src_bytes.end(),
-                  target.wait_out.span().begin());
-      }
-      target.direct = true;
-      target.direct_arrival =
-          c.clock + fd.delay + (fd.overtake ? fd.reorder_window : 0.0);
-      target.direct_msg_count = nmsg;
-      target.waiting = false;  // satisfied: later sends must queue
-      ALGE_CHECK(machine_.sched_ != nullptr, "send outside a run");
-      machine_.sched_->unblock(target.fid);
-      return;
-    }
-    // Size mismatch: queue it so the receiver raises its usual error.
-    ALGE_CHECK(machine_.sched_ != nullptr, "send outside a run");
-    machine_.sched_->unblock(target.fid);
-  }
-  Message msg;
-  msg.src = rank_;
-  msg.tag = tag;
-  // Available once the sender has pushed it out, plus any injected
-  // in-flight delay.
-  msg.arrival = c.clock + fd.delay;
-  msg.msg_count = nmsg;
-  msg.seq = target.next_seq++;
-  msg.words = data.size();
-  if (!gm) msg.payload = machine_.acquire_payload(data.span());
-  MessageQueue& q =
-      target.mailbox.queue(target.mailbox.queue_index(rank_, tag));
-  if (fd.overtake) {
-    if (!q.empty()) {
-      // This message overtakes its queued predecessor in flight; the
-      // reliable transport resequences, so payload order is preserved and
-      // only the arrival times swap (the predecessor is delayed to this
-      // message's arrival). recv's max(clock, arrival) makes the
-      // non-monotone times safe.
-      std::swap(q.back().arrival, msg.arrival);
-    } else {
-      msg.arrival += fd.reorder_window;
-    }
-  }
-  target.mailbox.push(std::move(msg));
+  // Costs are fully charged; only delivery remains. Self-sends always take
+  // the simulator endpoint — a free local copy that must not touch a wire.
+  transport::Transport& t =
+      dst == rank_ ? static_cast<transport::Transport&>(sim_transport_)
+                   : *transport_;
+  t.deliver(dst, tag, data, counters().clock, nmsg, fd);
 }
 
 namespace {
@@ -171,12 +127,6 @@ struct RecvWait {
   int src;
   int tag;
 };
-
-std::string describe_recv_wait(const void* arg) {
-  const auto* w = static_cast<const RecvWait*>(arg);
-  return strfmt("rank %d waiting for recv from rank %d tag %d", w->rank,
-                w->src, w->tag);
-}
 
 std::string describe_fold_wait(const void* arg) {
   const auto* w = static_cast<const RecvWait*>(arg);
@@ -247,51 +197,17 @@ void Comm::recv(int src, Payload out, int tag) {
     fold_recv(src, out, tag);
     return;
   }
-  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(slot_)];
-
-  // O(1) matching: the (src, tag) queue holds exactly the candidates, in
-  // arrival order. The index stays valid across blocking waits.
-  const std::uint32_t qi = me.mailbox.queue_index(src, tag);
-  if (me.mailbox.queue(qi).empty()) {
-    ALGE_CHECK(machine_.sched_ != nullptr, "recv outside a run");
-    const RecvWait wait{rank_, src, tag};
-    me.waiting = true;
-    me.wait_src = src;
-    me.wait_tag = tag;
-    me.wait_out = out;
-    me.direct = false;
-    do {
-      machine_.sched_->block(&describe_recv_wait, &wait);
-    } while (!me.direct && me.mailbox.queue(qi).empty());
-    me.waiting = false;
-    if (me.direct) {
-      // Rendezvous delivery: the payload is already in `out`; account for
-      // it exactly as the queued path below does.
-      me.direct = false;
-      hooks_.recv_sync(me.direct_arrival, src, tag);
-      hooks_.recv_message(static_cast<double>(out.size()),
-                          me.direct_msg_count, src, tag);
-      return;
-    }
-  }
-  // Consume the message in place (no pop-by-value move); the payload
-  // buffer goes back to the pool and the queue slot is retired.
-  Message& msg = me.mailbox.queue(qi).front();
-
-  if (msg.words != out.size()) {
-    throw SimError(strfmt(
-        "rank %d recv from %d tag %d: expected %zu words, message has "
-        "%zu",
-        rank_, src, tag, out.size(), msg.words));
-  }
-  hooks_.recv_sync(msg.arrival, src, tag);
-  hooks_.recv_message(static_cast<double>(msg.words), msg.msg_count, src,
+  // Delivery first, then accounting: the transport hands back the sender's
+  // post-send clock and model message count, and the hooks charge exactly
+  // what the queued or rendezvous path always charged (the message's word
+  // count is checked equal to out.size() inside receive()).
+  transport::Transport& t =
+      src == rank_ ? static_cast<transport::Transport&>(sim_transport_)
+                   : *transport_;
+  const transport::RecvMeta meta = t.receive(src, tag, out);
+  hooks_.recv_sync(meta.arrival, src, tag);
+  hooks_.recv_message(static_cast<double>(out.size()), meta.msg_count, src,
                       tag);
-  if (!gm) {
-    std::copy(msg.payload.begin(), msg.payload.end(), out.span().begin());
-    machine_.release_payload(std::move(msg.payload));
-  }
-  me.mailbox.consume(qi);
 }
 
 void Comm::sendrecv(int dst, ConstPayload send_data, int src,

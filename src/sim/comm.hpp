@@ -8,6 +8,7 @@
 #include "sim/cost_hooks.hpp"
 #include "sim/group.hpp"
 #include "sim/machine.hpp"
+#include "sim/sim_transport.hpp"
 
 namespace alge::sim {
 
@@ -89,6 +90,16 @@ class Comm {
  public:
   Comm(Machine& machine, int rank);
 
+  /// A Comm whose cross-rank traffic flows through `transport` instead of
+  /// the machine's mailboxes — the real-backend entry point
+  /// (transport/run.hpp). The machine still carries the cost model: every
+  /// send/recv charges CostHooks exactly as a simulated run would, so the
+  /// per-rank virtual clocks and W/S counters of a real run are
+  /// bit-identical to the simulator's. Self-sends stay on the machine's
+  /// mailbox (a send to self is a free local copy, never wire traffic).
+  /// Null `transport` behaves exactly like the plain constructor.
+  Comm(Machine& machine, int rank, transport::Transport* transport);
+
   int rank() const { return rank_; }
   int size() const;
   const core::MachineParams& params() const;
@@ -161,6 +172,13 @@ class Comm {
   /// on, the scope also records a kPhase span over its virtual-time extent.
   [[nodiscard]] Machine::PhaseScope phase(const std::string& name);
 
+  /// This rank's transport endpoints: the backend carrying cross-rank
+  /// traffic, and the simulator endpoint that always carries self-sends
+  /// (identical to transport() under the sim backend). Conformance reads
+  /// their wire_stats() to separate wire traffic from self-traffic.
+  const transport::Transport& transport() const { return *transport_; }
+  const SimTransport& self_transport() const { return sim_transport_; }
+
  private:
   friend class Buffer;
 
@@ -186,9 +204,15 @@ class Comm {
   int rank_;  ///< world rank the program sees
   int slot_;  ///< counter/mailbox index: == rank_ unless folding
   /// All time/energy/ledger/trace accounting goes through this seam, so
-  /// the fiber and folded paths charge bit-identical costs (and a future
-  /// real-transport backend can reuse the same meter).
+  /// the fiber, folded and real-transport paths charge bit-identical
+  /// costs: the transports below move bytes, never clocks or counters.
   CostHooks hooks_;
+  /// The simulator's own delivery endpoint (mailboxes + rendezvous). The
+  /// default backend, and the self-send path under every backend.
+  SimTransport sim_transport_;
+  /// Where cross-rank traffic goes: &sim_transport_ unless an external
+  /// backend was injected via the three-argument constructor.
+  transport::Transport* transport_;
 };
 
 }  // namespace alge::sim

@@ -67,6 +67,7 @@
 namespace alge::sim {
 
 class Comm;
+class SimTransport;
 
 /// Raised on simulation-level failures: deadlock, out-of-memory (when the
 /// configured per-rank memory M is exceeded), malformed traffic.
@@ -253,6 +254,7 @@ class Machine {
  private:
   friend class Comm;
   friend class CostHooks;
+  friend class SimTransport;
 
   struct Rank {
     RankCounters counters;

@@ -1,0 +1,141 @@
+#include "sim/sim_transport.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+void SimTransport::deliver(int dst, int tag, ConstPayload data,
+                           double clock_after_send, double msg_count,
+                           const FaultDecision& fd) {
+  const bool gm = machine_.cfg_.data_mode == DataMode::kGhost;
+  stats_.msgs_sent += 1.0;
+  stats_.words_sent += static_cast<double>(data.size());
+  Machine::Rank& target = machine_.ranks_[static_cast<std::size_t>(dst)];
+  if (target.waiting && target.wait_src == rank_ && target.wait_tag == tag) {
+    if (target.wait_out.size() == data.size()) {
+      // Rendezvous: the receiver is already blocked on exactly this
+      // message, so deliver straight into its output payload — one copy, no
+      // queue traffic, no pool buffer (and no copy at all in ghost mode).
+      // The receiver applies clocks, counters, and trace from the metadata
+      // exactly as the queued path would, so results are bit-identical
+      // either way. An overtake fault has no queued predecessor here and
+      // degrades to its reorder window of extra delay.
+      if (!gm) {
+        const std::span<const double> src_bytes = data.span();
+        std::copy(src_bytes.begin(), src_bytes.end(),
+                  target.wait_out.span().begin());
+      }
+      target.direct = true;
+      target.direct_arrival =
+          clock_after_send + fd.delay + (fd.overtake ? fd.reorder_window : 0.0);
+      target.direct_msg_count = msg_count;
+      target.waiting = false;  // satisfied: later sends must queue
+      ALGE_CHECK(machine_.sched_ != nullptr, "send outside a run");
+      machine_.sched_->unblock(target.fid);
+      return;
+    }
+    // Size mismatch: queue it so the receiver raises its usual error.
+    ALGE_CHECK(machine_.sched_ != nullptr, "send outside a run");
+    machine_.sched_->unblock(target.fid);
+  }
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  // Available once the sender has pushed it out, plus any injected
+  // in-flight delay.
+  msg.arrival = clock_after_send + fd.delay;
+  msg.msg_count = msg_count;
+  msg.seq = target.next_seq++;
+  msg.words = data.size();
+  if (!gm) msg.payload = machine_.acquire_payload(data.span());
+  MessageQueue& q =
+      target.mailbox.queue(target.mailbox.queue_index(rank_, tag));
+  if (fd.overtake) {
+    if (!q.empty()) {
+      // This message overtakes its queued predecessor in flight; the
+      // reliable transport resequences, so payload order is preserved and
+      // only the arrival times swap (the predecessor is delayed to this
+      // message's arrival). recv's max(clock, arrival) makes the
+      // non-monotone times safe.
+      std::swap(q.back().arrival, msg.arrival);
+    } else {
+      msg.arrival += fd.reorder_window;
+    }
+  }
+  target.mailbox.push(std::move(msg));
+}
+
+namespace {
+struct RecvWait {
+  int rank;
+  int src;
+  int tag;
+};
+
+std::string describe_recv_wait(const void* arg) {
+  const auto* w = static_cast<const RecvWait*>(arg);
+  return strfmt("rank %d waiting for recv from rank %d tag %d", w->rank,
+                w->src, w->tag);
+}
+}  // namespace
+
+transport::RecvMeta SimTransport::receive(int src, int tag, Payload out) {
+  const bool gm = machine_.cfg_.data_mode == DataMode::kGhost;
+  Machine::Rank& me = machine_.ranks_[static_cast<std::size_t>(slot_)];
+
+  // O(1) matching: the (src, tag) queue holds exactly the candidates, in
+  // arrival order. The index stays valid across blocking waits.
+  const std::uint32_t qi = me.mailbox.queue_index(src, tag);
+  if (me.mailbox.queue(qi).empty()) {
+    if (machine_.sched_ == nullptr) {
+      // Only reachable on a real backend, where self-sends route here
+      // without a fiber scheduler to park on: an empty queue means the
+      // program consumed a self-message it never produced.
+      throw SimError(strfmt(
+          "rank %d recv from itself tag %d with no pending self-send "
+          "(self-messages cannot travel the wire — deadlock)",
+          rank_, tag));
+    }
+    const RecvWait wait{rank_, src, tag};
+    me.waiting = true;
+    me.wait_src = src;
+    me.wait_tag = tag;
+    me.wait_out = out;
+    me.direct = false;
+    do {
+      machine_.sched_->block(&describe_recv_wait, &wait);
+    } while (!me.direct && me.mailbox.queue(qi).empty());
+    me.waiting = false;
+    if (me.direct) {
+      // Rendezvous delivery: the payload is already in `out`; the caller
+      // accounts for it exactly as the queued path below would.
+      me.direct = false;
+      stats_.msgs_recv += 1.0;
+      stats_.words_recv += static_cast<double>(out.size());
+      return {me.direct_arrival, me.direct_msg_count};
+    }
+  }
+  // Consume the message in place (no pop-by-value move); the payload
+  // buffer goes back to the pool and the queue slot is retired.
+  Message& msg = me.mailbox.queue(qi).front();
+
+  if (msg.words != out.size()) {
+    throw SimError(strfmt(
+        "rank %d recv from %d tag %d: expected %zu words, message has "
+        "%zu",
+        rank_, src, tag, out.size(), msg.words));
+  }
+  const transport::RecvMeta meta{msg.arrival, msg.msg_count};
+  if (!gm) {
+    std::copy(msg.payload.begin(), msg.payload.end(), out.span().begin());
+    machine_.release_payload(std::move(msg.payload));
+  }
+  me.mailbox.consume(qi);
+  stats_.msgs_recv += 1.0;
+  stats_.words_recv += static_cast<double>(out.size());
+  return meta;
+}
+
+}  // namespace alge::sim

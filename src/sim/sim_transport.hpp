@@ -1,0 +1,47 @@
+// The virtual-clock simulator as a transport::Transport: the mailbox /
+// rendezvous delivery machinery that used to live inside Comm::send/recv,
+// moved verbatim behind the transport seam. Costs are NOT charged here —
+// Comm's CostHooks charge clocks and counters before deliver() and after
+// receive(), so refactoring delivery behind the interface cannot perturb a
+// single counter bit (the tier-1 suites assert exactly that).
+//
+// Every Comm owns one SimTransport. Under the simulator backend it carries
+// all traffic; under a real backend (transport/shm.hpp, transport/tcp.hpp)
+// it still carries self-sends — a send to self is a free local copy in the
+// model, so it must never touch the wire — and its stats let conformance
+// separate self-traffic from wire traffic.
+#pragma once
+
+#include "sim/machine.hpp"
+#include "transport/transport.hpp"
+
+namespace alge::sim {
+
+class SimTransport final : public transport::Transport {
+ public:
+  SimTransport(Machine& machine, int rank, int slot)
+      : machine_(machine), rank_(rank), slot_(slot) {}
+
+  const char* name() const override { return "sim"; }
+
+  void deliver(int dst, int tag, ConstPayload data, double clock_after_send,
+               double msg_count, const FaultDecision& fd) override;
+
+  transport::RecvMeta receive(int src, int tag, Payload out) override;
+
+  /// Logical deliveries through this endpoint: everything under the sim
+  /// backend, self-sends only under a real one. Each delivery counts one
+  /// message regardless of the model's nmsg split (nothing is chunked —
+  /// nothing moves over a wire).
+  const transport::TransportStats* wire_stats() const override {
+    return &stats_;
+  }
+
+ private:
+  Machine& machine_;
+  int rank_;  ///< sending/receiving world rank this endpoint belongs to
+  int slot_;  ///< counter/mailbox index of rank_ (== rank_ unless folding)
+  transport::TransportStats stats_;
+};
+
+}  // namespace alge::sim

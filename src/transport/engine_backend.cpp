@@ -1,0 +1,76 @@
+#include "transport/engine_backend.hpp"
+
+#include "engine/backend.hpp"
+#include "support/common.hpp"
+#include "transport/programs.hpp"
+
+namespace alge::transport {
+
+namespace {
+
+ProgramSpec program_spec_of(const engine::ExperimentSpec& spec) {
+  ProgramSpec ps;
+  ps.alg = std::string(engine::to_string(spec.alg));
+  ps.n = spec.n;
+  ps.q = spec.q;
+  ps.c = spec.c;
+  ps.p = spec.p;
+  ps.k = spec.k;
+  ps.nb = spec.nb;
+  ps.r_dim = spec.r_dim;
+  ps.c_dim = spec.c_dim;
+  ps.fft_bruck = spec.fft_bruck;
+  ps.caps_schedule = spec.caps_schedule;
+  ps.caps_cutoff = spec.caps_cutoff;
+  ps.ring_replication = spec.ring_replication;
+  ps.seed = spec.seed;
+  return ps;
+}
+
+}  // namespace
+
+engine::ExperimentResult execute_on(Backend backend,
+                                    const engine::ExperimentSpec& spec) {
+  ALGE_REQUIRE(backend != Backend::kSim,
+               "execute_on is the real-backend path; leave spec.transport "
+               "empty (or \"sim\") for the simulator");
+  ALGE_REQUIRE(spec.chaos_seed == 0 && spec.fault_plan.empty(),
+               "transport \"%s\" runs fault-free: chaos axes apply to the "
+               "simulator only",
+               std::string(to_string(backend)).c_str());
+  ALGE_REQUIRE(spec.data_mode == sim::DataMode::kFull,
+               "transport \"%s\" moves real data: ghost mode applies to "
+               "the simulator only",
+               std::string(to_string(backend)).c_str());
+  ALGE_REQUIRE(spec.exec_mode == sim::ExecMode::kFibers,
+               "transport \"%s\" cannot fold ranks: folded execution "
+               "applies to the simulator only",
+               std::string(to_string(backend)).c_str());
+  ALGE_REQUIRE(!spec.verify,
+               "real-backend specs must set verify=false; output checking "
+               "is the cross-backend conformance suite's job");
+  const AlgProgram ap = make_program(program_spec_of(spec));
+  RunOptions opts;
+  opts.p = ap.p;
+  opts.params = spec.params;
+  const RunReport report = run(backend, opts, ap.program);
+  engine::ExperimentResult out;
+  out.p = report.p;
+  out.makespan = report.makespan();
+  out.totals = report.totals();
+  out.energy = report.energy(spec.params).breakdown;
+  return out;
+}
+
+void register_engine_backends() {
+  engine::register_backend_executor(
+      "shm", [](const engine::ExperimentSpec& spec) {
+        return execute_on(Backend::kShm, spec);
+      });
+  engine::register_backend_executor(
+      "tcp", [](const engine::ExperimentSpec& spec) {
+        return execute_on(Backend::kTcp, spec);
+      });
+}
+
+}  // namespace alge::transport

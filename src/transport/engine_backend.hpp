@@ -1,0 +1,26 @@
+// The transport side of the engine's backend-executor seam
+// (engine/backend.hpp): registers "shm" and "tcp" executors that turn an
+// ExperimentSpec into a per-rank program (transport/programs.hpp), run it
+// for real, and rebuild the ExperimentResult from the per-rank model
+// counters exactly as the simulator would.
+#pragma once
+
+#include "engine/job.hpp"
+#include "transport/run.hpp"
+
+namespace alge::transport {
+
+/// Register the "shm" and "tcp" executors with the engine. Idempotent;
+/// call once from any binary that wants spec.transport to reach a real
+/// backend.
+void register_engine_backends();
+
+/// Execute `spec` on `backend` directly (the registered executors call
+/// this). Requires the default-inert axes: no chaos, full data, fiber exec
+/// mode, verify=false (output checking is the conformance suite's job —
+/// tests/test_transport_conformance.cpp compares real-backend outputs and
+/// counters against the simulator's).
+engine::ExperimentResult execute_on(Backend backend,
+                                    const engine::ExperimentSpec& spec);
+
+}  // namespace alge::transport

@@ -1,0 +1,60 @@
+// Self-contained per-rank programs for the 7 algorithms, runnable on any
+// transport backend.
+//
+// The harness (algs/harness.cpp) generates inputs once in the driver and
+// hands each fiber a slice — fine inside one process, useless across fork
+// or separate shells. These programs instead regenerate the deterministic
+// inputs from Rng(seed) *inside every rank* (same seed → same matrix on
+// every process) and carve out the rank's share locally, so the identical
+// closure runs under the simulator, in a forked shm child, or in a rank's
+// own shell over TCP. Each rank publishes its natural local result (its C
+// block, force block, factored blocks, FFT rows, or R) through the
+// RankProgram output vector; the conformance suite compares those outputs
+// bitwise across backends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "transport/run.hpp"
+
+namespace alge::transport {
+
+/// Problem parameters for one algorithm run; field meanings match
+/// engine::ExperimentSpec (n/q/c/p/k/nb/r_dim/c_dim and the per-algorithm
+/// options).
+struct ProgramSpec {
+  std::string alg;  ///< mm25d, summa, caps, nbody, lu, fft, tsqr
+  int n = 8;
+  int q = 2;
+  int c = 1;
+  int p = 4;      ///< rank count where independent (nbody, fft, tsqr)
+  int k = 1;      ///< CAPS levels (p = 7^k)
+  int nb = 2;     ///< LU block size; TSQR column count b
+  int r_dim = 4;  ///< FFT rows
+  int c_dim = 4;  ///< FFT columns
+  bool fft_bruck = false;
+  std::string caps_schedule;
+  int caps_cutoff = 32;
+  bool ring_replication = false;
+  std::uint64_t seed = 1;
+};
+
+struct AlgProgram {
+  int p = 0;  ///< world size the spec implies (q²c, 7^k, or spec.p)
+  RankProgram program;
+};
+
+/// Build the rank program for `spec.alg`; throws invalid_argument_error on
+/// an unknown name or invalid dimensions.
+AlgProgram make_program(const ProgramSpec& spec);
+
+/// The 7 algorithm names make_program accepts, in conformance order.
+const std::vector<std::string>& program_names();
+
+/// A small, fast parameterization of `alg` for the cross-backend
+/// conformance matrix (p ≤ 8 everywhere).
+ProgramSpec conformance_spec(const std::string& alg);
+
+}  // namespace alge::transport

@@ -1,0 +1,95 @@
+// The transport seam under sim::Comm — ROADMAP item 2, the MTCL-style
+// Handle/CollectiveImpl shape: one delivery interface, three backends.
+//
+// Comm keeps everything that defines the paper's cost model — validation,
+// fault decisions, and every CostHooks charge (clock, counters, ledger,
+// trace) — and delegates only *delivery* and *receipt* of payload bytes to a
+// Transport. The virtual-clock simulator (sim::SimTransport, the mailbox /
+// rendezvous machinery moved verbatim behind this interface), the
+// shared-memory multi-process backend (transport/shm.hpp) and the TCP socket
+// backend (transport/tcp.hpp) all implement it, which is what lets the 7
+// algorithms in src/algs run unmodified on any of them.
+//
+// Real backends carry the model with them: each rank owns a full Machine and
+// CostHooks, the wire frames carry the sender's post-send virtual clock and
+// model message count, and the receiver synchronizes exactly as the
+// simulator would — so per-rank virtual clocks and the W/S ledger are
+// bit-identical to a simulated run, while TransportStats counts what
+// actually moved. Measured == ledger is the conformance oracle
+// (tests/test_transport_conformance.cpp).
+//
+// This header is intentionally link-free (pure interface + PODs): sim/
+// includes it without depending on the alge_transport library.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+#include "sim/payload.hpp"
+
+namespace alge::transport {
+
+/// Structured failure of a real backend (peer death, disconnect, truncated
+/// frame, timeout). A SimError subtype so callers that already handle
+/// simulation failures — the engine, the tests' EXPECT_THROW(SimError) —
+/// handle transport failures the same way, per the fault-test contract:
+/// no hangs, always a typed error.
+class TransportError : public sim::SimError {
+ public:
+  using sim::SimError::SimError;
+};
+
+/// Delivery metadata returned by Transport::receive: the sender's post-send
+/// virtual clock (the arrival time recv_sync charges) and the model message
+/// count nmsg = max(1, ceil(k/m)) the sender charged (0 for self-sends).
+struct RecvMeta {
+  double arrival = 0.0;
+  double msg_count = 0.0;
+};
+
+/// What actually moved through a transport, counted at the wire: one count
+/// per physical chunk frame (a logical k-word message is split into the
+/// model's nmsg chunks) and the payload words it carried. Doubles so the
+/// exact-equality comparison against RankCounters needs no casts; counts
+/// stay integral far beyond any test's traffic.
+struct TransportStats {
+  double msgs_sent = 0.0;
+  double words_sent = 0.0;
+  double msgs_recv = 0.0;
+  double words_recv = 0.0;
+
+  bool operator==(const TransportStats&) const = default;
+};
+
+/// One rank's endpoint of a message layer. deliver() never blocks on the
+/// receiver's program (eager-send semantics, matching the simulator);
+/// receive() blocks until the matching (src, tag) message is available and
+/// must fail with TransportError — never hang — when the peer is gone.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Deliver `data` to rank `dst` under `tag`. `clock_after_send` is the
+  /// sender's virtual clock after CostHooks::send charged the transmission
+  /// (the arrival time under eager-send semantics); `msg_count` is the nmsg
+  /// that charge returned. `fd` carries the fault layer's decision — only
+  /// the simulator backend accepts a non-zero one (real backends run
+  /// fault-free; injection is rejected at configuration time).
+  virtual void deliver(int dst, int tag, sim::ConstPayload data,
+                       double clock_after_send, double msg_count,
+                       const sim::FaultDecision& fd) = 0;
+
+  /// Blocking receive of the next (src, tag) message into `out` (FIFO per
+  /// pair). Size mismatches raise SimError with the simulator's wording.
+  virtual RecvMeta receive(int src, int tag, sim::Payload out) = 0;
+
+  /// Wire-level counters, when the backend measures any (real backends do;
+  /// the simulator counts logical deliveries so conformance can separate
+  /// self-traffic from wire traffic).
+  virtual const TransportStats* wire_stats() const { return nullptr; }
+};
+
+}  // namespace alge::transport

@@ -1,0 +1,112 @@
+// Wire format shared by the shm and tcp backends, plus the chunking base
+// class both build on.
+//
+// A logical k-word message is physically split into exactly the model's
+// nmsg = max(1, ceil(k/m)) chunk frames — one frame per message the
+// simulator's W/S ledger counted — so the wire-level TransportStats are an
+// *oracle* for the ledger, not an approximation: conformance asserts
+// measured frames == RankCounters::msgs_sent and measured payload words ==
+// RankCounters::words_sent, exactly. Words are spread evenly across the
+// nmsg chunks (sizes differ by at most one word); with a fractional cap m
+// a chunk may exceed floor(m) words, but the count and the total are the
+// invariants the model defines.
+//
+// Each frame is a fixed WireChunkHeader followed by chunk_words doubles,
+// byte-copied in host representation (both backends connect processes on
+// one host; the tcp rendezvous rejects nothing, but model-vs-real only
+// ever compares runs from the same build).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace alge::transport {
+
+inline constexpr std::uint32_t kWireMagic = 0x414c4754;  // "ALGT"
+inline constexpr std::uint32_t kHelloMagic = 0x414c4748; // "ALGH"
+
+struct WireChunkHeader {
+  std::uint32_t magic = kWireMagic;
+  std::int32_t src = 0;
+  std::int32_t tag = 0;
+  std::uint32_t chunk_index = 0;  ///< 0-based position within the message
+  std::uint32_t chunk_count = 0;  ///< the model's nmsg for this message
+  std::uint32_t reserved = 0;
+  std::uint64_t msg_words = 0;    ///< total logical payload words
+  std::uint64_t chunk_words = 0;  ///< doubles following this header
+  double arrival = 0.0;           ///< sender's post-send virtual clock
+  double msg_count = 0.0;         ///< model nmsg as charged (== chunk_count)
+};
+static_assert(sizeof(WireChunkHeader) == 56, "wire header layout drifted");
+
+/// Frame byte size of one chunk: header + payload doubles.
+inline std::size_t wire_frame_bytes(std::uint64_t chunk_words) {
+  return sizeof(WireChunkHeader) +
+         static_cast<std::size_t>(chunk_words) * sizeof(double);
+}
+
+/// Split `msg_words` into `chunk_count` near-equal pieces; piece `index`
+/// gets the remainder spread over the leading chunks.
+inline std::uint64_t chunk_words_at(std::uint64_t msg_words,
+                                    std::uint32_t chunk_count,
+                                    std::uint32_t index) {
+  const std::uint64_t base = msg_words / chunk_count;
+  const std::uint64_t extra = msg_words % chunk_count;
+  return base + (index < extra ? 1 : 0);
+}
+
+/// One fully reassembled inbound message, parked until the program asks for
+/// its (src, tag).
+struct StashedMessage {
+  double arrival = 0.0;
+  double msg_count = 0.0;
+  std::vector<double> words;
+};
+
+/// Chunking, reassembly, tag matching and wire stats, shared by the shm and
+/// tcp backends: subclasses only move raw frames. A sender writes every
+/// chunk of a message back-to-back on its single thread, so chunks of one
+/// (src -> dst) message are contiguous on that channel and reassembly needs
+/// no interleaving logic — only validation.
+class ChunkedTransport : public Transport {
+ public:
+  void deliver(int dst, int tag, sim::ConstPayload data,
+               double clock_after_send, double msg_count,
+               const sim::FaultDecision& fd) final;
+  RecvMeta receive(int src, int tag, sim::Payload out) final;
+  const TransportStats* wire_stats() const final { return &stats_; }
+
+ protected:
+  ChunkedTransport(int rank, int p) : rank_(rank), p_(p) {}
+
+  /// Write one frame (header + payload bytes) to `dst`'s channel. Must
+  /// throw TransportError (never block forever) when the peer is gone.
+  virtual void send_frame(int dst, const void* bytes, std::size_t len) = 0;
+
+  /// Blocking read of the next frame from `src`'s channel into
+  /// header/payload. Must throw TransportError on disconnect, truncation,
+  /// malformed framing, peer death, or timeout — never hang.
+  virtual void recv_frame(int src, WireChunkHeader* header,
+                          std::vector<double>* payload) = 0;
+
+  int rank_;
+  int p_;
+
+ private:
+  /// Read one whole logical message from `src` (chunk 0 .. chunk n-1,
+  /// validated), counting every frame into stats_.
+  StashedMessage read_message(int src, int* tag_out);
+
+  TransportStats stats_;
+  std::map<std::pair<int, int>, std::deque<StashedMessage>> stash_;
+  std::string frame_buf_;  ///< send-side scratch, reused across sends
+};
+
+}  // namespace alge::transport

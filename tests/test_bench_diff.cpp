@@ -4,6 +4,8 @@
 // bench JSON formats the repo produces.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -378,6 +380,64 @@ TEST(MetricDirection, ZeroBaseGrowthIsAnInfiniteRegression) {
   ASSERT_EQ(d.metrics.size(), 1u);
   EXPECT_TRUE(d.metrics[0].regression);
   EXPECT_EQ(d.regressions, 1);
+}
+
+// ------------------------------------------- navigator byte-stability
+
+// The committed BENCH_navigator.json must normalize to a byte-stable
+// metric listing: the golden pair pins both the metric *set* (names) and
+// every value at full round-trip precision. If the normalizer's key
+// filtering, naming scheme, or ordering changes — or the snapshot drifts —
+// this diff catches it before the CI gate silently starts comparing
+// different metrics.
+TEST(NavigatorNormalizer, CommittedFileNormalizesByteStably) {
+  std::ifstream in(golden("navigator_committed.json"));
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const alge::json::Value doc = alge::json::parse(buf.str());
+  std::string normalized;
+  for (const alge::obs::Metric& m : alge::obs::normalize_bench_json(doc)) {
+    normalized += m.name;
+    normalized += ' ';
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.17g", m.value);
+    normalized += num;
+    normalized += '\n';
+  }
+  std::ifstream want_in(golden("navigator_committed.normalized.txt"));
+  ASSERT_TRUE(want_in.good());
+  std::ostringstream want;
+  want << want_in.rdbuf();
+  EXPECT_EQ(normalized, want.str());
+}
+
+// ------------------------------------------------- transport normalizer
+
+TEST(TransportNormalizer, EmitsModelFieldsSkipsWallClock) {
+  const alge::json::Value doc = alge::json::parse(
+      R"({"bench":"transport","results":[{"name":"summa.shm","p":4,
+          "makespan":324.0,"ledger_messages_total":8.0,
+          "ledger_words_total":128.0,"wall_seconds":0.002}]})");
+  const std::vector<alge::obs::Metric> m =
+      alge::obs::normalize_bench_json(doc);
+  auto has = [&](const char* name) {
+    for (const alge::obs::Metric& x : m) {
+      if (x.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("transport.summa.shm.p"));
+  EXPECT_TRUE(has("transport.summa.shm.makespan"));
+  EXPECT_TRUE(has("transport.summa.shm.ledger_messages_total"));
+  EXPECT_TRUE(has("transport.summa.shm.ledger_words_total"));
+  // The only machine-dependent field never compares.
+  EXPECT_FALSE(has("transport.summa.shm.wall_seconds"));
+  // Makespan gates downward; ledger counts are neutral configuration.
+  EXPECT_EQ(alge::obs::metric_direction("transport.summa.shm.makespan"), -1);
+  EXPECT_EQ(
+      alge::obs::metric_direction("transport.summa.shm.ledger_messages_total"),
+      0);
 }
 
 }  // namespace
