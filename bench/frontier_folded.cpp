@@ -1,8 +1,12 @@
 // frontier_folded: the Fig.-3 strong-scaling frontier at machine sizes no
 // per-fiber simulator can reach. --exec-mode=folded (sim/fold.hpp) runs one
-// fiber per symmetry class and replays per-class cost deltas, so a
-// p = 10^6..10^8 ghost run finishes in seconds on one core while producing
-// the same makespan / energy / per-rank counters a million-fiber run would.
+// fiber per symmetry class and replays per-class cost deltas — or, for
+// schedules whose communication pattern rotates with the step (SUMMA's
+// moving bcast root, LU's moving panel owner, 2.5D's skew/shift), replays
+// a rotor schedule over a per-rank counter array (sim/fold_rotor.hpp) — so
+// a p = 10^6..10^8 ghost run finishes in seconds on one core while
+// producing the same makespan / energy / per-rank counters a
+// million-fiber run would.
 //
 //   frontier_folded [--deep=true] [--json=PATH]
 //
@@ -192,12 +196,18 @@ int main(int argc, char** argv) {
 
   using algs::harness::run_caps;
   using algs::harness::run_fft;
+  using algs::harness::run_lu;
   using algs::harness::run_mm25d;
   using algs::harness::run_nbody;
+  using algs::harness::run_summa;
   using algs::harness::run_tsqr;
 
   // ---- Parity anchors (small p, both modes run) ----------------------
   anchor("mm25d q=16", [&] { return run_mm25d(1024, 16, 1, mp); });
+  // Rotor-replay folds (rotating roots / moving panel owners).
+  anchor("summa q=16", [&] { return run_summa(1024, 16, mp); });
+  anchor("lu q=16 nb=8", [&] { return run_lu(512, 8, 16, 1, mp); });
+  anchor("mm25d q=16 c=4", [&] { return run_mm25d(1024, 16, 4, mp); });
   // CAPS share alignment needs n = 2^k * 7^ceil(k/2) * m (all-BFS).
   anchor("caps k=3", [&] { return run_caps(392, 3, mp); });
   anchor("fft p=256", [&] {
@@ -218,6 +228,17 @@ int main(int argc, char** argv) {
   frontier("fft n=2^30 p=32768", [&] {
     return run_fft(32768, 32768, 32768, algs::AllToAllKind::kDirect, mp);
   });
+  // SUMMA and LU rotate the bcast root / panel owner every step, so no
+  // static class partition exists: these replay a rotor schedule over a
+  // per-rank counter array (sim/fold_rotor.hpp) — one sweep, p = q^2
+  // million-rank points in single-digit seconds.
+  frontier("summa n=8192 q=1024",
+           [&] { return run_summa(8192, 1024, mp); });
+  frontier("lu n=8192 nb=8 q=1024",
+           [&] { return run_lu(8192, 8, 1024, 1, mp); });
+  // 2.5D with real replication (c > 1): rotor-folded skew/shift/depth.
+  frontier("mm25d n=4096 q=512 c=4",
+           [&] { return run_mm25d(4096, 512, 4, mp); });
   // TSQR binomial tree: ~log2(p)+1 scatter classes.
   frontier("tsqr p=2^20", [&] { return run_tsqr(32, 4, 1 << 20, mp); });
   // Replicating n-body: c row classes.

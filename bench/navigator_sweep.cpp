@@ -164,6 +164,8 @@ int main(int argc, char** argv) {
               rep.crossover_generations_faulted);
         e.set("engine_runs", rep.simulated + rep.rescore_runs);
         e.set("cache_hits", rep.cache_hits);
+        e.set("folded_scored", rep.folded_scored);
+        e.set("fiber_scored", rep.fiber_scored);
       }
       e.set("navigate_seconds", seconds);
       results.push_back(std::move(e));

@@ -5,6 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "algs/lu/local.hpp"
+#include "algs/matmul/local.hpp"
+#include "sim/fold_rotor.hpp"
 #include "support/common.hpp"
 
 namespace alge::algs {
@@ -18,6 +21,13 @@ std::shared_ptr<const sim::FoldMap> single_class(int p) {
                                        /*scatter=*/true}};
   return std::make_shared<const sim::FoldMap>(p, std::move(classes),
                                               [](int) { return 0; });
+}
+
+/// Wrap a finished rotor schedule as a fold map (sim/fold_rotor.hpp).
+std::shared_ptr<const sim::FoldMap> rotor_map(sim::RotorSchedule rs) {
+  const int p = rs.p();
+  return std::make_shared<const sim::FoldMap>(sim::FoldMap::with_rotor(
+      p, std::make_shared<const sim::RotorSchedule>(std::move(rs))));
 }
 
 }  // namespace
@@ -44,6 +54,174 @@ std::shared_ptr<const sim::FoldMap> foldmap_mm25d(int q, int c) {
         const int j = r % q;
         return i == 0 ? (j == 0 ? 0 : 1) : (j == 0 ? 2 : 3);
       });
+}
+
+std::shared_ptr<const sim::FoldMap> foldmap_mm25d(int q, int c, int nb,
+                                                  bool ring_replication) {
+  if (c == 1) return foldmap_mm25d(q, c);
+  // c > 1: rotor schedule transcribing mm_25d (algs/matmul/distributed.cpp)
+  // op for op. The layer-l skew offset s0 = l·(q/c) is what defeats the
+  // class-level fold — the rotor evaluator's kSkewA/kSkewB ops carry it as
+  // a position parameter instead. Ring replication's pipelined depth chain
+  // has no rotor op; that option stays per-fiber.
+  if (q < 2 || c < 1 || q % c != 0 || nb < 1 || ring_replication) {
+    return nullptr;
+  }
+  const std::size_t nb2 = static_cast<std::size_t>(nb) * nb;
+  const double mm = matmul_flops(nb, nb, nb);
+  sim::RotorSchedule rs;
+  rs.q = q;
+  rs.c = c;
+  using K = sim::RotorOp::Kind;
+  auto op = [&rs](K k) -> sim::RotorOp& {
+    rs.ops.push_back({});
+    rs.ops.back().kind = k;
+    return rs.ops.back();
+  };
+  op(K::kAlloc).words = nb2;  // a_mine
+  op(K::kAlloc).words = nb2;  // b_mine
+  op(K::kBcastDepth).words = nb2;
+  op(K::kBcastDepth).words = nb2;
+  op(K::kAlloc).words = nb2;  // a_cur
+  op(K::kAlloc).words = nb2;  // b_cur
+  op(K::kAlloc).words = nb2;  // scratch
+  op(K::kAlloc).words = nb2;  // c_partial
+  op(K::kSkewA).words = nb2;
+  op(K::kSkewB).words = nb2;
+  const int steps = q / c;
+  for (int s = 0; s < steps; ++s) {
+    op(K::kCompute).flops = mm;
+    if (s + 1 < steps) {
+      op(K::kShiftA).words = nb2;
+      op(K::kShiftB).words = nb2;
+    }
+  }
+  op(K::kReduceDepth).words = nb2;
+  // Buffer destruction, reverse declaration order.
+  op(K::kFree).words = nb2;  // c_partial
+  op(K::kFree).words = nb2;  // scratch
+  op(K::kFree).words = nb2;  // b_cur
+  op(K::kFree).words = nb2;  // a_cur
+  op(K::kFree).words = nb2;  // b_mine
+  op(K::kFree).words = nb2;  // a_mine
+  return rotor_map(std::move(rs));
+}
+
+std::shared_ptr<const sim::FoldMap> foldmap_summa(int n, int q) {
+  if (q < 2 || n < 1 || n % q != 0) return nullptr;
+  // Rotor transcription of summa_2d: per step k, a row broadcast of the
+  // A panel rooted at column k and a column broadcast of the B panel
+  // rooted at row k — the rotating root is the position parameter.
+  const int nb = n / q;
+  const std::size_t nb2 = static_cast<std::size_t>(nb) * nb;
+  const double mm = matmul_flops(nb, nb, nb);
+  sim::RotorSchedule rs;
+  rs.q = q;
+  rs.c = 1;
+  using K = sim::RotorOp::Kind;
+  auto op = [&rs](K k) -> sim::RotorOp& {
+    rs.ops.push_back({});
+    rs.ops.back().kind = k;
+    return rs.ops.back();
+  };
+  op(K::kAlloc).words = nb2;  // a_panel
+  op(K::kAlloc).words = nb2;  // b_panel
+  for (int k = 0; k < q; ++k) {
+    sim::RotorOp& a = op(K::kBcastRow);
+    a.root = k;
+    a.words = nb2;
+    sim::RotorOp& b = op(K::kBcastCol);
+    b.root = k;
+    b.words = nb2;
+    op(K::kCompute).flops = mm;
+  }
+  op(K::kFree).words = nb2;  // b_panel
+  op(K::kFree).words = nb2;  // a_panel
+  return rotor_map(std::move(rs));
+}
+
+std::shared_ptr<const sim::FoldMap> foldmap_lu(int n, int nb, int q, int c) {
+  // The 2.5D variant gathers finished blocks to layer 0 with per-block
+  // point-to-point sends whose peers depend on (I, J) beyond any axis
+  // structure; c > 1 stays per-fiber.
+  if (c != 1) return nullptr;
+  if (q < 2 || nb < 1 || n < 1 || n % nb != 0 || (n / nb) % q != 0) {
+    return nullptr;
+  }
+  // Rotor transcription of lu_2d: per step k the diagonal owner (kr, kr)
+  // factors, A(k,k) runs down column kr and across row kr, the panel
+  // triangular solves and broadcasts repeat t[i] times per row/column
+  // coordinate (the block-cyclic count of local panels beyond k), and the
+  // trailing update runs t[i]·t[j] times — all expressed with the
+  // participation masks, roots rotating with k % q.
+  const int nt = n / nb;
+  const int ld = nt / q;
+  const std::size_t nbw = static_cast<std::size_t>(nb) * nb;
+  const std::size_t panel = static_cast<std::size_t>(ld) * nbw;
+  const double f_getrf = lu_factor_flops(nb);
+  const double f_trsm = trsm_flops(nb);
+  const double f_gemm = gemm_update_flops(nb);
+  sim::RotorSchedule rs;
+  rs.q = q;
+  rs.c = 1;
+  using K = sim::RotorOp::Kind;
+  auto op = [&rs](K k) -> sim::RotorOp& {
+    rs.ops.push_back({});
+    rs.ops.back().kind = k;
+    return rs.ops.back();
+  };
+  op(K::kAlloc).words = nbw;    // akk
+  op(K::kAlloc).words = panel;  // l_panel
+  op(K::kAlloc).words = panel;  // u_panel
+  for (int k = 0; k < nt; ++k) {
+    const int kr = k % q;
+    std::vector<std::int32_t> diag(static_cast<std::size_t>(q), 0);
+    diag[static_cast<std::size_t>(kr)] = 1;
+    // t[r] = how many of the remaining block rows/columns k+1..nt-1 land
+    // on grid coordinate r.
+    std::vector<std::int32_t> t(static_cast<std::size_t>(q), 0);
+    for (int m = k + 1; m < nt; ++m) ++t[static_cast<std::size_t>(m % q)];
+    const bool trailing = nt - (k + 1) > 0;
+
+    sim::RotorOp& getrf = op(K::kCompute);
+    getrf.flops = f_getrf;
+    getrf.row_rep = diag;
+    getrf.col_rep = diag;
+    sim::RotorOp& akk_col = op(K::kBcastCol);
+    akk_col.root = kr;
+    akk_col.words = nbw;
+    akk_col.col_rep = diag;
+    sim::RotorOp& akk_row = op(K::kBcastRow);
+    akk_row.root = kr;
+    akk_row.words = nbw;
+    akk_row.row_rep = diag;
+    if (trailing) {
+      sim::RotorOp& trsm_l = op(K::kCompute);
+      trsm_l.flops = f_trsm;
+      trsm_l.row_rep = t;
+      trsm_l.col_rep = diag;
+      sim::RotorOp& trsm_u = op(K::kCompute);
+      trsm_u.flops = f_trsm;
+      trsm_u.row_rep = diag;
+      trsm_u.col_rep = t;
+      sim::RotorOp& l_bcast = op(K::kBcastRow);
+      l_bcast.root = kr;
+      l_bcast.words = nbw;
+      l_bcast.row_rep = t;
+      sim::RotorOp& u_bcast = op(K::kBcastCol);
+      u_bcast.root = kr;
+      u_bcast.words = nbw;
+      u_bcast.col_rep = t;
+      sim::RotorOp& gemm = op(K::kCompute);
+      gemm.flops = f_gemm;
+      gemm.row_rep = t;
+      gemm.col_rep = std::move(t);
+    }
+  }
+  op(K::kFree).words = panel;  // u_panel
+  op(K::kFree).words = panel;  // l_panel
+  op(K::kFree).words = nbw;    // akk
+  return rotor_map(std::move(rs));
 }
 
 std::shared_ptr<const sim::FoldMap> foldmap_caps(int p) {
@@ -78,7 +256,13 @@ std::shared_ptr<const sim::FoldMap> foldmap_nbody(int p, int c) {
 }
 
 std::shared_ptr<const sim::FoldMap> foldmap_tsqr(int p) {
-  if (p < 2 || p > (1 << 20)) return nullptr;
+  // The eager refinement tables are load-bearing (the fixpoint needs the
+  // previous round's class of rank me+mask, which a closed form per rank
+  // would recompute O(log p) deep); their footprint is ~3 int vectors of
+  // length p plus the hash map — about 300 MB at the 2^24 cap, built in a
+  // few seconds. Beyond that, per-fiber execution of the O(log p)-class
+  // fold costs less than the build itself.
+  if (p < 2 || p > (1 << 24)) return nullptr;
   // Partition refinement over the analytic fan-in skeleton
   // (algs/qr/tsqr.cpp): at round `mask`, rank me either sends to me-mask
   // and stops (me & mask) or receives from me+mask (me+mask < p). Two
@@ -92,7 +276,7 @@ std::shared_ptr<const sim::FoldMap> foldmap_tsqr(int p) {
                                                 0);
   std::vector<int> next(static_cast<std::size_t>(p), 0);
   int num = 1;
-  for (int round = 0; round < 2 * 20 + 2; ++round) {
+  for (int round = 0; round < 2 * 24 + 2; ++round) {
     std::unordered_map<std::uint64_t, int> ids;
     ids.reserve(static_cast<std::size_t>(num) * 2);
     int n_next = 0;

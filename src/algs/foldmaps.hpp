@@ -11,8 +11,10 @@
 //    pays a real send, so the q×q layer splits into exactly four cost
 //    classes: {(0,0)}, row 0, column 0, interior. 4 fibers at any p = q².
 //    For c>1 the depth broadcast/reduce crosses layers whose class
-//    structure differs per (i,j), which class-level replay cannot align
-//    exactly — no map, per-fiber fallback.
+//    structure differs per (i,j) and the per-layer skew offset l·(q/c)
+//    moves the self-send rows/columns per layer, which class-level replay
+//    cannot align — those points fold through a rotor schedule instead
+//    (the binomial depth tree only; ring replication stays per-fiber).
 //  - CAPS / Strassen (foldmap_caps): every rank runs the same BFS
 //    schedule with peers determined by its own coordinates; one class of
 //    all 7^k ranks. 1 fiber at p = 40 million.
@@ -27,9 +29,13 @@
 //    (kind, level, source-class) receive schedule, so two ranks only fold
 //    if every message they receive comes from the same class at the same
 //    position. O(log p)-ish classes for p = 2^k.
-//  - SUMMA and LU do not fold: their broadcast roots rotate through every
-//    grid position with the step index, making each rank's role unique
-//    over the run.
+//  - SUMMA and LU (foldmap_summa / foldmap_lu) have no class-level fold:
+//    their broadcast roots rotate through every grid position with the
+//    step index, making each rank's role unique over the run. They fold
+//    through *rotor schedules* (sim/fold_rotor.hpp) instead: the builder
+//    emits the whole position-parameterized op program and the machine
+//    evaluates it as an array sweep — zero fibers, bit-identical counters,
+//    p = 10^6 in seconds.
 #pragma once
 
 #include <memory>
@@ -41,6 +47,24 @@ namespace alge::algs {
 /// 2.5D matmul on a q×q×c grid (p = q²c). Non-null only for c == 1.
 std::shared_ptr<const sim::FoldMap> foldmap_mm25d(int q, int c);
 
+/// 2.5D matmul with the full parameter point: c == 1 delegates to the
+/// four-class map above; c > 1 builds a rotor schedule (binomial depth
+/// replication only — ring replication returns nullptr, per-fiber).
+/// `nb` = n/q, the block edge the run uses.
+std::shared_ptr<const sim::FoldMap> foldmap_mm25d(int q, int c, int nb,
+                                                  bool ring_replication);
+
+/// SUMMA on a q×q grid multiplying n×n matrices: rotor schedule (the
+/// broadcast root rotates through the grid per step). Non-null for
+/// q >= 2 with q | n.
+std::shared_ptr<const sim::FoldMap> foldmap_summa(int n, int q);
+
+/// Block-cyclic 2D LU on a q×q grid (c == 1 only; the layered 2.5D
+/// variant's gather traffic is point-to-point per block and stays
+/// per-fiber): rotor schedule with per-step masks for the shrinking
+/// active grid. Non-null for q >= 2, nb | n, q | n/nb.
+std::shared_ptr<const sim::FoldMap> foldmap_lu(int n, int nb, int q, int c);
+
 /// CAPS Strassen with p = 7^k ranks: one class.
 std::shared_ptr<const sim::FoldMap> foldmap_caps(int p);
 
@@ -51,7 +75,7 @@ std::shared_ptr<const sim::FoldMap> foldmap_fft(int p);
 std::shared_ptr<const sim::FoldMap> foldmap_nbody(int p, int c);
 
 /// TSQR binomial fan-in over p ranks; refinement is O(p·log²p), capped at
-/// p ≤ 2^20 (nullptr above — per-fiber would be cheaper than the build).
+/// p ≤ 2^24 (nullptr above; see the builder comment for the memory bound).
 std::shared_ptr<const sim::FoldMap> foldmap_tsqr(int p);
 
 }  // namespace alge::algs

@@ -84,6 +84,7 @@ RunResult finish(sim::Machine& m, bool verified, double err) {
   res.energy = m.energy();
   res.verified = verified;
   res.max_abs_error = err;
+  res.fold_slots = m.fold_active() ? m.num_slots() : 0;
   if (tls_observer.after_run) tls_observer.after_run(m);
   return res;
 }
@@ -95,7 +96,8 @@ RunResult run_mm25d(int n, int q, int c, const core::MachineParams& mp,
   topo::Grid3D grid(q, c);
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = grid.p();
-  attach_fold(cfg, [&] { return foldmap_mm25d(q, c); });
+  attach_fold(cfg,
+              [&] { return foldmap_mm25d(q, c, n / q, opts.ring_replication); });
   const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
@@ -147,6 +149,7 @@ RunResult run_summa(int n, int q, const core::MachineParams& mp, bool verify,
   topo::Grid2D grid(q);
   sim::MachineConfig cfg = observed_config(mp);
   cfg.p = grid.p();
+  attach_fold(cfg, [&] { return foldmap_summa(n, q); });
   const bool ghost = ghost_mode(cfg, verify);
   sim::Machine m(cfg);
   Rng rng(seed);
@@ -321,6 +324,7 @@ RunResult run_lu(int n, int nb, int q, int c, const core::MachineParams& mp,
   if (c <= 1) {
     topo::Grid2D grid(q);
     cfg.p = grid.p();
+    attach_fold(cfg, [&] { return foldmap_lu(n, nb, q, c); });
     sim::Machine m(cfg);
     m.run([&](sim::Comm& comm) {
       if (ghost) {
@@ -353,6 +357,7 @@ RunResult run_lu(int n, int nb, int q, int c, const core::MachineParams& mp,
   }
   topo::Grid3D grid(q, c);
   cfg.p = grid.p();
+  attach_fold(cfg, [&] { return foldmap_lu(n, nb, q, c); });
   sim::Machine m(cfg);
   m.run([&](sim::Comm& comm) {
     if (grid.layer_of(comm.rank()) != 0) {

@@ -69,6 +69,10 @@ struct RunResult {
   sim::SimEnergy energy;   ///< Eq. (2) on the measured run
   double max_abs_error = 0.0;  ///< vs the sequential reference (if verified)
   bool verified = false;
+  /// Fold execution slots: the fiber count (or 0 fibers + 1 rotor sweep =
+  /// 1) when the machine folded, 0 when it ran one fiber per rank. Lets
+  /// callers see whether a run actually took the folded fast path.
+  int fold_slots = 0;
 
   /// Per-processor critical-path words/messages (what the paper's W and S
   /// bound).

@@ -183,6 +183,7 @@ json::Value ExperimentResult::to_json() const {
       .set("energy", std::move(e))
       .set("max_abs_error", max_abs_error)
       .set("verified", verified);
+  if (fold_slots != 0) o.set("fold_slots", fold_slots);
   return o;
 }
 
@@ -211,6 +212,9 @@ ExperimentResult ExperimentResult::from_json(const json::Value& v) {
   r.energy.leakage = e.at("leakage").as_double();
   r.max_abs_error = v.at("max_abs_error").as_double();
   r.verified = v.at("verified").as_bool();
+  if (const json::Value* fs = v.find("fold_slots"); fs != nullptr) {
+    r.fold_slots = static_cast<int>(fs->as_double());
+  }
   return r;
 }
 

@@ -116,6 +116,10 @@ struct ExperimentResult {
   core::EnergyBreakdown energy;     ///< itemized Eq. (2) terms
   double max_abs_error = 0.0;       ///< vs sequential reference (if verified)
   bool verified = false;
+  /// Fold execution slots: the fiber count when the machine folded (0 when
+  /// it ran one fiber per rank). Serialized only when nonzero so cached
+  /// per-fiber results keep their encoding.
+  int fold_slots = 0;
 
   double words_per_proc() const { return totals.words_sent_max; }
   double msgs_per_proc() const { return totals.msgs_sent_max; }

@@ -30,6 +30,7 @@ ExperimentResult from_run(const algs::harness::RunResult& r) {
   out.energy = r.energy.breakdown;
   out.max_abs_error = r.max_abs_error;
   out.verified = r.verified;
+  out.fold_slots = r.fold_slots;
   return out;
 }
 

@@ -578,6 +578,12 @@ NavReport navigate(const NavRequest& req) {
       sp.energy = results[i].energy_total();
       sp.words_per_rank = results[i].words_per_proc();
       sp.words_bound = kept[i].bound_words;
+      sp.fold_slots = results[i].fold_slots;
+      if (sp.fold_slots > 0) {
+        ++rep.folded_scored;
+      } else {
+        ++rep.fiber_scored;
+      }
       scored.push_back(std::move(sp));
     }
 
@@ -730,6 +736,7 @@ json::Value NavReport::to_json() const {
         .set("energy", sp.energy)
         .set("words_per_rank", sp.words_per_rank)
         .set("words_bound", sp.words_bound)
+        .set("fold_slots", sp.fold_slots)
         .set("robust", sp.robust)
         .set("spec", sp.spec.to_json());
     json::Value rs = json::Value::array();
@@ -752,7 +759,9 @@ json::Value NavReport::to_json() const {
       .set("sim_pruned", sim_pruned)
       .set("simulated", simulated)
       .set("rescore_runs", rescore_runs)
-      .set("cache_hits", cache_hits);
+      .set("cache_hits", cache_hits)
+      .set("folded_scored", folded_scored)
+      .set("fiber_scored", fiber_scored);
   o.set("stats", std::move(stats))
       .set("frontier_area", frontier_area)
       .set("measured_frontier_area", measured_frontier_area)

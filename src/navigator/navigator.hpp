@@ -135,6 +135,9 @@ struct SimPoint {
   double energy = 0.0;
   double words_per_rank = 0.0;
   double words_bound = 0.0;  ///< 0 = bound not applicable to this alg
+  /// Fold execution slots of the scoring run: the fiber count when the
+  /// engine folded this point, 0 when it ran one fiber per rank.
+  int fold_slots = 0;
   std::vector<SimRescore> rescored;
   bool robust = false;  ///< Pareto-optimal under every requested plan
 };
@@ -166,6 +169,11 @@ struct NavReport {
   int simulated = 0;         ///< engine runs for clean scoring
   int rescore_runs = 0;      ///< engine runs for fault re-scoring
   int cache_hits = 0;        ///< engine result-cache hits, both stages
+  // Fold coverage of the clean scoring stage: how many scored survivors
+  // took the folded fast path vs one fiber per rank. Folded + fiber =
+  // scored survivors (bench/navigator_sweep tracks the split).
+  int folded_scored = 0;
+  int fiber_scored = 0;
 
   // Headline metrics (bench/navigator_sweep tracks these).
   double frontier_area = 0.0;           ///< normalized staircase area (lower

@@ -142,10 +142,14 @@ void normalize_serve_loadtest(const json::Value& doc,
 
 /// BENCH_frontier.json: {"bench": "frontier", "results": [{"name": …,
 /// "p": …, "slots": …, "seconds": …, "makespan": …, "energy": …,
-/// "words_per_proc": …, "msgs_per_proc": …}]} from bench/frontier_folded.
-/// Wall-clock "seconds" is machine-dependent and skipped; the simulated
-/// frontier points themselves are deterministic and emitted as
-/// "frontier.<name>.<field>".
+/// "flops_per_rank": …, "words_per_rank": …, "msgs_per_rank": …}]} from
+/// bench/frontier_folded. This covers both the static-class rows and the
+/// rotor-replay rows (summa/lu/mm25d c>1): "slots" is the executed fiber
+/// count (1 for a rotor sweep) and per-rank counters are the folded run's
+/// exact values. Wall-clock "seconds" is machine-dependent and skipped;
+/// the simulated frontier points themselves are deterministic and emitted
+/// as "frontier.<name>.<field>" ("folded"/"anchor_identical" are booleans
+/// and fall out of the numeric filter).
 void normalize_frontier(const json::Value& doc, std::vector<Metric>& out) {
   for (const json::Value& entry : doc.at("results").as_array()) {
     if (!entry.is_object()) continue;
@@ -162,7 +166,9 @@ void normalize_frontier(const json::Value& doc, std::vector<Metric>& out) {
 
 /// BENCH_navigator.json: {"bench": "navigator", "results": [{"name": …,
 /// "frontier_area": …, "crossover_generations": …, "robust_fraction": …,
-/// "fault_energy_inflation": …, …}]} from bench/navigator_sweep. The
+/// "fault_energy_inflation": …, "folded_scored": …, "fiber_scored": …,
+/// …}]} from bench/navigator_sweep (the fold-coverage pair counts scored
+/// survivors that took the folded fast path vs per-fiber execution). The
 /// frontier metrics are deterministic navigator outputs and are emitted as
 /// "navigator.<name>.<field>"; navigate_seconds is wall clock and skipped.
 /// Crossover generation counts of -1 mean "target unreachable" — a

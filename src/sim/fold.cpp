@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "sim/fold_rotor.hpp"
 #include "support/common.hpp"
 
 namespace alge::sim {
@@ -12,6 +13,15 @@ FoldMap::FoldMap(int p, std::vector<FoldClass> classes,
   ALGE_REQUIRE(p_ >= 1, "fold map needs at least one rank");
   ALGE_REQUIRE(!classes_.empty(), "fold map needs at least one class");
   ALGE_REQUIRE(class_of_ != nullptr, "fold map needs a class_of function");
+}
+
+FoldMap FoldMap::with_rotor(int p, std::shared_ptr<const RotorSchedule> rs) {
+  ALGE_REQUIRE(rs != nullptr, "rotor fold map needs a schedule");
+  ALGE_REQUIRE(rs->p() == p, "rotor schedule covers %d ranks, map wants %d",
+               rs->p(), p);
+  FoldMap fm(p, {FoldClass{0, p, false}}, [](int) { return 0; });
+  fm.rotor_ = std::move(rs);
+  return fm;
 }
 
 void FoldMap::validate() const {

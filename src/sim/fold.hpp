@@ -25,6 +25,8 @@
 
 namespace alge::sim {
 
+struct RotorSchedule;
+
 /// How a Machine executes its p rank programs (MachineConfig::exec_mode).
 enum class ExecMode {
   /// One fiber per rank — the default, and the only mode that can move
@@ -59,6 +61,14 @@ class FoldMap {
   FoldMap(int p, std::vector<FoldClass> classes,
           std::function<int(int)> class_of);
 
+  /// Position-parameterized fold: a single class covering all p ranks,
+  /// carrying a rotor schedule (sim/fold_rotor.hpp) that Machine evaluates
+  /// with an array sweep instead of channel replay. Covers schedules whose
+  /// peers *rotate* with the schedule position (SUMMA/LU broadcast roots,
+  /// 2.5D skews), which the per-position class semantics of FoldClass
+  /// cannot fold.
+  static FoldMap with_rotor(int p, std::shared_ptr<const RotorSchedule> rs);
+
   int p() const { return p_; }
   int num_classes() const { return static_cast<int>(classes_.size()); }
   int class_of(int rank) const { return class_of_(rank); }
@@ -67,7 +77,15 @@ class FoldMap {
   }
   /// Folding cannot help: every class is a singleton (the fold machine
   /// would spawn p fibers anyway, so Machine falls back to kFibers).
-  bool trivial() const { return num_classes() >= p_; }
+  /// Rotor maps never fall back on this rule — the array sweep spawns no
+  /// fibers at all.
+  bool trivial() const {
+    return rotor_ == nullptr && num_classes() >= p_;
+  }
+
+  /// Non-null when this map folds via a rotor schedule; Machine evaluates
+  /// it in place of the channel-replay machinery.
+  const RotorSchedule* rotor() const { return rotor_.get(); }
 
   /// O(p) structural check used by tests and the fold builders at small p:
   /// class ids in range, reps self-consistent (class_of(rep) == id, rep is
@@ -78,6 +96,7 @@ class FoldMap {
   int p_;
   std::vector<FoldClass> classes_;
   std::function<int(int)> class_of_;
+  std::shared_ptr<const RotorSchedule> rotor_;
 };
 
 }  // namespace alge::sim

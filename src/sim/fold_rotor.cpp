@@ -1,0 +1,659 @@
+// Array evaluation of rotor schedules (see fold_rotor.hpp).
+//
+// Bit-identity with the per-fiber ghost run rests on three invariants:
+//
+//   1. Clock, idle and flop deltas use the *same floating-point
+//      expressions* CostHooks evaluates, specialized to the fold-eligible
+//      configuration (hops = 1, tx = 1.0, speed = 1.0 — all exact
+//      identities under IEEE-754), and are applied per rank in the exact
+//      per-fiber op order. Binomial-tree arrivals are replayed send by
+//      send: a child's arrival is the parent's clock after that specific
+//      sequential send charge (parents send to children in descending
+//      subtree order), never a closed form.
+//
+//   2. Word/message counters only ever accumulate integer values, and
+//      every partial sum stays far below 2^53, so any summation order is
+//      exact; they aggregate in int64 and are added to the RankCounters
+//      doubles once at the end.
+//
+//   3. Memory registration is rank-uniform in every rotor schedule, so
+//      one scalar live/peak pair stands for all ranks; the M-capacity
+//      check throws the fiber path's SimError verbatim.
+//
+// The group sweeps are the hot path — a q = 1024 SUMMA run replays ~2·10⁹
+// member visits — so the binomial child lists are flattened to CSR, the
+// per-group replay runs in raw-pointer loops with the rank index stepped
+// incrementally, and masked compute ops iterate only the coordinates with
+// nonzero participation (a one-hot panel mask costs O(q), not O(q²)).
+#include "sim/fold_rotor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/machine.hpp"
+#include "support/common.hpp"
+
+namespace alge::sim {
+
+namespace {
+
+/// Binomial-tree child lists per virtual rank, flattened to CSR in the
+/// exact descending order of Comm::bcast's send loop. val[] holds the
+/// child's virtual rank (vr + offset). The reduce tree receives from the
+/// same children (ascending); only the counts matter there.
+struct KidsCsr {
+  std::vector<int> off;  // size n+1
+  std::vector<int> val;
+};
+
+KidsCsr make_kids(int n) {
+  KidsCsr k;
+  k.off.reserve(static_cast<std::size_t>(n) + 1);
+  for (int vr = 0; vr < n; ++vr) {
+    k.off.push_back(static_cast<int>(k.val.size()));
+    int mask = 1;
+    while (mask < n) {
+      if (vr & mask) break;
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vr + mask < n && !(vr & (mask - 1))) k.val.push_back(vr + mask);
+      mask >>= 1;
+    }
+  }
+  k.off.push_back(static_cast<int>(k.val.size()));
+  return k;
+}
+
+/// Integer word/message deltas for one index domain (an axis or the whole
+/// rank space).
+struct Profile {
+  std::vector<std::int64_t> ws, ms, wr, mr;
+  explicit Profile(int n)
+      : ws(static_cast<std::size_t>(n), 0),
+        ms(static_cast<std::size_t>(n), 0),
+        wr(static_cast<std::size_t>(n), 0),
+        mr(static_cast<std::size_t>(n), 0) {}
+};
+
+/// One point-to-point send, precomputed: the model message count, the
+/// sender clock delta, and the integer counter deltas.
+struct PointCost {
+  double cost = 0.0;
+  std::int64_t k = 0;
+  std::int64_t m = 0;
+};
+
+int rep_at(const std::vector<std::int32_t>& mask, int i) {
+  return mask.empty() ? 1 : mask[static_cast<std::size_t>(i)];
+}
+
+/// One binomial bcast over the group at (base, stride, n) with root index
+/// rho — clocks only (uniform ops account integers once per op via the
+/// axis profile). Ascending virtual rank visits parents before children;
+/// arr[vr] carries each member's arrival.
+void bcast_group(double* clk, double* idl, double* arr, const int* koff,
+                 const int* kval, int n, int rho, double cost,
+                 std::size_t base, std::size_t stride) {
+  const std::size_t wrap = static_cast<std::size_t>(n) * stride;
+  std::size_t r = base + static_cast<std::size_t>(rho) * stride;
+  for (int vr = 0; vr < n; ++vr) {
+    double cl = clk[r];
+    if (vr != 0) {
+      const double a = arr[vr];
+      if (a > cl) {
+        idl[r] += a - cl;
+        cl = a;
+      }
+    }
+    const int end = koff[vr + 1];
+    for (int t = koff[vr]; t < end; ++t) {
+      cl += cost;
+      arr[kval[t]] = cl;
+    }
+    clk[r] = cl;
+    r += stride;
+    if (r >= base + wrap) r -= wrap;
+  }
+}
+
+/// Masked-group variant: the same replay plus per-rank integer deltas.
+void bcast_group_masked(double* clk, double* idl, double* arr,
+                        const int* koff, const int* kval, int n, int rho,
+                        const PointCost& pc, std::size_t base,
+                        std::size_t stride, Profile& pr) {
+  const std::size_t wrap = static_cast<std::size_t>(n) * stride;
+  std::size_t r = base + static_cast<std::size_t>(rho) * stride;
+  for (int vr = 0; vr < n; ++vr) {
+    double cl = clk[r];
+    if (vr != 0) {
+      const double a = arr[vr];
+      if (a > cl) {
+        idl[r] += a - cl;
+        cl = a;
+      }
+      pr.wr[r] += pc.k;
+      pr.mr[r] += pc.m;
+    }
+    const int beg = koff[vr];
+    const int end = koff[vr + 1];
+    for (int t = beg; t < end; ++t) {
+      cl += pc.cost;
+      arr[kval[t]] = cl;
+    }
+    pr.ws[r] += (end - beg) * pc.k;
+    pr.ms[r] += (end - beg) * pc.m;
+    clk[r] = cl;
+    r += stride;
+    if (r >= base + wrap) r -= wrap;
+  }
+}
+
+}  // namespace
+
+void rotor_run(const RotorSchedule& rs, const MachineConfig& cfg,
+               std::vector<RankCounters>& out) {
+  const int q = rs.q;
+  const int c = rs.c;
+  const int p = rs.p();
+  ALGE_CHECK(q >= 1 && c >= 1, "rotor schedule needs q >= 1 and c >= 1");
+  ALGE_CHECK(static_cast<int>(out.size()) == p,
+             "rotor counters sized %zu for p=%d", out.size(), p);
+  ALGE_CHECK(cfg.data_mode == DataMode::kGhost && cfg.faults == nullptr &&
+                 cfg.speed.empty() && !cfg.enable_trace &&
+                 !cfg.enable_ledger && cfg.network == nullptr,
+             "rotor evaluation on a non-fold-eligible machine");
+
+  const core::MachineParams& mp = cfg.params;
+  const double alpha = mp.alpha_t;
+  const double beta = mp.beta_t;
+  const double gamma = mp.gamma_t;
+  const double mcap = mp.mem_words;
+  const double mwords = mp.max_msg_words;
+  const std::size_t qq = static_cast<std::size_t>(q) * q;
+
+  auto send_cost = [&](std::size_t words) {
+    PointCost pc;
+    const double k = static_cast<double>(words);
+    const double nmsg = std::max(1.0, std::ceil(k / mwords));
+    // CostHooks::send with hops=1, tx=1.0: (nmsg*1*alpha_t + k*beta_t)*1.0.
+    pc.cost = nmsg * alpha + k * beta;
+    pc.k = static_cast<std::int64_t>(words);
+    pc.m = static_cast<std::int64_t>(nmsg);
+    return pc;
+  };
+
+  // Hot per-rank state, SoA so sweeps stream through memory.
+  std::vector<double> clock(static_cast<std::size_t>(p));
+  std::vector<double> idle(static_cast<std::size_t>(p));
+  std::vector<double> flops(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const std::size_t ur = static_cast<std::size_t>(r);
+    clock[ur] = out[ur].clock;
+    idle[ur] = out[ur].idle_time;
+    flops[ur] = out[ur].flops;
+  }
+  double* const clk = clock.data();
+  double* const idl = idle.data();
+  double* const flp = flops.data();
+
+  // Axis profiles for mask-free collectives (O(group size) integer work
+  // per op); the per-rank profile is only materialized when a masked or
+  // skew op needs it.
+  Profile prof_i(q);  // indexed by row coordinate (column collectives)
+  Profile prof_j(q);  // indexed by column coordinate (row collectives)
+  Profile prof_l(c);  // indexed by layer (depth collectives)
+  std::unique_ptr<Profile> prof_r;
+  auto rank_ints = [&]() -> Profile& {
+    if (!prof_r) prof_r = std::make_unique<Profile>(p);
+    return *prof_r;
+  };
+
+  // Uniform memory registration: live delta over the pre-run baseline.
+  std::int64_t mem_cur = 0;
+  std::int64_t mem_peak = 0;
+  const std::size_t mem_base = out[0].mem_words;
+
+  const KidsCsr kids_q = make_kids(q);
+  const KidsCsr kids_c = make_kids(c);
+  std::vector<double> arr_buf(static_cast<std::size_t>(std::max(q, c)));
+  double* const arr = arr_buf.data();
+  std::vector<double> arr_rank;  // skew/shift arrivals, all ranks
+  // Column-collective arrival scratch, [virtual rank][column]: column
+  // groups sweep vr-major so the inner loop walks one member row of the
+  // grid contiguously across all q groups — the group-major order would
+  // touch a fresh page per member (stride q doubles) and run ~7x slower
+  // TLB-bound. Groups are rank-disjoint, so evaluating them in lockstep
+  // is the same per-rank op sequence the fiber path runs.
+  std::vector<double> arr_cols;
+  std::vector<int> col_reps;  // per-column replay counts, one layer
+  // Scratch coordinate lists for masked ops: indices with a nonzero
+  // participation count (all of them when the mask is empty).
+  std::vector<int> row_act, col_act, lay_act;
+  auto active = [](const std::vector<std::int32_t>& mask, int n,
+                   std::vector<int>& out_act) {
+    out_act.clear();
+    for (int i = 0; i < n; ++i) {
+      if (mask.empty() || mask[static_cast<std::size_t>(i)] > 0) {
+        out_act.push_back(i);
+      }
+    }
+  };
+
+  // One binomial reduce_sum: descending virtual rank visits children
+  // before their parent; each merge replays Comm::reduce_sum's
+  // recv-then-compute(k) pair in order.
+  auto reduce_group = [&](std::size_t base, std::size_t stride, int n,
+                          int rho, const PointCost& pc, double fk,
+                          double dt_merge, Profile* pr) {
+    for (int vr = n - 1; vr >= 0; --vr) {
+      int coord = vr + rho;
+      if (coord >= n) coord -= n;
+      const std::size_t r = base + static_cast<std::size_t>(coord) * stride;
+      double cl = clk[r];
+      for (int mask = 1; mask < n; mask <<= 1) {
+        if (vr & mask) {
+          cl += pc.cost;
+          arr[vr] = cl;
+          if (pr != nullptr) {
+            pr->ws[r] += pc.k;
+            pr->ms[r] += pc.m;
+          }
+          break;
+        }
+        if (vr + mask < n) {
+          const double a = arr[vr + mask];
+          if (a > cl) {
+            idl[r] += a - cl;
+            cl = a;
+          }
+          if (pr != nullptr) {
+            pr->wr[r] += pc.k;
+            pr->mr[r] += pc.m;
+          }
+          flp[r] += fk;
+          cl += dt_merge;
+        }
+      }
+      clk[r] = cl;
+    }
+  };
+
+  // Uniform-op integer profile: per member position, the tree's send and
+  // recv counts depend only on the virtual rank.
+  auto tree_profile = [&](Profile& pf, const KidsCsr& kids, int n, int rho,
+                          const PointCost& pc, bool reduce) {
+    for (int vr = 0; vr < n; ++vr) {
+      int coord = vr + rho;
+      if (coord >= n) coord -= n;
+      const std::size_t uc = static_cast<std::size_t>(coord);
+      const std::int64_t nk = kids.off[static_cast<std::size_t>(vr) + 1] -
+                              kids.off[static_cast<std::size_t>(vr)];
+      if (reduce) {
+        if (vr != 0) {
+          pf.ws[uc] += pc.k;
+          pf.ms[uc] += pc.m;
+        }
+        pf.wr[uc] += nk * pc.k;
+        pf.mr[uc] += nk * pc.m;
+      } else {
+        pf.ws[uc] += nk * pc.k;
+        pf.ms[uc] += nk * pc.m;
+        if (vr != 0) {
+          pf.wr[uc] += pc.k;
+          pf.mr[uc] += pc.m;
+        }
+      }
+    }
+  };
+
+  auto check_mask = [&](const std::vector<std::int32_t>& mask, int n) {
+    ALGE_CHECK(mask.empty() || static_cast<int>(mask.size()) == n,
+               "rotor mask sized %zu on an axis of %d", mask.size(), n);
+    for (const std::int32_t v : mask) {
+      ALGE_CHECK(v >= 0, "negative rotor participation count");
+    }
+  };
+
+  for (const RotorOp& op : rs.ops) {
+    check_mask(op.row_rep, q);
+    check_mask(op.col_rep, q);
+    check_mask(op.layer_rep, c);
+    switch (op.kind) {
+      case RotorOp::Kind::kAlloc: {
+        mem_cur += static_cast<std::int64_t>(op.words);
+        mem_peak = std::max(mem_peak, mem_cur);
+        const std::size_t live =
+            mem_base + static_cast<std::size_t>(mem_cur);
+        if (mcap > 0.0 && static_cast<double>(live) > mcap) {
+          // Rank 0's fiber registers first and throws first.
+          throw SimError(strfmt(
+              "rank %d out of memory: %zu words live, per-rank capacity "
+              "M=%.0f",
+              0, live, mcap));
+        }
+        break;
+      }
+      case RotorOp::Kind::kFree: {
+        ALGE_CHECK(mem_cur >= static_cast<std::int64_t>(op.words),
+                   "memory underflow on rank %d", 0);
+        mem_cur -= static_cast<std::int64_t>(op.words);
+        break;
+      }
+      case RotorOp::Kind::kCompute: {
+        const double f = op.flops;
+        // CostHooks::compute with speed=1.0: gamma_t*flops/1.0.
+        const double dt = gamma * f;
+        if (op.row_rep.empty() && op.col_rep.empty() &&
+            op.layer_rep.empty()) {
+          for (int r = 0; r < p; ++r) {
+            flp[r] += f;
+            clk[r] += dt;
+          }
+          break;
+        }
+        active(op.row_rep, q, row_act);
+        active(op.col_rep, q, col_act);
+        active(op.layer_rep, c, lay_act);
+        for (const int l : lay_act) {
+          const int lr = rep_at(op.layer_rep, l);
+          const std::size_t lay_base = static_cast<std::size_t>(l) * qq;
+          for (const int i : row_act) {
+            const int ir = rep_at(op.row_rep, i) * lr;
+            const std::size_t row_base =
+                lay_base + static_cast<std::size_t>(i) * q;
+            for (const int j : col_act) {
+              const int reps = ir * rep_at(op.col_rep, j);
+              const std::size_t r = row_base + static_cast<std::size_t>(j);
+              double fl = flp[r];
+              double cl = clk[r];
+              for (int t = 0; t < reps; ++t) {
+                fl += f;
+                cl += dt;
+              }
+              flp[r] = fl;
+              clk[r] = cl;
+            }
+          }
+        }
+        break;
+      }
+      case RotorOp::Kind::kBcastRow:
+      case RotorOp::Kind::kBcastCol:
+      case RotorOp::Kind::kBcastDepth:
+      case RotorOp::Kind::kReduceDepth: {
+        const bool depth = op.kind == RotorOp::Kind::kBcastDepth ||
+                           op.kind == RotorOp::Kind::kReduceDepth;
+        const bool reduce = op.kind == RotorOp::Kind::kReduceDepth;
+        const bool row_groups = op.kind == RotorOp::Kind::kBcastRow;
+        const int n = depth ? c : q;
+        ALGE_CHECK(op.root >= 0 && op.root < n,
+                   "rotor collective root %d on a group of %d", op.root, n);
+        const PointCost pc = send_cost(op.words);
+        const KidsCsr& kids = depth ? kids_c : kids_q;
+        const int* const koff = kids.off.data();
+        const int* const kval = kids.val.data();
+        const double fk = static_cast<double>(op.words);
+        const double dt_merge = gamma * fk;
+        // The member axis must be unmasked: a group collective always
+        // involves the whole group.
+        if (depth) {
+          ALGE_CHECK(op.layer_rep.empty(),
+                     "depth collective with a masked layer axis");
+        } else if (row_groups) {
+          ALGE_CHECK(op.col_rep.empty(),
+                     "row collective with a masked column axis");
+        } else {
+          ALGE_CHECK(op.row_rep.empty(),
+                     "column collective with a masked row axis");
+        }
+        const bool uniform = op.row_rep.empty() && op.col_rep.empty() &&
+                             op.layer_rep.empty();
+        Profile* pr = uniform ? nullptr : &rank_ints();
+        if (uniform) {
+          Profile& pf = depth ? prof_l : (row_groups ? prof_j : prof_i);
+          tree_profile(pf, kids, n, op.root, pc, reduce);
+        }
+        // Enumerate group instances (every instance when uniform,
+        // selected ones otherwise) and replay the tree per instance.
+        auto run_one = [&](std::size_t base, std::size_t stride, int reps) {
+          for (int t = 0; t < reps; ++t) {
+            if (reduce) {
+              reduce_group(base, stride, n, op.root, pc, fk, dt_merge, pr);
+            } else if (pr == nullptr) {
+              bcast_group(clk, idl, arr, koff, kval, n, op.root, pc.cost,
+                          base, stride);
+            } else {
+              bcast_group_masked(clk, idl, arr, koff, kval, n, op.root, pc,
+                                 base, stride, *pr);
+            }
+          }
+        };
+        if (depth) {
+          active(op.row_rep, q, row_act);
+          active(op.col_rep, q, col_act);
+          for (const int i : row_act) {
+            const int ir = rep_at(op.row_rep, i);
+            for (const int j : col_act) {
+              const int reps = ir * rep_at(op.col_rep, j);
+              run_one(static_cast<std::size_t>(i) * q +
+                          static_cast<std::size_t>(j),
+                      qq, reps);
+            }
+          }
+        } else if (row_groups) {
+          active(op.layer_rep, c, lay_act);
+          active(op.row_rep, q, row_act);
+          for (const int l : lay_act) {
+            const int lr = rep_at(op.layer_rep, l);
+            for (const int i : row_act) {
+              const int reps = lr * rep_at(op.row_rep, i);
+              run_one(static_cast<std::size_t>(l) * qq +
+                          static_cast<std::size_t>(i) * q,
+                      1, reps);
+            }
+          }
+        } else {
+          // Column groups, vr-major (see arr_cols above). Sweep t runs
+          // replay t of every column whose count exceeds t, so replays of
+          // one column stay sequential while columns advance in lockstep.
+          active(op.layer_rep, c, lay_act);
+          if (arr_cols.empty()) arr_cols.resize(qq);
+          double* const arrc = arr_cols.data();
+          col_reps.assign(static_cast<std::size_t>(q), 0);
+          for (const int l : lay_act) {
+            const int lr = rep_at(op.layer_rep, l);
+            int rmax = 0;
+            for (int j = 0; j < q; ++j) {
+              col_reps[static_cast<std::size_t>(j)] =
+                  lr * rep_at(op.col_rep, j);
+              rmax = std::max(rmax, col_reps[static_cast<std::size_t>(j)]);
+            }
+            const int* const reps = col_reps.data();
+            const std::size_t lbase = static_cast<std::size_t>(l) * qq;
+            for (int t = 0; t < rmax; ++t) {
+              for (int vr = 0; vr < q; ++vr) {
+                int coord = vr + op.root;
+                if (coord >= q) coord -= q;
+                const std::size_t row =
+                    lbase + static_cast<std::size_t>(coord) * q;
+                double* const crow = clk + row;
+                double* const irow = idl + row;
+                const double* const av =
+                    arrc + static_cast<std::size_t>(vr) * q;
+                const int beg = koff[vr];
+                const int end = koff[vr + 1];
+                if (pr == nullptr) {
+                  for (int j = 0; j < q; ++j) {
+                    double cl = crow[j];
+                    if (vr != 0) {
+                      const double a = av[j];
+                      if (a > cl) {
+                        irow[j] += a - cl;
+                        cl = a;
+                      }
+                    }
+                    for (int t2 = beg; t2 < end; ++t2) {
+                      cl += pc.cost;
+                      arrc[static_cast<std::size_t>(kval[t2]) * q + j] = cl;
+                    }
+                    crow[j] = cl;
+                  }
+                } else {
+                  std::int64_t* const wsr = pr->ws.data() + row;
+                  std::int64_t* const msr = pr->ms.data() + row;
+                  std::int64_t* const wrr = pr->wr.data() + row;
+                  std::int64_t* const mrr = pr->mr.data() + row;
+                  const std::int64_t dws = (end - beg) * pc.k;
+                  const std::int64_t dms = (end - beg) * pc.m;
+                  for (int j = 0; j < q; ++j) {
+                    if (reps[j] <= t) continue;
+                    double cl = crow[j];
+                    if (vr != 0) {
+                      const double a = av[j];
+                      if (a > cl) {
+                        irow[j] += a - cl;
+                        cl = a;
+                      }
+                      wrr[j] += pc.k;
+                      mrr[j] += pc.m;
+                    }
+                    for (int t2 = beg; t2 < end; ++t2) {
+                      cl += pc.cost;
+                      arrc[static_cast<std::size_t>(kval[t2]) * q + j] = cl;
+                    }
+                    wsr[j] += dws;
+                    msr[j] += dms;
+                    crow[j] = cl;
+                  }
+                }
+              }
+            }
+          }
+        }
+        break;
+      }
+      case RotorOp::Kind::kSkewA:
+      case RotorOp::Kind::kSkewB:
+      case RotorOp::Kind::kShiftA:
+      case RotorOp::Kind::kShiftB: {
+        ALGE_CHECK(op.row_rep.empty() && op.col_rep.empty() &&
+                       op.layer_rep.empty(),
+                   "skew/shift ops are unmasked");
+        ALGE_CHECK(q % c == 0, "skew needs c | q");
+        const PointCost pc = send_cost(op.words);
+        if (arr_rank.empty()) {
+          arr_rank.resize(static_cast<std::size_t>(p));
+        }
+        Profile& pr = rank_ints();
+        const int steps = q / c;
+        const bool skew = op.kind == RotorOp::Kind::kSkewA ||
+                          op.kind == RotorOp::Kind::kSkewB;
+        const bool on_a = op.kind == RotorOp::Kind::kSkewA ||
+                          op.kind == RotorOp::Kind::kShiftA;
+        // Self-exchange coordinate per layer: Cannon's alignment leaves
+        // row i = -s0 mod q (A) / column j = -s0 mod q (B) in place; the
+        // one-step shifts never self-send (q >= 2 whenever they appear).
+        // Both phases run in world-rank order, sends before receives,
+        // exactly like the fiber sendrecv (send charge, then sync to the
+        // source's post-send clock).
+        auto src_of = [&](int l, int i, int j) -> std::size_t {
+          const int s0 = skew ? l * steps : 0;
+          int si = i;
+          int sj = j;
+          if (skew) {
+            const int t = (i + j + s0) % q;
+            if (on_a) {
+              sj = t;
+            } else {
+              si = t;
+            }
+          } else if (on_a) {
+            sj = j + 1 == q ? 0 : j + 1;
+          } else {
+            si = i + 1 == q ? 0 : i + 1;
+          }
+          return static_cast<std::size_t>(l) * qq +
+                 static_cast<std::size_t>(si) * q +
+                 static_cast<std::size_t>(sj);
+        };
+        auto is_self = [&](int l, int i, int j) {
+          if (!skew) return q == 1;
+          const int coord = on_a ? i : j;
+          return (coord + l * steps) % q == 0;
+        };
+        std::size_t r = 0;
+        for (int l = 0; l < c; ++l) {
+          for (int i = 0; i < q; ++i) {
+            for (int j = 0; j < q; ++j, ++r) {
+              if (is_self(l, i, j)) continue;
+              const double cl = clk[r] + pc.cost;
+              clk[r] = cl;
+              arr_rank[r] = cl;
+              pr.ws[r] += pc.k;
+              pr.ms[r] += pc.m;
+            }
+          }
+        }
+        r = 0;
+        for (int l = 0; l < c; ++l) {
+          for (int i = 0; i < q; ++i) {
+            for (int j = 0; j < q; ++j, ++r) {
+              pr.wr[r] += pc.k;
+              if (is_self(l, i, j)) continue;  // arrival == own clock, 0 msgs
+              const double a = arr_rank[src_of(l, i, j)];
+              if (a > clk[r]) {
+                idl[r] += a - clk[r];
+                clk[r] = a;
+              }
+              pr.mr[r] += pc.m;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Materialize: exact doubles back in place, integer deltas added once
+  // (hop-weighted counters equal the plain ones on the flat network).
+  const std::size_t mem_end = static_cast<std::size_t>(mem_cur);
+  const std::size_t peak = static_cast<std::size_t>(mem_peak);
+  std::size_t r = 0;
+  for (int l = 0; l < c; ++l) {
+    for (int i = 0; i < q; ++i) {
+      for (int j = 0; j < q; ++j, ++r) {
+        RankCounters& rc = out[r];
+        rc.clock = clock[r];
+        rc.idle_time = idle[r];
+        rc.flops = flops[r];
+        const std::size_t ui = static_cast<std::size_t>(i);
+        const std::size_t uj = static_cast<std::size_t>(j);
+        const std::size_t ul = static_cast<std::size_t>(l);
+        std::int64_t ws = prof_i.ws[ui] + prof_j.ws[uj] + prof_l.ws[ul];
+        std::int64_t ms = prof_i.ms[ui] + prof_j.ms[uj] + prof_l.ms[ul];
+        std::int64_t wr = prof_i.wr[ui] + prof_j.wr[uj] + prof_l.wr[ul];
+        std::int64_t mr = prof_i.mr[ui] + prof_j.mr[uj] + prof_l.mr[ul];
+        if (prof_r) {
+          ws += prof_r->ws[r];
+          ms += prof_r->ms[r];
+          wr += prof_r->wr[r];
+          mr += prof_r->mr[r];
+        }
+        rc.words_sent += static_cast<double>(ws);
+        rc.msgs_sent += static_cast<double>(ms);
+        rc.words_hops += static_cast<double>(ws);
+        rc.msgs_hops += static_cast<double>(ms);
+        rc.words_recv += static_cast<double>(wr);
+        rc.msgs_recv += static_cast<double>(mr);
+        rc.mem_highwater =
+            std::max(rc.mem_highwater, rc.mem_words + peak);
+        rc.mem_words += mem_end;
+      }
+    }
+  }
+}
+
+}  // namespace alge::sim

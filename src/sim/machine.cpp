@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/comm.hpp"
+#include "sim/fold_rotor.hpp"
 #include "support/common.hpp"
 
 namespace alge::sim {
@@ -37,6 +38,12 @@ Machine::Machine(MachineConfig cfg) : cfg_(std::move(cfg)) {
                  cfg_.fold != nullptr && !cfg_.fold->trivial() &&
                  cfg_.faults == nullptr && cfg_.speed.empty() &&
                  !cfg_.enable_trace && cfg_.network == nullptr;
+  // Rotor schedules (position-parameterized folds, sim/fold_rotor.hpp) are
+  // evaluated by array sweep, which does not materialize the per-phase
+  // counter slices the energy ledger needs — one more fall-back condition.
+  if (fold_active_ && cfg_.fold->rotor() != nullptr && cfg_.enable_ledger) {
+    fold_active_ = false;
+  }
   ranks_.resize(static_cast<std::size_t>(
       fold_active_ ? cfg_.fold->num_classes() : cfg_.p));
 }
@@ -49,6 +56,7 @@ void Machine::reset() {
     r = Rank{};
   }
   fold_channels_.clear();
+  rotor_counters_.clear();
   phase_names_ = {"(main)"};
   trace_.clear();
 }
@@ -104,6 +112,14 @@ const std::vector<PhaseCounters>& Machine::phase_counters(int rank) const {
 void Machine::run(const std::function<void(Comm&)>& program) {
   ALGE_REQUIRE(program != nullptr, "program must be callable");
   ALGE_REQUIRE(sched_ == nullptr, "Machine::run() is not reentrant");
+
+  if (fold_active_ && cfg_.fold->rotor() != nullptr) {
+    // Position-parameterized fold: the rotor schedule *is* the program's
+    // cost structure, evaluated as an array sweep — no fibers, and the
+    // program callable is never entered.
+    run_rotor();
+    return;
+  }
 
   fiber::Scheduler sched;
   sched.set_wake_policy(cfg_.wake_policy.get());
@@ -167,6 +183,13 @@ void Machine::run(const std::function<void(Comm&)>& program) {
   }
 }
 
+void Machine::run_rotor() {
+  if (rotor_counters_.empty()) {
+    rotor_counters_.assign(static_cast<std::size_t>(cfg_.p), RankCounters{});
+  }
+  rotor_run(*cfg_.fold->rotor(), cfg_, rotor_counters_);
+}
+
 Machine::FoldChannel& Machine::fold_channel(int sender_slot, int tag) {
   const std::uint64_t key =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sender_slot))
@@ -195,12 +218,19 @@ void Machine::fold_append(int sender_slot, int dst_rank, int tag,
 
 double Machine::makespan() const {
   double t = 0.0;
+  if (!rotor_counters_.empty()) {
+    for (const auto& c : rotor_counters_) t = std::max(t, c.clock);
+    return t;
+  }
   for (const auto& r : ranks_) t = std::max(t, r.counters.clock);
   return t;
 }
 
 const RankCounters& Machine::rank_counters(int rank) const {
   ALGE_REQUIRE(rank >= 0 && rank < cfg_.p, "rank %d out of range", rank);
+  if (!rotor_counters_.empty()) {
+    return rotor_counters_[static_cast<std::size_t>(rank)];
+  }
   return ranks_[static_cast<std::size_t>(slot_of(rank))].counters;
 }
 
@@ -218,7 +248,11 @@ SimTotals Machine::totals() const {
     t.mem_highwater_max = std::max(t.mem_highwater_max, c.mem_highwater);
     t.mem_highwater_total += c.mem_highwater;
   };
-  if (fold_active_) {
+  if (!rotor_counters_.empty()) {
+    // Rotor evaluation already stores one RankCounters per world rank, in
+    // world-rank order — the per-fiber summation order by construction.
+    for (const auto& c : rotor_counters_) add(c);
+  } else if (fold_active_) {
     // Accumulate in world-rank order through the fold map: every class
     // member contributes its (shared) class counters at its own position,
     // reproducing the per-fiber floating-point summation order exactly —

@@ -337,6 +337,11 @@ class Machine {
     std::vector<fiber::Scheduler::FiberId> waiters;
   };
 
+  /// Evaluate the attached rotor schedule (fold->rotor() != nullptr) with
+  /// an array sweep instead of spawning fibers; accumulates into
+  /// rotor_counters_. See sim/fold_rotor.hpp.
+  void run_rotor();
+
   /// ranks_ index for a world rank: its fold class when folding, itself
   /// otherwise.
   int slot_of(int rank) const {
@@ -354,6 +359,10 @@ class Machine {
   MachineConfig cfg_;
   bool fold_active_ = false;
   std::vector<Rank> ranks_;
+  /// Per-world-rank counters of rotor-schedule evaluation (empty until the
+  /// first run() of a rotor-folding machine). When non-empty these are the
+  /// machine's counters: rank_counters/totals/makespan read them directly.
+  std::vector<RankCounters> rotor_counters_;
   std::unordered_map<std::uint64_t, FoldChannel> fold_channels_;
   PayloadPool payload_pool_;
   std::deque<std::string> phase_names_{"(main)"};

@@ -16,6 +16,7 @@
 //     equal fiber results bit for bit, and folded + full data is rejected.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -28,6 +29,7 @@
 #include "engine/job.hpp"
 #include "engine/runner.hpp"
 #include "sim/fold.hpp"
+#include "sim/fold_rotor.hpp"
 #include "sim/machine.hpp"
 #include "sim/trace.hpp"
 #include "support/common.hpp"
@@ -89,9 +91,44 @@ TEST(FoldBuilders, Mm25dFoldsCannonIntoFourClasses) {
 }
 
 TEST(FoldBuilders, Mm25dRefusesReplicatedLayers) {
-  // c > 1 depth-broadcasts across misaligned layers; no exact fold exists.
+  // c > 1 depth-broadcasts across misaligned layers, so no *static class*
+  // fold exists; the 4-argument overload below covers that case with a
+  // rotor schedule instead.
   EXPECT_EQ(algs::foldmap_mm25d(4, 2), nullptr);
   EXPECT_EQ(algs::foldmap_mm25d(1, 1), nullptr);  // single rank: trivial
+}
+
+TEST(FoldBuilders, RotorMapsForRotatingSchedules) {
+  // SUMMA rotates the bcast root every step, LU moves the panel owner,
+  // replicated 2.5D skews per layer: all fold through a position-
+  // parameterized rotor schedule (FoldMap::rotor() != nullptr) rather
+  // than a static class partition.
+  const auto summa = algs::foldmap_summa(64, 4);
+  ASSERT_NE(summa, nullptr);
+  EXPECT_EQ(summa->p(), 16);
+  ASSERT_NE(summa->rotor(), nullptr);
+  EXPECT_EQ(summa->rotor()->p(), 16);
+  EXPECT_FALSE(summa->trivial());
+  EXPECT_NO_THROW(summa->validate());
+  EXPECT_EQ(algs::foldmap_summa(63, 4), nullptr);  // q must divide n
+  EXPECT_EQ(algs::foldmap_summa(64, 1), nullptr);  // single rank: trivial
+
+  const auto lu = algs::foldmap_lu(64, 8, 4, 1);
+  ASSERT_NE(lu, nullptr);
+  EXPECT_EQ(lu->p(), 16);
+  EXPECT_NE(lu->rotor(), nullptr);
+  // 2.5D LU gathers blocks point-to-point per owner; no rotor op covers
+  // it. Block size must tile n.
+  EXPECT_EQ(algs::foldmap_lu(64, 8, 4, 2), nullptr);
+  EXPECT_EQ(algs::foldmap_lu(60, 8, 4, 1), nullptr);
+
+  const auto mm = algs::foldmap_mm25d(4, 2, 8, false);
+  ASSERT_NE(mm, nullptr);
+  EXPECT_EQ(mm->p(), 32);
+  EXPECT_NE(mm->rotor(), nullptr);
+  // Ring replication bcasts along a pipeline, not the binomial tree the
+  // rotor replays.
+  EXPECT_EQ(algs::foldmap_mm25d(4, 2, 8, true), nullptr);
 }
 
 TEST(FoldBuilders, CapsAndFftAreSingleClass) {
@@ -281,6 +318,114 @@ TEST(FoldProperty, TsqrSkeletonClassesAreCongruent) {
   });
 }
 
+// ------------------------------------------- rotor per-rank parity
+
+/// Machine parameters that exercise every cost term, with a message cap
+/// small enough that multi-message sends occur (nmsg > 1).
+core::MachineParams rotor_mp() {
+  core::MachineParams mp;
+  mp.gamma_t = 1.0;
+  mp.beta_t = 2.0;
+  mp.alpha_t = 10.0;
+  mp.gamma_e = 1.0;
+  mp.beta_e = 4.0;
+  mp.alpha_e = 20.0;
+  mp.delta_e = 1e-4;
+  mp.eps_e = 1e-2;
+  mp.max_msg_words = 64.0;
+  return mp;
+}
+
+/// Per-rank counters of a ghost run under the given exec mode.
+std::vector<sim::RankCounters> ghost_counters(
+    sim::ExecMode mode, bool* folded, const std::function<void()>& body) {
+  std::vector<sim::RankCounters> out;
+  algs::harness::RunObserver obs;
+  obs.configure = [mode](sim::MachineConfig& cfg) {
+    cfg.data_mode = sim::DataMode::kGhost;
+    cfg.exec_mode = mode;
+  };
+  obs.after_run = [&out, folded](const sim::Machine& m) {
+    if (folded != nullptr) *folded = m.fold_active();
+    for (int r = 0; r < m.p(); ++r) out.push_back(m.rank_counters(r));
+  };
+  algs::harness::ScopedRunObserver scoped(std::move(obs));
+  body();
+  return out;
+}
+
+/// Rotor congruence is per-rank, not per-class: the replay must reproduce
+/// every rank's full counter record bit for bit, world-rank order.
+void expect_rotor_parity(const std::function<void()>& body) {
+  bool folded = false;
+  const auto fib = ghost_counters(sim::ExecMode::kFibers, nullptr, body);
+  const auto fol = ghost_counters(sim::ExecMode::kFolded, &folded, body);
+  ASSERT_TRUE(folded) << "rotor map did not engage";
+  ASSERT_EQ(fib.size(), fol.size());
+  for (std::size_t r = 0; r < fib.size(); ++r) {
+    ASSERT_EQ(
+        std::memcmp(&fib[r], &fol[r], sizeof(sim::RankCounters)), 0)
+        << "rank " << r << ": clock " << fib[r].clock << " vs "
+        << fol[r].clock << ", words_sent " << fib[r].words_sent << " vs "
+        << fol[r].words_sent;
+  }
+}
+
+TEST(FoldProperty, SummaRotorMatchesFibersPerRank) {
+  expect_rotor_parity(
+      [&] { algs::harness::run_summa(40, 5, rotor_mp()); });
+}
+
+TEST(FoldProperty, LuRotorMatchesFibersPerRank) {
+  // nt = 12 > q = 4: block-cyclic reps above 1 and a moving panel owner.
+  expect_rotor_parity(
+      [&] { algs::harness::run_lu(48, 4, 4, 1, rotor_mp()); });
+}
+
+TEST(FoldProperty, Mm25dReplicatedRotorMatchesFibersPerRank) {
+  // c > 1: depth replication, per-layer skew, shift loop, depth reduce.
+  expect_rotor_parity(
+      [&] { algs::harness::run_mm25d(32, 4, 2, rotor_mp()); });
+}
+
+// An off-by-one root rotation in the rotor schedule must be caught by the
+// per-rank parity check above — this is the mutation a wrong
+// position-to-root mapping would produce. Guards the guard.
+TEST(FoldProperty, DetectsAWrongRootRotation) {
+  const core::MachineParams mp = rotor_mp();
+  const auto fib = ghost_counters(sim::ExecMode::kFibers, nullptr, [&] {
+    algs::harness::run_summa(40, 5, mp);
+  });
+  const auto good = algs::foldmap_summa(40, 5);
+  ASSERT_NE(good, nullptr);
+  auto mutant = std::make_shared<sim::RotorSchedule>(*good->rotor());
+  for (sim::RotorOp& op : mutant->ops) {
+    if (op.kind == sim::RotorOp::Kind::kBcastRow ||
+        op.kind == sim::RotorOp::Kind::kBcastCol) {
+      op.root = (op.root + 1) % mutant->q;
+    }
+  }
+  sim::MachineConfig cfg;
+  cfg.p = 25;
+  cfg.params = mp;
+  cfg.data_mode = sim::DataMode::kGhost;
+  cfg.exec_mode = sim::ExecMode::kFolded;
+  cfg.fold = std::make_shared<const sim::FoldMap>(
+      sim::FoldMap::with_rotor(25, std::move(mutant)));
+  sim::Machine m(cfg);
+  ASSERT_TRUE(m.fold_active());
+  m.run([](sim::Comm&) {});
+  bool any_diff = false;
+  for (int r = 0; r < 25; ++r) {
+    const sim::RankCounters rc = m.rank_counters(r);
+    any_diff = any_diff ||
+               std::memcmp(&fib[static_cast<std::size_t>(r)], &rc,
+                           sizeof(sim::RankCounters)) != 0;
+  }
+  EXPECT_TRUE(any_diff)
+      << "parity check failed to distinguish a rotated-root schedule";
+}
+
 // A deliberately wrong merge must be caught by the same property check:
 // in Cannon, interior ranks and column-0 ranks have different (src, tag)
 // schedules (column 0's A-alignment self-sends are free), so a map that
@@ -347,7 +492,11 @@ TEST(FoldEngine, ExecuteMatchesFibersBitForBit) {
   engine::ExperimentSpec folded = foldable_mm_spec();
   folded.exec_mode = sim::ExecMode::kFolded;
   const engine::ExperimentResult rf = engine::execute(foldable_mm_spec());
-  const engine::ExperimentResult rd = engine::execute(folded);
+  engine::ExperimentResult rd = engine::execute(folded);
+  // The folded run reports its slot count; every cost field matches.
+  EXPECT_EQ(rf.fold_slots, 0);
+  EXPECT_GT(rd.fold_slots, 0);
+  rd.fold_slots = 0;
   EXPECT_EQ(rf, rd);
 }
 
